@@ -1,0 +1,66 @@
+//! Ablation: level-parallel vs path-parallel augmentation and the `k < 2p²`
+//! switch (§IV-B).
+//!
+//! Synthetic sets of `k` disjoint augmenting paths are flipped by both
+//! kernels; wall time is measured by criterion, and the *modeled*
+//! distributed costs — where the analytic crossover lives — are printed to
+//! stderr with the threshold prediction so the switch criterion can be
+//! eyeballed against the model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcm_bench::synthetic_paths;
+use mcm_bsp::{DistCtx, Kernel, MachineConfig};
+use mcm_core::augment::{augment, AugmentMode};
+use std::hint::black_box;
+
+fn modeled_cost(dim: usize, k: usize, half_len: usize, mode: AugmentMode) -> f64 {
+    let (path_c, parent_r, mut m) = synthetic_paths(k, half_len);
+    let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 12));
+    let _ = augment(&mut ctx, mode, &path_c, &parent_r, &mut m);
+    ctx.timers.seconds(Kernel::Augment)
+}
+
+fn bench_augment(c: &mut Criterion) {
+    // Modeled crossover sweep at p = 64 (threshold 2p² = 8192 paths).
+    let dim = 8;
+    let p = dim * dim;
+    eprintln!("[ablation_augment] p = {p}, analytic switch at k = 2p^2 = {}", 2 * p * p);
+    for k in [64usize, 512, 4096, 8192, 16384, 32768] {
+        let lvl = modeled_cost(dim, k, 4, AugmentMode::LevelParallel);
+        let pth = modeled_cost(dim, k, 4, AugmentMode::PathParallel);
+        let auto = if k < 2 * p * p { "path" } else { "level" };
+        let winner = if pth < lvl { "path" } else { "level" };
+        eprintln!(
+            "[ablation_augment] k={k:>6}: level {:.3} ms, path {:.3} ms → winner {winner} (auto picks {auto})",
+            lvl * 1e3,
+            pth * 1e3
+        );
+    }
+
+    let mut group = c.benchmark_group("augment");
+    for &k in &[256usize, 4096] {
+        for (name, mode) in [
+            ("level", AugmentMode::LevelParallel),
+            ("path", AugmentMode::PathParallel),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &k,
+                |b, &k| {
+                    b.iter_batched(
+                        || synthetic_paths(k, 4),
+                        |(path_c, parent_r, mut m)| {
+                            let mut ctx = DistCtx::new(MachineConfig::hybrid(8, 1));
+                            black_box(augment(&mut ctx, mode, &path_c, &parent_r, &mut m))
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_augment);
+criterion_main!(benches);

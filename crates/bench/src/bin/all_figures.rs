@@ -1,0 +1,22 @@
+//! Regenerates every table and figure in sequence by invoking the sibling
+//! binaries' entry logic via `cargo run` would be wasteful — instead this
+//! binary simply tells the user the index. Each figure is intentionally its
+//! own binary so a single slow sweep can be re-run in isolation.
+
+fn main() {
+    println!("Per-experiment harness index (DESIGN.md §4):\n");
+    for (bin, what) in [
+        ("table2", "Table II  — matrix inventory (paper vs stand-in sizes)"),
+        ("fig3", "Fig. 3   — initializer impact (greedy / karp-sipser / mindegree)"),
+        ("fig4", "Fig. 4   — strong scaling on 13 real-matrix stand-ins"),
+        ("fig5", "Fig. 5   — runtime breakdown across kernels"),
+        ("fig6", "Fig. 6   — strong scaling on ER / G500 / SSCA RMAT"),
+        ("fig7", "Fig. 7   — hybrid (12 threads) vs flat MPI"),
+        ("fig8", "Fig. 8   — pruning ablation"),
+        ("fig9", "Fig. 9   — centralized gather/scatter baseline"),
+    ] {
+        println!("  cargo run --release -p mcm-bench --bin {bin:<7}  # {what}");
+    }
+    println!("\nCSV outputs land in target/figures/. EXPERIMENTS.md records the");
+    println!("paper-vs-measured comparison for each.");
+}

@@ -1,0 +1,21 @@
+use mcm_bench::{run_mcm_scaled, share, standin_scale};
+use mcm_bsp::{Kernel, MachineConfig};
+use mcm_core::McmOptions;
+fn main() {
+    for name in ["wikipedia-20070206", "road_usa", "amazon-2008"] {
+        let s = mcm_gen::realistic::by_name(name).unwrap();
+        let t = s.generate();
+        let ws = standin_scale(&s, &t);
+        for cfg in [MachineConfig::hybrid(2, 6), MachineConfig::hybrid(9, 12), MachineConfig::hybrid(13, 12)] {
+            let out = run_mcm_scaled(cfg, &t, &McmOptions::default(), ws);
+            println!(
+                "{:<20} ws {:>6.0} cores {:>5}: total {:>9.3} ms | SpMV {:>4.1}% Inv {:>4.1}% Prune {:>4.1}% Sel {:>4.1}% Aug {:>4.1}% Init {:>4.1}% Oth {:>4.1}% | iters {}",
+                s.name, ws, cfg.cores(), out.modeled_s * 1e3,
+                share(&out.timers, Kernel::SpMV), share(&out.timers, Kernel::Invert),
+                share(&out.timers, Kernel::Prune), share(&out.timers, Kernel::Select),
+                share(&out.timers, Kernel::Augment), share(&out.timers, Kernel::Init),
+                share(&out.timers, Kernel::Other), out.stats.iterations
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+use mcm_bench::run_mcm;
+use mcm_bsp::MachineConfig;
+use mcm_core::McmOptions;
+fn main() {
+    for s in mcm_gen::table2() {
+        let t = s.generate();
+        let out = run_mcm(MachineConfig::hybrid(4, 2), &t, &McmOptions::default());
+        println!(
+            "{:<22} init |M| {:>6}  final {:>6}  augmentations {:>6}  phases {:>3}  iters {:>5}",
+            s.name, out.stats.init_cardinality, out.cardinality, out.stats.augmentations,
+            out.stats.phases, out.stats.iterations
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 4: strong scaling of MCM-DIST on the 13 real matrices.
+//!
+//! Sweeps the paper's hybrid machine configurations from one node (24
+//! cores) to ~2028 cores and reports the modeled MCM-DIST time and the
+//! speedup relative to 24 cores for every Table II stand-in. The paper's
+//! headline numbers: ~9× average speedup at 972 cores (40.5× more cores),
+//! up to ~18× at ~2048 cores on the largest matrices, and larger matrices
+//! scaling further than smaller ones.
+
+use mcm_bench::{mcm_time, run_mcm_scaled, standin_scale, sweep, Report};
+use mcm_core::McmOptions;
+use mcm_gen::table2;
+
+fn main() {
+    let configs = sweep(2028);
+    println!("Fig. 4 — strong scaling on real-matrix stand-ins (modeled time, ms)\n");
+
+    let mut rep = Report::new("fig4", &["matrix", "cores", "modeled_ms", "speedup", "|M|"]);
+    let mut at972: Vec<f64> = Vec::new();
+    for s in table2() {
+        let t = s.generate();
+        let scale = standin_scale(&s, &t);
+        let mut base: Option<f64> = None;
+        for cfg in &configs {
+            let out = run_mcm_scaled(*cfg, &t, &McmOptions::default(), scale);
+            let secs = mcm_time(&out).max(1e-12);
+            let speedup = *base.get_or_insert(secs) / secs;
+            if cfg.cores() == 972 {
+                at972.push(speedup);
+            }
+            rep.row(vec![
+                s.name.to_string(),
+                cfg.cores().to_string(),
+                format!("{:.3}", secs * 1e3),
+                format!("{speedup:.2}"),
+                out.cardinality.to_string(),
+            ]);
+        }
+    }
+    rep.finish();
+
+    if !at972.is_empty() {
+        let mean = at972.iter().sum::<f64>() / at972.len() as f64;
+        let min = at972.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = at972.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "\nspeedup at 972 cores over 24 cores: mean {mean:.1}x, min {min:.1}x, max {max:.1}x"
+        );
+        println!("paper reference at 972 cores: mean 9x, min 5x (amazon-2008), max 13x (delaunay_n24)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 6: strong scaling on large synthetic RMAT matrices.
+//!
+//! ER, G500 and SSCA classes at two scales each, swept up to the 12,288-core
+//! configuration (32×32 grid × 12 threads) the paper tops out at. The paper
+//! runs scales 26 and 30 on Edison; the simulator runs the same generators
+//! with the same seed parameters at laptop scales (see DESIGN.md §2), so
+//! compare *shapes*: runtime falling ~√t when cores grow t-fold, the smaller
+//! scale flattening earlier, the larger scale scaling to the full sweep.
+
+use mcm_bench::{mcm_time, run_mcm_scaled, sweep, Report};
+use mcm_core::McmOptions;
+use mcm_gen::rmat::{rmat, RmatParams};
+
+fn main() {
+    // Stand-ins for the paper's scale-26 ("small") and scale-30 ("large").
+    let small_scale = 13u32;
+    let large_scale = 16u32;
+    println!(
+        "Fig. 6 — strong scaling on RMAT classes (scales {small_scale} and {large_scale} standing in for 26/30)\n"
+    );
+
+    type ParamsFor = fn(u32) -> RmatParams;
+    let classes: [(&str, ParamsFor); 3] = [
+        ("ER", RmatParams::er),
+        ("G500", RmatParams::g500),
+        ("SSCA", RmatParams::ssca),
+    ];
+
+    let mut rep = Report::new(
+        "fig6",
+        &["class", "scale", "cores", "modeled_ms", "speedup", "|M|"],
+    );
+    for (name, params) in classes {
+        for (scale, paper_scale) in [(small_scale, 26u32), (large_scale, 30u32)] {
+            let t = rmat(params(scale), 20_160_000 + scale as u64);
+            // Work scale: paper-scale edge count over the stand-in's.
+            let p = params(paper_scale);
+            let paper_edges = (p.edge_factor as f64) * (1u64 << paper_scale) as f64;
+            let ws = (paper_edges / t.len() as f64).max(1.0);
+            let mut base: Option<f64> = None;
+            for cfg in sweep(12_288) {
+                let out = run_mcm_scaled(cfg, &t, &McmOptions::default(), ws);
+                let secs = mcm_time(&out).max(1e-12);
+                let speedup = *base.get_or_insert(secs) / secs;
+                rep.row(vec![
+                    name.to_string(),
+                    format!("{scale} (for {paper_scale})"),
+                    cfg.cores().to_string(),
+                    format!("{:.3}", secs * 1e3),
+                    format!("{speedup:.2}"),
+                    out.cardinality.to_string(),
+                ]);
+            }
+        }
+    }
+    rep.finish();
+    println!("\npaper shape to check: the smaller scale stops scaling well before the");
+    println!("12288-core end of the sweep; the larger scale keeps improving.");
+}

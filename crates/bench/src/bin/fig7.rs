@@ -1,0 +1,47 @@
+//! Fig. 7: impact of intra-node multithreading (hybrid vs flat MPI).
+//!
+//! For two representative matrices, compares the hybrid layout (12 threads
+//! per process, small process grid) against flat MPI (1 thread per process,
+//! large grid) at matched core counts. The paper's findings: hybrid is at
+//! least ~2× faster everywhere because the smaller communicators shrink
+//! latency and synchronization costs, and flat MPI stops scaling much
+//! earlier — most dramatically on small matrices like amazon-2008.
+
+use mcm_bench::{mcm_time, run_mcm_scaled, standin_scale, Report};
+use mcm_bsp::MachineConfig;
+use mcm_core::McmOptions;
+use mcm_gen::realistic::by_name;
+
+fn main() {
+    println!("Fig. 7 — hybrid (t=12) vs flat MPI (t=1) at matched core counts\n");
+    let mut rep = Report::new(
+        "fig7",
+        &["matrix", "cores(hybrid)", "hybrid_ms", "cores(flat)", "flat_ms", "flat/hybrid"],
+    );
+    for name in ["amazon-2008", "road_usa"] {
+        let s = by_name(name).expect("matrix in table2");
+        let t = s.generate();
+        let scale = standin_scale(&s, &t);
+        for dim in [2usize, 3, 4, 6, 9, 13] {
+            let hybrid = MachineConfig::hybrid(dim, 12);
+            // Flat grid with (approximately) the same number of cores:
+            // dim_flat² ≈ 12·dim².
+            let dim_flat = ((12.0f64).sqrt() * dim as f64).round() as usize;
+            let flat = MachineConfig::flat(dim_flat);
+            let oh = run_mcm_scaled(hybrid, &t, &McmOptions::default(), scale);
+            let of = run_mcm_scaled(flat, &t, &McmOptions::default(), scale);
+            assert_eq!(oh.cardinality, of.cardinality);
+            rep.row(vec![
+                s.name.to_string(),
+                hybrid.cores().to_string(),
+                format!("{:.3}", mcm_time(&oh) * 1e3),
+                flat.cores().to_string(),
+                format!("{:.3}", mcm_time(&of) * 1e3),
+                format!("{:.2}", mcm_time(&of) / mcm_time(&oh).max(1e-12)),
+            ]);
+        }
+    }
+    rep.finish();
+    println!("\npaper shape to check: flat/hybrid ratio ≥ ~2 and growing with cores;");
+    println!("flat MPI on amazon-2008 stops improving beyond a few hundred cores.");
+}

@@ -1,0 +1,52 @@
+//! Table II: the matrix inventory.
+//!
+//! Prints, for each of the paper's 13 matrices, the UF-collection sizes the
+//! paper quotes next to the stand-in actually generated here (DESIGN.md §2),
+//! plus the structural deficiency (unmatched columns under a maximum
+//! matching) — the paper selected "matrices that have at least several
+//! thousands of unmatched vertices after computing a maximal matching", so
+//! the stand-ins must leave the MCM phase real work.
+
+use mcm_bench::Report;
+use mcm_core::serial::{greedy_serial, hopcroft_karp};
+use mcm_gen::table2;
+use mcm_sparse::stats::MatrixStats;
+
+fn main() {
+    let mut rep = Report::new(
+        "table2",
+        &[
+            "matrix",
+            "class",
+            "paper n",
+            "paper nnz",
+            "ours n1",
+            "ours n2",
+            "ours nnz",
+            "avg deg",
+            "max |M|",
+            "unmatched after maximal",
+        ],
+    );
+    for s in table2() {
+        let t = s.generate();
+        let a = t.to_csc();
+        let stats = MatrixStats::from_csc(&a);
+        let maximal = greedy_serial(&a);
+        let maximum = hopcroft_karp(&a, Some(maximal.clone()));
+        rep.row(vec![
+            s.name.to_string(),
+            s.class.label().to_string(),
+            s.paper_nrows.to_string(),
+            s.paper_nnz.to_string(),
+            stats.nrows.to_string(),
+            stats.ncols.to_string(),
+            stats.nnz.to_string(),
+            format!("{:.1}", stats.avg_row_degree),
+            maximum.cardinality().to_string(),
+            (stats.ncols - maximal.cardinality()).to_string(),
+        ]);
+    }
+    println!("Table II — matrix inventory (paper scale vs stand-in scale)\n");
+    rep.finish();
+}

@@ -1,0 +1,650 @@
+//! 2D block-distributed sparse matrices and the distributed SpMSpV.
+//!
+//! §IV-A of the paper: CombBLAS distributes an `n1 × n2` matrix over a
+//! `p_r × p_c` grid; process `P(i,j)` stores submatrix `A_{i,j}` in DCSC.
+//! The 2D SpMV has two communication phases [26]: **expand** (allgather of
+//! frontier slices along each process *column*) and **fold** (personalized
+//! all-to-all of partial products along each process *row*).
+//!
+//! The simulator executes the same plan: the frontier is sliced per block
+//! column, each block runs the local semiring product
+//! ([`mcm_sparse::spmspv`]) — in parallel with rayon, standing in for both
+//! process-level and OpenMP parallelism — and each block row merges its
+//! partials with the semiring "addition". Communication is charged from the
+//! actual per-rank volumes.
+
+use crate::ctx::DistCtx;
+use crate::timers::Kernel;
+use mcm_sparse::triples::block_offsets;
+use mcm_sparse::{Dcsc, SpVec, Triples, Vidx};
+use rayon::prelude::*;
+
+/// A sparse matrix distributed over a 2D process grid in DCSC blocks.
+///
+/// # Example
+///
+/// ```
+/// use mcm_bsp::{DistCtx, DistMatrix, Kernel, MachineConfig};
+/// use mcm_sparse::{SpVec, Triples};
+///
+/// let t = Triples::from_edges(4, 4, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+/// let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1)); // 2x2 grid
+/// let a = DistMatrix::from_triples(&ctx, &t);
+/// let x = SpVec::from_pairs(4, vec![(0, 0u32), (2, 2)]);
+/// let y = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, _| j, |acc, inc| inc < acc);
+/// assert_eq!(y.entries(), &[(0, 0), (2, 2)]);
+/// assert!(ctx.timers.seconds(Kernel::SpMV) > 0.0); // modeled time accrued
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistMatrix {
+    nrows: usize,
+    ncols: usize,
+    pr: usize,
+    pc: usize,
+    /// Global row index where each block row starts (`len == pr + 1`).
+    row_off: Vec<usize>,
+    /// Global column index where each block column starts (`len == pc + 1`).
+    col_off: Vec<usize>,
+    /// Row-major `pr × pc` DCSC blocks with block-local coordinates.
+    blocks: Vec<Dcsc>,
+    nnz: usize,
+}
+
+impl DistMatrix {
+    /// Distributes `t` over the grid of `ctx` (balanced block distribution
+    /// in both dimensions, as CombBLAS does).
+    pub fn from_triples(ctx: &DistCtx, t: &Triples) -> Self {
+        Self::with_grid(t, ctx.machine.grid.pr, ctx.machine.grid.pc)
+    }
+
+    /// Distributes `t` over an explicit `pr × pc` grid.
+    pub fn with_grid(t: &Triples, pr: usize, pc: usize) -> Self {
+        let parts = t.split_blocks(pr, pc);
+        let blocks: Vec<Dcsc> = parts.par_iter().map(Dcsc::from_triples).collect();
+        let nnz = blocks.iter().map(|b| b.nnz()).sum();
+        Self {
+            nrows: t.nrows(),
+            ncols: t.ncols(),
+            pr,
+            pc,
+            row_off: block_offsets(t.nrows(), pr),
+            col_off: block_offsets(t.ncols(), pc),
+            blocks,
+            nnz,
+        }
+    }
+
+    /// Global row count.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Global column count.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Total stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Grid shape `(pr, pc)`.
+    #[inline]
+    pub fn grid(&self) -> (usize, usize) {
+        (self.pr, self.pc)
+    }
+
+    /// The DCSC block at grid position `(bi, bj)`.
+    #[inline]
+    pub fn block(&self, bi: usize, bj: usize) -> &Dcsc {
+        &self.blocks[bi * self.pc + bj]
+    }
+
+    /// Fraction of blocks that are hypersparse (`nnz < ncols`); grows with
+    /// the grid and motivates DCSC (storage ablation).
+    pub fn hypersparse_fraction(&self) -> f64 {
+        let h = self.blocks.iter().filter(|b| b.is_hypersparse()).count();
+        h as f64 / self.blocks.len() as f64
+    }
+
+    /// Distributed semiring SpMSpV: `y = A ⊗ x` where `x` is a sparse vector
+    /// over the columns and `y` over the rows.
+    ///
+    /// * `mul(j, xj)` — semiring multiply, receives the **global** column
+    ///   index (BFS rewrites the parent to `j` here).
+    /// * `take_incoming(acc, inc)` — semiring addition as a selection.
+    ///
+    /// Charges to `kernel`: expand allgather (bottleneck grid column), local
+    /// multiply (`γ · max-block-flops / t`), fold alltoallv (bottleneck grid
+    /// row). Deterministic: candidates arrive per row in ascending global
+    /// column order, exactly like the serial kernel.
+    pub fn spmspv<T, U>(
+        &self,
+        ctx: &mut DistCtx,
+        kernel: Kernel,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        take_incoming: impl Fn(&U, &U) -> bool + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Sync,
+        U: Send,
+    {
+        assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
+
+        // ---- Expand: slice the frontier per block column. ----------------
+        let xs = x.entries();
+        let mut slices: Vec<SpVec<T>> = Vec::with_capacity(self.pc);
+        let mut expand_max = 0u64;
+        for bj in 0..self.pc {
+            let lo = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj]);
+            let hi = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj + 1]);
+            let off = self.col_off[bj] as Vidx;
+            let local: Vec<(Vidx, T)> = xs[lo..hi].iter().map(|&(j, v)| (j - off, v)).collect();
+            expand_max = expand_max.max(2 * (hi - lo) as u64);
+            slices.push(SpVec::from_sorted_pairs(
+                self.col_off[bj + 1] - self.col_off[bj],
+                local,
+            ));
+        }
+        ctx.charge_allgather(kernel, self.pr, expand_max);
+
+        // ---- Local multiply: every block in parallel. ---------------------
+        type Partial<U> = (mcm_sparse::spmv::SpmvOut<U>, usize, usize);
+        let partials: Vec<Partial<U>> = (0..self.pr * self.pc)
+            .into_par_iter()
+            .map(|b| {
+                let (bi, bj) = (b / self.pc, b % self.pc);
+                let off = self.col_off[bj] as Vidx;
+                let out = mcm_sparse::spmspv(
+                    &self.blocks[b],
+                    &slices[bj],
+                    |lj, v| mul(lj + off, v),
+                    |acc, inc| take_incoming(acc, inc),
+                );
+                (out, bi, bj)
+            })
+            .collect();
+        let max_flops = partials.iter().map(|(o, _, _)| o.flops).max().unwrap_or(0);
+        ctx.charge_compute(kernel, max_flops);
+
+        // ---- Fold: merge partials along each block row. -------------------
+        // Group partials by block row, preserving ascending bj order so that
+        // a stable sort by row keeps per-row candidates in ascending global
+        // column order (matching serial semantics for order-sensitive
+        // combiners).
+        let mut by_row: Vec<Vec<SpVec<U>>> = (0..self.pr).map(|_| Vec::new()).collect();
+        for (out, bi, _bj) in partials {
+            by_row[bi].push(out.y);
+        }
+
+        struct FoldOut<U> {
+            entries: Vec<(Vidx, U)>,
+            max_send: u64,
+            max_recv: u64,
+        }
+
+        let folded: Vec<FoldOut<U>> = by_row
+            .into_par_iter()
+            .enumerate()
+            .map(|(bi, parts)| {
+                let block_rows = self.row_off[bi + 1] - self.row_off[bi];
+                let max_send = parts.iter().map(|p| 2 * p.nnz() as u64).max().unwrap_or(0);
+                let mut merged: Vec<(Vidx, U)> = Vec::new();
+                for part in parts {
+                    merged.extend(part.into_entries());
+                }
+                // Stable by-row sort keeps ascending-bj (hence ascending
+                // global column) arrival order per row.
+                merged.sort_by_key(|&(i, _)| i);
+                // Receiver volumes come from the PRE-merge partials: the
+                // wire carries every block's candidate, and the receiving
+                // rank folds duplicates only after they arrive.
+                let mut recv = vec![0u64; self.pc];
+                for &(i, _) in &merged {
+                    recv[crate::collectives::balanced_owner(
+                        block_rows.max(1),
+                        self.pc,
+                        i as usize,
+                    )] += 2;
+                }
+                let max_recv = recv.into_iter().max().unwrap_or(0);
+                let mut out: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
+                for (i, v) in merged {
+                    match out.last_mut() {
+                        Some((last, acc)) if *last == i => {
+                            if take_incoming(acc, &v) {
+                                *acc = v;
+                            }
+                        }
+                        _ => out.push((i, v)),
+                    }
+                }
+                // Globalize row indices.
+                let off = self.row_off[bi] as Vidx;
+                let entries = out.into_iter().map(|(i, v)| (i + off, v)).collect();
+                FoldOut { entries, max_send, max_recv }
+            })
+            .collect();
+
+        let fold_bottleneck = folded
+            .iter()
+            .map(|f| f.max_send.max(f.max_recv))
+            .max()
+            .unwrap_or(0);
+        ctx.charge_alltoallv(kernel, self.pc, fold_bottleneck);
+
+        let mut entries = Vec::with_capacity(folded.iter().map(|f| f.entries.len()).sum());
+        for f in folded {
+            entries.extend(f.entries);
+        }
+        SpVec::from_sorted_pairs(self.nrows, entries)
+    }
+    /// Bottom-up ("pull") frontier expansion — the direction-optimizing
+    /// counterpart of [`DistMatrix::spmspv`], per the paper's §VII future
+    /// work ("the bottom-up BFS in distributed memory", after Beamer's
+    /// direction-optimizing BFS).
+    ///
+    /// `self` must be the **transpose** `Aᵀ` (an `n2 × n1` matrix whose
+    /// columns are the rows of `A`). Instead of scanning the frontier
+    /// columns' adjacency, every *candidate* (unvisited) row scans its own
+    /// adjacency and stops at the first frontier member — a large win when
+    /// the frontier covers much of the graph, because most rows stop after
+    /// O(1) probes.
+    ///
+    /// Within a block, adjacency is scanned in ascending column order, and
+    /// blocks merge in ascending block-row order, so with the `minParent`
+    /// semiring the early exit is *exact*: the result is bit-identical to
+    /// the top-down product. (Randomized semirings get a valid but possibly
+    /// different parent choice; MCM correctness does not depend on which.)
+    ///
+    /// Charges to `kernel`: an allgather of the frontier slice along each
+    /// grid column (bitmap + values — the frontier is dense here, which is
+    /// precisely when bottom-up is chosen), the scanned-edge compute at the
+    /// bottleneck block, and the candidate-merge alltoallv along grid rows.
+    #[allow(clippy::too_many_arguments)] // mirrors the kernel's real parameter surface
+    pub fn bottom_up_spmspv<T, U>(
+        &self,
+        ctx: &mut DistCtx,
+        kernel: Kernel,
+        candidates: &[Vidx],
+        frontier: &[Option<T>],
+        frontier_nnz: usize,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        take_incoming: impl Fn(&U, &U) -> bool + Sync,
+    ) -> SpVec<U>
+    where
+        T: Sync,
+        U: Send,
+    {
+        // In Aᵀ terms: nrows = n2 (A's columns = frontier side),
+        // ncols = n1 (A's rows = candidate side).
+        assert_eq!(frontier.len(), self.nrows, "frontier must cover A's columns");
+        debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+
+        // ---- Frontier replication along each grid column. -----------------
+        // Every process needs the frontier slice matching its block's
+        // A-column range: a bitmap word per 64 columns plus the values.
+        let mut expand_max = 0u64;
+        for bi in 0..self.pr {
+            let range = self.row_off[bi + 1] - self.row_off[bi];
+            let slice_nnz = frontier[self.row_off[bi]..self.row_off[bi + 1]]
+                .iter()
+                .filter(|v| v.is_some())
+                .count() as u64;
+            expand_max = expand_max.max(range as u64 / 64 + 2 * slice_nnz);
+        }
+        // The slice for block row bi is replicated across that grid row's
+        // pc ranks (on the square grids the paper uses, pr == pc).
+        ctx.charge_allgather(kernel, self.pc, expand_max);
+        let _ = frontier_nnz;
+
+        // ---- Per-block candidate scans with early exit. --------------------
+        struct BlockOut<U> {
+            bi: usize,
+            /// (global candidate index, chosen value)
+            hits: Vec<(Vidx, U)>,
+            flops: u64,
+        }
+        let outs: Vec<BlockOut<U>> = (0..self.pr * self.pc)
+            .into_par_iter()
+            .map(|b| {
+                let (bi, bj) = (b / self.pc, b % self.pc);
+                let block = &self.blocks[b];
+                let col_lo = self.col_off[bj];
+                let col_hi = self.col_off[bj + 1];
+                let lo = candidates.partition_point(|&r| (r as usize) < col_lo);
+                let hi = candidates.partition_point(|&r| (r as usize) < col_hi);
+                let row_base = self.row_off[bi] as Vidx;
+                let mut hits = Vec::new();
+                let mut flops = 0u64;
+                for &r in &candidates[lo..hi] {
+                    let local = (r as usize - col_lo) as Vidx;
+                    for &li in block.col(local as usize) {
+                        flops += 1;
+                        let gcol = li + row_base; // a column of A
+                        if let Some(v) = &frontier[gcol as usize] {
+                            hits.push((r, mul(gcol, v)));
+                            break; // early exit: first frontier neighbour
+                        }
+                    }
+                }
+                BlockOut { bi, hits, flops }
+            })
+            .collect();
+        let max_flops = outs.iter().map(|o| o.flops).max().unwrap_or(0);
+        ctx.charge_compute(kernel, max_flops);
+
+        // ---- Merge candidate hits across block rows (grid-row reduce). ----
+        let max_hits = outs.iter().map(|o| 2 * o.hits.len() as u64).max().unwrap_or(0);
+        ctx.charge_alltoallv(kernel, self.pr, max_hits);
+        let mut ordered: Vec<BlockOut<U>> = outs;
+        ordered.sort_by_key(|o| o.bi); // ascending A-column ranges
+        let mut merged: Vec<(Vidx, U)> = Vec::new();
+        for out in ordered {
+            for (r, v) in out.hits {
+                merged.push((r, v));
+            }
+        }
+        merged.sort_by_key(|&(r, _)| r); // stable: keeps ascending-bi arrival
+        let mut result: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
+        for (r, v) in merged {
+            match result.last_mut() {
+                Some((last, acc)) if *last == r => {
+                    if take_incoming(acc, &v) {
+                        *acc = v;
+                    }
+                }
+                _ => result.push((r, v)),
+            }
+        }
+        SpVec::from_sorted_pairs(self.ncols, result)
+    }
+
+    /// Distributed SpMSpV over a general *monoid* addition (`combine`
+    /// folds a candidate into the accumulator — must be commutative and
+    /// associative, e.g. `+` for the counting semirings the maximal-matching
+    /// initializers use for dynamic degree updates). Same communication plan
+    /// and charging as [`DistMatrix::spmspv`].
+    pub fn spmspv_monoid<T, U>(
+        &self,
+        ctx: &mut DistCtx,
+        kernel: Kernel,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        combine: impl Fn(&mut U, U) + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Sync,
+        U: Send,
+    {
+        assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
+
+        let xs = x.entries();
+        let mut slices: Vec<SpVec<T>> = Vec::with_capacity(self.pc);
+        let mut expand_max = 0u64;
+        for bj in 0..self.pc {
+            let lo = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj]);
+            let hi = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj + 1]);
+            let off = self.col_off[bj] as Vidx;
+            let local: Vec<(Vidx, T)> = xs[lo..hi].iter().map(|&(j, v)| (j - off, v)).collect();
+            expand_max = expand_max.max(2 * (hi - lo) as u64);
+            slices.push(SpVec::from_sorted_pairs(
+                self.col_off[bj + 1] - self.col_off[bj],
+                local,
+            ));
+        }
+        ctx.charge_allgather(kernel, self.pr, expand_max);
+
+        let partials: Vec<(mcm_sparse::spmv::SpmvOut<U>, usize)> = (0..self.pr * self.pc)
+            .into_par_iter()
+            .map(|b| {
+                let (bi, bj) = (b / self.pc, b % self.pc);
+                let off = self.col_off[bj] as Vidx;
+                let out = mcm_sparse::spmspv_monoid(
+                    &self.blocks[b],
+                    &slices[bj],
+                    |lj, v| mul(lj + off, v),
+                    |acc, inc| combine(acc, inc),
+                );
+                (out, bi)
+            })
+            .collect();
+        let max_flops = partials.iter().map(|(o, _)| o.flops).max().unwrap_or(0);
+        ctx.charge_compute(kernel, max_flops);
+
+        let mut by_row: Vec<Vec<SpVec<U>>> = (0..self.pr).map(|_| Vec::new()).collect();
+        for (out, bi) in partials {
+            by_row[bi].push(out.y);
+        }
+
+        let folded: Vec<(Vec<(Vidx, U)>, u64)> = by_row
+            .into_par_iter()
+            .enumerate()
+            .map(|(bi, parts)| {
+                let block_rows = self.row_off[bi + 1] - self.row_off[bi];
+                let max_send = parts.iter().map(|p| 2 * p.nnz() as u64).max().unwrap_or(0);
+                let mut merged: Vec<(Vidx, U)> = Vec::new();
+                for part in parts {
+                    merged.extend(part.into_entries());
+                }
+                merged.sort_by_key(|&(i, _)| i);
+                // Pre-merge receive volumes, as in `spmspv`'s fold.
+                let mut recv = vec![0u64; self.pc];
+                for &(i, _) in &merged {
+                    recv[crate::collectives::balanced_owner(
+                        block_rows.max(1),
+                        self.pc,
+                        i as usize,
+                    )] += 2;
+                }
+                let max_recv = recv.into_iter().max().unwrap_or(0);
+                let mut out: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
+                for (i, v) in merged {
+                    match out.last_mut() {
+                        Some((last, acc)) if *last == i => combine(acc, v),
+                        _ => out.push((i, v)),
+                    }
+                }
+                let off = self.row_off[bi] as Vidx;
+                let entries: Vec<(Vidx, U)> =
+                    out.into_iter().map(|(i, v)| (i + off, v)).collect();
+                (entries, max_send.max(max_recv))
+            })
+            .collect();
+
+        let fold_bottleneck = folded.iter().map(|(_, s)| *s).max().unwrap_or(0);
+        ctx.charge_alltoallv(kernel, self.pc, fold_bottleneck);
+
+        let mut entries = Vec::with_capacity(folded.iter().map(|(e, _)| e.len()).sum());
+        for (e, _) in folded {
+            entries.extend(e);
+        }
+        SpVec::from_sorted_pairs(self.nrows, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    fn fig2_triples() -> Triples {
+        Triples::from_edges(
+            4,
+            5,
+            vec![
+                (0, 0),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 3),
+                (2, 2),
+                (2, 4),
+                (3, 3),
+                (3, 4),
+            ],
+        )
+    }
+
+    fn serial_reference(
+        t: &Triples,
+        x: &SpVec<(Vidx, Vidx)>,
+    ) -> SpVec<(Vidx, Vidx)> {
+        let a = Dcsc::from_triples(t);
+        mcm_sparse::spmspv(&a, x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0).y
+    }
+
+    #[test]
+    fn distributed_matches_serial_on_all_grids() {
+        let t = fig2_triples();
+        let x = SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]);
+        let want = serial_reference(&t, &x);
+        for dim in 1..=4 {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+            let a = DistMatrix::from_triples(&ctx, &t);
+            let y = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| {
+                inc.0 < acc.0
+            });
+            assert_eq!(y, want, "grid {dim}x{dim}");
+        }
+    }
+
+    #[test]
+    fn blocks_partition_nnz() {
+        let t = fig2_triples();
+        let a = DistMatrix::with_grid(&t, 3, 2);
+        assert_eq!(a.nnz(), 9);
+        let sum: usize = (0..3)
+            .flat_map(|i| (0..2).map(move |j| (i, j)))
+            .map(|(i, j)| a.block(i, j).nnz())
+            .sum();
+        assert_eq!(sum, 9);
+    }
+
+    #[test]
+    fn charges_grow_with_grid() {
+        let t = fig2_triples();
+        let x = SpVec::from_pairs(5, vec![(0, 0u32), (1, 1), (4, 4)]);
+        let run = |dim: usize| {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+            let a = DistMatrix::from_triples(&ctx, &t);
+            let _ = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, _| j, |acc, inc| inc < acc);
+            ctx.timers.seconds(Kernel::SpMV)
+        };
+        // On one process the latency terms vanish; on a 2x2 grid they don't.
+        assert!(run(2) > run(1));
+    }
+
+    #[test]
+    fn empty_frontier_yields_empty_result() {
+        let t = fig2_triples();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let a = DistMatrix::from_triples(&ctx, &t);
+        let x: SpVec<u32> = SpVec::new(5);
+        let y = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, _| j, |_, _| false);
+        assert!(y.is_empty());
+        assert_eq!(y.len(), 4);
+    }
+
+    #[test]
+    fn bottom_up_matches_top_down_under_min_parent() {
+        let t = fig2_triples();
+        let x = SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]);
+        // Dense frontier map over the 5 columns.
+        let mut fmap: Vec<Option<(Vidx, Vidx)>> = vec![None; 5];
+        for (j, &v) in x.iter() {
+            fmap[j as usize] = Some(v);
+        }
+        for dim in 1..=3 {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+            let a = DistMatrix::from_triples(&ctx, &t);
+            let top = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| {
+                inc.0 < acc.0
+            });
+            let at = DistMatrix::from_triples(&ctx, &t.transposed());
+            let candidates: Vec<Vidx> = (0..4).collect(); // all rows unvisited
+            let bottom = at.bottom_up_spmspv(
+                &mut ctx,
+                Kernel::SpMV,
+                &candidates,
+                &fmap,
+                x.nnz(),
+                |j, &(_, r)| (j, r),
+                |acc: &(Vidx, Vidx), inc| inc.0 < acc.0,
+            );
+            assert_eq!(bottom, top, "grid {dim}x{dim}");
+        }
+    }
+
+    #[test]
+    fn bottom_up_respects_candidate_subset() {
+        let t = fig2_triples();
+        let mut fmap: Vec<Option<u32>> = vec![None; 5];
+        fmap[0] = Some(7); // only c1 in frontier
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let at = DistMatrix::from_triples(&ctx, &t.transposed());
+        // Only rows r2 (adjacent to c1) and r3 (not adjacent) are candidates.
+        let y = at.bottom_up_spmspv(
+            &mut ctx,
+            Kernel::SpMV,
+            &[1, 2],
+            &fmap,
+            1,
+            |j, &v| (j, v),
+            |_, _| false,
+        );
+        assert_eq!(y.entries(), &[(1, (0, 7))]);
+    }
+
+    #[test]
+    fn bottom_up_early_exit_saves_flops() {
+        // Full frontier: every candidate stops at its first neighbour, so
+        // scanned edges = number of candidates (rows with any neighbour).
+        let t = fig2_triples();
+        let fmap: Vec<Option<u32>> = (0..5).map(Some).collect();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(1, 1));
+        let at = DistMatrix::from_triples(&ctx, &t.transposed());
+        let before = ctx.timers.seconds(Kernel::SpMV);
+        let _ = at.bottom_up_spmspv(
+            &mut ctx,
+            Kernel::SpMV,
+            &[0, 1, 2, 3],
+            &fmap,
+            5,
+            |j, &v| (j, v),
+            |_, _| false,
+        );
+        // With gamma = 8 ns and 4 single-probe candidates on one process:
+        // exactly 4 probes charged (p = 1: no comm terms).
+        let scanned = (ctx.timers.seconds(Kernel::SpMV) - before) / ctx.cost.gamma;
+        assert!((scanned - 4.0).abs() < 1e-6, "scanned {scanned} edges, expected 4");
+    }
+
+    #[test]
+    fn monoid_matches_serial_counting() {
+        let t = fig2_triples();
+        let x = SpVec::from_pairs(5, vec![(0, ()), (1, ()), (4, ())]);
+        let a_serial = Dcsc::from_triples(&t);
+        let want = mcm_sparse::spmspv_monoid(&a_serial, &x, |_, _| 1u32, |a, b| *a += b).y;
+        for dim in 1..=3 {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+            let a = DistMatrix::from_triples(&ctx, &t);
+            let y = a.spmspv_monoid(&mut ctx, Kernel::Init, &x, |_, _| 1u32, |a, b| *a += b);
+            assert_eq!(y, want, "grid {dim}x{dim}");
+        }
+    }
+
+    #[test]
+    fn hypersparse_fraction_increases_with_grid() {
+        // A sparse-ish random-ish structure: diagonal of a 64x64.
+        let t = Triples::from_edges(64, 64, (0..64).map(|i| (i as Vidx, i as Vidx)).collect());
+        let small = DistMatrix::with_grid(&t, 2, 2);
+        let large = DistMatrix::with_grid(&t, 16, 16);
+        assert!(large.hypersparse_fraction() >= small.hypersparse_fraction());
+    }
+}

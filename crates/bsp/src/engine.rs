@@ -1,0 +1,253 @@
+//! A real message-passing execution engine (validation backend).
+//!
+//! The cost-model simulator in [`crate::distmat`] executes kernels on shard
+//! data without materializing message buffers. This module provides the
+//! ground truth it is validated against: `p` *actual ranks* (OS threads),
+//! each holding **only its own shard**, exchanging data through
+//! crossbeam channels with MPI-like collectives. Tests in this crate and in
+//! `tests/` run the same kernels on both backends and assert
+//!
+//! 1. identical results, and
+//! 2. that the words each rank really sent/received match the volumes the
+//!    cost model charged.
+//!
+//! The engine is deliberately small (full channel mesh, rendezvous-free
+//! collectives) — it is a correctness oracle for communication patterns,
+//! not a performance vehicle.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// Per-rank communicator: a full mesh of typed byte-free channels plus a
+/// sent-word counter.
+pub struct RankComm<T: Send> {
+    rank: usize,
+    p: usize,
+    /// `senders[dst]` delivers into `dst`'s `receivers[src]`.
+    senders: Vec<Sender<(usize, Vec<T>)>>,
+    receiver: Receiver<(usize, Vec<T>)>,
+    /// Elements this rank pushed into the mesh (monotonic).
+    sent_elems: u64,
+    /// Out-of-order stash for messages from other ranks.
+    stash: Vec<Option<Vec<T>>>,
+}
+
+impl<T: Send> RankComm<T> {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total rank count.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Elements sent so far by this rank (the validation counter).
+    pub fn sent_elems(&self) -> u64 {
+        self.sent_elems
+    }
+
+    fn send_to(&mut self, dst: usize, data: Vec<T>) {
+        self.sent_elems += data.len() as u64;
+        if dst == self.rank {
+            self.stash[dst] = Some(data);
+        } else {
+            self.senders[dst]
+                .send((self.rank, data))
+                .expect("peer rank hung up");
+        }
+    }
+
+    fn recv_from(&mut self, src: usize) -> Vec<T> {
+        if let Some(msg) = self.stash[src].take() {
+            return msg;
+        }
+        loop {
+            let (from, data) = self.receiver.recv().expect("peer rank hung up");
+            if from == src {
+                return data;
+            }
+            assert!(
+                self.stash[from].replace(data).is_none(),
+                "protocol error: two outstanding messages from rank {from}"
+            );
+        }
+    }
+
+    /// Personalized all-to-all over the ranks in `group` (which must
+    /// contain `self.rank`): element `sends[k]` goes to `group[k]`; returns
+    /// what each group member sent here, in group order.
+    pub fn alltoallv(&mut self, group: &[usize], sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), group.len());
+        debug_assert!(group.contains(&self.rank));
+        for (&dst, data) in group.iter().zip(sends) {
+            self.send_to(dst, data);
+        }
+        group.iter().map(|&src| self.recv_from(src)).collect()
+    }
+
+    /// Allgather over `group`: everyone contributes `mine`, everyone
+    /// receives all contributions in group order.
+    pub fn allgatherv(&mut self, group: &[usize], mine: Vec<T>) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        let sends: Vec<Vec<T>> = group.iter().map(|_| mine.clone()).collect();
+        self.alltoallv(group, sends)
+    }
+
+    /// Gather onto `group[0]`: non-roots send, the root receives all (in
+    /// group order); non-roots get an empty result.
+    ///
+    /// Implemented over [`RankComm::alltoallv`] so the collective fully
+    /// synchronizes every member: a fire-and-forget non-root could otherwise
+    /// race ahead into the next collective and give its peer two
+    /// outstanding messages (tripping the single-slot stash).
+    pub fn gather(&mut self, group: &[usize], mine: Vec<T>) -> Vec<Vec<T>> {
+        let root = group[0];
+        let mut sends: Vec<Vec<T>> = group.iter().map(|_| Vec::new()).collect();
+        sends[0] = mine; // everything goes to the root; empties elsewhere
+        let received = self.alltoallv(group, sends);
+        if self.rank == root {
+            received
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Runs `f` on `p` ranks (threads), each with its own [`RankComm`];
+/// returns the per-rank results in rank order.
+///
+/// # Example
+///
+/// ```
+/// use mcm_bsp::engine::run_ranks;
+///
+/// // 4 real ranks exchange their ids with an allgather.
+/// let results = run_ranks::<u32, _, _>(4, |mut comm| {
+///     let group: Vec<usize> = (0..4).collect();
+///     comm.allgatherv(&group, vec![comm.rank() as u32])
+/// });
+/// assert_eq!(results[3][1], vec![1]);
+/// ```
+pub fn run_ranks<T, R, F>(p: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(RankComm<T>) -> R + Sync,
+{
+    assert!(p >= 1);
+    // Build the mesh: one MPMC-free inbox per rank, senders cloned per peer.
+    type Inbox<T> = (Sender<(usize, Vec<T>)>, Receiver<(usize, Vec<T>)>);
+    let mut inboxes: Vec<Inbox<T>> = (0..p).map(|_| bounded(2 * p + 4)).collect();
+    let all_senders: Vec<Sender<(usize, Vec<T>)>> =
+        inboxes.iter().map(|(s, _)| s.clone()).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, inbox) in inboxes.iter().enumerate() {
+            let senders = all_senders.clone();
+            let receiver = inbox.1.clone();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let comm = RankComm {
+                    rank,
+                    p,
+                    senders,
+                    receiver,
+                    sent_elems: 0,
+                    stash: (0..p).map(|_| None).collect(),
+                };
+                f(comm)
+            }));
+        }
+        drop(all_senders);
+        inboxes.clear();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alltoallv_routes_point_to_point() {
+        let results = run_ranks::<u32, _, _>(4, |mut comm| {
+            let group: Vec<usize> = (0..4).collect();
+            let me = comm.rank() as u32;
+            // Rank r sends [r * 10 + dst] to each dst.
+            let sends = (0..4).map(|dst| vec![me * 10 + dst as u32]).collect();
+            let recvd = comm.alltoallv(&group, sends);
+            (recvd, comm.sent_elems())
+        });
+        for (dst, (recvd, sent)) in results.into_iter().enumerate() {
+            assert_eq!(sent, 4);
+            for (src, msg) in recvd.into_iter().enumerate() {
+                assert_eq!(msg, vec![src as u32 * 10 + dst as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_replicates() {
+        let results = run_ranks::<u32, _, _>(3, |mut comm| {
+            let group: Vec<usize> = (0..3).collect();
+            comm.allgatherv(&group, vec![comm.rank() as u32; comm.rank() + 1])
+        });
+        for gathered in results {
+            assert_eq!(gathered[0], vec![0]);
+            assert_eq!(gathered[1], vec![1, 1]);
+            assert_eq!(gathered[2], vec![2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn subgroup_collectives_do_not_interfere() {
+        // Two disjoint groups {0,1} and {2,3} run alltoallv concurrently.
+        let results = run_ranks::<u32, _, _>(4, |mut comm| {
+            let base = (comm.rank() / 2) * 2;
+            let group = vec![base, base + 1];
+            let sends = group.iter().map(|&d| vec![(comm.rank() * 4 + d) as u32]).collect();
+            comm.alltoallv(&group, sends)
+        });
+        assert_eq!(results[0], vec![vec![0], vec![4]]);
+        assert_eq!(results[3], vec![vec![11], vec![15]]);
+    }
+
+    #[test]
+    fn gather_collects_on_root() {
+        let results = run_ranks::<u32, _, _>(3, |mut comm| {
+            let group: Vec<usize> = (0..3).collect();
+            comm.gather(&group, vec![comm.rank() as u32 + 100])
+        });
+        assert_eq!(results[0], vec![vec![100], vec![101], vec![102]]);
+        assert!(results[1].is_empty());
+        assert!(results[2].is_empty());
+    }
+
+    #[test]
+    fn consecutive_gathers_do_not_race() {
+        // Regression: a fire-and-forget non-root gather let a fast rank's
+        // second collective overtake its first message, tripping the
+        // single-slot stash on the root. The alltoallv-based gather
+        // synchronizes everyone.
+        let results = run_ranks::<u32, _, _>(3, |mut comm| {
+            let group: Vec<usize> = (0..3).collect();
+            let a = comm.gather(&group, vec![comm.rank() as u32]);
+            let b = comm.gather(&group, vec![comm.rank() as u32 + 10]);
+            (a, b)
+        });
+        assert_eq!(results[0].0, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(results[0].1, vec![vec![10], vec![11], vec![12]]);
+    }
+
+    #[test]
+    fn single_rank_loopback() {
+        let results = run_ranks::<u8, _, _>(1, |mut comm| {
+            comm.alltoallv(&[0], vec![vec![42]])
+        });
+        assert_eq!(results[0], vec![vec![42]]);
+    }
+}

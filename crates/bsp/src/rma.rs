@@ -1,0 +1,157 @@
+//! Remote Memory Access cost accounting.
+//!
+//! Algorithm 4 of the paper augments each discovered path *asynchronously*:
+//! the owning process walks its path across the distributed `mate`/parent
+//! vectors with `MPI_Get`, `MPI_Put`, and a merged `MPI_Fetch_and_op` — three
+//! one-sided calls per path per level, `3(α+β)` each iteration.
+//!
+//! In the simulator the underlying dense vectors live in shared memory, so
+//! the *data* side of an RMA op is a plain read/write (safe: the paths are
+//! vertex-disjoint by construction, §III-C). What must be modeled carefully
+//! is the *time*: each origin rank issues its own independent stream of
+//! calls, and the modeled elapsed time of the asynchronous epoch is the
+//! maximum over origin ranks of their accumulated call costs — not a
+//! superstep sum.
+
+use crate::cost::CostModel;
+
+/// Per-origin-rank accumulated RMA cost within one epoch.
+#[derive(Clone, Debug)]
+pub struct RmaTally {
+    per_rank: Vec<f64>,
+    ops: u64,
+}
+
+impl RmaTally {
+    /// An empty tally for `p` origin ranks.
+    pub fn new(p: usize) -> Self {
+        Self { per_rank: vec![0.0; p], ops: 0 }
+    }
+
+    /// Records one one-sided call (`MPI_Get`/`MPI_Put`/`MPI_Fetch_and_op`)
+    /// issued by `origin`.
+    #[inline]
+    pub fn op(&mut self, origin: usize, cost: &CostModel) {
+        self.per_rank[origin] += cost.rma_op();
+        self.ops += 1;
+    }
+
+    /// Records `n` one-sided calls issued by `origin`.
+    #[inline]
+    pub fn ops(&mut self, origin: usize, n: u64, cost: &CostModel) {
+        self.per_rank[origin] += n as f64 * cost.rma_op();
+        self.ops += n;
+    }
+
+    /// Total number of one-sided calls in the epoch.
+    #[inline]
+    pub fn total_ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Modeled elapsed time of the epoch: the slowest origin rank (the
+    /// asynchronous streams overlap perfectly otherwise).
+    pub fn elapsed(&self) -> f64 {
+        self.per_rank.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A one-sided access window over a distributed dense vector, in the style
+/// of `MPI_Win`: every [`RmaWindow::get`], [`RmaWindow::put`], and
+/// [`RmaWindow::fetch_and_put`] is one one-sided call charged to the
+/// issuing origin rank's tally. The vector is block-distributed over `p`
+/// ranks ([`crate::collectives::balanced_owner`]); because the simulator's
+/// storage is shared, the data side is a plain access — what the window
+/// adds is the per-origin cost stream and the owner bookkeeping.
+pub struct RmaWindow<'a> {
+    data: &'a mut mcm_sparse::DenseVec,
+    tally: &'a mut RmaTally,
+    cost: CostModel,
+}
+
+impl<'a> RmaWindow<'a> {
+    /// Opens a window over `data`, charging calls into `tally`.
+    pub fn new(data: &'a mut mcm_sparse::DenseVec, tally: &'a mut RmaTally, cost: CostModel) -> Self {
+        Self { data, tally, cost }
+    }
+
+    /// `MPI_Get`: read one element from its owner.
+    #[inline]
+    pub fn get(&mut self, origin: usize, idx: mcm_sparse::Vidx) -> mcm_sparse::Vidx {
+        self.tally.op(origin, &self.cost);
+        self.data.get(idx)
+    }
+
+    /// `MPI_Put`: write one element at its owner.
+    #[inline]
+    pub fn put(&mut self, origin: usize, idx: mcm_sparse::Vidx, v: mcm_sparse::Vidx) {
+        self.tally.op(origin, &self.cost);
+        self.data.set(idx, v);
+    }
+
+    /// `MPI_Fetch_and_op` with replace: atomically swap in `v`, returning
+    /// the previous value — the merged read-modify-write the paper's
+    /// Algorithm 4 analysis counts as a single call.
+    #[inline]
+    pub fn fetch_and_put(
+        &mut self,
+        origin: usize,
+        idx: mcm_sparse::Vidx,
+        v: mcm_sparse::Vidx,
+    ) -> mcm_sparse::Vidx {
+        self.tally.op(origin, &self.cost);
+        let prev = self.data.get(idx);
+        self.data.set(idx, v);
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::DenseVec;
+
+    #[test]
+    fn window_ops_charge_the_origin() {
+        let cost = CostModel { alpha: 1.0, alpha_soft: 0.0, beta: 0.0, gamma: 0.0 };
+        let mut v = DenseVec::nil(8);
+        let mut tally = RmaTally::new(2);
+        let mut win = RmaWindow::new(&mut v, &mut tally, cost);
+        win.put(0, 3, 7);
+        assert_eq!(win.get(1, 3), 7);
+        let prev = win.fetch_and_put(0, 3, 9);
+        assert_eq!(prev, 7);
+        assert_eq!(win.get(1, 3), 9);
+        drop(win);
+        assert_eq!(tally.total_ops(), 4);
+        // Origins 0 and 1 issued two ops each: overlapped epochs.
+        assert!((tally.elapsed() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elapsed_is_max_over_origins() {
+        let cost = CostModel { alpha: 1.0, alpha_soft: 0.0, beta: 0.0, gamma: 0.0 };
+        let mut t = RmaTally::new(3);
+        t.ops(0, 5, &cost);
+        t.ops(1, 2, &cost);
+        t.op(2, &cost);
+        assert_eq!(t.total_ops(), 8);
+        assert!((t.elapsed() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_epoch_has_zero_elapsed() {
+        let t = RmaTally::new(4);
+        assert_eq!(t.elapsed(), 0.0);
+        assert_eq!(t.total_ops(), 0);
+    }
+
+    #[test]
+    fn paper_triplet_cost() {
+        // "3 RMA calls per processor per iteration ... 3(α+β)"
+        let cost = CostModel { alpha: 2.0, alpha_soft: 0.0, beta: 0.5, gamma: 0.0 };
+        let mut t = RmaTally::new(1);
+        t.ops(0, 3, &cost);
+        assert!((t.elapsed() - 3.0 * 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-kernel modeled-time accounting.
+//!
+//! Fig. 5 of the paper breaks MCM-DIST runtime into SpMV, Invert, and other
+//! kernels; these timers accumulate modeled seconds per category so the
+//! breakdown can be regenerated exactly.
+
+/// The kernel categories of the paper's runtime breakdown (Fig. 5), plus the
+/// centralized gather/scatter baseline of §VI-E.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Semiring SpMSpV (Step 1): expand + local multiply + fold.
+    SpMV,
+    /// INVERT (Steps 5, 7 and the level-parallel augmentation).
+    Invert,
+    /// PRUNE (Step 6).
+    Prune,
+    /// Local SELECT/SET/IND work (Steps 2–4).
+    Select,
+    /// Augmentation (Algorithm 3 or 4).
+    Augment,
+    /// Maximal-matching initialization (greedy / Karp–Sipser / mindegree).
+    Init,
+    /// Gather/scatter of the centralized shared-memory baseline (Fig. 9).
+    Gather,
+    /// Everything else (frontier emptiness checks, bookkeeping).
+    Other,
+}
+
+impl Kernel {
+    /// All categories, in breakdown-report order.
+    pub const ALL: [Kernel; 8] = [
+        Kernel::SpMV,
+        Kernel::Invert,
+        Kernel::Prune,
+        Kernel::Select,
+        Kernel::Augment,
+        Kernel::Init,
+        Kernel::Gather,
+        Kernel::Other,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::SpMV => "SpMV",
+            Kernel::Invert => "Invert",
+            Kernel::Prune => "Prune",
+            Kernel::Select => "Select",
+            Kernel::Augment => "Augment",
+            Kernel::Init => "Init",
+            Kernel::Gather => "Gather",
+            Kernel::Other => "Other",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Kernel::SpMV => 0,
+            Kernel::Invert => 1,
+            Kernel::Prune => 2,
+            Kernel::Select => 3,
+            Kernel::Augment => 4,
+            Kernel::Init => 5,
+            Kernel::Gather => 6,
+            Kernel::Other => 7,
+        }
+    }
+}
+
+/// Accumulated modeled time and call counts per kernel.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timers {
+    seconds: [f64; 8],
+    calls: [u64; 8],
+}
+
+impl Timers {
+    /// Fresh, empty timers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` of modeled time to `kernel` and counts one call.
+    #[inline]
+    pub fn charge(&mut self, kernel: Kernel, seconds: f64) {
+        debug_assert!(seconds >= 0.0 && seconds.is_finite());
+        self.seconds[kernel.index()] += seconds;
+        self.calls[kernel.index()] += 1;
+    }
+
+    /// Modeled seconds accumulated for `kernel`.
+    #[inline]
+    pub fn seconds(&self, kernel: Kernel) -> f64 {
+        self.seconds[kernel.index()]
+    }
+
+    /// Number of charges recorded for `kernel`.
+    #[inline]
+    pub fn calls(&self, kernel: Kernel) -> u64 {
+        self.calls[kernel.index()]
+    }
+
+    /// Total modeled seconds across all kernels.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Returns `self - earlier` (for timing a region: snapshot, run, diff).
+    pub fn since(&self, earlier: &Timers) -> Timers {
+        let mut out = Timers::default();
+        for k in 0..8 {
+            out.seconds[k] = self.seconds[k] - earlier.seconds[k];
+            out.calls[k] = self.calls[k] - earlier.calls[k];
+        }
+        out
+    }
+
+    /// `(kernel, seconds, calls)` rows for every category with activity.
+    pub fn breakdown(&self) -> Vec<(Kernel, f64, u64)> {
+        Kernel::ALL
+            .iter()
+            .filter(|k| self.calls(**k) > 0 || self.seconds(**k) > 0.0)
+            .map(|&k| (k, self.seconds(k), self.calls(k)))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Timers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<8} {:>12} {:>8}", "kernel", "seconds", "calls")?;
+        for (k, s, c) in self.breakdown() {
+            writeln!(f, "{:<8} {:>12.6} {:>8}", k.name(), s, c)?;
+        }
+        write!(f, "{:<8} {:>12.6}", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut t = Timers::new();
+        t.charge(Kernel::SpMV, 1.0);
+        t.charge(Kernel::SpMV, 0.5);
+        t.charge(Kernel::Invert, 0.25);
+        assert_eq!(t.seconds(Kernel::SpMV), 1.5);
+        assert_eq!(t.calls(Kernel::SpMV), 2);
+        assert_eq!(t.total(), 1.75);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let mut t = Timers::new();
+        t.charge(Kernel::Prune, 1.0);
+        let snap = t.clone();
+        t.charge(Kernel::Prune, 2.0);
+        t.charge(Kernel::Augment, 3.0);
+        let d = t.since(&snap);
+        assert_eq!(d.seconds(Kernel::Prune), 2.0);
+        assert_eq!(d.seconds(Kernel::Augment), 3.0);
+        assert_eq!(d.calls(Kernel::Prune), 1);
+    }
+
+    #[test]
+    fn breakdown_skips_idle_kernels() {
+        let mut t = Timers::new();
+        t.charge(Kernel::Init, 0.1);
+        let rows = t.breakdown();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, Kernel::Init);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut t = Timers::new();
+        t.charge(Kernel::SpMV, 0.125);
+        let s = format!("{t}");
+        assert!(s.contains("SpMV"));
+        assert!(s.contains("total"));
+    }
+}

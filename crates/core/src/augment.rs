@@ -1,0 +1,231 @@
+//! Augmenting the matching by a set of vertex-disjoint paths.
+//!
+//! Two kernels (§IV-B):
+//!
+//! * **Level-parallel** (Algorithm 3): bulk-synchronous; every iteration
+//!   matches one `(row, column)` pair on *every* path via two `INVERT`s and
+//!   dense `SET`s, costing `≈ h(6αp + …)` for longest path `h`. Good when
+//!   many paths amortize the collective latency.
+//! * **Path-parallel** (Algorithm 4): each processor walks its `k/p` paths
+//!   independently with one-sided RMA — 3 calls (`MPI_Get`, merged
+//!   `MPI_Fetch_and_op`, `MPI_Put`) per path per level, `3(α+β)` each.
+//!   Good when `k` is small (late phases).
+//!
+//! *"the path parallel augmentation performs better when the number of
+//! augmenting paths k < 2p². Therefore, we use this criterion to
+//! automatically switch between these two variants"* — [`AugmentMode::Auto`].
+
+use crate::matching::Matching;
+use crate::primitives::{invert, set_dense, set_sparse};
+use mcm_bsp::{DistCtx, Kernel};
+use mcm_sparse::{DenseVec, SpVec, Vidx, NIL};
+
+/// Which augmentation kernel to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AugmentMode {
+    /// The paper's automatic switch: path-parallel iff `k < 2p²`.
+    #[default]
+    Auto,
+    /// Always bulk-synchronous (Algorithm 3).
+    LevelParallel,
+    /// Always RMA-based (Algorithm 4).
+    PathParallel,
+}
+
+/// What one augmentation pass did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AugmentReport {
+    /// Kernel actually used (Auto resolved).
+    pub used_path_parallel: bool,
+    /// Number of augmenting paths applied (`k`).
+    pub paths: usize,
+    /// Level-iterations executed (`⌈h/2⌉` for longest path `h`).
+    pub levels: usize,
+}
+
+/// Augments `m` by the vertex-disjoint paths recorded in `path_c`
+/// (index = root column, value = end row) using parent pointers `parent_r`.
+pub fn augment(
+    ctx: &mut DistCtx,
+    mode: AugmentMode,
+    path_c: &DenseVec,
+    parent_r: &DenseVec,
+    m: &mut Matching,
+) -> AugmentReport {
+    let v_c = path_c.to_sparse();
+    let k = v_c.nnz();
+    if k == 0 {
+        return AugmentReport { used_path_parallel: false, paths: 0, levels: 0 };
+    }
+    let p = ctx.p();
+    // The switch criterion compares paper-scale path counts (k grows with
+    // matrix size, so it is work-scaled) to 2p² (§IV-B).
+    let path_parallel = match mode {
+        AugmentMode::Auto => (k as f64 * ctx.work_scale) < 2.0 * (p * p) as f64,
+        AugmentMode::LevelParallel => false,
+        AugmentMode::PathParallel => true,
+    };
+    let levels = if path_parallel {
+        path_parallel_augment(ctx, v_c, parent_r, m)
+    } else {
+        level_parallel_augment(ctx, v_c, parent_r, m)
+    };
+    AugmentReport { used_path_parallel: path_parallel, paths: k, levels }
+}
+
+/// Algorithm 3: level-synchronous augmentation of all paths at once.
+fn level_parallel_augment(
+    ctx: &mut DistCtx,
+    mut v_c: SpVec<Vidx>,
+    parent_r: &DenseVec,
+    m: &mut Matching,
+) -> usize {
+    let n1 = m.n1();
+    let n2 = m.n2();
+    let mut levels = 0;
+    while !v_c.is_empty() {
+        levels += 1;
+        // Emptiness check is an allreduce over the sparse vector's nnz.
+        ctx.charge_allreduce(Kernel::Augment, 1);
+        // v_r ← INVERT(v_c): rows to be matched this level.
+        let v_r = invert(ctx, Kernel::Augment, &v_c, n1);
+        // v_r ← SET(v_r, π_r): each row's new mate is its BFS parent column.
+        let v_r = set_sparse(ctx, Kernel::Augment, &v_r, parent_r);
+        // v_c' ← INVERT(v_r): those parent columns, carrying their new rows.
+        let v_c2 = invert(ctx, Kernel::Augment, &v_r, n2);
+        // Old mates of the parent columns — the rows to re-attach next level
+        // (NIL for root columns: their paths terminate here).
+        let v_next = set_sparse(ctx, Kernel::Augment, &v_c2, &m.mate_c);
+        // mate updates (dense SETs, local).
+        set_dense(ctx, Kernel::Augment, &mut m.mate_c, &v_c2, |&r| r);
+        set_dense(ctx, Kernel::Augment, &mut m.mate_r, &v_r, |&c| c);
+        v_c = v_next.filter(|_, &r| r != NIL);
+    }
+    levels
+}
+
+/// Algorithm 4: every path walked independently with one-sided operations.
+fn path_parallel_augment(
+    ctx: &mut DistCtx,
+    v_c: SpVec<Vidx>,
+    parent_r: &DenseVec,
+    m: &mut Matching,
+) -> usize {
+    let p = ctx.p();
+    let mut total_levels = 0u64;
+    let mut max_levels = 0usize;
+    for &(_, end_row) in v_c.entries() {
+        let mut r = end_row;
+        let mut levels = 0usize;
+        loop {
+            levels += 1;
+            let c = parent_r.get(r); // MPI_Get
+            let next_r = m.mate_c.get(c); // merged MPI_Fetch_and_op
+            m.mate_r.set(r, c); // MPI_Put
+            m.mate_c.set(c, r);
+            if next_r == NIL {
+                break; // reached the root column
+            }
+            r = next_r;
+        }
+        total_levels += levels as u64;
+        max_levels = max_levels.max(levels);
+    }
+    // Modeled epoch time, per the paper's §IV-B analysis: the paper-scale
+    // run has k·work_scale paths "uniformly distributed across p
+    // processors", each level costing 3 merged RMA calls of 3(α+β) — so
+    // the bottleneck rank issues (Σ levels)·3·work_scale / p calls. A
+    // single path is a sequential dependency chain, so the epoch can never
+    // beat 3·h·(α+β) for the longest path h.
+    let ops_bottleneck = (total_levels as f64 * 3.0 * ctx.work_scale / p as f64)
+        .max(3.0 * max_levels as f64);
+    ctx.timers.charge(Kernel::Augment, ops_bottleneck * ctx.cost.rma_op());
+    max_levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_bsp::MachineConfig;
+
+    /// One path of length 3 (c0 — r0 = c1 — r1, augmenting):
+    /// matching {(r0,c1)}, path ends at unmatched r1 whose parent is c1,
+    /// r0's parent is c0 (the root). path_c[c0] = r1.
+    fn one_path() -> (DenseVec, DenseVec, Matching) {
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 1);
+        let mut parent_r = DenseVec::nil(2);
+        parent_r.set(1, 1); // r1 discovered by c1
+        parent_r.set(0, 0); // r0 discovered by the root c0
+        let mut path_c = DenseVec::nil(2);
+        path_c.set(0, 1); // path rooted at c0 ends at r1
+        (path_c, parent_r, m)
+    }
+
+    #[test]
+    fn level_parallel_flips_the_path() {
+        let (path_c, parent_r, mut m) = one_path();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let rep = augment(&mut ctx, AugmentMode::LevelParallel, &path_c, &parent_r, &mut m);
+        assert!(!rep.used_path_parallel);
+        assert_eq!(rep.paths, 1);
+        assert_eq!(rep.levels, 2);
+        assert_eq!(m.cardinality(), 2);
+        assert_eq!(m.mate_r.get(1), 1);
+        assert_eq!(m.mate_r.get(0), 0);
+    }
+
+    #[test]
+    fn path_parallel_flips_the_path() {
+        let (path_c, parent_r, mut m) = one_path();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let rep = augment(&mut ctx, AugmentMode::PathParallel, &path_c, &parent_r, &mut m);
+        assert!(rep.used_path_parallel);
+        assert_eq!(m.cardinality(), 2);
+        assert_eq!(m.mate_r.get(1), 1);
+        assert_eq!(m.mate_r.get(0), 0);
+    }
+
+    #[test]
+    fn both_variants_agree_on_multiple_paths() {
+        // Two disjoint length-1 paths: unmatched c2 → r2, unmatched c3 → r3.
+        let build = || {
+            let mut m = Matching::empty(4, 4);
+            m.add(0, 0);
+            let mut parent_r = DenseVec::nil(4);
+            parent_r.set(2, 2);
+            parent_r.set(3, 3);
+            let mut path_c = DenseVec::nil(4);
+            path_c.set(2, 2);
+            path_c.set(3, 3);
+            (path_c, parent_r, m)
+        };
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let (pc, pr, mut m1) = build();
+        augment(&mut ctx, AugmentMode::LevelParallel, &pc, &pr, &mut m1);
+        let (pc, pr, mut m2) = build();
+        augment(&mut ctx, AugmentMode::PathParallel, &pc, &pr, &mut m2);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.cardinality(), 3);
+    }
+
+    #[test]
+    fn auto_switches_on_path_count() {
+        // p = 1 → threshold 2p² = 2: k = 1 uses path-parallel.
+        let (path_c, parent_r, mut m) = one_path();
+        let mut ctx = DistCtx::serial();
+        let rep = augment(&mut ctx, AugmentMode::Auto, &path_c, &parent_r, &mut m);
+        assert!(rep.used_path_parallel);
+    }
+
+    #[test]
+    fn empty_path_set_is_a_noop() {
+        let mut ctx = DistCtx::serial();
+        let path_c = DenseVec::nil(3);
+        let parent_r = DenseVec::nil(3);
+        let mut m = Matching::empty(3, 3);
+        let rep = augment(&mut ctx, AugmentMode::Auto, &path_c, &parent_r, &mut m);
+        assert_eq!(rep.paths, 0);
+        assert_eq!(m.cardinality(), 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! MCM-DIST: the distributed maximum-cardinality-matching driver
+//! (Algorithm 2 of the paper).
+//!
+//! Each *phase* runs a level-synchronous multi-source BFS from all unmatched
+//! column vertices, tracking `(parent, root)` pairs over a semiring SpMSpV,
+//! records at most one augmenting path per alternating tree, optionally
+//! prunes trees that already found a path, and finally augments by all
+//! discovered vertex-disjoint paths (Algorithm 3 or 4). Phases repeat until
+//! one finds no augmenting path, which certifies maximum cardinality
+//! (Berge's theorem; `verify::is_maximum` re-checks this independently in
+//! the tests).
+
+use crate::augment::{augment, AugmentMode, AugmentReport};
+use crate::matching::Matching;
+use crate::maximal::Initializer;
+use crate::primitives::{invert_by, prune, select, set_dense};
+use crate::semirings::SemiringKind;
+use crate::vertex::Vertex;
+use mcm_bsp::{DistCtx, DistMatrix, Kernel};
+use mcm_sparse::permute::{random_relabel, Permutation};
+use mcm_sparse::{DenseVec, SpVec, Triples, Vidx, NIL};
+
+/// Tunables of MCM-DIST.
+#[derive(Clone, Copy, Debug)]
+pub struct McmOptions {
+    /// Frontier-expansion semiring (§III-B).
+    pub semiring: SemiringKind,
+    /// Prune trees that already discovered a path (Step 6; Fig. 8 ablation).
+    pub prune: bool,
+    /// Augmentation kernel selection (§IV-B).
+    pub augment: AugmentMode,
+    /// Maximal-matching initializer (§VI-A).
+    pub init: Initializer,
+    /// Direction-optimizing BFS (§VII future work, after Beamer): switch
+    /// to bottom-up frontier expansion when the frontier covers a large
+    /// fraction of the columns. Bit-identical results under `MinParent`.
+    pub direction_optimizing: bool,
+    /// Randomly permute rows/columns for load balance (§IV-A) with this
+    /// seed. The returned matching is mapped back to original labels.
+    pub permute_seed: Option<u64>,
+    /// Seed for the randomized initializer (Karp–Sipser's fallback
+    /// order). Randomized *semirings* carry their own seed inside
+    /// [`SemiringKind`].
+    pub seed: u64,
+}
+
+impl Default for McmOptions {
+    fn default() -> Self {
+        Self {
+            semiring: SemiringKind::MinParent,
+            prune: true,
+            augment: AugmentMode::Auto,
+            init: Initializer::DynamicMindegree,
+            direction_optimizing: false,
+            permute_seed: Some(0x5EED),
+            seed: 1,
+        }
+    }
+}
+
+/// Counters describing one MCM-DIST run.
+#[derive(Clone, Debug, Default)]
+pub struct McmStats {
+    /// Phases executed (including the final, path-free one).
+    pub phases: usize,
+    /// Level-synchronous BFS iterations across all phases.
+    pub iterations: usize,
+    /// Total augmenting paths applied.
+    pub augmentations: usize,
+    /// Cardinality contributed by the initializer.
+    pub init_cardinality: usize,
+    /// BFS iterations expanded bottom-up (direction optimization).
+    pub bottom_up_iterations: usize,
+    /// One report per phase that augmented.
+    pub augment_reports: Vec<AugmentReport>,
+}
+
+/// The result of [`maximum_matching`].
+#[derive(Clone, Debug)]
+pub struct McmResult {
+    /// A maximum cardinality matching (in the caller's vertex labels).
+    pub matching: Matching,
+    /// Run counters.
+    pub stats: McmStats,
+}
+
+/// Computes a maximum cardinality matching of the bipartite graph `t` on the
+/// simulated machine of `ctx`. Modeled time accrues into `ctx.timers`.
+pub fn maximum_matching(ctx: &mut DistCtx, t: &Triples, opts: &McmOptions) -> McmResult {
+    // Load-balancing random relabeling (§IV-A); undone before returning.
+    let (work, perms) = match opts.permute_seed {
+        Some(seed) => {
+            let (pt, rowp, colp) = random_relabel(t, seed);
+            (pt, Some((rowp, colp)))
+        }
+        None => (t.clone(), None),
+    };
+
+    let a = DistMatrix::from_triples(ctx, &work);
+    // The transpose is needed by the row-proposing initializers and by the
+    // bottom-up direction; build it once if anything wants it.
+    let needs_at = !matches!(opts.init, Initializer::None) || opts.direction_optimizing;
+    let at = needs_at.then(|| DistMatrix::from_triples(ctx, &work.transposed()));
+    let mut m = match (&opts.init, &at) {
+        (Initializer::None, _) => Matching::empty(a.nrows(), a.ncols()),
+        (init, Some(at)) => init.run(ctx, &a, at, opts.seed),
+        _ => unreachable!("needs_at covers every non-None initializer"),
+    };
+    let mut stats = McmStats { init_cardinality: m.cardinality(), ..Default::default() };
+
+    run_phases(ctx, &a, at.as_ref(), &mut m, opts, &mut stats);
+
+    let matching = match perms {
+        None => m,
+        Some((rowp, colp)) => unpermute(m, &rowp, &colp),
+    };
+    McmResult { matching, stats }
+}
+
+/// The phase loop of Algorithm 2, operating on an already-distributed
+/// matrix and matching (used directly by benches that pre-distribute).
+/// `at` (the transpose) is only consulted when `opts.direction_optimizing`.
+pub fn run_phases(
+    ctx: &mut DistCtx,
+    a: &DistMatrix,
+    at: Option<&DistMatrix>,
+    m: &mut Matching,
+    opts: &McmOptions,
+    stats: &mut McmStats,
+) {
+    let (n1, n2) = (a.nrows(), a.ncols());
+    let mut parent_r = DenseVec::nil(n1); // π_r
+    let mut path_c = DenseVec::nil(n2);
+
+    loop {
+        stats.phases += 1;
+        parent_r.fill_nil();
+        path_c.fill_nil();
+
+        // Initial column frontier: unmatched columns seed their own trees.
+        let mut f_c: SpVec<Vertex> = SpVec::from_sorted_pairs(
+            n2,
+            m.unmatched_cols().into_iter().map(|c| (c, Vertex::seed(c))).collect(),
+        );
+
+        while !f_c.is_empty() {
+            stats.iterations += 1;
+            ctx.charge_allreduce(Kernel::Other, 1); // f_c ≠ φ check
+
+            // Step 1: explore neighbours of the column frontier — top-down
+            // SpMSpV, or bottom-up when the frontier is dense enough
+            // (Beamer's direction optimization; §VII future work).
+            let semiring = opts.semiring;
+            // Pull pays off only when a random probe is likely to hit the
+            // frontier: require majority column coverage (misses cost a
+            // full adjacency scan, so low-density pulls lose to push).
+            let bottom_up = opts.direction_optimizing
+                && at.is_some()
+                && 2 * f_c.nnz() > n2;
+            let f_r_all = if bottom_up {
+                stats.bottom_up_iterations += 1;
+                // Densify the frontier (local streaming sweep)...
+                let mut fmap: Vec<Option<Vertex>> = vec![None; n2];
+                for (j, &v) in f_c.iter() {
+                    fmap[j as usize] = Some(v);
+                }
+                // ...and list the candidate rows: unvisited this phase.
+                let candidates: Vec<Vidx> = (0..n1 as Vidx)
+                    .filter(|&r| parent_r.get(r) == NIL)
+                    .collect();
+                ctx.charge_compute_stream(
+                    Kernel::Select,
+                    (n1 + n2) as u64 / ctx.p().max(1) as u64,
+                );
+                at.expect("bottom_up requires at").bottom_up_spmspv(
+                    ctx,
+                    Kernel::SpMV,
+                    &candidates,
+                    &fmap,
+                    f_c.nnz(),
+                    |j, v: &Vertex| Vertex::new(j, v.root),
+                    |acc, inc| semiring.take_incoming(acc, inc),
+                )
+            } else {
+                a.spmspv(
+                    ctx,
+                    Kernel::SpMV,
+                    &f_c,
+                    |j, v: &Vertex| Vertex::new(j, v.root),
+                    |acc, inc| semiring.take_incoming(acc, inc),
+                )
+            };
+            // Step 2: keep rows not yet visited in this phase.
+            let f_r_new = select(ctx, Kernel::Select, &f_r_all, &parent_r, |p| p == NIL);
+            // Step 3: record their parents.
+            set_dense(ctx, Kernel::Select, &mut parent_r, &f_r_new, |v| v.parent);
+            // Step 4: split into unmatched (path endpoints) and matched rows.
+            let uf_r = select(ctx, Kernel::Select, &f_r_new, &m.mate_r, |v| v == NIL);
+            let mut f_r = select(ctx, Kernel::Select, &f_r_new, &m.mate_r, |v| v != NIL);
+
+            if !uf_r.is_empty() {
+                // Step 5: record one augmenting-path endpoint per tree.
+                let t_c = invert_by(ctx, Kernel::Invert, &uf_r, n2, |v| v.root, |i, _| i);
+                set_dense(ctx, Kernel::Select, &mut path_c, &t_c, |&r| r);
+                // Step 6: prune the rest of those trees from the frontier.
+                if opts.prune {
+                    let roots: Vec<Vidx> = t_c.ind();
+                    f_r = prune(ctx, Kernel::Prune, &f_r, &roots, |v| v.root);
+                }
+            }
+
+            // Step 7: next column frontier from the mates of matched rows.
+            // Replace each row's parent with its mate (a local dense gather),
+            // then INVERT to land on the mate columns.
+            let stepped = SpVec::from_sorted_pairs(
+                n1,
+                f_r.iter()
+                    .map(|(i, v)| (i, Vertex::new(m.mate_r.get(i), v.root)))
+                    .collect(),
+            );
+            ctx.charge_compute_stream(Kernel::Select, stepped.nnz() as u64);
+            f_c = invert_by(
+                ctx,
+                Kernel::Invert,
+                &stepped,
+                n2,
+                |v| v.parent,
+                |i, v| Vertex::new(i, v.root),
+            );
+        }
+
+        // Step 8: augment by every path discovered in this phase.
+        let report = augment(ctx, opts.augment, &path_c, &parent_r, m);
+        if report.paths == 0 {
+            break; // no augmenting path: maximum reached
+        }
+        stats.augmentations += report.paths;
+        stats.augment_reports.push(report);
+    }
+}
+
+/// Maps a matching computed on relabeled vertices back to original labels.
+fn unpermute(m: Matching, rowp: &Permutation, colp: &Permutation) -> Matching {
+    // The permuted graph had edge (rowp(i), colp(j)) for original (i, j);
+    // translate mates back through the inverses.
+    let rinv = rowp.inverse();
+    let cinv = colp.inverse();
+    let mut out = Matching::empty(m.n1(), m.n2());
+    for jp in 0..m.n2() as Vidx {
+        let ip = m.mate_c.get(jp);
+        if ip != NIL {
+            out.add(rinv.apply(ip), cinv.apply(jp));
+        }
+    }
+    out
+}
+
+/// Convenience: MCM on a serial (1-process) context.
+pub fn maximum_matching_serial(t: &Triples, opts: &McmOptions) -> McmResult {
+    let mut ctx = DistCtx::serial();
+    maximum_matching(&mut ctx, t, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::hopcroft_karp;
+    use crate::verify::assert_maximum;
+    use mcm_bsp::MachineConfig;
+
+    fn fig2() -> Triples {
+        Triples::from_edges(
+            4,
+            5,
+            vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
+        )
+    }
+
+    #[test]
+    fn finds_maximum_on_fig2() {
+        let t = fig2();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 2));
+        let r = maximum_matching(&mut ctx, &t, &McmOptions::default());
+        let a = t.to_csc();
+        assert_maximum(&a, &r.matching);
+        assert_eq!(r.matching.cardinality(), 4);
+        assert!(r.stats.phases >= 1);
+    }
+
+    #[test]
+    fn matches_hk_on_random_graphs_across_grids_and_options() {
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(2024);
+        for trial in 0..15 {
+            let n1 = 8 + (rng.next_u64() % 40) as usize;
+            let n2 = 8 + (rng.next_u64() % 40) as usize;
+            let edges = (rng.next_u64() % (4 * n1.max(n2) as u64)) as usize;
+            let mut t = Triples::new(n1, n2);
+            for _ in 0..edges {
+                t.push(rng.below(n1 as u64) as Vidx, rng.below(n2 as u64) as Vidx);
+            }
+            let want = hopcroft_karp(&t.to_csc(), None).cardinality();
+            for (dim, semiring, prune_on) in [
+                (1usize, SemiringKind::MinParent, true),
+                (2, SemiringKind::MinParent, false),
+                (3, SemiringKind::RandRoot(9), true),
+                (2, SemiringKind::RandParent(5), true),
+            ] {
+                let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+                let opts = McmOptions {
+                    semiring,
+                    prune: prune_on,
+                    ..Default::default()
+                };
+                let r = maximum_matching(&mut ctx, &t, &opts);
+                r.matching.validate(&t.to_csc()).unwrap();
+                assert_eq!(
+                    r.matching.cardinality(),
+                    want,
+                    "trial {trial} dim {dim} semiring {semiring:?} prune {prune_on}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_initializers_reach_the_same_maximum() {
+        let t = fig2();
+        let want = hopcroft_karp(&t.to_csc(), None).cardinality();
+        for init in [
+            Initializer::None,
+            Initializer::Greedy,
+            Initializer::KarpSipser,
+            Initializer::DynamicMindegree,
+        ] {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+            let opts = McmOptions { init, ..Default::default() };
+            let r = maximum_matching(&mut ctx, &t, &opts);
+            assert_eq!(r.matching.cardinality(), want, "init {init:?}");
+        }
+    }
+
+    #[test]
+    fn permutation_is_transparent() {
+        let t = fig2();
+        let base = maximum_matching_serial(&t, &McmOptions { permute_seed: None, ..Default::default() });
+        let perm = maximum_matching_serial(&t, &McmOptions { permute_seed: Some(77), ..Default::default() });
+        assert_eq!(base.matching.cardinality(), perm.matching.cardinality());
+        perm.matching.validate(&t.to_csc()).unwrap();
+    }
+
+    #[test]
+    fn good_initializer_reduces_bfs_work() {
+        let t = fig2();
+        let run = |init| {
+            let opts = McmOptions { init, permute_seed: None, ..Default::default() };
+            maximum_matching_serial(&t, &opts).stats
+        };
+        let cold = run(Initializer::None);
+        let warm = run(Initializer::DynamicMindegree);
+        assert!(warm.init_cardinality > 0);
+        assert!(warm.augmentations <= cold.augmentations);
+    }
+
+    #[test]
+    fn direction_optimizing_is_bit_identical_under_min_parent() {
+        // Without an initializer the first frontier is every column, so the
+        // bottom-up path actually triggers; the result must be identical.
+        for t in [
+            fig2(),
+            {
+                use mcm_sparse::permute::SplitMix64;
+                let mut rng = SplitMix64::new(404);
+                let mut t = Triples::new(40, 40);
+                for _ in 0..160 {
+                    t.push(rng.below(40) as Vidx, rng.below(40) as Vidx);
+                }
+                t
+            },
+        ] {
+            let run = |diropt: bool| {
+                let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+                let opts = McmOptions {
+                    init: Initializer::None,
+                    direction_optimizing: diropt,
+                    permute_seed: None,
+                    ..Default::default()
+                };
+                let r = maximum_matching(&mut ctx, &t, &opts);
+                (r.matching, r.stats.bottom_up_iterations)
+            };
+            let (plain, zero) = run(false);
+            let (diropt, used) = run(true);
+            assert_eq!(zero, 0);
+            assert!(used > 0, "bottom-up should trigger with a full first frontier");
+            assert_eq!(diropt, plain, "direction optimization changed the matching");
+        }
+    }
+
+    #[test]
+    fn bottom_up_reduces_spmv_traversals_on_dense_frontiers() {
+        // A dense-ish bipartite block: with all columns unmatched the first
+        // iterations have huge frontiers where bottom-up probes O(1) edges
+        // per row instead of scanning the whole frontier adjacency.
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(11);
+        let n = 60;
+        let mut t = Triples::new(n, n);
+        for _ in 0..n * 12 {
+            t.push(rng.below(n as u64) as Vidx, rng.below(n as u64) as Vidx);
+        }
+        let run = |diropt: bool| {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(1, 1));
+            let opts = McmOptions {
+                init: Initializer::None,
+                direction_optimizing: diropt,
+                permute_seed: None,
+                ..Default::default()
+            };
+            let _ = maximum_matching(&mut ctx, &t, &opts);
+            ctx.timers.seconds(Kernel::SpMV)
+        };
+        assert!(
+            run(true) < run(false),
+            "bottom-up should lower modeled SpMV time on dense frontiers"
+        );
+    }
+
+    #[test]
+    fn charges_all_kernel_categories() {
+        let t = fig2();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let _ = maximum_matching(&mut ctx, &t, &McmOptions::default());
+        assert!(ctx.timers.calls(Kernel::SpMV) > 0);
+        assert!(ctx.timers.calls(Kernel::Invert) > 0);
+        assert!(ctx.timers.calls(Kernel::Select) > 0);
+        assert!(ctx.timers.calls(Kernel::Init) > 0);
+    }
+}

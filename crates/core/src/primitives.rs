@@ -1,0 +1,209 @@
+//! The matrix-algebraic primitives of Table I: `IND`, `SELECT`, `SET`,
+//! `INVERT`, `PRUNE`.
+//!
+//! Each function executes the operation on the (logically distributed)
+//! vectors and charges the communication/computation the paper's Table I and
+//! §IV-B attribute to it:
+//!
+//! | op     | communication                         | computation        |
+//! |--------|---------------------------------------|--------------------|
+//! | IND    | none                                  | O(nnz(x))          |
+//! | SELECT | none (sparse and dense are aligned)   | O(nnz(x))          |
+//! | SET    | none                                  | O(nnz(x))          |
+//! | INVERT | personalized all-to-all (value→owner) | O(nnz(x))          |
+//! | PRUNE  | allgather of the root set             | sort + binary search |
+//!
+//! Computation is charged at the *bottleneck rank* (max entries owned by any
+//! of the `p` ranks), divided by the threads-per-process.
+
+use mcm_bsp::collectives::{max_count, per_rank_counts};
+use mcm_bsp::{DistCtx, Kernel};
+use mcm_sparse::{DenseVec, SpVec, Vidx};
+
+/// `SELECT(x, y, expr)`: keep the entries of sparse `x` whose aligned dense
+/// entry satisfies `pred`. Purely local (vectors share the same block
+/// distribution).
+pub fn select<T: Clone>(
+    ctx: &mut DistCtx,
+    kernel: Kernel,
+    x: &SpVec<T>,
+    y: &DenseVec,
+    pred: impl Fn(Vidx) -> bool,
+) -> SpVec<T> {
+    assert_eq!(x.len(), y.len(), "SELECT requires aligned vectors");
+    charge_local(ctx, kernel, x);
+    x.filter(|i, _| pred(y.get(i)))
+}
+
+/// `SET(y, x)` with a dense target: `y[i] ← f(x[i])` for every explicit
+/// entry of `x`. Local.
+pub fn set_dense<T>(
+    ctx: &mut DistCtx,
+    kernel: Kernel,
+    y: &mut DenseVec,
+    x: &SpVec<T>,
+    f: impl Fn(&T) -> Vidx,
+) {
+    assert_eq!(x.len(), y.len(), "SET requires aligned vectors");
+    charge_local(ctx, kernel, x);
+    for (i, v) in x.iter() {
+        y.set(i, f(v));
+    }
+}
+
+/// `SET(x, y)` with a sparse target: replace every explicit value of `x`
+/// with the aligned dense value `y[i]`. Local.
+pub fn set_sparse(ctx: &mut DistCtx, kernel: Kernel, x: &SpVec<Vidx>, y: &DenseVec) -> SpVec<Vidx> {
+    assert_eq!(x.len(), y.len(), "SET requires aligned vectors");
+    charge_local(ctx, kernel, x);
+    x.map_indexed(y)
+}
+
+/// `INVERT(x)`: swap indices and values. Entry `(i, v)` of `x` becomes entry
+/// `(key(v), value(i, v))` of the result, which has logical length
+/// `result_len`. On repeated keys the entry with the smallest original index
+/// wins ("If x has repeated nonzero values, only one of them is used ... we
+/// keep the first index").
+///
+/// Communication: every pair is routed to the rank owning its *new* index —
+/// a personalized all-to-all over all `p` ranks (§IV-B).
+pub fn invert_by<T, U>(
+    ctx: &mut DistCtx,
+    kernel: Kernel,
+    x: &SpVec<T>,
+    result_len: usize,
+    key: impl Fn(&T) -> Vidx,
+    value: impl Fn(Vidx, &T) -> U,
+) -> SpVec<U> {
+    ctx.charge_invert_route(kernel, x, result_len, |v| key(v));
+    let pairs: Vec<(Vidx, U)> = x.iter().map(|(i, v)| (key(v), value(i, v))).collect();
+    SpVec::from_pairs(result_len, pairs)
+}
+
+/// `INVERT` for plain index-valued vectors: `z[x[i]] = i`.
+pub fn invert(ctx: &mut DistCtx, kernel: Kernel, x: &SpVec<Vidx>, result_len: usize) -> SpVec<Vidx> {
+    invert_by(ctx, kernel, x, result_len, |&v| v, |i, _| i)
+}
+
+/// `PRUNE(x, q)`: remove the entries of `x` whose `key` appears in `q` (the
+/// roots of trees that discovered augmenting paths this iteration).
+///
+/// Communication: `q` is allgathered on all ranks — `αp + βµ` (§IV-B).
+/// Computation: `min(sort(ψ) + µ·log ψ, sort(µ) + ψ·log µ)` from Table I;
+/// we sort the (usually much smaller) root set `q` and binary-search each of
+/// the ψ frontier entries into it.
+pub fn prune<T: Clone>(
+    ctx: &mut DistCtx,
+    kernel: Kernel,
+    x: &SpVec<T>,
+    q: &[Vidx],
+    key: impl Fn(&T) -> Vidx,
+) -> SpVec<T> {
+    let p = ctx.p();
+    let mu = q.len() as u64;
+    ctx.charge_allgather(kernel, p, mu);
+    let psi_max = max_count(&per_rank_counts(x, p));
+    let log_mu = (mu.max(2) as f64).log2().ceil() as u64;
+    let sort_mu = mu * log_mu;
+    ctx.charge_compute_stream(kernel, sort_mu + psi_max * log_mu);
+
+    let mut sorted: Vec<Vidx> = q.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    x.filter(|_, v| sorted.binary_search(&key(v)).is_err())
+}
+
+/// Charges `O(nnz)` streaming local work at the bottleneck rank.
+fn charge_local<T>(ctx: &mut DistCtx, kernel: Kernel, x: &SpVec<T>) {
+    let counts = per_rank_counts(x, ctx.p());
+    ctx.charge_compute_stream(kernel, max_count(&counts));
+}
+
+/// Extension trait hosting the aligned-gather used by [`set_sparse`].
+trait MapIndexed {
+    fn map_indexed(&self, y: &DenseVec) -> SpVec<Vidx>;
+}
+
+impl MapIndexed for SpVec<Vidx> {
+    fn map_indexed(&self, y: &DenseVec) -> SpVec<Vidx> {
+        SpVec::from_sorted_pairs(
+            self.len(),
+            self.iter().map(|(i, _)| (i, y.get(i))).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::NIL;
+
+    fn ctx() -> DistCtx {
+        DistCtx::new(mcm_bsp::MachineConfig::hybrid(2, 1))
+    }
+
+    #[test]
+    fn select_keeps_matching_entries() {
+        // Table I example: x = [3,-,2,2,-] (explicit at 0,2,3),
+        // y = [1,-1,-1,2,1]; SELECT(x, y == -1) keeps index 2 only... in the
+        // paper's example SELECT(x,y) with expr y[i]=-1 yields [-,-,2,-,-].
+        let mut c = ctx();
+        let x = SpVec::from_pairs(5, vec![(0, 3u32), (2, 2), (3, 2)]);
+        let y = DenseVec::from_vec(vec![1, NIL, NIL, 2, 1]);
+        let z = select(&mut c, Kernel::Select, &x, &y, |v| v == NIL);
+        assert_eq!(z.entries(), &[(2, 2)]);
+    }
+
+    #[test]
+    fn set_dense_writes_values() {
+        let mut c = ctx();
+        let mut y = DenseVec::nil(5);
+        let x = SpVec::from_pairs(5, vec![(1, 7u32), (4, 2)]);
+        set_dense(&mut c, Kernel::Select, &mut y, &x, |&v| v);
+        assert_eq!(y.as_slice(), &[NIL, 7, NIL, NIL, 2]);
+    }
+
+    #[test]
+    fn set_sparse_gathers_dense_values() {
+        let mut c = ctx();
+        let x = SpVec::from_pairs(4, vec![(0, 99u32), (2, 99)]);
+        let y = DenseVec::from_vec(vec![5, 6, 7, 8]);
+        let z = set_sparse(&mut c, Kernel::Select, &x, &y);
+        assert_eq!(z.entries(), &[(0, 5), (2, 7)]);
+    }
+
+    #[test]
+    fn invert_matches_table1_example() {
+        // Table I: x = [3,-,2,2,-] → INVERT(x) has z[3]=0, z[2]=2 (first
+        // index kept for the duplicate value 2).
+        let mut c = ctx();
+        let x = SpVec::from_pairs(5, vec![(0, 3u32), (2, 2), (3, 2)]);
+        let z = invert(&mut c, Kernel::Invert, &x, 5);
+        assert_eq!(z.entries(), &[(2, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn invert_charges_alltoall() {
+        let mut c = ctx(); // p = 4, edison costs
+        let x = SpVec::from_pairs(8, vec![(0, 7u32), (5, 1)]);
+        let before = c.timers.seconds(Kernel::Invert);
+        let _ = invert(&mut c, Kernel::Invert, &x, 8);
+        assert!(c.timers.seconds(Kernel::Invert) > before);
+    }
+
+    #[test]
+    fn prune_removes_keyed_entries() {
+        let mut c = ctx();
+        let x = SpVec::from_pairs(6, vec![(0, 10u32), (2, 20), (4, 10), (5, 30)]);
+        let z = prune(&mut c, Kernel::Prune, &x, &[10, 30], |&v| v);
+        assert_eq!(z.entries(), &[(2, 20)]);
+    }
+
+    #[test]
+    fn prune_with_empty_root_set_is_identity() {
+        let mut c = ctx();
+        let x = SpVec::from_pairs(3, vec![(1, 5u32)]);
+        let z = prune(&mut c, Kernel::Prune, &x, &[], |&v| v);
+        assert_eq!(z, x);
+    }
+}

@@ -1,0 +1,138 @@
+//! Push-relabel maximum bipartite matching.
+//!
+//! The *other* algorithm family of §II-A — and the approach behind the only
+//! prior distributed MCM attempt the paper cites (Langguth et al. [19],
+//! which "did not scale beyond 64 processors"). This serial implementation
+//! is the unit-capacity specialization: labels (prices) live on the rows,
+//! an unmatched column repeatedly performs a *double push* onto its
+//! minimum-label neighbour (evicting that row's previous mate), and the row
+//! is relabeled above the column's second-best option. A column whose
+//! neighbours all carry labels ≥ `2·n1` is provably unmatchable.
+//!
+//! `O(m·n)` worst case like the BFS/DFS family without Hopcroft–Karp's
+//! layering, but with completely local updates — exactly the property that
+//! made it attractive (and, per [19], insufficient) for distributed memory.
+
+use crate::matching::Matching;
+use mcm_sparse::{Csc, Vidx, NIL};
+use std::collections::VecDeque;
+
+/// Maximum cardinality matching by push-relabel (FIFO active-vertex order).
+pub fn push_relabel(a: &Csc) -> Matching {
+    let (n1, n2) = (a.nrows(), a.ncols());
+    let mut m = Matching::empty(n1, n2);
+    let max_label = 2 * n1 as u64 + 1;
+    let mut label = vec![0u64; n1]; // row labels ("prices")
+
+    let mut active: VecDeque<Vidx> =
+        (0..n2 as Vidx).filter(|&c| a.col_nnz(c as usize) > 0).collect();
+
+    while let Some(c) = active.pop_front() {
+        debug_assert!(!m.col_matched(c));
+        // Find the two smallest row labels among the neighbours.
+        let mut best: Option<(u64, Vidx)> = None;
+        let mut second = u64::MAX;
+        for &r in a.col(c as usize) {
+            let l = label[r as usize];
+            match best {
+                None => best = Some((l, r)),
+                Some((bl, _)) if l < bl => {
+                    second = bl;
+                    best = Some((l, r));
+                }
+                Some(_) => second = second.min(l),
+            }
+        }
+        let (best_label, r) = best.expect("columns without neighbours are never enqueued");
+        if best_label >= max_label {
+            continue; // certified unmatchable: every neighbour saturated
+        }
+        // Double push: take r, evicting its previous mate (if any)...
+        let prev = m.mate_r.get(r);
+        if prev != NIL {
+            m.mate_c.set(prev, NIL);
+            active.push_back(prev);
+        }
+        m.mate_r.set(r, c);
+        m.mate_c.set(c, r);
+        // ...and relabel r just above the column's second-best alternative,
+        // so the evicted mate will not immediately fight for the same row.
+        label[r as usize] = label[r as usize].max(second.saturating_add(1)).min(max_label);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::hopcroft_karp;
+    use mcm_sparse::Triples;
+
+    fn check(t: &Triples) {
+        let a = t.to_csc();
+        let pr = push_relabel(&a);
+        pr.validate(&a).unwrap();
+        let hk = hopcroft_karp(&a, None);
+        assert_eq!(pr.cardinality(), hk.cardinality());
+    }
+
+    #[test]
+    fn small_graphs() {
+        check(&Triples::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0)]));
+        check(&Triples::from_edges(1, 3, vec![(0, 0), (0, 1), (0, 2)]));
+        check(&Triples::from_edges(3, 1, vec![(0, 0), (1, 0), (2, 0)]));
+        check(&Triples::new(4, 4));
+        check(&Triples::from_edges(
+            4,
+            5,
+            vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
+        ));
+    }
+
+    #[test]
+    fn eviction_chain() {
+        // A chain forcing repeated evictions: every column prefers row 0.
+        let t = Triples::from_edges(
+            3,
+            3,
+            vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)],
+        );
+        check(&t);
+        let a = t.to_csc();
+        assert_eq!(push_relabel(&a).cardinality(), 3);
+    }
+
+    #[test]
+    fn random_graphs_match_hk() {
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(31337);
+        for trial in 0..60 {
+            let n1 = 2 + (rng.next_u64() % 30) as usize;
+            let n2 = 2 + (rng.next_u64() % 30) as usize;
+            let mut t = Triples::new(n1, n2);
+            for _ in 0..3 * n1.max(n2) {
+                t.push(rng.below(n1 as u64) as Vidx, rng.below(n2 as u64) as Vidx);
+            }
+            let a = t.to_csc();
+            let pr = push_relabel(&a);
+            pr.validate(&a).unwrap();
+            assert_eq!(
+                pr.cardinality(),
+                hopcroft_karp(&a, None).cardinality(),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn terminates_on_dense_bipartite() {
+        let mut t = Triples::new(12, 12);
+        for i in 0..12 {
+            for j in 0..12 {
+                t.push(i, j);
+            }
+        }
+        let a = t.to_csc();
+        assert_eq!(push_relabel(&a).cardinality(), 12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Independent verification of matchings.
+//!
+//! * [`is_maximal`] — no edge joins two unmatched vertices (the guarantee of
+//!   the greedy/Karp–Sipser/mindegree initializers).
+//! * [`is_maximum`] — no augmenting path exists with respect to `M`, which
+//!   by Berge's theorem certifies maximum cardinality. The check runs one
+//!   alternating BFS from all unmatched columns — independent of the
+//!   algorithms under test, so it catches agreement-in-error with the
+//!   Hopcroft–Karp oracle.
+
+use crate::matching::Matching;
+use mcm_sparse::{Csc, Vidx, NIL};
+
+/// `true` when no edge connects an unmatched row to an unmatched column.
+pub fn is_maximal(a: &Csc, m: &Matching) -> bool {
+    for c in 0..a.ncols() {
+        if m.col_matched(c as Vidx) {
+            continue;
+        }
+        for &r in a.col(c) {
+            if !m.row_matched(r) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` when `m` admits no augmenting path (Berge: `m` is maximum).
+///
+/// Alternating BFS over columns: start from all unmatched columns; from a
+/// column go to any unvisited row neighbour; from a matched row go to its
+/// mate column. Reaching an unmatched row ⇔ an augmenting path exists.
+pub fn is_maximum(a: &Csc, m: &Matching) -> bool {
+    let mut visited_col = vec![false; a.ncols()];
+    let mut visited_row = vec![false; a.nrows()];
+    let mut queue: Vec<Vidx> = Vec::new();
+    for c in 0..a.ncols() {
+        if !m.col_matched(c as Vidx) {
+            visited_col[c] = true;
+            queue.push(c as Vidx);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let c = queue[head];
+        head += 1;
+        for &r in a.col(c as usize) {
+            if visited_row[r as usize] {
+                continue;
+            }
+            visited_row[r as usize] = true;
+            let mate = m.mate_r.get(r);
+            if mate == NIL {
+                return false; // augmenting path found
+            }
+            if !visited_col[mate as usize] {
+                visited_col[mate as usize] = true;
+                queue.push(mate);
+            }
+        }
+    }
+    true
+}
+
+/// Panics with a diagnostic unless `m` is a valid maximum matching of `a`.
+pub fn assert_maximum(a: &Csc, m: &Matching) {
+    if let Err(e) = m.validate(a) {
+        panic!("invalid matching: {e}");
+    }
+    assert!(
+        is_maximum(a, m),
+        "matching of cardinality {} admits an augmenting path",
+        m.cardinality()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::Triples;
+
+    fn z_graph() -> Csc {
+        // r0-c0, r0-c1, r1-c0: maximum = 2.
+        Triples::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 0)]).to_csc()
+    }
+
+    #[test]
+    fn maximal_but_not_maximum() {
+        let a = z_graph();
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 0);
+        assert!(is_maximal(&a, &m));
+        assert!(!is_maximum(&a, &m));
+    }
+
+    #[test]
+    fn maximum_detected() {
+        let a = z_graph();
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 1);
+        m.add(1, 0);
+        assert!(is_maximum(&a, &m));
+        assert_maximum(&a, &m);
+    }
+
+    #[test]
+    fn not_even_maximal() {
+        let a = z_graph();
+        let m = Matching::empty(2, 2);
+        assert!(!is_maximal(&a, &m));
+        assert!(!is_maximum(&a, &m));
+    }
+
+    #[test]
+    fn empty_graph_empty_matching_is_maximum() {
+        let a = Triples::new(2, 2).to_csc();
+        let m = Matching::empty(2, 2);
+        assert!(is_maximal(&a, &m));
+        assert!(is_maximum(&a, &m));
+    }
+
+    #[test]
+    fn deficiency_is_recognized() {
+        // Star: one row, three columns — cardinality 1 is maximum.
+        let a = Triples::from_edges(1, 3, vec![(0, 0), (0, 1), (0, 2)]).to_csc();
+        let mut m = Matching::empty(1, 3);
+        m.add(0, 2);
+        assert!(is_maximum(&a, &m));
+    }
+
+    #[test]
+    #[should_panic]
+    fn assert_maximum_panics_on_suboptimal() {
+        let a = z_graph();
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 0);
+        assert_maximum(&a, &m);
+    }
+}

@@ -1,0 +1,71 @@
+//! The `(parent, root)` VERTEX record carried by BFS frontiers.
+//!
+//! §III-B: *"The MS-BFS algorithm keeps track of both parent and root of
+//! each vertex in the current row and column frontiers. Hence, we represent
+//! each vertex by a (parent, root) pair ... In the first iteration of a
+//! phase, parent and root of a vertex are set to itself. While the parent of
+//! a vertex is updated in every iteration, roots are simply passed from
+//! parents to children."*
+
+use mcm_sparse::Vidx;
+
+/// A frontier vertex: the discovering parent and the root (the unmatched
+/// column vertex whose alternating tree this vertex belongs to).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Vertex {
+    /// Index of the parent on the *other* side of the bipartition.
+    pub parent: Vidx,
+    /// Index of the root column vertex of the alternating tree.
+    pub root: Vidx,
+}
+
+impl Vertex {
+    /// The paper's `VERTEX(p, r)` constructor.
+    #[inline]
+    pub fn new(parent: Vidx, root: Vidx) -> Self {
+        Self { parent, root }
+    }
+
+    /// A tree seed: parent and root both point at the vertex itself
+    /// (first iteration of a phase).
+    #[inline]
+    pub fn seed(v: Vidx) -> Self {
+        Self { parent: v, root: v }
+    }
+}
+
+/// The paper's `PARENT(x)`: projects parents out of a frontier.
+pub fn parents(x: &mcm_sparse::SpVec<Vertex>) -> mcm_sparse::SpVec<Vidx> {
+    x.map(|v| v.parent)
+}
+
+/// The paper's `ROOT(x)`: projects roots out of a frontier.
+pub fn roots(x: &mcm_sparse::SpVec<Vertex>) -> mcm_sparse::SpVec<Vidx> {
+    x.map(|v| v.root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::SpVec;
+
+    #[test]
+    fn seed_points_to_itself() {
+        let v = Vertex::seed(5);
+        assert_eq!(v.parent, 5);
+        assert_eq!(v.root, 5);
+    }
+
+    #[test]
+    fn projections() {
+        let f = SpVec::from_pairs(4, vec![(0, Vertex::new(1, 2)), (3, Vertex::new(4, 5))]);
+        assert_eq!(parents(&f).entries(), &[(0, 1), (3, 4)]);
+        assert_eq!(roots(&f).entries(), &[(0, 2), (3, 5)]);
+    }
+
+    #[test]
+    fn vertex_is_eight_bytes() {
+        // Frontier memory traffic matters; keep the record compact.
+        assert_eq!(std::mem::size_of::<Vertex>(), 8);
+    }
+}

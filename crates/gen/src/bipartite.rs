@@ -1,0 +1,123 @@
+//! Bipartite graph surgery utilities.
+//!
+//! Small structural transformations used by tests, benches, and downstream
+//! users preparing inputs: padding to square, disjoint unions for building
+//! multi-component instances, and guaranteed-matchable augmentation.
+
+use mcm_sparse::{Triples, Vidx};
+
+/// Pads a rectangular matrix to square by appending empty rows or columns
+/// (structural rank is unchanged; the extra vertices are isolated).
+pub fn pad_to_square(t: &Triples) -> Triples {
+    let n = t.nrows().max(t.ncols());
+    Triples::from_edges(n, n, t.entries().to_vec())
+}
+
+/// The disjoint union: `b`'s vertices are shifted past `a`'s, producing a
+/// block-diagonal pattern with no edges between the parts.
+pub fn disjoint_union(a: &Triples, b: &Triples) -> Triples {
+    let (ro, co) = (a.nrows() as Vidx, a.ncols() as Vidx);
+    let mut edges = a.entries().to_vec();
+    edges.extend(b.entries().iter().map(|&(i, j)| (i + ro, j + co)));
+    Triples::from_edges(a.nrows() + b.nrows(), a.ncols() + b.ncols(), edges)
+}
+
+/// Adds the identity diagonal to a square matrix, guaranteeing a perfect
+/// matching (structural nonsingularity) without disturbing the rest of the
+/// pattern.
+pub fn with_full_diagonal(t: &Triples) -> Triples {
+    assert_eq!(t.nrows(), t.ncols(), "diagonal padding requires a square matrix");
+    let mut out = t.clone();
+    for i in 0..t.nrows() as Vidx {
+        out.push(i, i);
+    }
+    out.sort_dedup();
+    out
+}
+
+/// Drops all isolated (empty) rows and columns, compacting the indices;
+/// returns the compacted graph plus the old→new maps (`None` = dropped).
+pub fn drop_isolated(t: &Triples) -> (Triples, Vec<Option<Vidx>>, Vec<Option<Vidx>>) {
+    let c = t.to_csc();
+    let rd = c.row_degrees();
+    let cd = c.col_degrees();
+    let mut row_map = vec![None; t.nrows()];
+    let mut col_map = vec![None; t.ncols()];
+    let mut nr = 0 as Vidx;
+    for (i, &d) in rd.iter().enumerate() {
+        if d > 0 {
+            row_map[i] = Some(nr);
+            nr += 1;
+        }
+    }
+    let mut nc = 0 as Vidx;
+    for (j, &d) in cd.iter().enumerate() {
+        if d > 0 {
+            col_map[j] = Some(nc);
+            nc += 1;
+        }
+    }
+    let edges = t
+        .entries()
+        .iter()
+        .map(|&(i, j)| (row_map[i as usize].unwrap(), col_map[j as usize].unwrap()))
+        .collect();
+    (Triples::from_edges(nr as usize, nc as usize, edges), row_map, col_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_makes_square() {
+        let t = Triples::from_edges(2, 5, vec![(0, 4)]);
+        let s = pad_to_square(&t);
+        assert_eq!((s.nrows(), s.ncols()), (5, 5));
+        assert_eq!(s.entries(), t.entries());
+    }
+
+    #[test]
+    fn disjoint_union_shifts_the_second_part() {
+        let a = Triples::from_edges(2, 2, vec![(0, 0)]);
+        let b = Triples::from_edges(3, 3, vec![(2, 1)]);
+        let u = disjoint_union(&a, &b);
+        assert_eq!((u.nrows(), u.ncols()), (5, 5));
+        let mut e = u.entries().to_vec();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 0), (4, 3)]);
+    }
+
+    #[test]
+    fn full_diagonal_guarantees_perfect_matching() {
+        let t = Triples::from_edges(3, 3, vec![(0, 2)]);
+        let d = with_full_diagonal(&t);
+        let c = d.to_csc();
+        for i in 0..3u32 {
+            assert!(c.contains(i, i as usize));
+        }
+        assert!(c.contains(0, 2));
+        assert_eq!(d.len(), 4); // no duplicate if (i, i) already present
+    }
+
+    #[test]
+    fn drop_isolated_compacts() {
+        // Row 1 and column 0 are empty.
+        let t = Triples::from_edges(3, 3, vec![(0, 1), (2, 2)]);
+        let (s, row_map, col_map) = drop_isolated(&t);
+        assert_eq!((s.nrows(), s.ncols()), (2, 2));
+        assert_eq!(row_map, vec![Some(0), None, Some(1)]);
+        assert_eq!(col_map, vec![None, Some(0), Some(1)]);
+        let mut e = s.entries().to_vec();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn union_preserves_matching_number() {
+        use mcm_sparse::stats::MatrixStats;
+        let a = Triples::from_edges(2, 2, vec![(0, 0), (1, 1)]);
+        let u = disjoint_union(&a, &a);
+        assert_eq!(MatrixStats::from_triples(&u).nnz, 4);
+    }
+}

@@ -1,0 +1,81 @@
+//! Direct Erdős–Rényi bipartite samplers.
+//!
+//! Complements the RMAT-based `ER` preset with exact-shape `G(n1, n2, m)`
+//! sampling for rectangular matrices (e.g. the `GL7d18` stand-in, which in
+//! the UF collection is a rectangular combinatorial matrix) and for
+//! unit tests needing precise control of density.
+
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::{Triples, Vidx};
+
+/// Samples `m` edges uniformly (with replacement, then deduplicated) from
+/// the complete bipartite graph `K_{n1,n2}`.
+pub fn gnm_bipartite(n1: usize, n2: usize, m: usize, seed: u64) -> Triples {
+    assert!(n1 > 0 && n2 > 0);
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Triples::with_capacity(n1, n2, m);
+    for _ in 0..m {
+        let i = rng.below(n1 as u64) as Vidx;
+        let j = rng.below(n2 as u64) as Vidx;
+        t.push(i, j);
+    }
+    t.sort_dedup();
+    t
+}
+
+/// Samples a bipartite graph where every *column* vertex draws its degree
+/// uniformly from `deg_lo..=deg_hi` and picks that many distinct random row
+/// neighbours. Produces matrices with uniform column degrees but binomial
+/// row degrees — the shape of several combinatorial UF matrices.
+pub fn uniform_coldeg(n1: usize, n2: usize, deg_lo: usize, deg_hi: usize, seed: u64) -> Triples {
+    assert!(deg_lo <= deg_hi && deg_hi <= n1);
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Triples::with_capacity(n1, n2, n2 * (deg_lo + deg_hi) / 2);
+    let mut picked: Vec<Vidx> = Vec::with_capacity(deg_hi);
+    for j in 0..n2 {
+        let deg = deg_lo + rng.below((deg_hi - deg_lo + 1) as u64) as usize;
+        picked.clear();
+        while picked.len() < deg {
+            let i = rng.below(n1 as u64) as Vidx;
+            if !picked.contains(&i) {
+                picked.push(i);
+                t.push(i, j as Vidx);
+            }
+        }
+    }
+    t.sort_dedup();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::stats::MatrixStats;
+
+    #[test]
+    fn gnm_respects_bounds() {
+        let t = gnm_bipartite(100, 50, 500, 9);
+        assert_eq!(t.nrows(), 100);
+        assert_eq!(t.ncols(), 50);
+        assert!(t.len() <= 500);
+        assert!(t.len() > 400); // few duplicates at this density
+    }
+
+    #[test]
+    fn gnm_is_deterministic() {
+        assert_eq!(gnm_bipartite(64, 64, 256, 5), gnm_bipartite(64, 64, 256, 5));
+    }
+
+    #[test]
+    fn uniform_coldeg_hits_the_range() {
+        let t = uniform_coldeg(200, 100, 3, 7, 11);
+        let s = MatrixStats::from_triples(&t);
+        assert_eq!(s.empty_cols, 0);
+        assert!(s.avg_col_degree >= 3.0 && s.avg_col_degree <= 7.0);
+        let csc = t.to_csc();
+        for j in 0..100 {
+            let d = csc.col_nnz(j);
+            assert!((3..=7).contains(&d), "col {j} degree {d}");
+        }
+    }
+}

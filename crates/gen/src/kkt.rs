@@ -1,0 +1,164 @@
+//! KKT-system matrices (the `nlpkkt` / `kkt_power` stand-ins).
+//!
+//! Interior-point methods for constrained optimization solve saddle-point
+//! ("KKT") systems
+//!
+//! ```text
+//!   [ H  Jᵀ ] [x]   [b1]
+//!   [ J  0  ] [y] = [b2]
+//! ```
+//!
+//! where `H` is a PDE-like Hessian (here: a 3D 7-point stencil over a
+//! `g × g × g` grid) and `J` a sparse constraint Jacobian. These are exactly
+//! the matrices the paper's motivating application — matching as a
+//! preprocessing step for distributed sparse solvers — cares about: the
+//! zero (2,2) block means the diagonal is structurally deficient and a
+//! row permutation from a matching is required before factorization.
+
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::{Triples, Vidx};
+
+/// Builds a KKT matrix from a `g³`-node 3D stencil Hessian and
+/// `n_constraints` Jacobian rows touching `nnz_per_constraint` Hessian
+/// columns each. The result is square of dimension `g³ + n_constraints` and
+/// structurally symmetric.
+pub fn kkt_stencil(g: usize, n_constraints: usize, nnz_per_constraint: usize, seed: u64) -> Triples {
+    assert!(g >= 2 && nnz_per_constraint >= 1);
+    let nh = g * g * g;
+    let n = nh + n_constraints;
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Triples::with_capacity(n, n, 7 * nh + 2 * n_constraints * nnz_per_constraint);
+    let id = |x: usize, y: usize, z: usize| (z * g * g + y * g + x) as Vidx;
+
+    // H block: 7-point stencil (diagonal + 6 neighbours), symmetric.
+    for z in 0..g {
+        for y in 0..g {
+            for x in 0..g {
+                let u = id(x, y, z);
+                t.push(u, u);
+                if x + 1 < g {
+                    t.push(u, id(x + 1, y, z));
+                    t.push(id(x + 1, y, z), u);
+                }
+                if y + 1 < g {
+                    t.push(u, id(x, y + 1, z));
+                    t.push(id(x, y + 1, z), u);
+                }
+                if z + 1 < g {
+                    t.push(u, id(x, y, z + 1));
+                    t.push(id(x, y, z + 1), u);
+                }
+            }
+        }
+    }
+
+    // J and Jᵀ blocks: each constraint row touches a few Hessian columns.
+    // The first column is a *distinct representative* (constraint c gets
+    // column ⌊c·nh/n_constraints⌋), which guarantees a perfect matching —
+    // the structural nonsingularity real KKT systems have — while the
+    // remaining columns are random for realism.
+    assert!(
+        n_constraints <= nh,
+        "need at most g^3 constraints to keep the KKT system structurally nonsingular"
+    );
+    for c in 0..n_constraints {
+        let row = (nh + c) as Vidx;
+        let rep = (c as u64 * nh as u64 / n_constraints.max(1) as u64) as usize;
+        t.push(row, rep as Vidx); // J representative
+        t.push(rep as Vidx, row); // Jᵀ
+        for _ in 1..nnz_per_constraint {
+            let col = rng.below(nh as u64) as Vidx;
+            t.push(row, col);
+            t.push(col, row);
+        }
+        // note: the (2,2) block stays structurally zero — no diagonal here.
+    }
+    t.sort_dedup();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::stats::MatrixStats;
+
+    #[test]
+    fn dimensions() {
+        let t = kkt_stencil(4, 10, 3, 1);
+        assert_eq!(t.nrows(), 64 + 10);
+        assert_eq!(t.ncols(), 74);
+    }
+
+    #[test]
+    fn constraint_rows_have_zero_diagonal() {
+        let t = kkt_stencil(4, 10, 3, 2);
+        let c = t.to_csc();
+        for k in 64..74u32 {
+            assert!(!c.contains(k, k as usize), "constraint diagonal {k} must be zero");
+        }
+        // Hessian diagonal is full.
+        for k in 0..64u32 {
+            assert!(c.contains(k, k as usize));
+        }
+    }
+
+    #[test]
+    fn structurally_symmetric() {
+        let t = kkt_stencil(3, 5, 2, 3);
+        let c = t.to_csc();
+        for (i, j) in c.iter() {
+            assert!(c.contains(j, i as usize), "asymmetric entry ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn stencil_degree_is_bounded() {
+        let s = MatrixStats::from_triples(&kkt_stencil(6, 20, 3, 4));
+        assert!(s.avg_row_degree < 10.0);
+        assert_eq!(s.empty_rows, 0);
+    }
+
+    #[test]
+    fn kkt_has_a_perfect_matching() {
+        // Structural nonsingularity: the representative construction must
+        // guarantee a zero-free-diagonal permutation exists.
+        let t = kkt_stencil(5, 60, 3, 9);
+        let n = t.nrows();
+        let a = t.to_csc();
+        // Simple augmenting-path matcher (Kuhn) to avoid a dev-dependency
+        // cycle with mcm-core.
+        let mut mate_c = vec![usize::MAX; n];
+        let mut mate_r = vec![usize::MAX; n];
+        fn try_kuhn(
+            a: &mcm_sparse::Csc,
+            c: usize,
+            seen: &mut [bool],
+            mate_c: &mut [usize],
+            mate_r: &mut [usize],
+        ) -> bool {
+            for &r in a.col(c) {
+                let r = r as usize;
+                if seen[r] {
+                    continue;
+                }
+                seen[r] = true;
+                if mate_r[r] == usize::MAX
+                    || try_kuhn(a, mate_r[r], seen, mate_c, mate_r)
+                {
+                    mate_r[r] = c;
+                    mate_c[c] = r;
+                    return true;
+                }
+            }
+            false
+        }
+        let mut matched = 0;
+        for c in 0..n {
+            let mut seen = vec![false; n];
+            if try_kuhn(&a, c, &mut seen, &mut mate_c, &mut mate_r) {
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, n, "KKT stencil must be structurally nonsingular");
+    }
+}

@@ -1,0 +1,151 @@
+//! Planar mesh and road-network generators.
+//!
+//! High-diameter, low-degree graphs: the regime where MS-BFS runs many
+//! level-synchronous iterations and latency terms dominate at scale (the
+//! paper's `road_usa` and `delaunay_n24` behave this way; `hugetrace` /
+//! `hugebubbles` are refined 2D meshes of the same family). All generators
+//! return *square symmetric* patterns — these matrices come from undirected
+//! graphs, and the bipartite matching runs on the rows-vs-columns bipartite
+//! view of the matrix, exactly as sparse solvers use it.
+
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::{Triples, Vidx};
+
+/// Pushes the symmetric pair for an undirected edge.
+#[inline]
+fn undirected(t: &mut Triples, u: Vidx, v: Vidx) {
+    t.push(u, v);
+    t.push(v, u);
+}
+
+/// A `w × h` grid graph (4-neighbour lattice) with a fraction
+/// `drop_fraction` of lattice edges deterministically removed — a stand-in
+/// for road networks: degree ≈ 2–4, huge diameter, slightly irregular.
+pub fn road_grid(w: usize, h: usize, drop_fraction: f64, seed: u64) -> Triples {
+    assert!((0.0..1.0).contains(&drop_fraction));
+    let n = w * h;
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Triples::with_capacity(n, n, 4 * n);
+    let id = |x: usize, y: usize| (y * w + x) as Vidx;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w && rng.next_f64() >= drop_fraction {
+                undirected(&mut t, id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h && rng.next_f64() >= drop_fraction {
+                undirected(&mut t, id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    t.sort_dedup();
+    t
+}
+
+/// A triangulated `w × h` grid: the lattice plus one diagonal per cell
+/// (alternating orientation, plus random flips) — average degree ≈ 6 like a
+/// Delaunay triangulation, planar, moderate diameter.
+pub fn triangulated_grid(w: usize, h: usize, seed: u64) -> Triples {
+    let n = w * h;
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Triples::with_capacity(n, n, 6 * n);
+    let id = |x: usize, y: usize| (y * w + x) as Vidx;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                undirected(&mut t, id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                undirected(&mut t, id(x, y), id(x, y + 1));
+            }
+            if x + 1 < w && y + 1 < h {
+                // one diagonal per cell; orientation pseudo-random
+                if rng.next_u64() & 1 == 0 {
+                    undirected(&mut t, id(x, y), id(x + 1, y + 1));
+                } else {
+                    undirected(&mut t, id(x + 1, y), id(x, y + 1));
+                }
+            }
+        }
+    }
+    t.sort_dedup();
+    t
+}
+
+/// A "bubbles" mesh: a triangulated grid with circular holes punched out
+/// (vertices inside the holes are kept but isolated), mimicking the
+/// `hugebubbles` family of adaptively refined 2D frames. The holes create
+/// structurally unmatchable vertices, giving the MCM phase real work.
+pub fn bubble_mesh(w: usize, h: usize, n_bubbles: usize, seed: u64) -> Triples {
+    let base = triangulated_grid(w, h, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xB0B5);
+    // Pick bubble centers and radii.
+    let mut bubbles = Vec::with_capacity(n_bubbles);
+    let max_r = (w.min(h) / 8).max(2);
+    for _ in 0..n_bubbles {
+        let cx = rng.below(w as u64) as i64;
+        let cy = rng.below(h as u64) as i64;
+        let r = 2 + rng.below(max_r as u64 - 1) as i64;
+        bubbles.push((cx, cy, r * r));
+    }
+    let inside = |v: Vidx| {
+        let (x, y) = ((v as usize % w) as i64, (v as usize / w) as i64);
+        bubbles
+            .iter()
+            .any(|&(cx, cy, r2)| (x - cx) * (x - cx) + (y - cy) * (y - cy) <= r2)
+    };
+    let kept: Vec<(Vidx, Vidx)> = base
+        .entries()
+        .iter()
+        .copied()
+        .filter(|&(u, v)| !inside(u) && !inside(v))
+        .collect();
+    Triples::from_edges(base.nrows(), base.ncols(), kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::stats::MatrixStats;
+
+    #[test]
+    fn road_grid_degrees_are_small() {
+        let t = road_grid(32, 32, 0.1, 1);
+        let s = MatrixStats::from_triples(&t);
+        assert_eq!(s.nrows, 1024);
+        assert!(s.max_row_degree <= 4);
+        assert!(s.avg_row_degree > 2.0 && s.avg_row_degree < 4.0);
+    }
+
+    #[test]
+    fn road_grid_is_symmetric() {
+        let t = road_grid(16, 16, 0.2, 3);
+        let c = t.to_csc();
+        for (i, j) in c.iter() {
+            assert!(c.contains(j, i as usize), "asymmetric edge ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn triangulated_grid_degree_near_six() {
+        let t = triangulated_grid(40, 40, 2);
+        let s = MatrixStats::from_triples(&t);
+        assert!(s.avg_row_degree > 4.5 && s.avg_row_degree < 6.5, "{}", s.avg_row_degree);
+        assert!(s.max_row_degree <= 8);
+    }
+
+    #[test]
+    fn bubbles_punch_holes() {
+        let full = triangulated_grid(64, 64, 4);
+        let holey = bubble_mesh(64, 64, 6, 4);
+        let fs = MatrixStats::from_triples(&full);
+        let hs = MatrixStats::from_triples(&holey);
+        assert!(hs.nnz < fs.nnz);
+        assert!(hs.empty_rows > 0, "bubbles should isolate some vertices");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road_grid(10, 10, 0.1, 7), road_grid(10, 10, 0.1, 7));
+        assert_eq!(bubble_mesh(20, 20, 3, 7), bubble_mesh(20, 20, 3, 7));
+    }
+}

@@ -1,0 +1,336 @@
+//! Stand-ins for the paper's Table II real matrices.
+//!
+//! The paper evaluates on 13 large matrices from the UF (SuiteSparse)
+//! collection — "the largest unsymmetric and symmetric matrices that have at
+//! least several thousands of unmatched vertices after computing a maximal
+//! matching" (§V-B). The collection is not available offline here, so each
+//! matrix is replaced by a *structure-class* stand-in at laptop scale
+//! (DESIGN.md §2): same qualitative degree distribution, diameter class, and
+//! matching deficiency, ~2–3 orders of magnitude smaller. The six names the
+//! paper's text discusses directly (`amazon-2008`, `cage15`, `wikipedia`,
+//! `delaunay_n24`, `road_usa`, `nlpkkt200`) are kept; the remaining seven
+//! are representative members of the classes the collection's "largest
+//! matrices" skew towards (web, social, citation, mesh, KKT).
+//!
+//! `table2` in `mcm-bench` re-emits the Table II inventory with the
+//! stand-ins' actual statistics next to the paper's quoted sizes.
+
+use crate::banded::banded;
+use crate::er::uniform_coldeg;
+use crate::kkt::kkt_stencil;
+use crate::mesh::{bubble_mesh, road_grid, triangulated_grid};
+use crate::rmat::{rmat, RmatParams};
+use crate::smallworld::watts_strogatz;
+use mcm_sparse::Triples;
+
+/// Structure class of a Table II matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphClass {
+    /// Co-purchase / social small-world (flat-ish degrees, low diameter).
+    SmallWorld,
+    /// Banded diffusion (cage family).
+    Banded,
+    /// Power-law web/social/citation graph.
+    PowerLaw,
+    /// Planar triangulation / refined 2D mesh.
+    PlanarMesh,
+    /// Road network (lattice-like, huge diameter).
+    RoadNetwork,
+    /// Saddle-point (KKT) optimization matrix.
+    Kkt,
+    /// Rectangular combinatorial matrix.
+    Combinatorial,
+}
+
+impl GraphClass {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GraphClass::SmallWorld => "small-world",
+            GraphClass::Banded => "banded",
+            GraphClass::PowerLaw => "power-law",
+            GraphClass::PlanarMesh => "planar mesh",
+            GraphClass::RoadNetwork => "road network",
+            GraphClass::Kkt => "KKT",
+            GraphClass::Combinatorial => "combinatorial",
+        }
+    }
+}
+
+/// One Table II row: the paper's matrix and our stand-in generator.
+#[derive(Clone)]
+pub struct StandIn {
+    /// UF collection name as used in the paper.
+    pub name: &'static str,
+    /// Structure class driving the stand-in choice.
+    pub class: GraphClass,
+    /// The UF matrix's rows (paper scale), for the Table II report.
+    pub paper_nrows: u64,
+    /// The UF matrix's columns (paper scale).
+    pub paper_ncols: u64,
+    /// The UF matrix's nonzeros (paper scale).
+    pub paper_nnz: u64,
+    /// Generator producing the scaled-down stand-in.
+    pub gen: fn(u64) -> Triples,
+}
+
+impl StandIn {
+    /// Generates the stand-in with its canonical seed (derived from the
+    /// name, so every figure harness sees identical inputs).
+    pub fn generate(&self) -> Triples {
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xCBF2_9CE4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01B3));
+        (self.gen)(seed)
+    }
+}
+
+fn gen_amazon(seed: u64) -> Triples {
+    watts_strogatz(32_768, 3, 0.12, seed)
+}
+
+fn gen_cage15(seed: u64) -> Triples {
+    banded(49_152, 4, 4, seed)
+}
+
+fn gen_cit_patents(seed: u64) -> Triples {
+    let p = RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11, scale: 15, edge_factor: 6 };
+    rmat(p, seed)
+}
+
+fn gen_delaunay(seed: u64) -> Triples {
+    triangulated_grid(180, 180, seed)
+}
+
+fn gen_gl7d18(seed: u64) -> Triples {
+    // GL7d18 is rectangular (1.9M × 1.5M): keep the aspect ratio. Column
+    // degrees are kept low so the maximum matching is non-trivial to reach
+    // from a maximal one — the paper's §V-B selection criterion ("at least
+    // several thousands of unmatched vertices after a maximal matching").
+    uniform_coldeg(36_000, 28_800, 2, 9, seed)
+}
+
+fn gen_hugebubbles(seed: u64) -> Triples {
+    bubble_mesh(200, 200, 12, seed)
+}
+
+fn gen_hugetrace(seed: u64) -> Triples {
+    bubble_mesh(190, 190, 4, seed)
+}
+
+fn gen_kkt_power(seed: u64) -> Triples {
+    kkt_stencil(28, 8_000, 2, seed)
+}
+
+fn gen_ljournal(seed: u64) -> Triples {
+    let p = RmatParams { a: 0.52, b: 0.2, c: 0.2, d: 0.08, scale: 15, edge_factor: 14 };
+    rmat(p, seed)
+}
+
+fn gen_nlpkkt200(seed: u64) -> Triples {
+    kkt_stencil(30, 5_000, 3, seed)
+}
+
+fn gen_road_usa(seed: u64) -> Triples {
+    road_grid(180, 180, 0.12, seed)
+}
+
+fn gen_wb_edu(seed: u64) -> Triples {
+    let p = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, scale: 15, edge_factor: 10 };
+    rmat(p, seed)
+}
+
+fn gen_wikipedia(seed: u64) -> Triples {
+    let p = RmatParams { a: 0.55, b: 0.2, c: 0.2, d: 0.05, scale: 15, edge_factor: 12 };
+    rmat(p, seed)
+}
+
+/// The 13-matrix Table II inventory, alphabetical like the paper's table.
+pub fn table2() -> Vec<StandIn> {
+    vec![
+        StandIn {
+            name: "amazon-2008",
+            class: GraphClass::SmallWorld,
+            paper_nrows: 735_323,
+            paper_ncols: 735_323,
+            paper_nnz: 5_158_388,
+            gen: gen_amazon,
+        },
+        StandIn {
+            name: "cage15",
+            class: GraphClass::Banded,
+            paper_nrows: 5_154_859,
+            paper_ncols: 5_154_859,
+            paper_nnz: 99_199_551,
+            gen: gen_cage15,
+        },
+        StandIn {
+            name: "cit-Patents",
+            class: GraphClass::PowerLaw,
+            paper_nrows: 3_774_768,
+            paper_ncols: 3_774_768,
+            paper_nnz: 16_518_948,
+            gen: gen_cit_patents,
+        },
+        StandIn {
+            name: "delaunay_n24",
+            class: GraphClass::PlanarMesh,
+            paper_nrows: 16_777_216,
+            paper_ncols: 16_777_216,
+            paper_nnz: 100_663_202,
+            gen: gen_delaunay,
+        },
+        StandIn {
+            name: "GL7d18",
+            class: GraphClass::Combinatorial,
+            paper_nrows: 1_955_309,
+            paper_ncols: 1_548_650,
+            paper_nnz: 35_590_540,
+            gen: gen_gl7d18,
+        },
+        StandIn {
+            name: "hugebubbles-00010",
+            class: GraphClass::PlanarMesh,
+            paper_nrows: 19_458_087,
+            paper_ncols: 19_458_087,
+            paper_nnz: 58_359_528,
+            gen: gen_hugebubbles,
+        },
+        StandIn {
+            name: "hugetrace-00020",
+            class: GraphClass::PlanarMesh,
+            paper_nrows: 16_002_413,
+            paper_ncols: 16_002_413,
+            paper_nnz: 47_997_626,
+            gen: gen_hugetrace,
+        },
+        StandIn {
+            name: "kkt_power",
+            class: GraphClass::Kkt,
+            paper_nrows: 2_063_494,
+            paper_ncols: 2_063_494,
+            paper_nnz: 12_771_361,
+            gen: gen_kkt_power,
+        },
+        StandIn {
+            name: "ljournal-2008",
+            class: GraphClass::PowerLaw,
+            paper_nrows: 5_363_260,
+            paper_ncols: 5_363_260,
+            paper_nnz: 79_023_142,
+            gen: gen_ljournal,
+        },
+        StandIn {
+            name: "nlpkkt200",
+            class: GraphClass::Kkt,
+            paper_nrows: 16_240_000,
+            paper_ncols: 16_240_000,
+            paper_nnz: 440_225_632,
+            gen: gen_nlpkkt200,
+        },
+        StandIn {
+            name: "road_usa",
+            class: GraphClass::RoadNetwork,
+            paper_nrows: 23_947_347,
+            paper_ncols: 23_947_347,
+            paper_nnz: 57_708_624,
+            gen: gen_road_usa,
+        },
+        StandIn {
+            name: "wb-edu",
+            class: GraphClass::PowerLaw,
+            paper_nrows: 9_845_725,
+            paper_ncols: 9_845_725,
+            paper_nnz: 57_156_537,
+            gen: gen_wb_edu,
+        },
+        StandIn {
+            name: "wikipedia-20070206",
+            class: GraphClass::PowerLaw,
+            paper_nrows: 3_566_907,
+            paper_ncols: 3_566_907,
+            paper_nnz: 45_030_389,
+            gen: gen_wikipedia,
+        },
+    ]
+}
+
+/// Looks up one Table II stand-in by name.
+pub fn by_name(name: &str) -> Option<StandIn> {
+    table2().into_iter().find(|s| s.name == name)
+}
+
+/// The four representative matrices used by the breakdown/initializer
+/// figures (Figs. 3, 5, 7): one small-world, one banded, one power-law, one
+/// road network — spanning the diameter/degree spectrum.
+pub fn representative4() -> Vec<StandIn> {
+    ["amazon-2008", "cage15", "wikipedia-20070206", "road_usa"]
+        .iter()
+        .map(|n| by_name(n).expect("representative matrix must be in table2"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::stats::{DegreeHistogram, MatrixStats};
+
+    #[test]
+    fn thirteen_matrices() {
+        let t = table2();
+        assert_eq!(t.len(), 13);
+        // Unique names.
+        let mut names: Vec<_> = t.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("road_usa").is_some());
+        assert!(by_name("not-a-matrix").is_none());
+    }
+
+    #[test]
+    fn representative4_spans_classes() {
+        let r = representative4();
+        assert_eq!(r.len(), 4);
+        let classes: Vec<_> = r.iter().map(|s| s.class).collect();
+        assert!(classes.contains(&GraphClass::RoadNetwork));
+        assert!(classes.contains(&GraphClass::PowerLaw));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = by_name("amazon-2008").unwrap();
+        assert_eq!(s.generate(), s.generate());
+    }
+
+    #[test]
+    fn gl7d18_is_rectangular() {
+        let t = by_name("GL7d18").unwrap().generate();
+        assert_ne!(t.nrows(), t.ncols());
+    }
+
+    #[test]
+    fn classes_have_expected_shapes() {
+        let road = by_name("road_usa").unwrap().generate();
+        let rs = MatrixStats::from_triples(&road);
+        assert!(rs.max_row_degree <= 4, "road max degree {}", rs.max_row_degree);
+
+        let wiki = by_name("wikipedia-20070206").unwrap().generate();
+        let skew = DegreeHistogram::skew(&wiki.to_csc().row_degrees());
+        assert!(skew > 10.0, "wikipedia stand-in should be heavy-tailed: {skew}");
+    }
+
+    #[test]
+    fn all_standins_generate_nonempty() {
+        for s in table2() {
+            let t = s.generate();
+            assert!(t.len() > 1000, "{} too small: {}", s.name, t.len());
+            assert!(t.nrows() >= 16_000, "{} rows {}", s.name, t.nrows());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The Recursive MATrix (RMAT) generator.
+//!
+//! §V-B of the paper: *"we used RMAT, the Recursive MATrix generator to
+//! generate three different classes of synthetic matrices: (a) G500 ...
+//! (b) SSCA ... and (c) ER ... We use the following RMAT seed parameters:
+//! (a) a=.57, b=c=.19, and d=.05 for G500, (b) a=.6, b=c=d=.4/3 for SSCA,
+//! and (c) a=b=c=d=.25 for ER. A scale n synthetic matrix is 2^n-by-2^n.
+//! On average, G500 and ER matrices have 32 nonzeros, and SSCA matrices
+//! have 16 nonzeros per row and column."*
+
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::{Triples, Vidx};
+use rayon::prelude::*;
+
+/// RMAT quadrant probabilities plus size parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant.
+    pub d: f64,
+    /// The matrix is `2^scale × 2^scale`.
+    pub scale: u32,
+    /// Edges generated = `edge_factor · 2^scale` (before deduplication).
+    pub edge_factor: usize,
+}
+
+impl RmatParams {
+    /// Graph 500 parameters: skewed degree distribution, 32 edges/vertex.
+    pub fn g500(scale: u32) -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05, scale, edge_factor: 32 }
+    }
+
+    /// HPCS SSCA#2 parameters: mildly skewed, 16 edges/vertex.
+    pub fn ssca(scale: u32) -> Self {
+        let t = 0.4 / 3.0;
+        Self { a: 0.6, b: t, c: t, d: t, scale, edge_factor: 16 }
+    }
+
+    /// Erdős–Rényi via uniform quadrants: flat degree distribution,
+    /// 32 edges/vertex.
+    pub fn er(scale: u32) -> Self {
+        Self { a: 0.25, b: 0.25, c: 0.25, d: 0.25, scale, edge_factor: 32 }
+    }
+
+    /// Matrix dimension `2^scale`.
+    pub fn n(&self) -> usize {
+        1usize << self.scale
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "RMAT quadrant probabilities must sum to 1, got {sum}"
+        );
+        assert!(self.scale >= 1 && self.scale < 31, "scale must be in 1..31");
+    }
+}
+
+/// Samples one edge by recursive quadrant descent.
+#[inline]
+fn sample_edge(p: &RmatParams, rng: &mut SplitMix64) -> (Vidx, Vidx) {
+    let (mut i, mut j) = (0u32, 0u32);
+    // Per-level parameter noise (±10%) as in the Graph500 reference
+    // implementation, which prevents exact self-similarity artifacts.
+    for _ in 0..p.scale {
+        i <<= 1;
+        j <<= 1;
+        let noise = 0.9 + 0.2 * rng.next_f64();
+        let (a, b, c) = (p.a * noise, p.b, p.c);
+        let total = a + b + c + p.d * (2.0 - noise);
+        let r = rng.next_f64() * total;
+        if r < a {
+            // top-left: nothing to add
+        } else if r < a + b {
+            j |= 1;
+        } else if r < a + b + c {
+            i |= 1;
+        } else {
+            i |= 1;
+            j |= 1;
+        }
+    }
+    (i, j)
+}
+
+/// Generates an RMAT matrix: `edge_factor · 2^scale` samples, deduplicated.
+///
+/// Sampling is embarrassingly parallel (rayon) with per-chunk SplitMix64
+/// streams derived from `seed`, so the result is deterministic regardless of
+/// thread count.
+///
+/// # Example
+///
+/// ```
+/// use mcm_gen::rmat::{rmat, RmatParams};
+///
+/// let g = rmat(RmatParams::g500(8), 42); // 256 x 256, skewed degrees
+/// assert_eq!(g.nrows(), 256);
+/// assert_eq!(g, rmat(RmatParams::g500(8), 42)); // deterministic in the seed
+/// ```
+pub fn rmat(p: RmatParams, seed: u64) -> Triples {
+    p.validate();
+    let n = p.n();
+    let m = p.edge_factor * n;
+    const CHUNK: usize = 1 << 16;
+    let chunks = m.div_ceil(CHUNK);
+    let edges: Vec<(Vidx, Vidx)> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|chunk| {
+            let mut rng = SplitMix64::new(seed ^ (0x9E37_79B9 + chunk as u64).wrapping_mul(0xABCD_EF12_3456_789B));
+            let count = CHUNK.min(m - chunk * CHUNK);
+            (0..count).map(move |_| sample_edge(&p, &mut rng)).collect::<Vec<_>>()
+        })
+        .collect();
+    let mut t = Triples::from_edges(n, n, edges);
+    t.sort_dedup();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::stats::{DegreeHistogram, MatrixStats};
+
+    #[test]
+    fn dimensions_and_density() {
+        let t = rmat(RmatParams::er(10), 1);
+        assert_eq!(t.nrows(), 1024);
+        assert_eq!(t.ncols(), 1024);
+        // 32 * 1024 samples minus duplicates: still well above 20/row.
+        let s = MatrixStats::from_triples(&t);
+        assert!(s.avg_row_degree > 20.0, "avg degree {}", s.avg_row_degree);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = rmat(RmatParams::g500(8), 42);
+        let b = rmat(RmatParams::g500(8), 42);
+        assert_eq!(a, b);
+        let c = rmat(RmatParams::g500(8), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn g500_is_more_skewed_than_er() {
+        let g = rmat(RmatParams::g500(11), 7);
+        let e = rmat(RmatParams::er(11), 7);
+        let gs = DegreeHistogram::skew(&g.to_csc().row_degrees());
+        let es = DegreeHistogram::skew(&e.to_csc().row_degrees());
+        assert!(
+            gs > 2.0 * es,
+            "expected G500 skew ({gs:.1}) well above ER skew ({es:.1})"
+        );
+    }
+
+    #[test]
+    fn ssca_has_half_the_edges() {
+        let s = rmat(RmatParams::ssca(10), 3);
+        let e = rmat(RmatParams::er(10), 3);
+        let ss = MatrixStats::from_triples(&s);
+        let es = MatrixStats::from_triples(&e);
+        assert!(ss.avg_row_degree < 0.7 * es.avg_row_degree);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_probabilities() {
+        let p = RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5, scale: 4, edge_factor: 4 };
+        let _ = rmat(p, 0);
+    }
+
+    #[test]
+    fn g500_has_isolated_vertices() {
+        // The skewed distribution leaves some rows empty — these make the
+        // maximum matching deficient, which is what gives the MCM algorithm
+        // real work to do (§V-B selection criterion).
+        let t = rmat(RmatParams::g500(12), 5);
+        let s = MatrixStats::from_triples(&t);
+        assert!(s.empty_rows > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Small-world graphs (the `amazon-2008` / `ljournal` stand-ins).
+//!
+//! Co-purchase and social graphs combine strong local clustering (ring
+//! lattice neighbourhoods) with a few long-range links — the
+//! Watts–Strogatz shape. Their BFS frontiers grow quickly but the degree
+//! distribution is much flatter than web graphs'.
+
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::{Triples, Vidx};
+
+/// A Watts–Strogatz-style graph: `n` vertices on a ring, each connected to
+/// its `k` nearest neighbours on each side, with every edge rewired to a
+/// uniformly random endpoint with probability `p_rewire`. Returned as a
+/// square symmetric pattern.
+pub fn watts_strogatz(n: usize, k: usize, p_rewire: f64, seed: u64) -> Triples {
+    assert!(n > 2 * k && k >= 1);
+    assert!((0.0..=1.0).contains(&p_rewire));
+    let mut rng = SplitMix64::new(seed);
+    let mut t = Triples::with_capacity(n, n, 2 * n * k);
+    for u in 0..n {
+        for d in 1..=k {
+            let v = if rng.next_f64() < p_rewire {
+                rng.below(n as u64) as usize
+            } else {
+                (u + d) % n
+            };
+            if v != u {
+                t.push(u as Vidx, v as Vidx);
+                t.push(v as Vidx, u as Vidx);
+            }
+        }
+    }
+    t.sort_dedup();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sparse::stats::{DegreeHistogram, MatrixStats};
+
+    #[test]
+    fn degrees_center_on_two_k() {
+        let t = watts_strogatz(1000, 3, 0.1, 1);
+        let s = MatrixStats::from_triples(&t);
+        assert!(s.avg_row_degree > 4.5 && s.avg_row_degree < 6.5, "{}", s.avg_row_degree);
+    }
+
+    #[test]
+    fn flat_degree_distribution() {
+        let t = watts_strogatz(2000, 4, 0.1, 2);
+        let skew = DegreeHistogram::skew(&t.to_csc().row_degrees());
+        assert!(skew < 3.0, "small-world graphs should not be heavy-tailed: {skew}");
+    }
+
+    #[test]
+    fn symmetric_pattern() {
+        let t = watts_strogatz(100, 2, 0.3, 3);
+        let c = t.to_csc();
+        for (i, j) in c.iter() {
+            assert!(c.contains(j, i as usize));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(128, 2, 0.2, 9), watts_strogatz(128, 2, 0.2, 9));
+    }
+}

@@ -1,0 +1,267 @@
+//! Doubly compressed sparse columns (DCSC) — the hypersparse format.
+//!
+//! On a `√p × √p` process grid each local submatrix holds only `m/p`
+//! nonzeros over `n/√p` columns; once `p` is large, most columns are empty
+//! and the O(ncols) column-pointer array of CSC dominates memory and
+//! SpMSpV time. DCSC (Buluç & Gilbert, "On the representation and
+//! multiplication of hypersparse matrices") compresses the column dimension
+//! too: only the `nzc` nonempty columns appear, in the sorted array `jc`,
+//! with `cp[k]..cp[k+1]` delimiting the rows of the `k`-th nonempty column.
+//!
+//! The paper (§IV-A) uses CombBLAS DCSC storage for all local submatrices;
+//! `ablation_storage` in `mcm-bench` measures the CSC-vs-DCSC difference in
+//! the hypersparse regime.
+
+use crate::{Csc, Triples, Vidx};
+
+/// A pattern-only sparse matrix in doubly-compressed-sparse-column layout.
+///
+/// # Example
+///
+/// ```
+/// use mcm_sparse::{Dcsc, Triples};
+///
+/// // 2 nonzeros over 1000 columns: hypersparse, only 2 column entries stored.
+/// let t = Triples::from_edges(10, 1000, vec![(3, 5), (7, 800)]);
+/// let d = Dcsc::from_triples(&t);
+/// assert!(d.is_hypersparse());
+/// assert_eq!(d.nzc(), 2);
+/// assert_eq!(d.col(5), &[3]);
+/// assert!(d.col(6).is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dcsc {
+    nrows: usize,
+    ncols: usize,
+    /// Sorted global (within this matrix) indices of nonempty columns.
+    jc: Vec<Vidx>,
+    /// `cp.len() == jc.len() + 1`; nonempty column `k` (with index `jc[k]`)
+    /// occupies `ir[cp[k]..cp[k+1]]`.
+    cp: Vec<usize>,
+    /// Row indices, sorted within each column.
+    ir: Vec<Vidx>,
+}
+
+impl Dcsc {
+    /// Builds from triples that are already column-major sorted and
+    /// deduplicated.
+    pub fn from_sorted_triples(t: &Triples) -> Self {
+        let entries = t.entries();
+        debug_assert!(
+            entries.windows(2).all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)),
+            "triples must be column-major sorted and deduplicated"
+        );
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut ir = Vec::with_capacity(entries.len());
+        for &(i, j) in entries {
+            if jc.last() != Some(&j) {
+                jc.push(j);
+                cp.push(ir.len());
+            }
+            ir.push(i);
+            *cp.last_mut().unwrap() = ir.len();
+        }
+        Self { nrows: t.nrows(), ncols: t.ncols(), jc, cp, ir }
+    }
+
+    /// Builds from a (possibly unsorted) triple list.
+    pub fn from_triples(t: &Triples) -> Self {
+        let mut sorted = t.clone();
+        sorted.sort_dedup();
+        Self::from_sorted_triples(&sorted)
+    }
+
+    /// Converts from CSC, dropping empty columns.
+    pub fn from_csc(a: &Csc) -> Self {
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut ir = Vec::with_capacity(a.nnz());
+        for j in 0..a.ncols() {
+            let col = a.col(j);
+            if !col.is_empty() {
+                jc.push(j as Vidx);
+                ir.extend_from_slice(col);
+                cp.push(ir.len());
+            }
+        }
+        Self { nrows: a.nrows(), ncols: a.ncols(), jc, cp, ir }
+    }
+
+    /// An empty matrix.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, jc: Vec::new(), cp: vec![0], ir: Vec::new() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (logical, including empty ones).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.ir.len()
+    }
+
+    /// Number of *nonempty* columns.
+    #[inline]
+    pub fn nzc(&self) -> usize {
+        self.jc.len()
+    }
+
+    /// `true` when the matrix is hypersparse (`nnz < ncols`), the regime
+    /// DCSC is designed for.
+    #[inline]
+    pub fn is_hypersparse(&self) -> bool {
+        self.nnz() < self.ncols
+    }
+
+    /// Sorted indices of nonempty columns.
+    #[inline]
+    pub fn nonzero_cols(&self) -> &[Vidx] {
+        &self.jc
+    }
+
+    /// Rows of the `k`-th *nonempty* column.
+    #[inline]
+    pub fn nth_col(&self, k: usize) -> (&[Vidx], Vidx) {
+        (&self.ir[self.cp[k]..self.cp[k + 1]], self.jc[k])
+    }
+
+    /// Rows of logical column `j`, empty when `j` has no nonzeros.
+    /// O(log nzc) via binary search on `jc`.
+    pub fn col(&self, j: usize) -> &[Vidx] {
+        match self.jc.binary_search(&(j as Vidx)) {
+            Ok(k) => &self.ir[self.cp[k]..self.cp[k + 1]],
+            Err(_) => &[],
+        }
+    }
+
+    /// `true` when the entry `(i, j)` is a stored nonzero.
+    pub fn contains(&self, i: Vidx, j: usize) -> bool {
+        self.col(j).binary_search(&i).is_ok()
+    }
+
+    /// Iterates over all `(row, col)` coordinates in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vidx, Vidx)> + '_ {
+        (0..self.nzc()).flat_map(move |k| {
+            let (rows, j) = self.nth_col(k);
+            rows.iter().map(move |&i| (i, j))
+        })
+    }
+
+    /// Converts to CSC (materializing the full column-pointer array).
+    pub fn to_csc(&self) -> Csc {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for k in 0..self.nzc() {
+            colptr[self.jc[k] as usize + 1] = self.cp[k + 1] - self.cp[k];
+        }
+        for j in 0..self.ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        Csc::from_parts(self.nrows, self.ncols, colptr, self.ir.clone())
+    }
+
+    /// Degrees of all row vertices.
+    pub fn row_degrees(&self) -> Vec<Vidx> {
+        let mut deg = vec![0 as Vidx; self.nrows];
+        for &i in &self.ir {
+            deg[i as usize] += 1;
+        }
+        deg
+    }
+
+    /// Degrees of all column vertices (dense output over logical columns).
+    pub fn col_degrees(&self) -> Vec<Vidx> {
+        let mut deg = vec![0 as Vidx; self.ncols];
+        for k in 0..self.nzc() {
+            deg[self.jc[k] as usize] = (self.cp[k + 1] - self.cp[k]) as Vidx;
+        }
+        deg
+    }
+
+    /// Heap memory footprint in bytes (for the storage ablation).
+    pub fn memory_bytes(&self) -> usize {
+        self.jc.len() * std::mem::size_of::<Vidx>()
+            + self.cp.len() * std::mem::size_of::<usize>()
+            + self.ir.len() * std::mem::size_of::<Vidx>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Dcsc {
+        // 4x6, only columns 1 and 4 nonempty.
+        Dcsc::from_triples(&Triples::from_edges(4, 6, vec![(3, 1), (0, 1), (2, 4)]))
+    }
+
+    #[test]
+    fn compresses_empty_columns() {
+        let a = example();
+        assert_eq!(a.nzc(), 2);
+        assert_eq!(a.nonzero_cols(), &[1, 4]);
+        assert_eq!(a.nnz(), 3);
+        assert!(a.is_hypersparse());
+    }
+
+    #[test]
+    fn col_lookup() {
+        let a = example();
+        assert_eq!(a.col(1), &[0, 3]);
+        assert_eq!(a.col(4), &[2]);
+        assert_eq!(a.col(0), &[] as &[Vidx]);
+        assert_eq!(a.col(5), &[] as &[Vidx]);
+        assert!(a.contains(3, 1));
+        assert!(!a.contains(1, 1));
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let a = example();
+        let csc = a.to_csc();
+        assert_eq!(csc.nnz(), a.nnz());
+        assert_eq!(Dcsc::from_csc(&csc), a);
+    }
+
+    #[test]
+    fn iter_yields_column_major() {
+        let a = example();
+        let coords: Vec<_> = a.iter().collect();
+        assert_eq!(coords, vec![(0, 1), (3, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn degrees_match_csc() {
+        let a = example();
+        let csc = a.to_csc();
+        assert_eq!(a.row_degrees(), csc.row_degrees());
+        assert_eq!(a.col_degrees(), csc.col_degrees());
+    }
+
+    #[test]
+    fn empty_is_consistent() {
+        let a = Dcsc::empty(3, 3);
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.nzc(), 0);
+        assert_eq!(a.to_csc().nnz(), 0);
+    }
+
+    #[test]
+    fn memory_smaller_than_csc_when_hypersparse() {
+        // 2 nonzeros across 1000 columns: DCSC stores 2 column entries, CSC 1001.
+        let t = Triples::from_edges(10, 1000, vec![(1, 5), (2, 900)]);
+        let d = Dcsc::from_triples(&t);
+        let csc_colptr_bytes = 1001 * std::mem::size_of::<usize>();
+        assert!(d.memory_bytes() < csc_colptr_bytes);
+    }
+}

@@ -1,0 +1,159 @@
+//! Dense vectors with the paper's `-1`-means-missing convention.
+//!
+//! Algorithm 2 keeps four dense vectors: `mate_r`, `mate_c` (current
+//! matching), `π_r` (parents of row vertices visited in the current phase),
+//! and `path_c` (endpoints of discovered augmenting paths). All of them hold
+//! vertex indices where "-1 denotes missing"; we encode that with the
+//! [`NIL`](crate::NIL) sentinel of the unsigned [`Vidx`](crate::Vidx) type.
+
+use crate::{SpVec, Vidx, NIL};
+
+/// A dense vector of vertex indices, `NIL` meaning "missing".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseVec {
+    data: Vec<Vidx>,
+}
+
+impl DenseVec {
+    /// A vector of `len` entries, all `NIL` (the paper's "initialize to -1").
+    pub fn nil(len: usize) -> Self {
+        Self { data: vec![NIL; len] }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<Vidx>) -> Self {
+        Self { data }
+    }
+
+    /// Logical length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at `i`.
+    #[inline]
+    pub fn get(&self, i: Vidx) -> Vidx {
+        self.data[i as usize]
+    }
+
+    /// Sets the value at `i`.
+    #[inline]
+    pub fn set(&mut self, i: Vidx, v: Vidx) {
+        self.data[i as usize] = v;
+    }
+
+    /// `true` when entry `i` is a real vertex index.
+    #[inline]
+    pub fn is_set(&self, i: Vidx) -> bool {
+        self.data[i as usize] != NIL
+    }
+
+    /// Underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Vidx] {
+        &self.data
+    }
+
+    /// Mutable underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Vidx] {
+        &mut self.data
+    }
+
+    /// Resets every entry to `NIL`.
+    pub fn fill_nil(&mut self) {
+        self.data.fill(NIL);
+    }
+
+    /// Number of non-`NIL` entries.
+    pub fn count_set(&self) -> usize {
+        self.data.iter().filter(|&&v| v != NIL).count()
+    }
+
+    /// Indices of the `NIL` entries (e.g. the unmatched column vertices
+    /// seeding a phase of Algorithm 2).
+    pub fn nil_indices(&self) -> Vec<Vidx> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| (v == NIL).then_some(i as Vidx))
+            .collect()
+    }
+
+    /// The paper's `SET(y, x)` for a dense target: `y[i] ← x[i]` for every
+    /// explicit entry of the sparse vector `x`.
+    pub fn set_from_sparse(&mut self, x: &SpVec<Vidx>) {
+        for (i, &v) in x.iter() {
+            self.data[i as usize] = v;
+        }
+    }
+
+    /// Extracts the non-`NIL` entries as a sparse vector (used by
+    /// Algorithm 3 line 2: "sparse vector from `path_c` by removing entries
+    /// with -1").
+    pub fn to_sparse(&self) -> SpVec<Vidx> {
+        SpVec::from_sorted_pairs(
+            self.len(),
+            self.data
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &v)| (v != NIL).then_some((i as Vidx, v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_construction() {
+        let v = DenseVec::nil(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.count_set(), 0);
+        assert_eq!(v.nil_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = DenseVec::nil(4);
+        v.set(2, 7);
+        assert!(v.is_set(2));
+        assert!(!v.is_set(0));
+        assert_eq!(v.get(2), 7);
+        assert_eq!(v.count_set(), 1);
+        v.fill_nil();
+        assert_eq!(v.count_set(), 0);
+    }
+
+    #[test]
+    fn set_from_sparse_matches_paper_example() {
+        // Table I SET example: x = [3,0,2,2,0] sparse, y dense →
+        // z[i] ← x[i] for nonzero x. With 0 treated as "no entry" there:
+        // our encoding uses explicit sparse entries instead.
+        let mut y = DenseVec::from_vec(vec![9, 9, 9, 9, 9]);
+        let x = SpVec::from_pairs(5, vec![(0, 3), (2, 2), (3, 2)]);
+        y.set_from_sparse(&x);
+        assert_eq!(y.as_slice(), &[3, 9, 2, 2, 9]);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut v = DenseVec::nil(5);
+        v.set(1, 4);
+        v.set(4, 0);
+        let s = v.to_sparse();
+        assert_eq!(s.entries(), &[(1, 4), (4, 0)]);
+        let mut w = DenseVec::nil(5);
+        w.set_from_sparse(&s);
+        assert_eq!(w, v);
+    }
+}

@@ -1,0 +1,289 @@
+//! Matrix Market I/O for pattern matrices.
+//!
+//! The paper evaluates on matrices from the University of Florida (now
+//! SuiteSparse) collection, distributed in Matrix Market format. The
+//! collection is not available offline in this environment (see DESIGN.md for
+//! the synthetic stand-ins), but the reader/writer lets downstream users run
+//! the library on the *actual* UF matrices: matching only needs the pattern,
+//! so `pattern`, `real`, `integer`, and `complex` fields are all accepted and
+//! numerical values are ignored.
+
+use crate::{Triples, Vidx};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a human-readable explanation.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Reads a Matrix Market `coordinate` file into a pattern [`Triples`] list.
+///
+/// Supports the `general`, `symmetric`, and `skew-symmetric` symmetry kinds
+/// (symmetric entries are mirrored; diagonal entries of skew files are
+/// dropped, as the format mandates they are absent). Values are discarded.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Triples, MmError> {
+    let (nrows, ncols, entries) = parse_mm(reader)?;
+    Ok(Triples::from_edges(
+        nrows,
+        ncols,
+        entries.into_iter().map(|(i, j, _)| (i, j)).collect(),
+    ))
+}
+
+/// Reads a Matrix Market `coordinate` file *with values* into a
+/// [`WCsc`](crate::WCsc). `pattern` files get weight 1.0 per entry;
+/// `symmetric` mirrors carry the same value, `skew-symmetric` the negated
+/// one. `complex` entries use the real part.
+pub fn read_matrix_market_weighted<R: Read>(reader: R) -> Result<crate::WCsc, MmError> {
+    let (nrows, ncols, entries) = parse_mm(reader)?;
+    Ok(crate::WCsc::from_weighted_triples(nrows, ncols, entries))
+}
+
+/// Reads a weighted Matrix Market file from disk.
+pub fn read_matrix_market_weighted_file(path: impl AsRef<Path>) -> Result<crate::WCsc, MmError> {
+    read_matrix_market_weighted(std::fs::File::open(path)?)
+}
+
+/// The shared parser: dimensions plus 0-based `(row, col, value)` entries
+/// with symmetry already expanded.
+fn parse_mm<R: Read>(reader: R) -> Result<(usize, usize, Vec<(Vidx, Vidx, f64)>), MmError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let head_l = header.to_ascii_lowercase();
+    let fields: Vec<&str> = head_l.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err("only coordinate (sparse) format is supported"));
+    }
+    let symmetry = fields[4];
+    let (mirror, mirror_sign) = match symmetry {
+        "general" => (false, 1.0),
+        "symmetric" => (true, 1.0),
+        "skew-symmetric" => (true, -1.0),
+        other => return Err(parse_err(format!("unsupported symmetry: {other}"))),
+    };
+    let has_value = fields[3] != "pattern";
+
+    // Skip comments; first non-comment line is the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let mut it = size_line.split_whitespace();
+    let nrows: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    let ncols: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    let declared_nnz: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+
+    assert!(
+        nrows < Vidx::MAX as usize && ncols < Vidx::MAX as usize,
+        "matrix dimensions must fit in Vidx"
+    );
+    let mut entries: Vec<(Vidx, Vidx, f64)> =
+        Vec::with_capacity(declared_nnz * if mirror { 2 } else { 1 });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry line: {trimmed}")))?;
+        let j: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry line: {trimmed}")))?;
+        let w: f64 = if has_value {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err(format!("missing value field: {trimmed}")))?
+        } else {
+            1.0
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i}, {j}) out of bounds (1-based)")));
+        }
+        let (i0, j0) = ((i - 1) as Vidx, (j - 1) as Vidx);
+        entries.push((i0, j0, w));
+        if mirror && i0 != j0 {
+            entries.push((j0, i0, w * mirror_sign));
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(parse_err(format!("expected {declared_nnz} entries, found {seen}")));
+    }
+    Ok((nrows, ncols, entries))
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Triples, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a pattern matrix in Matrix Market `coordinate pattern general`
+/// format (sorted, deduplicated, 1-based).
+pub fn write_matrix_market<W: Write>(t: &Triples, writer: W) -> std::io::Result<()> {
+    let mut sorted = t.clone();
+    sorted.sort_dedup();
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(w, "{} {} {}", sorted.nrows(), sorted.ncols(), sorted.len())?;
+    for &(i, j) in sorted.entries() {
+        writeln!(w, "{} {}", i + 1, j + 1)?;
+    }
+    w.flush()
+}
+
+/// Writes a pattern matrix to a file on disk.
+pub fn write_matrix_market_file(t: &Triples, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_matrix_market(t, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pattern_general() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+                   % a comment\n\
+                   3 4 2\n\
+                   1 1\n\
+                   3 4\n";
+        let t = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!((t.nrows(), t.ncols(), t.len()), (3, 4, 2));
+        assert_eq!(t.entries(), &[(0, 0), (2, 3)]);
+    }
+
+    #[test]
+    fn parses_real_values_and_ignores_them() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 2\n\
+                   1 2 3.5\n\
+                   2 1 -1e-3\n";
+        let t = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(t.entries(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn mirrors_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                   3 3 2\n\
+                   2 1\n\
+                   3 3\n";
+        let t = read_matrix_market(src.as_bytes()).unwrap();
+        // (1,0) mirrored to (0,1); diagonal (2,2) not mirrored.
+        let mut e = t.entries().to_vec();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_count_mismatch() {
+        let oob = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn weighted_read_keeps_values() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 3\n\
+                   1 1 2.5\n\
+                   2 1 -4\n\
+                   2 2 1e2\n";
+        let a = read_matrix_market_weighted(src.as_bytes()).unwrap();
+        assert_eq!(a.weight(0, 0), Some(2.5));
+        assert_eq!(a.weight(1, 0), Some(-4.0));
+        assert_eq!(a.weight(1, 1), Some(100.0));
+    }
+
+    #[test]
+    fn weighted_pattern_defaults_to_one() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let a = read_matrix_market_weighted(src.as_bytes()).unwrap();
+        assert_eq!(a.weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn skew_symmetric_negates_the_mirror() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 1\n\
+                   2 1 3.0\n";
+        let a = read_matrix_market_weighted(src.as_bytes()).unwrap();
+        assert_eq!(a.weight(1, 0), Some(3.0));
+        assert_eq!(a.weight(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let t = Triples::from_edges(4, 3, vec![(3, 2), (0, 0), (1, 2)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&t, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        let mut want = t.clone();
+        want.sort_dedup();
+        assert_eq!(back, want);
+    }
+}

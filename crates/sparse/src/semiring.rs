@@ -1,0 +1,94 @@
+//! Semiring scaffolding for BFS-style sparse matrix-vector products.
+//!
+//! §III-B of the paper: *"a semiring is defined over (potentially separate)
+//! sets of 'scalars', and has its two operations 'multiplication' and
+//! 'addition' redefined"*. For BFS over a binary matrix the multiply is
+//! `select2nd` — the matrix entry merely gates the propagation of the vector
+//! element — and the "addition" picks one of the candidate values arriving at
+//! the same row (e.g. `minParent`, `randParent`, `randRoot`).
+//!
+//! The concrete matching semirings over `(parent, root)` pairs live in
+//! `mcm-core::semirings`; this module provides the generic trait plus
+//! reusable combiners, keeping the substrate algorithm-agnostic.
+
+/// The "addition" of a `(select2nd, ⊕)` semiring: a *selection* between two
+/// candidate values landing on the same output index.
+///
+/// `take_incoming(acc, inc)` returns `true` when the incoming candidate
+/// should replace the accumulator. Implementations must be deterministic
+/// given their own state (randomized semirings hash the candidate, they do
+/// not consult a global RNG), so distributed and serial executions agree.
+pub trait Combiner<T> {
+    /// Should `inc` replace `acc`?
+    fn take_incoming(&self, acc: &T, inc: &T) -> bool;
+}
+
+/// Marker documenting the `select2nd` multiply: `A(i,j) ⊗ x(j) = x(j)`.
+///
+/// In code the multiply is a closure handed to
+/// [`spmspv`](crate::spmv::spmspv) (it usually also rewrites the parent to
+/// `j`, which is how BFS records the discovering column).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Select2nd;
+
+/// Keep the minimum value (a deterministic combiner for any `Ord` type; the
+/// `minParent` semiring is this over the parent component).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinCombiner;
+
+impl<T: Ord> Combiner<T> for MinCombiner {
+    #[inline]
+    fn take_incoming(&self, acc: &T, inc: &T) -> bool {
+        inc < acc
+    }
+}
+
+/// Keep the maximum value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxCombiner;
+
+impl<T: Ord> Combiner<T> for MaxCombiner {
+    #[inline]
+    fn take_incoming(&self, acc: &T, inc: &T) -> bool {
+        inc > acc
+    }
+}
+
+/// Keep the first value that arrives (arrival order is deterministic:
+/// ascending column order within [`spmspv`](crate::spmv::spmspv)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstCombiner;
+
+impl<T> Combiner<T> for FirstCombiner {
+    #[inline]
+    fn take_incoming(&self, _acc: &T, _inc: &T) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_combiner_prefers_smaller() {
+        let c = MinCombiner;
+        assert!(c.take_incoming(&5, &3));
+        assert!(!c.take_incoming(&3, &5));
+        assert!(!c.take_incoming(&3, &3));
+    }
+
+    #[test]
+    fn max_combiner_prefers_larger() {
+        let c = MaxCombiner;
+        assert!(c.take_incoming(&3, &5));
+        assert!(!c.take_incoming(&5, &3));
+    }
+
+    #[test]
+    fn first_combiner_never_replaces() {
+        let c = FirstCombiner;
+        assert!(!c.take_incoming(&1, &2));
+        assert!(!c.take_incoming(&2, &1));
+    }
+}

@@ -1,0 +1,322 @@
+//! Semiring sparse-matrix × sparse-vector products (SpMSpV).
+//!
+//! Step 1 of every MS-BFS iteration explores the neighbours of the column
+//! frontier with `f_r ← SpMV(A, f_c)` over a `(select2nd, ⊕)` semiring
+//! (Fig. 1 / Fig. 2 of the paper). The kernels here are the *local* products
+//! run on each process's submatrix; `mcm-bsp` composes them with the
+//! expand/fold communication phases of the 2D distributed algorithm.
+//!
+//! All kernels report the number of traversed edges (`flops`) so the cost
+//! model can charge `γ · flops / t` of modeled compute per rank.
+
+use crate::{Csc, Dcsc, SpVec, Vidx};
+
+/// Result of a local SpMSpV: the output sparse vector plus the number of
+/// traversed matrix nonzeros (the serial-complexity term
+/// `Σ_{k ∈ IND(x)} nnz(A(:,k))` of Table I).
+#[derive(Clone, Debug)]
+pub struct SpmvOut<U> {
+    /// `y = A ⊗ x` over the semiring.
+    pub y: SpVec<U>,
+    /// Number of `multiply`+`add` operations performed.
+    pub flops: u64,
+}
+
+///
+/// Local SpMSpV over a DCSC matrix.
+///
+/// * `mul(j, xj)` is the semiring multiply for column `j` carrying frontier
+///   value `xj` (for BFS: return `xj` with its parent rewritten to `j` —
+///   `select2nd` plus parent bookkeeping).
+/// * `take_incoming(acc, inc)` is the semiring add as a selection (see
+///   [`Combiner`](crate::semiring::Combiner)): `true` keeps `inc`.
+///
+/// Columns are processed in ascending index order and rows accumulate into a
+/// sparse accumulator, so results and combiner decisions are deterministic.
+/// Runs in `O(nnz(x) + nzc(A) + flops)` time thanks to a merge-join between
+/// the sorted frontier and the sorted nonzero-column list of the DCSC.
+///
+/// # Example
+///
+/// BFS step over the `(select2nd, min)` semiring: each reached row records
+/// its smallest frontier neighbour.
+///
+/// ```
+/// use mcm_sparse::{spmspv, Dcsc, SpVec, Triples};
+///
+/// let a = Dcsc::from_triples(&Triples::from_edges(2, 2, vec![(0, 0), (0, 1), (1, 1)]));
+/// let frontier = SpVec::from_pairs(2, vec![(0, 0u32), (1, 1)]);
+/// let out = spmspv(&a, &frontier, |j, _| j, |acc, inc| inc < acc);
+/// assert_eq!(out.y.entries(), &[(0, 0), (1, 1)]);
+/// assert_eq!(out.flops, 3); // edges traversed
+/// ```
+pub fn spmspv<T, U>(
+    a: &Dcsc,
+    x: &SpVec<T>,
+    mut mul: impl FnMut(Vidx, &T) -> U,
+    mut take_incoming: impl FnMut(&U, &U) -> bool,
+) -> SpmvOut<U> {
+    let mut spa: Vec<Option<U>> = Vec::new();
+    spa.resize_with(a.nrows(), || None);
+    let mut touched: Vec<Vidx> = Vec::new();
+    let mut flops = 0u64;
+
+    // Merge-join x.entries() (sorted by index) with a.nonzero_cols() (sorted).
+    let cols = a.nonzero_cols();
+    let xs = x.entries();
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < xs.len() && q < cols.len() {
+        let (j, xj) = (&xs[p].0, &xs[p].1);
+        match cols[q].cmp(j) {
+            std::cmp::Ordering::Less => q += 1,
+            std::cmp::Ordering::Greater => p += 1,
+            std::cmp::Ordering::Equal => {
+                let (rows, _) = a.nth_col(q);
+                for &i in rows {
+                    flops += 1;
+                    let cand = mul(*j, xj);
+                    match &mut spa[i as usize] {
+                        slot @ None => {
+                            *slot = Some(cand);
+                            touched.push(i);
+                        }
+                        Some(acc) => {
+                            if take_incoming(acc, &cand) {
+                                *acc = cand;
+                            }
+                        }
+                    }
+                }
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+
+    touched.sort_unstable();
+    let entries = touched
+        .into_iter()
+        .map(|i| (i, spa[i as usize].take().expect("touched row must be set")))
+        .collect();
+    SpmvOut { y: SpVec::from_sorted_pairs(a.nrows(), entries), flops }
+}
+
+/// Local SpMSpV over a CSC matrix (same contract as [`spmspv`]).
+///
+/// Used by the CSC arm of the storage ablation; direct column indexing
+/// replaces the merge-join.
+pub fn spmspv_csc<T, U>(
+    a: &Csc,
+    x: &SpVec<T>,
+    mut mul: impl FnMut(Vidx, &T) -> U,
+    mut take_incoming: impl FnMut(&U, &U) -> bool,
+) -> SpmvOut<U> {
+    let mut spa: Vec<Option<U>> = Vec::new();
+    spa.resize_with(a.nrows(), || None);
+    let mut touched: Vec<Vidx> = Vec::new();
+    let mut flops = 0u64;
+
+    for (j, xj) in x.iter() {
+        for &i in a.col(j as usize) {
+            flops += 1;
+            let cand = mul(j, xj);
+            match &mut spa[i as usize] {
+                slot @ None => {
+                    *slot = Some(cand);
+                    touched.push(i);
+                }
+                Some(acc) => {
+                    if take_incoming(acc, &cand) {
+                        *acc = cand;
+                    }
+                }
+            }
+        }
+    }
+
+    touched.sort_unstable();
+    let entries = touched
+        .into_iter()
+        .map(|i| (i, spa[i as usize].take().expect("touched row must be set")))
+        .collect();
+    SpmvOut { y: SpVec::from_sorted_pairs(a.nrows(), entries), flops }
+}
+
+/// Local SpMSpV over a general *monoid* "addition": `combine(&mut acc, inc)`
+/// folds every candidate into the accumulator (e.g. `+` for counting
+/// semirings). Must be commutative and associative — the distributed fold
+/// combines partials from different blocks in unspecified order.
+pub fn spmspv_monoid<T, U>(
+    a: &Dcsc,
+    x: &SpVec<T>,
+    mut mul: impl FnMut(Vidx, &T) -> U,
+    mut combine: impl FnMut(&mut U, U),
+) -> SpmvOut<U> {
+    let mut spa: Vec<Option<U>> = Vec::new();
+    spa.resize_with(a.nrows(), || None);
+    let mut touched: Vec<Vidx> = Vec::new();
+    let mut flops = 0u64;
+
+    let cols = a.nonzero_cols();
+    let xs = x.entries();
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < xs.len() && q < cols.len() {
+        let (j, xj) = (&xs[p].0, &xs[p].1);
+        match cols[q].cmp(j) {
+            std::cmp::Ordering::Less => q += 1,
+            std::cmp::Ordering::Greater => p += 1,
+            std::cmp::Ordering::Equal => {
+                let (rows, _) = a.nth_col(q);
+                for &i in rows {
+                    flops += 1;
+                    let cand = mul(*j, xj);
+                    match &mut spa[i as usize] {
+                        slot @ None => {
+                            *slot = Some(cand);
+                            touched.push(i);
+                        }
+                        Some(acc) => combine(acc, cand),
+                    }
+                }
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+
+    touched.sort_unstable();
+    let entries = touched
+        .into_iter()
+        .map(|i| (i, spa[i as usize].take().expect("touched row must be set")))
+        .collect();
+    SpmvOut { y: SpVec::from_sorted_pairs(a.nrows(), entries), flops }
+}
+
+/// Dense-vector SpMV over an additive monoid: `y[i] = ⊕_j A(i,j) ⊗ x[j]`,
+/// materialized as `Option<U>` per row.
+///
+/// Useful for whole-graph sweeps such as counting each row vertex's
+/// unmatched-neighbour total in the maximal-matching initializers.
+pub fn spmv_dense<T, U>(
+    a: &Dcsc,
+    x: &[T],
+    mut mul: impl FnMut(Vidx, &T) -> U,
+    mut add: impl FnMut(U, U) -> U,
+) -> Vec<Option<U>> {
+    assert_eq!(x.len(), a.ncols());
+    let mut y: Vec<Option<U>> = Vec::new();
+    y.resize_with(a.nrows(), || None);
+    for k in 0..a.nzc() {
+        let (rows, j) = a.nth_col(k);
+        for &i in rows {
+            let cand = mul(j, &x[j as usize]);
+            let slot = &mut y[i as usize];
+            *slot = Some(match slot.take() {
+                None => cand,
+                Some(acc) => add(acc, cand),
+            });
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triples;
+
+    /// The paper's Fig. 2 matrix: rows r1..r4, cols c1..c5 (0-based here).
+    /// Edges: r1-c1, r1-c3, r2-c1, r2-c2, r2-c4, r3-c3, r3-c5, r4-c4, r4-c5.
+    fn fig2_matrix() -> Dcsc {
+        Dcsc::from_triples(&Triples::from_edges(
+            4,
+            5,
+            vec![
+                (0, 0),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 3),
+                (2, 2),
+                (2, 4),
+                (3, 3),
+                (3, 4),
+            ],
+        ))
+    }
+
+    #[test]
+    fn fig2_spmv_min_parent() {
+        // Frontier = unmatched columns {c1, c2, c5} = {0, 1, 4}, each carrying
+        // (parent=self, root=self); semiring (select2nd, minParent).
+        let a = fig2_matrix();
+        let x = SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]);
+        let out = spmspv(
+            &a,
+            &x,
+            |j, &(_, root)| (j, root),
+            |acc: &(Vidx, Vidx), inc| inc.0 < acc.0,
+        );
+        // r1 reached from c1 only → (0,0); r2 from c1 and c2, minParent keeps c1;
+        // r3 from c5 → (4,4); r4 from c5 → (4,4).
+        assert_eq!(
+            out.y.entries(),
+            &[(0, (0, 0)), (1, (0, 0)), (2, (4, 4)), (3, (4, 4))]
+        );
+        // flops = deg(c1) + deg(c2) + deg(c5) = 2 + 1 + 2 = 5.
+        assert_eq!(out.flops, 5);
+    }
+
+    #[test]
+    fn csc_and_dcsc_agree() {
+        let d = fig2_matrix();
+        let c = d.to_csc();
+        let x = SpVec::from_pairs(5, vec![(1, 10u32), (3, 30)]);
+        let od = spmspv(&d, &x, |j, &v| (j, v), |a: &(Vidx, u32), b| b < a);
+        let oc = spmspv_csc(&c, &x, |j, &v| (j, v), |a: &(Vidx, u32), b| b < a);
+        assert_eq!(od.y, oc.y);
+        assert_eq!(od.flops, oc.flops);
+    }
+
+    #[test]
+    fn empty_frontier_is_empty_result() {
+        let a = fig2_matrix();
+        let x: SpVec<u32> = SpVec::new(5);
+        let out = spmspv(&a, &x, |j, &v| (j, v), |_: &(Vidx, u32), _| false);
+        assert!(out.y.is_empty());
+        assert_eq!(out.flops, 0);
+    }
+
+    #[test]
+    fn monoid_spmspv_counts() {
+        // Counting semiring over a sparse frontier: how many frontier
+        // columns touch each row?
+        let a = fig2_matrix();
+        let x = SpVec::from_pairs(5, vec![(0, ()), (1, ()), (4, ())]);
+        let out = spmspv_monoid(&a, &x, |_, _| 1u32, |acc, inc| *acc += inc);
+        // r1: c1 → 1; r2: c1,c2 → 2; r3: c5 → 1; r4: c5 → 1.
+        assert_eq!(out.y.entries(), &[(0, 1), (1, 2), (2, 1), (3, 1)]);
+        assert_eq!(out.flops, 5);
+    }
+
+    #[test]
+    fn dense_spmv_counts_degrees() {
+        // Counting semiring: x = all ones, mul = 1, add = +  → row degrees.
+        let a = fig2_matrix();
+        let ones = vec![1u32; 5];
+        let y = spmv_dense(&a, &ones, |_, &v| v, |a, b| a + b);
+        let degs: Vec<u32> = y.into_iter().map(|o| o.unwrap_or(0)).collect();
+        assert_eq!(degs, vec![2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn combiner_sees_ascending_columns() {
+        // FirstCombiner semantics: with ascending column processing, the
+        // smallest column index wins by arrival order.
+        let a = fig2_matrix();
+        let x = SpVec::from_pairs(5, vec![(0, 0u32), (1, 1), (3, 3)]);
+        let out = spmspv(&a, &x, |j, _| j, |_, _| false);
+        // r2 (row 1) is adjacent to c1, c2, c4 — first arrival is c1 = 0.
+        assert_eq!(out.y.get(1), Some(&0));
+    }
+}

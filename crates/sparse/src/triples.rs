@@ -1,0 +1,285 @@
+//! Coordinate-format (COO) staging area for building sparse matrices.
+//!
+//! Generators and I/O produce a [`Triples`] list, which is then sorted,
+//! deduplicated, and converted into [`Csc`](crate::Csc) /
+//! [`Dcsc`](crate::Dcsc) (or sliced into 2D blocks by
+//! `mcm-bsp::DistMatrix`). Matching only needs the *pattern* of the matrix,
+//! so a triple is just an `(i, j)` pair.
+
+use crate::{Csc, Vidx};
+
+/// A pattern-only coordinate list describing an `nrows × ncols` binary
+/// sparse matrix (equivalently, the edge list of a bipartite graph with
+/// `nrows` row vertices and `ncols` column vertices).
+///
+/// # Example
+///
+/// ```
+/// use mcm_sparse::Triples;
+///
+/// let mut t = Triples::new(2, 3);
+/// t.push(0, 1);
+/// t.push(1, 2);
+/// t.push(0, 1); // duplicates are fine until sort_dedup
+/// t.sort_dedup();
+/// assert_eq!(t.len(), 2);
+/// let a = t.to_csc();
+/// assert!(a.contains(0, 1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Triples {
+    nrows: usize,
+    ncols: usize,
+    /// `(row, col)` coordinates; may contain duplicates until
+    /// [`Triples::sort_dedup`] is called.
+    entries: Vec<(Vidx, Vidx)>,
+}
+
+impl Triples {
+    /// Creates an empty triple list for an `nrows × ncols` matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension exceeds `Vidx::MAX - 1` (the top value is
+    /// reserved for the [`NIL`](crate::NIL) sentinel).
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            nrows < Vidx::MAX as usize && ncols < Vidx::MAX as usize,
+            "matrix dimensions must fit in Vidx with room for the NIL sentinel"
+        );
+        Self { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Creates a triple list with pre-reserved capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut t = Self::new(nrows, ncols);
+        t.entries.reserve(cap);
+        t
+    }
+
+    /// Builds directly from a list of edges.
+    pub fn from_edges(nrows: usize, ncols: usize, edges: Vec<(Vidx, Vidx)>) -> Self {
+        let mut t = Self::new(nrows, ncols);
+        for &(i, j) in &edges {
+            debug_assert!((i as usize) < nrows && (j as usize) < ncols);
+        }
+        t.entries = edges;
+        t
+    }
+
+    /// Number of row vertices (matrix rows).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of column vertices (matrix columns).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Current number of stored coordinates (may include duplicates).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no coordinates are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends the edge `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) when the coordinate is out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: Vidx, col: Vidx) {
+        debug_assert!(
+            (row as usize) < self.nrows && (col as usize) < self.ncols,
+            "triple ({row}, {col}) out of bounds for {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col));
+    }
+
+    /// Read-only view of the coordinates.
+    #[inline]
+    pub fn entries(&self) -> &[(Vidx, Vidx)] {
+        &self.entries
+    }
+
+    /// Sorts coordinates column-major (by `col`, then `row`) and removes
+    /// duplicate edges. RMAT generators in particular emit duplicates; the
+    /// paper's generators "have 32 nonzeros per row and column *on average*"
+    /// after this kind of deduplication.
+    pub fn sort_dedup(&mut self) {
+        self.entries.sort_unstable_by_key(|&(i, j)| (j, i));
+        self.entries.dedup();
+    }
+
+    /// Converts to compressed sparse columns. Sorts and deduplicates first.
+    pub fn to_csc(&self) -> Csc {
+        let mut sorted = self.clone();
+        sorted.sort_dedup();
+        Csc::from_sorted_triples(&sorted)
+    }
+
+    /// Transposes in place: every `(i, j)` becomes `(j, i)` and the
+    /// dimensions swap. Cheap by design — the MCM algorithm only ever needs
+    /// `A` (R→C exploration runs over `Aᵀ`, which we build once).
+    pub fn transpose(&mut self) {
+        std::mem::swap(&mut self.nrows, &mut self.ncols);
+        for e in &mut self.entries {
+            *e = (e.1, e.0);
+        }
+    }
+
+    /// Returns a transposed copy.
+    pub fn transposed(&self) -> Self {
+        let mut t = self.clone();
+        t.transpose();
+        t
+    }
+
+    /// Splits the coordinates into a `pr × pc` grid of blocks (row-major
+    /// order of blocks) using block distribution: block `(bi, bj)` owns rows
+    /// `[row_offset(bi), row_offset(bi+1))` and the analogous column range.
+    ///
+    /// Offsets follow CombBLAS: the first `nrows mod pr` row blocks get one
+    /// extra row (balanced block distribution), same for columns. Returned
+    /// triples use *local* (block-relative) coordinates.
+    pub fn split_blocks(&self, pr: usize, pc: usize) -> Vec<Triples> {
+        assert!(pr > 0 && pc > 0);
+        let row_off = block_offsets(self.nrows, pr);
+        let col_off = block_offsets(self.ncols, pc);
+        let mut blocks: Vec<Triples> = (0..pr * pc)
+            .map(|b| {
+                let (bi, bj) = (b / pc, b % pc);
+                Triples::new(row_off[bi + 1] - row_off[bi], col_off[bj + 1] - col_off[bj])
+            })
+            .collect();
+        for &(i, j) in &self.entries {
+            let bi = block_owner(&row_off, i as usize);
+            let bj = block_owner(&col_off, j as usize);
+            let li = (i as usize - row_off[bi]) as Vidx;
+            let lj = (j as usize - col_off[bj]) as Vidx;
+            blocks[bi * pc + bj].push(li, lj);
+        }
+        blocks
+    }
+}
+
+/// Boundaries of a balanced block distribution of `n` items over `parts`
+/// parts: `offsets[k]..offsets[k+1]` is part `k`'s range; the first
+/// `n % parts` parts are one larger.
+pub fn block_offsets(n: usize, parts: usize) -> Vec<usize> {
+    assert!(parts > 0);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut off = Vec::with_capacity(parts + 1);
+    let mut acc = 0usize;
+    off.push(0);
+    for k in 0..parts {
+        acc += base + usize::from(k < extra);
+        off.push(acc);
+    }
+    off
+}
+
+/// Which part of a balanced block distribution owns global index `idx`.
+///
+/// `offsets` must come from [`block_offsets`]; runs in O(1) by exploiting the
+/// balanced structure, falling back to binary search only at the boundary.
+#[inline]
+pub fn block_owner(offsets: &[usize], idx: usize) -> usize {
+    debug_assert!(idx < *offsets.last().unwrap());
+    // Balanced distribution: part sizes differ by at most one, so the owner
+    // is within one of idx / ceil(n/parts); a short local scan fixes it up.
+    let parts = offsets.len() - 1;
+    let n = offsets[parts];
+    let guess = (idx * parts).checked_div(n).unwrap_or(0).min(parts - 1);
+    let mut k = guess;
+    while idx < offsets[k] {
+        k -= 1;
+    }
+    while idx >= offsets[k + 1] {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut t = Triples::new(3, 4);
+        assert!(t.is_empty());
+        t.push(0, 0);
+        t.push(2, 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries(), &[(0, 0), (2, 3)]);
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicates_and_orders_column_major() {
+        let mut t = Triples::from_edges(3, 3, vec![(2, 1), (0, 0), (2, 1), (1, 0), (0, 2)]);
+        t.sort_dedup();
+        assert_eq!(t.entries(), &[(0, 0), (1, 0), (2, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Triples::from_edges(2, 3, vec![(0, 2), (1, 0)]);
+        let tt = t.transposed();
+        assert_eq!(tt.nrows(), 3);
+        assert_eq!(tt.ncols(), 2);
+        assert_eq!(tt.entries(), &[(2, 0), (0, 1)]);
+        assert_eq!(tt.transposed(), t);
+    }
+
+    #[test]
+    fn block_offsets_balanced() {
+        assert_eq!(block_offsets(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(block_offsets(9, 3), vec![0, 3, 6, 9]);
+        assert_eq!(block_offsets(2, 4), vec![0, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn block_owner_agrees_with_linear_scan() {
+        for (n, parts) in [(10usize, 3usize), (9, 3), (7, 4), (100, 7), (5, 5)] {
+            let off = block_offsets(n, parts);
+            for idx in 0..n {
+                let expect = (0..parts).find(|&k| idx >= off[k] && idx < off[k + 1]).unwrap();
+                assert_eq!(block_owner(&off, idx), expect, "n={n} parts={parts} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_blocks_partitions_all_entries() {
+        let t = Triples::from_edges(
+            4,
+            6,
+            vec![(0, 0), (3, 5), (1, 2), (2, 3), (0, 5), (3, 0)],
+        );
+        let blocks = t.split_blocks(2, 3);
+        assert_eq!(blocks.len(), 6);
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, t.len());
+        // block (0,0): rows 0..2, cols 0..2 → contains (0,0)
+        assert_eq!(blocks[0].entries(), &[(0, 0)]);
+        // block (1,2): rows 2..4, cols 4..6 → contains (3,5) as local (1,1)
+        assert_eq!(blocks[5].entries(), &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_overflow_panics() {
+        let _ = Triples::new(Vidx::MAX as usize, 1);
+    }
+}

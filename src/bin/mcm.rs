@@ -1,0 +1,308 @@
+//! `mcm` — command-line front end for the matching library.
+//!
+//! ```text
+//! mcm stats   <file.mtx>                     structural statistics
+//! mcm match   <file.mtx> [options]           maximum cardinality matching
+//! mcm permute <file.mtx> --out <out.mtx>     zero-free diagonal permutation
+//! mcm dm      <file.mtx>                     Dulmage–Mendelsohn block sizes
+//! mcm gen     <family> --scale <s> --out <f> generate a test matrix
+//!
+//! match options:
+//!   --algo dist|hk|pf|pr|msbfs|graft   algorithm (default dist)
+//!   --grid <d>                         simulated d×d process grid (dist)
+//!   --threads <t>                      simulated threads/process (dist)
+//!   --out <file>                       write "row col" pairs
+//! gen families: g500, ssca, er (RMAT presets); road, mesh (2D meshes)
+//! ```
+//!
+//! Matrices are Matrix Market files; values are ignored (pattern matching).
+
+use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_core::dm::{dulmage_mendelsohn, DmBlock};
+// btf used via full path in cmd_btf
+use mcm_core::serial::{hopcroft_karp, ms_bfs_graft, ms_bfs_serial, pothen_fan, push_relabel};
+use mcm_core::verify::is_maximum;
+use mcm_core::{maximum_matching, Matching, McmOptions};
+use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
+use mcm_sparse::permute::{permute_triples, Permutation};
+use mcm_sparse::stats::MatrixStats;
+use mcm_sparse::{Triples, Vidx, NIL};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Piping into `head` closes stdout early; exit like a Unix tool instead
+    // of letting std's print machinery panic on the broken pipe.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("Broken pipe") {
+            std::process::exit(141); // 128 + SIGPIPE
+        }
+        eprintln!("{info}");
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `mcm help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("match") => cmd_match(&args[1..]),
+        Some("permute") => cmd_permute(&args[1..]),
+        Some("dm") => cmd_dm(&args[1..]),
+        Some("btf") => cmd_btf(&args[1..]),
+        Some("mwm") => cmd_mwm(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command: {other}")),
+    }
+}
+
+const USAGE: &str = "\
+mcm — maximum cardinality matching in bipartite graphs (Azad & Buluc, IPDPS 2016)
+
+usage:
+  mcm stats   <file.mtx>
+  mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft] [--grid d] [--threads t] [--out file]
+  mcm permute <file.mtx> --out <out.mtx>
+  mcm dm      <file.mtx>
+  mcm btf     <file.mtx>
+  mcm mwm     <file.mtx> [--eps e]     maximum weight matching (values used)
+  mcm gen     <g500|ssca|er|road|mesh> --scale <s> --out <file.mtx> [--seed n]
+";
+
+/// Pulls `--flag value` out of an argument list.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    // First token that is not a flag and not a flag's value.
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn load(args: &[String]) -> Result<Triples, String> {
+    let path = positional(args).ok_or("missing input file")?;
+    read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let t = load(args)?;
+    let s = MatrixStats::from_triples(&t);
+    println!("rows:            {}", s.nrows);
+    println!("cols:            {}", s.ncols);
+    println!("nonzeros:        {}", s.nnz);
+    println!("avg row degree:  {:.2}", s.avg_row_degree);
+    println!("avg col degree:  {:.2}", s.avg_col_degree);
+    println!("max row degree:  {}", s.max_row_degree);
+    println!("max col degree:  {}", s.max_col_degree);
+    println!("empty rows:      {}", s.empty_rows);
+    println!("empty cols:      {}", s.empty_cols);
+    Ok(())
+}
+
+fn compute(t: &Triples, algo: &str, grid: usize, threads: usize) -> Result<Matching, String> {
+    let a = t.to_csc();
+    Ok(match algo {
+        "dist" => {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(grid, threads));
+            let r = maximum_matching(&mut ctx, t, &McmOptions::default());
+            eprintln!(
+                "simulated {} cores ({}x{} grid, {} threads/process); modeled time {:.3} ms",
+                ctx.machine.cores(),
+                grid,
+                grid,
+                threads,
+                ctx.timers.total() * 1e3
+            );
+            r.matching
+        }
+        "hk" => hopcroft_karp(&a, None),
+        "pf" => pothen_fan(&a, None),
+        "pr" => push_relabel(&a),
+        "msbfs" => ms_bfs_serial(&a, None).0,
+        "graft" => ms_bfs_graft(&a, None).0,
+        other => return Err(format!("unknown algorithm: {other}")),
+    })
+}
+
+fn cmd_match(args: &[String]) -> Result<(), String> {
+    let t = load(args)?;
+    let algo = opt(args, "--algo").unwrap_or("dist");
+    let grid: usize = opt(args, "--grid").unwrap_or("2").parse().map_err(|_| "bad --grid")?;
+    let threads: usize =
+        opt(args, "--threads").unwrap_or("4").parse().map_err(|_| "bad --threads")?;
+    if grid == 0 || threads == 0 {
+        return Err("--grid and --threads must be at least 1".into());
+    }
+    let m = compute(&t, algo, grid, threads)?;
+    let a = t.to_csc();
+    m.validate(&a).map_err(|e| format!("internal error, invalid matching: {e}"))?;
+    assert!(is_maximum(&a, &m), "internal error: matching not maximum");
+    println!(
+        "maximum matching: {} of {} columns ({} rows) matched",
+        m.cardinality(),
+        t.ncols(),
+        t.nrows()
+    );
+    if let Some(out) = opt(args, "--out") {
+        let mut body = String::new();
+        for c in 0..t.ncols() as Vidx {
+            let r = m.mate_c.get(c);
+            if r != NIL {
+                body.push_str(&format!("{} {}\n", r + 1, c + 1));
+            }
+        }
+        std::fs::write(out, body).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote 1-based (row, col) pairs to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_permute(args: &[String]) -> Result<(), String> {
+    let t = load(args)?;
+    if t.nrows() != t.ncols() {
+        return Err("permute requires a square matrix".into());
+    }
+    let out = opt(args, "--out").ok_or("missing --out")?;
+    let a = t.to_csc();
+    let m = hopcroft_karp(&a, None);
+    if m.cardinality() != t.ncols() {
+        return Err(format!(
+            "matrix is structurally singular: maximum matching covers only {} of {} columns",
+            m.cardinality(),
+            t.ncols()
+        ));
+    }
+    let forward: Vec<Vidx> = (0..t.nrows() as Vidx).map(|i| m.mate_r.get(i)).collect();
+    let perm = Permutation::from_forward(forward);
+    let pt = permute_triples(&t, &perm, &Permutation::identity(t.ncols()));
+    write_matrix_market_file(&pt, out).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote row-permuted matrix with zero-free diagonal to {out}");
+    Ok(())
+}
+
+fn cmd_dm(args: &[String]) -> Result<(), String> {
+    let t = load(args)?;
+    let a = t.to_csc();
+    let m = hopcroft_karp(&a, None);
+    let dm = dulmage_mendelsohn(&a, &m);
+    println!("maximum matching: {}", m.cardinality());
+    for block in [DmBlock::Horizontal, DmBlock::Square, DmBlock::Vertical] {
+        println!(
+            "{:<12} {:>8} rows {:>8} cols",
+            format!("{block:?}"),
+            dm.rows_in(block).len(),
+            dm.cols_in(block).len()
+        );
+    }
+    if dm.is_structurally_nonsingular() {
+        println!("matrix is structurally nonsingular");
+    }
+    Ok(())
+}
+
+fn cmd_btf(args: &[String]) -> Result<(), String> {
+    let t = load(args)?;
+    if t.nrows() != t.ncols() {
+        return Err("btf requires a square matrix".into());
+    }
+    let a = t.to_csc();
+    let m = hopcroft_karp(&a, None);
+    if m.cardinality() != t.ncols() {
+        return Err(format!(
+            "structurally singular: rank {} of {} (try `mcm dm`)",
+            m.cardinality(),
+            t.ncols()
+        ));
+    }
+    let btf = mcm_core::btf::block_triangular_form(&a, &m);
+    println!("diagonal blocks: {}", btf.num_blocks());
+    println!("largest block:   {}", btf.max_block());
+    let singletons = (0..btf.num_blocks())
+        .filter(|&b| btf.block_ptr[b + 1] - btf.block_ptr[b] == 1)
+        .count();
+    println!("singleton blocks: {singletons}");
+    Ok(())
+}
+
+fn cmd_mwm(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("missing input file")?;
+    let a = mcm_sparse::io::read_matrix_market_weighted_file(path)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let n = a.nrows().max(a.ncols()).max(1);
+    let default_eps = 0.5 / (n as f64 + 1.0);
+    let eps: f64 = match opt(args, "--eps") {
+        Some(s) => s.parse().map_err(|_| "bad --eps")?,
+        None => default_eps,
+    };
+    if !(eps > 0.0) {
+        return Err("--eps must be a positive number".into());
+    }
+    let r = mcm_core::weighted::auction_mwm(&a, eps);
+    r.matching
+        .validate(a.pattern())
+        .map_err(|e| format!("internal error, invalid matching: {e}"))?;
+    println!(
+        "maximum weight matching: |M| = {} of {} columns, total weight {:.6} ({} bids, eps {:.2e})",
+        r.matching.cardinality(),
+        a.ncols(),
+        r.weight,
+        r.bids,
+        eps
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let family = positional(args).ok_or("missing family")?;
+    let scale: u32 = opt(args, "--scale").unwrap_or("10").parse().map_err(|_| "bad --scale")?;
+    let seed: u64 = opt(args, "--seed").unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let out = opt(args, "--out").ok_or("missing --out")?;
+    let t = match family {
+        "g500" => mcm_gen::rmat::rmat(mcm_gen::rmat::RmatParams::g500(scale), seed),
+        "ssca" => mcm_gen::rmat::rmat(mcm_gen::rmat::RmatParams::ssca(scale), seed),
+        "er" => mcm_gen::rmat::rmat(mcm_gen::rmat::RmatParams::er(scale), seed),
+        "road" => {
+            let side = 1usize << (scale / 2);
+            mcm_gen::mesh::road_grid(side, side, 0.12, seed)
+        }
+        "mesh" => {
+            let side = 1usize << (scale / 2);
+            mcm_gen::mesh::triangulated_grid(side, side, seed)
+        }
+        other => return Err(format!("unknown family: {other}")),
+    };
+    write_matrix_market_file(&t, out).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {} x {} matrix with {} nonzeros to {out}", t.nrows(), t.ncols(), t.len());
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! End-to-end tests of the `mcm` command-line tool via the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mcm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcm"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mcm-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn gen_stats_match_roundtrip() {
+    let file = tmp("roundtrip.mtx");
+    let out = mcm()
+        .args(["gen", "er", "--scale", "8", "--seed", "3", "--out"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = mcm().arg("stats").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rows:            256"), "{text}");
+
+    // Every algorithm agrees on the cardinality.
+    let mut cards = std::collections::BTreeSet::new();
+    for algo in ["dist", "hk", "pf", "pr", "msbfs", "graft"] {
+        let out = mcm()
+            .args(["match"])
+            .arg(&file)
+            .args(["--algo", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "algo {algo}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        let card: usize = text
+            .split("maximum matching: ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no cardinality in output: {text}"));
+        cards.insert(card);
+    }
+    assert_eq!(cards.len(), 1, "algorithms disagree: {cards:?}");
+}
+
+#[test]
+fn match_writes_pairs_file() {
+    let file = tmp("pairs.mtx");
+    assert!(mcm()
+        .args(["gen", "mesh", "--scale", "6", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    let pairs = tmp("pairs.txt");
+    assert!(mcm()
+        .args(["match"])
+        .arg(&file)
+        .args(["--algo", "hk", "--out"])
+        .arg(&pairs)
+        .status()
+        .unwrap()
+        .success());
+    let body = std::fs::read_to_string(&pairs).unwrap();
+    // 1-based "row col" lines, one per matched column.
+    assert!(!body.is_empty());
+    for line in body.lines() {
+        let mut it = line.split(' ');
+        let r: usize = it.next().unwrap().parse().unwrap();
+        let c: usize = it.next().unwrap().parse().unwrap();
+        assert!(r >= 1 && c >= 1);
+    }
+}
+
+#[test]
+fn permute_then_btf() {
+    let file = tmp("kkt_like.mtx");
+    assert!(mcm()
+        .args(["gen", "mesh", "--scale", "6", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    let permuted = tmp("kkt_perm.mtx");
+    let out = mcm().arg("permute").arg(&file).arg("--out").arg(&permuted).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = mcm().arg("btf").arg(&permuted).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("diagonal blocks:"));
+}
+
+#[test]
+fn dm_reports_blocks() {
+    let file = tmp("dm.mtx");
+    assert!(mcm()
+        .args(["gen", "g500", "--scale", "7", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    let out = mcm().arg("dm").arg(&file).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Horizontal"));
+    assert!(text.contains("Vertical"));
+}
+
+#[test]
+fn helpful_errors() {
+    let out = mcm().arg("match").arg("/nonexistent/file.mtx").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let out = mcm().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = mcm().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

@@ -1,0 +1,116 @@
+//! Property-based oracle tests: every algorithm in the crate must agree
+//! with Hopcroft–Karp on the maximum cardinality, on arbitrary bipartite
+//! graphs, arbitrary process grids, and arbitrary option combinations.
+
+use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_core::augment::AugmentMode;
+use mcm_core::maximal::Initializer;
+use mcm_core::semirings::SemiringKind;
+use mcm_core::serial::{hopcroft_karp, ms_bfs_serial, pothen_fan};
+use mcm_core::verify::{is_maximal, is_maximum};
+use mcm_core::{maximum_matching, McmOptions};
+use mcm_sparse::{Triples, Vidx};
+use proptest::prelude::*;
+
+/// An arbitrary bipartite graph: dimensions in 1..=24, up to 3·n edges.
+fn arb_graph() -> impl Strategy<Value = Triples> {
+    (1usize..=24, 1usize..=24).prop_flat_map(|(n1, n2)| {
+        let max_edges = 3 * n1.max(n2);
+        proptest::collection::vec((0..n1 as Vidx, 0..n2 as Vidx), 0..=max_edges)
+            .prop_map(move |edges| Triples::from_edges(n1, n2, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distributed_mcm_matches_hopcroft_karp(t in arb_graph(), dim in 1usize..=3) {
+        let a = t.to_csc();
+        let want = hopcroft_karp(&a, None).cardinality();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+        let r = maximum_matching(&mut ctx, &t, &McmOptions::default());
+        prop_assert_eq!(r.matching.cardinality(), want);
+        prop_assert!(r.matching.validate(&a).is_ok());
+        prop_assert!(is_maximum(&a, &r.matching));
+    }
+
+    #[test]
+    fn all_option_combinations_agree(
+        t in arb_graph(),
+        prune in any::<bool>(),
+        diropt in any::<bool>(),
+        seed in 0u64..1000,
+        semiring_pick in 0u8..3,
+        augment_pick in 0u8..3,
+        init_pick in 0u8..4,
+    ) {
+        let a = t.to_csc();
+        let want = hopcroft_karp(&a, None).cardinality();
+        let opts = McmOptions {
+            direction_optimizing: diropt,
+            semiring: match semiring_pick {
+                0 => SemiringKind::MinParent,
+                1 => SemiringKind::RandParent(seed),
+                _ => SemiringKind::RandRoot(seed),
+            },
+            prune,
+            augment: match augment_pick {
+                0 => AugmentMode::Auto,
+                1 => AugmentMode::LevelParallel,
+                _ => AugmentMode::PathParallel,
+            },
+            init: match init_pick {
+                0 => Initializer::None,
+                1 => Initializer::Greedy,
+                2 => Initializer::KarpSipser,
+                _ => Initializer::DynamicMindegree,
+            },
+            permute_seed: if seed % 2 == 0 { Some(seed) } else { None },
+            seed,
+        };
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let r = maximum_matching(&mut ctx, &t, &opts);
+        prop_assert_eq!(r.matching.cardinality(), want);
+        prop_assert!(r.matching.validate(&a).is_ok());
+    }
+
+    #[test]
+    fn serial_algorithms_agree(t in arb_graph()) {
+        let a = t.to_csc();
+        let hk = hopcroft_karp(&a, None);
+        let pf = pothen_fan(&a, None);
+        let (bfs, _) = ms_bfs_serial(&a, None);
+        prop_assert_eq!(pf.cardinality(), hk.cardinality());
+        prop_assert_eq!(bfs.cardinality(), hk.cardinality());
+        prop_assert!(hk.validate(&a).is_ok());
+        prop_assert!(pf.validate(&a).is_ok());
+        prop_assert!(bfs.validate(&a).is_ok());
+    }
+
+    #[test]
+    fn initializers_produce_valid_maximal_matchings(t in arb_graph(), seed in 0u64..100) {
+        let a = t.to_csc();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let da = mcm_bsp::DistMatrix::from_triples(&ctx, &t);
+        let dat = mcm_bsp::DistMatrix::from_triples(&ctx, &t.transposed());
+        for init in [Initializer::Greedy, Initializer::KarpSipser, Initializer::DynamicMindegree] {
+            let m = init.run(&mut ctx, &da, &dat, seed);
+            prop_assert!(m.validate(&a).is_ok(), "{:?}", init);
+            prop_assert!(is_maximal(&a, &m), "{:?} not maximal", init);
+            // ≥ 1/2-approximation guarantee of any maximal matching.
+            let maximum = hopcroft_karp(&a, None).cardinality();
+            prop_assert!(2 * m.cardinality() >= maximum, "{:?} below 1/2-approx", init);
+        }
+    }
+
+    #[test]
+    fn warm_start_preserves_the_maximum(t in arb_graph(), seed in 0u64..100) {
+        // Starting HK from any maximal matching must not change the result.
+        let a = t.to_csc();
+        let cold = hopcroft_karp(&a, None).cardinality();
+        let maximal = mcm_core::serial::karp_sipser_serial(&a, seed);
+        let warm = hopcroft_karp(&a, Some(maximal)).cardinality();
+        prop_assert_eq!(cold, warm);
+    }
+}

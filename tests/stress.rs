@@ -1,0 +1,184 @@
+//! Adversarial stress tests: exhaustive option-matrix sweeps and
+//! high-trial randomized oracles (originating from a review pass; kept
+//! because they cover combinations the targeted suites do not).
+
+use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_core::maximal::Initializer;
+use mcm_core::semirings::SemiringKind;
+use mcm_core::serial::{hopcroft_karp, ms_bfs_graft, pothen_fan, push_relabel};
+use mcm_core::augment::AugmentMode;
+use mcm_core::{maximum_matching, McmOptions};
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::{Triples, Vidx};
+
+fn random_graph(rng: &mut SplitMix64, n1: usize, n2: usize, edges: usize) -> Triples {
+    let mut t = Triples::new(n1, n2);
+    for _ in 0..edges {
+        t.push(rng.below(n1 as u64) as Vidx, rng.below(n2 as u64) as Vidx);
+    }
+    t
+}
+
+#[test]
+fn dist_matches_hk_exhaustive_options() {
+    let mut rng = SplitMix64::new(0xDEAD);
+    for trial in 0..60 {
+        let n1 = 1 + (rng.next_u64() % 30) as usize;
+        let n2 = 1 + (rng.next_u64() % 30) as usize;
+        let e = (rng.next_u64() % (3 * n1.max(n2) as u64 + 1)) as usize;
+        let t = random_graph(&mut rng, n1, n2, e);
+        let want = hopcroft_karp(&t.to_csc(), None).cardinality();
+        for dim in [1usize, 2, 3] {
+            for semiring in [
+                SemiringKind::MinParent,
+                SemiringKind::RandParent(3),
+                SemiringKind::RandRoot(4),
+            ] {
+                for prune in [true, false] {
+                    for diropt in [false, true] {
+                        for init in [Initializer::None, Initializer::KarpSipser] {
+                            for aug in [AugmentMode::Auto, AugmentMode::LevelParallel, AugmentMode::PathParallel] {
+                                let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 2));
+                                let opts = McmOptions {
+                                    semiring,
+                                    prune,
+                                    augment: aug,
+                                    init,
+                                    direction_optimizing: diropt,
+                                    permute_seed: if trial % 2 == 0 { Some(trial) } else { None },
+                                    seed: trial,
+                                };
+                                let r = maximum_matching(&mut ctx, &t, &opts);
+                                r.matching.validate(&t.to_csc()).unwrap();
+                                assert_eq!(
+                                    r.matching.cardinality(),
+                                    want,
+                                    "trial {trial} dim {dim} {semiring:?} prune {prune} diropt {diropt} init {init:?} aug {aug:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_algorithms_match_hk_adversarial() {
+    let mut rng = SplitMix64::new(77777);
+    for trial in 0..300 {
+        // Skewed shapes, including very tall / very wide.
+        let n1 = 1 + (rng.next_u64() % 50) as usize;
+        let n2 = 1 + (rng.next_u64() % 50) as usize;
+        let e = (rng.next_u64() % (4 * (n1 * n2) as u64 / 3 + 1)) as usize;
+        let t = random_graph(&mut rng, n1, n2, e.min(n1 * n2 * 2));
+        let a = t.to_csc();
+        let want = hopcroft_karp(&a, None).cardinality();
+        let pf = pothen_fan(&a, None);
+        pf.validate(&a).unwrap();
+        assert_eq!(pf.cardinality(), want, "pf trial {trial} {n1}x{n2}");
+        let pr = push_relabel(&a);
+        pr.validate(&a).unwrap();
+        assert_eq!(pr.cardinality(), want, "pr trial {trial} {n1}x{n2}");
+        let (g, _) = ms_bfs_graft(&a, None);
+        g.validate(&a).unwrap();
+        assert_eq!(g.cardinality(), want, "graft trial {trial} {n1}x{n2}");
+    }
+}
+
+#[test]
+fn grid_determinism_min_parent() {
+    // Deterministic semiring: identical matchings across grid shapes.
+    let mut rng = SplitMix64::new(31415);
+    for trial in 0..30 {
+        let n1 = 2 + (rng.next_u64() % 40) as usize;
+        let n2 = 2 + (rng.next_u64() % 40) as usize;
+        let t = random_graph(&mut rng, n1, n2, 3 * n1.max(n2));
+        let run = |dim: usize| {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+            let opts = McmOptions {
+                augment: AugmentMode::LevelParallel,
+                ..Default::default()
+            };
+            maximum_matching(&mut ctx, &t, &opts).matching
+        };
+        let base = run(1);
+        for dim in 2..=4 {
+            assert_eq!(run(dim), base, "trial {trial} dim {dim}");
+        }
+    }
+}
+
+#[test]
+fn grid_determinism_rand_semirings() {
+    let mut rng = SplitMix64::new(999);
+    for trial in 0..20 {
+        let n = 2 + (rng.next_u64() % 30) as usize;
+        let t = random_graph(&mut rng, n, n, 3 * n);
+        for semiring in [SemiringKind::RandParent(11), SemiringKind::RandRoot(12)] {
+            let run = |dim: usize| {
+                let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+                let opts = McmOptions {
+                    semiring,
+                    augment: AugmentMode::LevelParallel,
+                    ..Default::default()
+                };
+                maximum_matching(&mut ctx, &t, &opts).matching
+            };
+            let base = run(1);
+            for dim in 2..=3 {
+                assert_eq!(run(dim), base, "trial {trial} dim {dim} {semiring:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn auction_doc_eps_is_exact_for_integer_weights() {
+    use mcm_core::weighted::auction_mwm;
+    use mcm_sparse::WCsc;
+    // Brute force oracle.
+    fn brute(a: &WCsc) -> f64 {
+        fn go(a: &WCsc, c: usize, used: &mut Vec<bool>) -> f64 {
+            if c == a.ncols() {
+                return 0.0;
+            }
+            let mut best = go(a, c + 1, used);
+            let entries: Vec<(Vidx, f64)> = a.col_entries(c).collect();
+            for (r, w) in entries {
+                if !used[r as usize] {
+                    used[r as usize] = true;
+                    best = best.max(w + go(a, c + 1, used));
+                    used[r as usize] = false;
+                }
+            }
+            best
+        }
+        go(a, 0, &mut vec![false; a.nrows()])
+    }
+    let mut rng = SplitMix64::new(4242);
+    for trial in 0..300 {
+        let n1 = 2 + (rng.next_u64() % 5) as usize;
+        let n2 = 2 + (rng.next_u64() % 5) as usize;
+        let mut entries = Vec::new();
+        for _ in 0..2 * n1.max(n2) {
+            entries.push((
+                rng.below(n1 as u64) as Vidx,
+                rng.below(n2 as u64) as Vidx,
+                rng.below(20) as f64,
+            ));
+        }
+        let a = WCsc::from_weighted_triples(n1, n2, entries);
+        let want = brute(&a);
+        // The documented bound: eps < 1/(n+1) for exactness.
+        let n = n1.max(n2);
+        let eps = 0.999 / (n as f64 + 1.0);
+        let got = auction_mwm(&a, eps);
+        assert!(
+            (got.weight - want).abs() < 1e-9,
+            "trial {trial}: doc-eps auction {} vs brute {want}",
+            got.weight
+        );
+    }
+}

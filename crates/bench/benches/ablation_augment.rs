@@ -39,24 +39,19 @@ fn bench_augment(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("augment");
     for &k in &[256usize, 4096] {
-        for (name, mode) in [
-            ("level", AugmentMode::LevelParallel),
-            ("path", AugmentMode::PathParallel),
-        ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, k),
-                &k,
-                |b, &k| {
-                    b.iter_batched(
-                        || synthetic_paths(k, 4),
-                        |(path_c, parent_r, mut m)| {
-                            let mut ctx = DistCtx::new(MachineConfig::hybrid(8, 1));
-                            black_box(augment(&mut ctx, mode, &path_c, &parent_r, &mut m))
-                        },
-                        criterion::BatchSize::SmallInput,
-                    );
-                },
-            );
+        for (name, mode) in
+            [("level", AugmentMode::LevelParallel), ("path", AugmentMode::PathParallel)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter_batched(
+                    || synthetic_paths(k, 4),
+                    |(path_c, parent_r, mut m)| {
+                        let mut ctx = DistCtx::new(MachineConfig::hybrid(8, 1));
+                        black_box(augment(&mut ctx, mode, &path_c, &parent_r, &mut m))
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
         }
     }
     group.finish();

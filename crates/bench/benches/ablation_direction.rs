@@ -21,11 +21,7 @@ fn bench_direction(c: &mut Criterion) {
     for init in [Initializer::None, Initializer::DynamicMindegree] {
         for diropt in [false, true] {
             let mut ctx = DistCtx::new(MachineConfig::hybrid(4, 12));
-            let opts = McmOptions {
-                init,
-                direction_optimizing: diropt,
-                ..Default::default()
-            };
+            let opts = McmOptions { init, direction_optimizing: diropt, ..Default::default() };
             let r = maximum_matching(&mut ctx, &t, &opts);
             eprintln!(
                 "[ablation_direction] init={:<18} bottom_up={}: SpMV {:.3} ms \

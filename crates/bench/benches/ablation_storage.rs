@@ -24,8 +24,7 @@ fn bench_storage(c: &mut Criterion) {
             block.ncols(),
             (0..block.ncols()).step_by(8).map(|j| (j as Vidx, j as Vidx)).collect(),
         );
-        let csc_bytes = std::mem::size_of_val(csc.colptr())
-            + std::mem::size_of_val(csc.rowind());
+        let csc_bytes = std::mem::size_of_val(csc.colptr()) + std::mem::size_of_val(csc.rowind());
         eprintln!(
             "[ablation_storage] {grid}x{grid} grid block: {} nnz over {} cols \
              (hypersparse: {}), DCSC {} B vs CSC {} B",

@@ -60,10 +60,8 @@ fn bench_serial(c: &mut Criterion) {
     for (name, a) in &inputs {
         use mcm_sparse::permute::SplitMix64;
         let mut rng = SplitMix64::new(4);
-        let entries: Vec<(mcm_sparse::Vidx, mcm_sparse::Vidx, f64)> = a
-            .iter()
-            .map(|(i, j)| (i, j, 1.0 + rng.below(1000) as f64))
-            .collect();
+        let entries: Vec<(mcm_sparse::Vidx, mcm_sparse::Vidx, f64)> =
+            a.iter().map(|(i, j)| (i, j, 1.0 + rng.below(1000) as f64)).collect();
         let w = mcm_sparse::WCsc::from_weighted_triples(a.nrows(), a.ncols(), entries);
         let eps = 0.5 / (a.nrows().max(a.ncols()) as f64 + 1.0);
         group.bench_with_input(BenchmarkId::new("auction_mwm", name), &w, |b, w| {

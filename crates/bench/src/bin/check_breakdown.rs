@@ -6,7 +6,11 @@ fn main() {
         let s = mcm_gen::realistic::by_name(name).unwrap();
         let t = s.generate();
         let ws = standin_scale(&s, &t);
-        for cfg in [MachineConfig::hybrid(2, 6), MachineConfig::hybrid(9, 12), MachineConfig::hybrid(13, 12)] {
+        for cfg in [
+            MachineConfig::hybrid(2, 6),
+            MachineConfig::hybrid(9, 12),
+            MachineConfig::hybrid(13, 12),
+        ] {
             let out = run_mcm_scaled(cfg, &t, &McmOptions::default(), ws);
             println!(
                 "{:<20} ws {:>6.0} cores {:>5}: total {:>9.3} ms | SpMV {:>4.1}% Inv {:>4.1}% Prune {:>4.1}% Sel {:>4.1}% Aug {:>4.1}% Init {:>4.1}% Oth {:>4.1}% | iters {}",

@@ -7,8 +7,12 @@ fn main() {
         let out = run_mcm(MachineConfig::hybrid(4, 2), &t, &McmOptions::default());
         println!(
             "{:<22} init |M| {:>6}  final {:>6}  augmentations {:>6}  phases {:>3}  iters {:>5}",
-            s.name, out.stats.init_cardinality, out.cardinality, out.stats.augmentations,
-            out.stats.phases, out.stats.iterations
+            s.name,
+            out.stats.init_cardinality,
+            out.cardinality,
+            out.stats.augmentations,
+            out.stats.phases,
+            out.stats.iterations
         );
     }
 }

@@ -26,15 +26,7 @@ fn main() {
 
     let mut rep = Report::new(
         "fig3",
-        &[
-            "matrix",
-            "initializer",
-            "init |M|",
-            "final |M|",
-            "init(ms)",
-            "mcm(ms)",
-            "total(ms)",
-        ],
+        &["matrix", "initializer", "init |M|", "final |M|", "init(ms)", "mcm(ms)", "total(ms)"],
     );
     for s in representative4() {
         let t = s.generate();

@@ -46,6 +46,8 @@ fn main() {
         println!(
             "\nspeedup at 972 cores over 24 cores: mean {mean:.1}x, min {min:.1}x, max {max:.1}x"
         );
-        println!("paper reference at 972 cores: mean 9x, min 5x (amazon-2008), max 13x (delaunay_n24)");
+        println!(
+            "paper reference at 972 cores: mean 9x, min 5x (amazon-2008), max 13x (delaunay_n24)"
+        );
     }
 }

@@ -20,16 +20,10 @@ fn main() {
     );
 
     type ParamsFor = fn(u32) -> RmatParams;
-    let classes: [(&str, ParamsFor); 3] = [
-        ("ER", RmatParams::er),
-        ("G500", RmatParams::g500),
-        ("SSCA", RmatParams::ssca),
-    ];
+    let classes: [(&str, ParamsFor); 3] =
+        [("ER", RmatParams::er), ("G500", RmatParams::g500), ("SSCA", RmatParams::ssca)];
 
-    let mut rep = Report::new(
-        "fig6",
-        &["class", "scale", "cores", "modeled_ms", "speedup", "|M|"],
-    );
+    let mut rep = Report::new("fig6", &["class", "scale", "cores", "modeled_ms", "speedup", "|M|"]);
     for (name, params) in classes {
         for (scale, paper_scale) in [(small_scale, 26u32), (large_scale, 30u32)] {
             let t = rmat(params(scale), 20_160_000 + scale as u64);

@@ -13,10 +13,7 @@ use mcm_gen::table2;
 fn main() {
     // 1024 cores in the paper; closest hybrid square layout: 9x9x12 = 972.
     let cfg = MachineConfig::hybrid(9, 12);
-    println!(
-        "Fig. 8 — runtime reduction from pruning at {} cores\n",
-        cfg.cores()
-    );
+    println!("Fig. 8 — runtime reduction from pruning at {} cores\n", cfg.cores());
     let mut rep = Report::new(
         "fig8",
         &["matrix", "with_prune_ms", "no_prune_ms", "reduction_%", "iters_with", "iters_without"],

@@ -19,10 +19,7 @@ fn main() {
         "Fig. 9 — gather+scatter time of the centralized pipeline on {} ranks\n",
         p_dim * p_dim
     );
-    let mut rep = Report::new(
-        "fig9",
-        &["edges", "gather_s", "scatter_s", "total_s"],
-    );
+    let mut rep = Report::new("fig9", &["edges", "gather_s", "scatter_s", "total_s"]);
     for exp in 20..=33u32 {
         let m = 1u64 << exp; // 1M .. 8.6B edges
         let n = m / 16; // a typical average degree of 16 on each side

@@ -225,7 +225,7 @@ mod tests {
     fn invert_route_uses_bottleneck_volume() {
         let cost = CostModel { alpha: 0.0, alpha_soft: 0.0, beta: 1.0, gamma: 0.0 };
         let mut ctx = DistCtx::with_cost(MachineConfig::hybrid(2, 1), cost); // p = 4
-        // 4 entries, all destined to index 0 → recv bottleneck = 4 at rank 0.
+                                                                             // 4 entries, all destined to index 0 → recv bottleneck = 4 at rank 0.
         let x = SpVec::from_pairs(8, vec![(0, 0u32), (2, 0), (4, 0), (6, 0)]);
         ctx.charge_invert_route(Kernel::Invert, &x, 8, |&v| v);
         // send max = 1 per rank (entries spread: ranks own 2 idx each), recv max = 4

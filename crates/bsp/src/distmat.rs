@@ -7,17 +7,90 @@
 //! all-to-all of partial products along each process *row*).
 //!
 //! The simulator executes the same plan: the frontier is sliced per block
-//! column, each block runs the local semiring product
-//! ([`mcm_sparse::spmspv`]) — in parallel with rayon, standing in for both
-//! process-level and OpenMP parallelism — and each block row merges its
-//! partials with the semiring "addition". Communication is charged from the
-//! actual per-rank volumes.
+//! column, each block runs the local semiring product — threads from
+//! `mcm-par` stand in for both process-level and OpenMP parallelism — and
+//! each block row merges its partials with the semiring "addition".
+//! Communication is charged from the actual per-rank volumes.
+//!
+//! ## SpMSpV plans
+//!
+//! The MS-BFS hot loop calls the distributed product once per iteration per
+//! phase. A [`SpmvPlan`] keeps one
+//! [`SpmvWorkspace`](mcm_sparse::workspace::SpmvWorkspace) and one output
+//! [`SpVec`] per block, plus the per-block-column frontier-slice buffers, so
+//! every allocation made by the expand and local-multiply stages is reused
+//! across iterations: in steady state an iteration's SpMSpV performs no
+//! sparse-accumulator or slice allocation at all. [`DistMatrix::spmspv`]
+//! and [`DistMatrix::spmspv_monoid`] remain as one-shot wrappers that build
+//! a throwaway plan.
+//!
+//! Block-level and intra-block parallelism compose adaptively: with at
+//! least as many blocks as worker threads the blocks themselves run in
+//! parallel (serial kernel inside each); on small grids the blocks run in
+//! sequence and each product uses the chunked intra-block parallel kernel,
+//! whose output is bit-identical to the serial one.
 
 use crate::ctx::DistCtx;
 use crate::timers::Kernel;
 use mcm_sparse::triples::block_offsets;
+use mcm_sparse::workspace::{SpmvWorkspace, WorkspaceStats};
 use mcm_sparse::{Dcsc, SpVec, Triples, Vidx};
-use rayon::prelude::*;
+
+/// Per-block reusable state of a [`SpmvPlan`].
+#[derive(Debug)]
+struct PlanBlock<U> {
+    ws: SpmvWorkspace<U>,
+    out: SpVec<U>,
+}
+
+impl<U> PlanBlock<U> {
+    fn new() -> Self {
+        Self { ws: SpmvWorkspace::new(), out: SpVec::new(0) }
+    }
+}
+
+/// Reusable buffers for [`DistMatrix::spmspv_with_plan`] /
+/// [`DistMatrix::spmspv_monoid_with_plan`]: one SpMSpV workspace and output
+/// vector per grid block, plus the frontier-slice buffers of the expand
+/// phase. Create once, pass to every distributed product against matrices
+/// on the same grid — buffers grow to the high-water mark and are then
+/// reused, so steady-state iterations allocate nothing in the kernel layer.
+#[derive(Debug)]
+pub struct SpmvPlan<T, U> {
+    blocks: Vec<PlanBlock<U>>,
+    slices: Vec<SpVec<T>>,
+}
+
+impl<T, U> Default for SpmvPlan<T, U> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, U> SpmvPlan<T, U> {
+    /// An empty plan; buffers materialize on first use.
+    pub fn new() -> Self {
+        Self { blocks: Vec::new(), slices: Vec::new() }
+    }
+
+    fn ensure(&mut self, nblocks: usize, pc: usize) {
+        if self.blocks.len() < nblocks {
+            self.blocks.resize_with(nblocks, PlanBlock::new);
+        }
+        if self.slices.len() < pc {
+            self.slices.resize_with(pc, || SpVec::new(0));
+        }
+    }
+
+    /// Aggregated workspace reuse counters over all blocks.
+    pub fn stats(&self) -> WorkspaceStats {
+        let mut total = WorkspaceStats::default();
+        for b in &self.blocks {
+            total.merge(&b.ws.stats);
+        }
+        total
+    }
+}
 
 /// A sparse matrix distributed over a 2D process grid in DCSC blocks.
 ///
@@ -60,7 +133,9 @@ impl DistMatrix {
     /// Distributes `t` over an explicit `pr × pc` grid.
     pub fn with_grid(t: &Triples, pr: usize, pc: usize) -> Self {
         let parts = t.split_blocks(pr, pc);
-        let blocks: Vec<Dcsc> = parts.par_iter().map(Dcsc::from_triples).collect();
+        let blocks: Vec<Dcsc> = mcm_par::par_map_range(parts.len(), mcm_par::max_threads(), |i| {
+            Dcsc::from_triples(&parts[i])
+        });
         let nnz = blocks.iter().map(|b| b.nnz()).sum();
         Self {
             nrows: t.nrows(),
@@ -111,11 +186,34 @@ impl DistMatrix {
         h as f64 / self.blocks.len() as f64
     }
 
+    /// Expand phase: slices the frontier into the plan's per-block-column
+    /// buffers (reused across calls) and returns the modeled allgather
+    /// bottleneck volume.
+    fn expand_into_slices<T: Copy>(&self, xs: &[(Vidx, T)], slices: &mut [SpVec<T>]) -> u64 {
+        let mut expand_max = 0u64;
+        for bj in 0..self.pc {
+            let lo = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj]);
+            let hi = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj + 1]);
+            let off = self.col_off[bj] as Vidx;
+            expand_max = expand_max.max(2 * (hi - lo) as u64);
+            let slice = &mut slices[bj];
+            slice.reset(self.col_off[bj + 1] - self.col_off[bj]);
+            for &(j, v) in &xs[lo..hi] {
+                slice.push(j - off, v);
+            }
+        }
+        expand_max
+    }
+
     /// Distributed semiring SpMSpV: `y = A ⊗ x` where `x` is a sparse vector
     /// over the columns and `y` over the rows.
     ///
+    /// One-shot wrapper over [`DistMatrix::spmspv_with_plan`] with a
+    /// throwaway plan; iteration loops should hold their own [`SpmvPlan`].
+    ///
     /// * `mul(j, xj)` — semiring multiply, receives the **global** column
-    ///   index (BFS rewrites the parent to `j` here).
+    ///   index (BFS rewrites the parent to `j` here). Evaluated once per
+    ///   matched column; its value is cloned per traversed edge.
     /// * `take_incoming(acc, inc)` — semiring addition as a selection.
     ///
     /// Charges to `kernel`: expand allgather (bottleneck grid column), local
@@ -131,111 +229,129 @@ impl DistMatrix {
         take_incoming: impl Fn(&U, &U) -> bool + Sync,
     ) -> SpVec<U>
     where
-        T: Copy + Sync,
-        U: Send,
+        T: Copy + Send + Sync,
+        U: Clone + Send + Sync,
+    {
+        let mut plan = SpmvPlan::new();
+        self.spmspv_with_plan(ctx, kernel, &mut plan, x, mul, take_incoming)
+    }
+
+    /// [`DistMatrix::spmspv`] with caller-owned reusable buffers: the plan's
+    /// per-block workspaces, output vectors, and frontier slices persist
+    /// across calls, so repeated products (the MS-BFS iteration loop)
+    /// allocate nothing in the kernel layer once warm.
+    pub fn spmspv_with_plan<T, U>(
+        &self,
+        ctx: &mut DistCtx,
+        kernel: Kernel,
+        plan: &mut SpmvPlan<T, U>,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        take_incoming: impl Fn(&U, &U) -> bool + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Send + Sync,
+        U: Clone + Send + Sync,
     {
         assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
+        let nblocks = self.pr * self.pc;
+        plan.ensure(nblocks, self.pc);
+        let SpmvPlan { blocks: states, slices } = plan;
 
         // ---- Expand: slice the frontier per block column. ----------------
-        let xs = x.entries();
-        let mut slices: Vec<SpVec<T>> = Vec::with_capacity(self.pc);
-        let mut expand_max = 0u64;
-        for bj in 0..self.pc {
-            let lo = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj]);
-            let hi = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj + 1]);
-            let off = self.col_off[bj] as Vidx;
-            let local: Vec<(Vidx, T)> = xs[lo..hi].iter().map(|&(j, v)| (j - off, v)).collect();
-            expand_max = expand_max.max(2 * (hi - lo) as u64);
-            slices.push(SpVec::from_sorted_pairs(
-                self.col_off[bj + 1] - self.col_off[bj],
-                local,
-            ));
-        }
+        let expand_max = self.expand_into_slices(x.entries(), slices);
         ctx.charge_allgather(kernel, self.pr, expand_max);
 
-        // ---- Local multiply: every block in parallel. ---------------------
-        type Partial<U> = (mcm_sparse::spmv::SpmvOut<U>, usize, usize);
-        let partials: Vec<Partial<U>> = (0..self.pr * self.pc)
-            .into_par_iter()
-            .map(|b| {
-                let (bi, bj) = (b / self.pc, b % self.pc);
+        // ---- Local multiply: every block, reusing its workspace. ----------
+        // With enough blocks to occupy the machine, parallelize across
+        // blocks (serial kernel inside each). On small grids, run blocks in
+        // sequence and let each product use the intra-block chunked kernel —
+        // bit-identical output either way.
+        let workers = mcm_par::max_threads();
+        let slices = &*slices;
+        let flops_per_block: Vec<u64> = if nblocks >= workers {
+            mcm_par::par_for_each_mut(&mut states[..nblocks], workers, |b, st| {
+                let bj = b % self.pc;
                 let off = self.col_off[bj] as Vidx;
-                let out = mcm_sparse::spmspv(
+                st.ws.spmspv_into(
                     &self.blocks[b],
                     &slices[bj],
                     |lj, v| mul(lj + off, v),
                     |acc, inc| take_incoming(acc, inc),
-                );
-                (out, bi, bj)
+                    &mut st.out,
+                )
             })
-            .collect();
-        let max_flops = partials.iter().map(|(o, _, _)| o.flops).max().unwrap_or(0);
+        } else {
+            states[..nblocks]
+                .iter_mut()
+                .enumerate()
+                .map(|(b, st)| {
+                    let bj = b % self.pc;
+                    let off = self.col_off[bj] as Vidx;
+                    st.ws.spmspv_parallel_into(
+                        &self.blocks[b],
+                        &slices[bj],
+                        workers,
+                        |lj, v| mul(lj + off, v),
+                        |acc, inc| take_incoming(acc, inc),
+                        &mut st.out,
+                    )
+                })
+                .collect()
+        };
+        let max_flops = flops_per_block.iter().copied().max().unwrap_or(0);
         ctx.charge_compute(kernel, max_flops);
 
         // ---- Fold: merge partials along each block row. -------------------
-        // Group partials by block row, preserving ascending bj order so that
-        // a stable sort by row keeps per-row candidates in ascending global
-        // column order (matching serial semantics for order-sensitive
-        // combiners).
-        let mut by_row: Vec<Vec<SpVec<U>>> = (0..self.pr).map(|_| Vec::new()).collect();
-        for (out, bi, _bj) in partials {
-            by_row[bi].push(out.y);
-        }
-
+        // Per-row candidates must arrive in ascending global column order
+        // (matching serial semantics for order-sensitive combiners): extend
+        // in ascending bj order, then a stable by-row sort.
         struct FoldOut<U> {
             entries: Vec<(Vidx, U)>,
             max_send: u64,
             max_recv: u64,
         }
 
-        let folded: Vec<FoldOut<U>> = by_row
-            .into_par_iter()
-            .enumerate()
-            .map(|(bi, parts)| {
-                let block_rows = self.row_off[bi + 1] - self.row_off[bi];
-                let max_send = parts.iter().map(|p| 2 * p.nnz() as u64).max().unwrap_or(0);
-                let mut merged: Vec<(Vidx, U)> = Vec::new();
-                for part in parts {
-                    merged.extend(part.into_entries());
-                }
-                // Stable by-row sort keeps ascending-bj (hence ascending
-                // global column) arrival order per row.
-                merged.sort_by_key(|&(i, _)| i);
-                // Receiver volumes come from the PRE-merge partials: the
-                // wire carries every block's candidate, and the receiving
-                // rank folds duplicates only after they arrive.
-                let mut recv = vec![0u64; self.pc];
-                for &(i, _) in &merged {
-                    recv[crate::collectives::balanced_owner(
-                        block_rows.max(1),
-                        self.pc,
-                        i as usize,
-                    )] += 2;
-                }
-                let max_recv = recv.into_iter().max().unwrap_or(0);
-                let mut out: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
-                for (i, v) in merged {
-                    match out.last_mut() {
-                        Some((last, acc)) if *last == i => {
-                            if take_incoming(acc, &v) {
-                                *acc = v;
-                            }
+        let states = &states[..nblocks];
+        let folded: Vec<FoldOut<U>> = mcm_par::par_map_range(self.pr, workers, |bi| {
+            let parts = &states[bi * self.pc..(bi + 1) * self.pc];
+            let block_rows = self.row_off[bi + 1] - self.row_off[bi];
+            let max_send = parts.iter().map(|st| 2 * st.out.nnz() as u64).max().unwrap_or(0);
+            let mut merged: Vec<(Vidx, U)> =
+                Vec::with_capacity(parts.iter().map(|st| st.out.nnz()).sum());
+            for st in parts {
+                merged.extend(st.out.iter().map(|(i, v)| (i, v.clone())));
+            }
+            // Stable by-row sort keeps ascending-bj (hence ascending
+            // global column) arrival order per row.
+            merged.sort_by_key(|&(i, _)| i);
+            // Receiver volumes come from the PRE-merge partials: the
+            // wire carries every block's candidate, and the receiving
+            // rank folds duplicates only after they arrive.
+            let mut recv = vec![0u64; self.pc];
+            for &(i, _) in &merged {
+                recv[crate::collectives::balanced_owner(block_rows.max(1), self.pc, i as usize)] +=
+                    2;
+            }
+            let max_recv = recv.into_iter().max().unwrap_or(0);
+            let mut out: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
+            for (i, v) in merged {
+                match out.last_mut() {
+                    Some((last, acc)) if *last == i => {
+                        if take_incoming(acc, &v) {
+                            *acc = v;
                         }
-                        _ => out.push((i, v)),
                     }
+                    _ => out.push((i, v)),
                 }
-                // Globalize row indices.
-                let off = self.row_off[bi] as Vidx;
-                let entries = out.into_iter().map(|(i, v)| (i + off, v)).collect();
-                FoldOut { entries, max_send, max_recv }
-            })
-            .collect();
+            }
+            // Globalize row indices.
+            let off = self.row_off[bi] as Vidx;
+            let entries = out.into_iter().map(|(i, v)| (i + off, v)).collect();
+            FoldOut { entries, max_send, max_recv }
+        });
 
-        let fold_bottleneck = folded
-            .iter()
-            .map(|f| f.max_send.max(f.max_recv))
-            .max()
-            .unwrap_or(0);
+        let fold_bottleneck = folded.iter().map(|f| f.max_send.max(f.max_recv)).max().unwrap_or(0);
         ctx.charge_alltoallv(kernel, self.pc, fold_bottleneck);
 
         let mut entries = Vec::with_capacity(folded.iter().map(|f| f.entries.len()).sum());
@@ -244,6 +360,7 @@ impl DistMatrix {
         }
         SpVec::from_sorted_pairs(self.nrows, entries)
     }
+
     /// Bottom-up ("pull") frontier expansion — the direction-optimizing
     /// counterpart of [`DistMatrix::spmspv`], per the paper's §VII future
     /// work ("the bottom-up BFS in distributed memory", after Beamer's
@@ -310,9 +427,8 @@ impl DistMatrix {
             hits: Vec<(Vidx, U)>,
             flops: u64,
         }
-        let outs: Vec<BlockOut<U>> = (0..self.pr * self.pc)
-            .into_par_iter()
-            .map(|b| {
+        let outs: Vec<BlockOut<U>> =
+            mcm_par::par_map_range(self.pr * self.pc, mcm_par::max_threads(), |b| {
                 let (bi, bj) = (b / self.pc, b % self.pc);
                 let block = &self.blocks[b];
                 let col_lo = self.col_off[bj];
@@ -334,8 +450,7 @@ impl DistMatrix {
                     }
                 }
                 BlockOut { bi, hits, flops }
-            })
-            .collect();
+            });
         let max_flops = outs.iter().map(|o| o.flops).max().unwrap_or(0);
         ctx.charge_compute(kernel, max_flops);
 
@@ -369,7 +484,8 @@ impl DistMatrix {
     /// folds a candidate into the accumulator — must be commutative and
     /// associative, e.g. `+` for the counting semirings the maximal-matching
     /// initializers use for dynamic degree updates). Same communication plan
-    /// and charging as [`DistMatrix::spmspv`].
+    /// and charging as [`DistMatrix::spmspv`]; one-shot wrapper over
+    /// [`DistMatrix::spmspv_monoid_with_plan`].
     pub fn spmspv_monoid<T, U>(
         &self,
         ctx: &mut DistCtx,
@@ -379,83 +495,82 @@ impl DistMatrix {
         combine: impl Fn(&mut U, U) + Sync,
     ) -> SpVec<U>
     where
-        T: Copy + Sync,
-        U: Send,
+        T: Copy + Send + Sync,
+        U: Clone + Send + Sync,
+    {
+        let mut plan = SpmvPlan::new();
+        self.spmspv_monoid_with_plan(ctx, kernel, &mut plan, x, mul, combine)
+    }
+
+    /// [`DistMatrix::spmspv_monoid`] with caller-owned reusable buffers
+    /// (see [`DistMatrix::spmspv_with_plan`]).
+    pub fn spmspv_monoid_with_plan<T, U>(
+        &self,
+        ctx: &mut DistCtx,
+        kernel: Kernel,
+        plan: &mut SpmvPlan<T, U>,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        combine: impl Fn(&mut U, U) + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Send + Sync,
+        U: Clone + Send + Sync,
     {
         assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
+        let nblocks = self.pr * self.pc;
+        plan.ensure(nblocks, self.pc);
+        let SpmvPlan { blocks: states, slices } = plan;
 
-        let xs = x.entries();
-        let mut slices: Vec<SpVec<T>> = Vec::with_capacity(self.pc);
-        let mut expand_max = 0u64;
-        for bj in 0..self.pc {
-            let lo = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj]);
-            let hi = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj + 1]);
-            let off = self.col_off[bj] as Vidx;
-            let local: Vec<(Vidx, T)> = xs[lo..hi].iter().map(|&(j, v)| (j - off, v)).collect();
-            expand_max = expand_max.max(2 * (hi - lo) as u64);
-            slices.push(SpVec::from_sorted_pairs(
-                self.col_off[bj + 1] - self.col_off[bj],
-                local,
-            ));
-        }
+        let expand_max = self.expand_into_slices(x.entries(), slices);
         ctx.charge_allgather(kernel, self.pr, expand_max);
 
-        let partials: Vec<(mcm_sparse::spmv::SpmvOut<U>, usize)> = (0..self.pr * self.pc)
-            .into_par_iter()
-            .map(|b| {
-                let (bi, bj) = (b / self.pc, b % self.pc);
+        let workers = mcm_par::max_threads();
+        let slices = &*slices;
+        let flops_per_block: Vec<u64> =
+            mcm_par::par_for_each_mut(&mut states[..nblocks], workers, |b, st| {
+                let bj = b % self.pc;
                 let off = self.col_off[bj] as Vidx;
-                let out = mcm_sparse::spmspv_monoid(
+                st.ws.spmspv_monoid_into(
                     &self.blocks[b],
                     &slices[bj],
                     |lj, v| mul(lj + off, v),
                     |acc, inc| combine(acc, inc),
-                );
-                (out, bi)
-            })
-            .collect();
-        let max_flops = partials.iter().map(|(o, _)| o.flops).max().unwrap_or(0);
+                    &mut st.out,
+                )
+            });
+        let max_flops = flops_per_block.iter().copied().max().unwrap_or(0);
         ctx.charge_compute(kernel, max_flops);
 
-        let mut by_row: Vec<Vec<SpVec<U>>> = (0..self.pr).map(|_| Vec::new()).collect();
-        for (out, bi) in partials {
-            by_row[bi].push(out.y);
-        }
-
-        let folded: Vec<(Vec<(Vidx, U)>, u64)> = by_row
-            .into_par_iter()
-            .enumerate()
-            .map(|(bi, parts)| {
-                let block_rows = self.row_off[bi + 1] - self.row_off[bi];
-                let max_send = parts.iter().map(|p| 2 * p.nnz() as u64).max().unwrap_or(0);
-                let mut merged: Vec<(Vidx, U)> = Vec::new();
-                for part in parts {
-                    merged.extend(part.into_entries());
+        let states = &states[..nblocks];
+        let folded: Vec<(Vec<(Vidx, U)>, u64)> = mcm_par::par_map_range(self.pr, workers, |bi| {
+            let parts = &states[bi * self.pc..(bi + 1) * self.pc];
+            let block_rows = self.row_off[bi + 1] - self.row_off[bi];
+            let max_send = parts.iter().map(|st| 2 * st.out.nnz() as u64).max().unwrap_or(0);
+            let mut merged: Vec<(Vidx, U)> =
+                Vec::with_capacity(parts.iter().map(|st| st.out.nnz()).sum());
+            for st in parts {
+                merged.extend(st.out.iter().map(|(i, v)| (i, v.clone())));
+            }
+            merged.sort_by_key(|&(i, _)| i);
+            // Pre-merge receive volumes, as in `spmspv`'s fold.
+            let mut recv = vec![0u64; self.pc];
+            for &(i, _) in &merged {
+                recv[crate::collectives::balanced_owner(block_rows.max(1), self.pc, i as usize)] +=
+                    2;
+            }
+            let max_recv = recv.into_iter().max().unwrap_or(0);
+            let mut out: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
+            for (i, v) in merged {
+                match out.last_mut() {
+                    Some((last, acc)) if *last == i => combine(acc, v),
+                    _ => out.push((i, v)),
                 }
-                merged.sort_by_key(|&(i, _)| i);
-                // Pre-merge receive volumes, as in `spmspv`'s fold.
-                let mut recv = vec![0u64; self.pc];
-                for &(i, _) in &merged {
-                    recv[crate::collectives::balanced_owner(
-                        block_rows.max(1),
-                        self.pc,
-                        i as usize,
-                    )] += 2;
-                }
-                let max_recv = recv.into_iter().max().unwrap_or(0);
-                let mut out: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
-                for (i, v) in merged {
-                    match out.last_mut() {
-                        Some((last, acc)) if *last == i => combine(acc, v),
-                        _ => out.push((i, v)),
-                    }
-                }
-                let off = self.row_off[bi] as Vidx;
-                let entries: Vec<(Vidx, U)> =
-                    out.into_iter().map(|(i, v)| (i + off, v)).collect();
-                (entries, max_send.max(max_recv))
-            })
-            .collect();
+            }
+            let off = self.row_off[bi] as Vidx;
+            let entries: Vec<(Vidx, U)> = out.into_iter().map(|(i, v)| (i + off, v)).collect();
+            (entries, max_send.max(max_recv))
+        });
 
         let fold_bottleneck = folded.iter().map(|(_, s)| *s).max().unwrap_or(0);
         ctx.charge_alltoallv(kernel, self.pc, fold_bottleneck);
@@ -477,24 +592,11 @@ mod tests {
         Triples::from_edges(
             4,
             5,
-            vec![
-                (0, 0),
-                (0, 2),
-                (1, 0),
-                (1, 1),
-                (1, 3),
-                (2, 2),
-                (2, 4),
-                (3, 3),
-                (3, 4),
-            ],
+            vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
         )
     }
 
-    fn serial_reference(
-        t: &Triples,
-        x: &SpVec<(Vidx, Vidx)>,
-    ) -> SpVec<(Vidx, Vidx)> {
+    fn serial_reference(t: &Triples, x: &SpVec<(Vidx, Vidx)>) -> SpVec<(Vidx, Vidx)> {
         let a = Dcsc::from_triples(t);
         mcm_sparse::spmspv(&a, x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0).y
     }
@@ -507,11 +609,41 @@ mod tests {
         for dim in 1..=4 {
             let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
             let a = DistMatrix::from_triples(&ctx, &t);
-            let y = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| {
-                inc.0 < acc.0
-            });
+            let y =
+                a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0);
             assert_eq!(y, want, "grid {dim}x{dim}");
         }
+    }
+
+    #[test]
+    fn plan_reuse_matches_one_shot_across_iterations() {
+        // The same plan serves many products (different frontiers) with
+        // identical results, and its workspaces report steady-state reuse.
+        let t = fig2_triples();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let a = DistMatrix::from_triples(&ctx, &t);
+        let mut plan: SpmvPlan<(Vidx, Vidx), (Vidx, Vidx)> = SpmvPlan::new();
+        let frontiers = [
+            SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]),
+            SpVec::from_pairs(5, vec![(2, (2, 2))]),
+            SpVec::from_pairs(5, vec![(0, (0, 0)), (3, (3, 3))]),
+        ];
+        for x in &frontiers {
+            let via_plan = a.spmspv_with_plan(
+                &mut ctx,
+                Kernel::SpMV,
+                &mut plan,
+                x,
+                |j, &(_, r)| (j, r),
+                |acc, inc| inc.0 < acc.0,
+            );
+            let one_shot =
+                a.spmspv(&mut ctx, Kernel::SpMV, x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0);
+            assert_eq!(via_plan, one_shot);
+        }
+        let stats = plan.stats();
+        assert!(stats.calls >= 3);
+        assert!(stats.reuse_hits > 0, "later iterations must reuse warm buffers");
     }
 
     #[test]
@@ -563,9 +695,8 @@ mod tests {
         for dim in 1..=3 {
             let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
             let a = DistMatrix::from_triples(&ctx, &t);
-            let top = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| {
-                inc.0 < acc.0
-            });
+            let top =
+                a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0);
             let at = DistMatrix::from_triples(&ctx, &t.transposed());
             let candidates: Vec<Vidx> = (0..4).collect(); // all rows unvisited
             let bottom = at.bottom_up_spmspv(

@@ -4,8 +4,8 @@
 //! data without materializing message buffers. This module provides the
 //! ground truth it is validated against: `p` *actual ranks* (OS threads),
 //! each holding **only its own shard**, exchanging data through
-//! crossbeam channels with MPI-like collectives. Tests in this crate and in
-//! `tests/` run the same kernels on both backends and assert
+//! bounded std mpsc channels with MPI-like collectives. Tests in this crate
+//! and in `tests/` run the same kernels on both backends and assert
 //!
 //! 1. identical results, and
 //! 2. that the words each rank really sent/received match the volumes the
@@ -15,15 +15,15 @@
 //! collectives) — it is a correctness oracle for communication patterns,
 //! not a performance vehicle.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 /// Per-rank communicator: a full mesh of typed byte-free channels plus a
 /// sent-word counter.
 pub struct RankComm<T: Send> {
     rank: usize,
     p: usize,
-    /// `senders[dst]` delivers into `dst`'s `receivers[src]`.
-    senders: Vec<Sender<(usize, Vec<T>)>>,
+    /// `senders[dst]` delivers into `dst`'s inbox.
+    senders: Vec<SyncSender<(usize, Vec<T>)>>,
     receiver: Receiver<(usize, Vec<T>)>,
     /// Elements this rank pushed into the mesh (monotonic).
     sent_elems: u64,
@@ -52,9 +52,7 @@ impl<T: Send> RankComm<T> {
         if dst == self.rank {
             self.stash[dst] = Some(data);
         } else {
-            self.senders[dst]
-                .send((self.rank, data))
-                .expect("peer rank hung up");
+            self.senders[dst].send((self.rank, data)).expect("peer rank hung up");
         }
     }
 
@@ -88,11 +86,25 @@ impl<T: Send> RankComm<T> {
 
     /// Allgather over `group`: everyone contributes `mine`, everyone
     /// receives all contributions in group order.
+    ///
+    /// The self-copy moves `mine` instead of cloning it — `|group| - 1`
+    /// clones for the peers, none for this rank. The move still routes
+    /// through [`RankComm::send_to`], so `sent_elems` counts the self-send
+    /// exactly as the cost model does.
     pub fn allgatherv(&mut self, group: &[usize], mine: Vec<T>) -> Vec<Vec<T>>
     where
         T: Clone,
     {
-        let sends: Vec<Vec<T>> = group.iter().map(|_| mine.clone()).collect();
+        let self_pos = group
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("allgatherv group must contain the calling rank");
+        let mut sends: Vec<Vec<T>> = group
+            .iter()
+            .enumerate()
+            .map(|(k, _)| if k == self_pos { Vec::new() } else { mine.clone() })
+            .collect();
+        sends[self_pos] = mine;
         self.alltoallv(group, sends)
     }
 
@@ -138,17 +150,21 @@ where
     F: Fn(RankComm<T>) -> R + Sync,
 {
     assert!(p >= 1);
-    // Build the mesh: one MPMC-free inbox per rank, senders cloned per peer.
-    type Inbox<T> = (Sender<(usize, Vec<T>)>, Receiver<(usize, Vec<T>)>);
-    let mut inboxes: Vec<Inbox<T>> = (0..p).map(|_| bounded(2 * p + 4)).collect();
-    let all_senders: Vec<Sender<(usize, Vec<T>)>> =
-        inboxes.iter().map(|(s, _)| s.clone()).collect();
+    // Build the mesh: one inbox per rank. std mpsc receivers are not
+    // cloneable, so each rank's Receiver is *moved* into its thread while
+    // the SyncSender side is cloned per peer.
+    let mut senders: Vec<SyncSender<(usize, Vec<T>)>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Receiver<(usize, Vec<T>)>> = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = sync_channel(2 * p + 4);
+        senders.push(s);
+        receivers.push(r);
+    }
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (rank, inbox) in inboxes.iter().enumerate() {
-            let senders = all_senders.clone();
-            let receiver = inbox.1.clone();
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
                 let comm = RankComm {
@@ -162,8 +178,7 @@ where
                 f(comm)
             }));
         }
-        drop(all_senders);
-        inboxes.clear();
+        drop(senders);
         handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
     })
 }
@@ -217,6 +232,27 @@ mod tests {
     }
 
     #[test]
+    fn allgatherv_counts_self_send() {
+        // Regression for the self-copy optimization: `mine` is moved into
+        // the self slot instead of cloned, but sent_elems must still count
+        // all |group| copies (the cost model's allgather volume includes
+        // the local one).
+        let results = run_ranks::<u32, _, _>(3, |mut comm| {
+            let group: Vec<usize> = (0..3).collect();
+            let mine = vec![comm.rank() as u32; 5];
+            let gathered = comm.allgatherv(&group, mine);
+            (gathered, comm.sent_elems())
+        });
+        for (gathered, sent) in results {
+            assert_eq!(sent, 3 * 5);
+            assert_eq!(gathered.len(), 3);
+            for (src, msg) in gathered.into_iter().enumerate() {
+                assert_eq!(msg, vec![src as u32; 5]);
+            }
+        }
+    }
+
+    #[test]
     fn gather_collects_on_root() {
         let results = run_ranks::<u32, _, _>(3, |mut comm| {
             let group: Vec<usize> = (0..3).collect();
@@ -245,9 +281,7 @@ mod tests {
 
     #[test]
     fn single_rank_loopback() {
-        let results = run_ranks::<u8, _, _>(1, |mut comm| {
-            comm.alltoallv(&[0], vec![vec![42]])
-        });
+        let results = run_ranks::<u8, _, _>(1, |mut comm| comm.alltoallv(&[0], vec![vec![42]]));
         assert_eq!(results[0], vec![vec![42]]);
     }
 }

@@ -10,7 +10,7 @@
 //! 1. **Real data, simulated placement.** Matrices are physically split into
 //!    the same 2D blocks CombBLAS would use ([`DistMatrix`]), and every
 //!    kernel executes per-block exactly the local computation a real rank
-//!    would run (parallelized with rayon for wall-clock speed, standing in
+//!    would run (parallelized with mcm-par for wall-clock speed, standing in
 //!    for the paper's per-socket OpenMP threading). Results are bit-real, so
 //!    correctness of the matching algorithms is fully testable.
 //! 2. **α–β–γ cost model.** Every communication step charges modeled time
@@ -37,7 +37,7 @@ pub mod timers;
 pub use collectives::{balanced_owner, per_rank_counts};
 pub use cost::CostModel;
 pub use ctx::DistCtx;
-pub use distmat::DistMatrix;
+pub use distmat::{DistMatrix, SpmvPlan};
 pub use machine::{MachineConfig, ProcGrid};
 pub use rma::{RmaTally, RmaWindow};
 pub use timers::{Kernel, Timers};

@@ -56,7 +56,7 @@ impl ProcGrid {
 pub struct MachineConfig {
     /// Square process grid.
     pub grid: ProcGrid,
-    /// Threads per process (the paper's OpenMP threads; our rayon stand-in).
+    /// Threads per process (the paper's OpenMP threads; our mcm-par stand-in).
     pub threads_per_process: usize,
 }
 

@@ -71,7 +71,11 @@ pub struct RmaWindow<'a> {
 
 impl<'a> RmaWindow<'a> {
     /// Opens a window over `data`, charging calls into `tally`.
-    pub fn new(data: &'a mut mcm_sparse::DenseVec, tally: &'a mut RmaTally, cost: CostModel) -> Self {
+    pub fn new(
+        data: &'a mut mcm_sparse::DenseVec,
+        tally: &'a mut RmaTally,
+        cost: CostModel,
+    ) -> Self {
         Self { data, tally, cost }
     }
 
@@ -122,7 +126,6 @@ mod tests {
         let prev = win.fetch_and_put(0, 3, 9);
         assert_eq!(prev, 7);
         assert_eq!(win.get(1, 3), 9);
-        drop(win);
         assert_eq!(tally.total_ops(), 4);
         // Origins 0 and 1 issued two ops each: overlapped epochs.
         assert!((tally.elapsed() - 2.0).abs() < 1e-12);

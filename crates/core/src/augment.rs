@@ -137,8 +137,8 @@ fn path_parallel_augment(
     // the bottleneck rank issues (Σ levels)·3·work_scale / p calls. A
     // single path is a sequential dependency chain, so the epoch can never
     // beat 3·h·(α+β) for the longest path h.
-    let ops_bottleneck = (total_levels as f64 * 3.0 * ctx.work_scale / p as f64)
-        .max(3.0 * max_levels as f64);
+    let ops_bottleneck =
+        (total_levels as f64 * 3.0 * ctx.work_scale / p as f64).max(3.0 * max_levels as f64);
     ctx.timers.charge(Kernel::Augment, ops_bottleneck * ctx.cost.rma_op());
     max_levels
 }

@@ -39,10 +39,7 @@ impl Btf {
 
     /// Size of the largest diagonal block (the factorization bottleneck).
     pub fn max_block(&self) -> usize {
-        (0..self.num_blocks())
-            .map(|b| self.block_ptr[b + 1] - self.block_ptr[b])
-            .max()
-            .unwrap_or(0)
+        (0..self.num_blocks()).map(|b| self.block_ptr[b + 1] - self.block_ptr[b]).max().unwrap_or(0)
     }
 }
 
@@ -122,8 +119,7 @@ pub fn block_triangular_form(a: &Csc, m: &Matching) -> Btf {
             } else {
                 frames.pop();
                 if let Some(&(parent, _)) = frames.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[c as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[c as usize]);
                 }
                 if lowlink[c as usize] == index[c as usize] {
                     // c is an SCC root: pop the component.
@@ -145,8 +141,7 @@ pub fn block_triangular_form(a: &Csc, m: &Matching) -> Btf {
     // upper triangular wants sources first, so flip blocks and entries.
     col_order.reverse();
     let total = *block_ptr.last().unwrap();
-    let sizes: Vec<usize> =
-        block_ptr.windows(2).rev().map(|w| w[1] - w[0]).collect();
+    let sizes: Vec<usize> = block_ptr.windows(2).rev().map(|w| w[1] - w[0]).collect();
     let mut block_ptr = Vec::with_capacity(sizes.len() + 1);
     block_ptr.push(0);
     let mut acc = 0;
@@ -198,10 +193,7 @@ mod tests {
         // Every entry lies on or above the block diagonal.
         for (r, c) in a.iter() {
             let (br, bc) = (block_of[row_pos[r as usize]], block_of[col_pos[c as usize]]);
-            assert!(
-                br <= bc,
-                "entry ({r},{c}) falls below the block diagonal ({br} > {bc})"
-            );
+            assert!(br <= bc, "entry ({r},{c}) falls below the block diagonal ({br} > {bc})");
         }
     }
 

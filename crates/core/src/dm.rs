@@ -197,11 +197,7 @@ mod tests {
     fn mixed_blocks() {
         // Horizontal island (r0; c0, c1), square island (r1-c2), vertical
         // island (r2, r3; c3).
-        let t = Triples::from_edges(
-            4,
-            4,
-            vec![(0, 0), (0, 1), (1, 2), (2, 3), (3, 3)],
-        );
+        let t = Triples::from_edges(4, 4, vec![(0, 0), (0, 1), (1, 2), (2, 3), (3, 3)]);
         let (_, _, dm) = decompose(&t);
         assert_eq!(dm.row_block[0], DmBlock::Horizontal);
         assert_eq!(dm.row_block[1], DmBlock::Square);

@@ -19,10 +19,8 @@ pub fn greedy(ctx: &mut DistCtx, a: &DistMatrix) -> Matching {
 
     loop {
         // Frontier: all unmatched columns, proposing themselves.
-        let f_c = SpVec::from_sorted_pairs(
-            n2,
-            m.unmatched_cols().into_iter().map(|c| (c, c)).collect(),
-        );
+        let f_c =
+            SpVec::from_sorted_pairs(n2, m.unmatched_cols().into_iter().map(|c| (c, c)).collect());
         if f_c.is_empty() {
             break;
         }
@@ -61,11 +59,8 @@ mod tests {
 
     #[test]
     fn produces_maximal_matching() {
-        let t = Triples::from_edges(
-            4,
-            4,
-            vec![(0, 0), (0, 1), (1, 0), (2, 2), (3, 2), (3, 3), (1, 3)],
-        );
+        let t =
+            Triples::from_edges(4, 4, vec![(0, 0), (0, 1), (1, 0), (2, 2), (3, 2), (3, 3), (1, 3)]);
         for dim in 1..=3 {
             let m = run(&t, dim);
             assert!(is_maximal(&t.to_csc(), &m), "grid {dim}");

@@ -44,10 +44,8 @@ pub fn karp_sipser(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix, seed: u64
         round += 1;
         // Unmatched rows propose; the proposal key is a per-round hash so
         // the random fallback differs between rounds (deterministic in seed).
-        let f_r = SpVec::from_sorted_pairs(
-            n1,
-            m.unmatched_rows().into_iter().map(|r| (r, r)).collect(),
-        );
+        let f_r =
+            SpVec::from_sorted_pairs(n1, m.unmatched_rows().into_iter().map(|r| (r, r)).collect());
         if f_r.is_empty() {
             break;
         }

@@ -34,10 +34,7 @@ pub fn dynamic_mindegree(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix) -> 
         // Frontier: unmatched rows proposing with their current degree.
         let f_r = SpVec::from_sorted_pairs(
             n1,
-            m.unmatched_rows()
-                .into_iter()
-                .map(|r| (r, (r, deg_r[r as usize])))
-                .collect(),
+            m.unmatched_rows().into_iter().map(|r| (r, (r, deg_r[r as usize]))).collect(),
         );
         if f_r.is_empty() {
             break;

@@ -16,7 +16,7 @@ use crate::maximal::Initializer;
 use crate::primitives::{invert_by, prune, select, set_dense};
 use crate::semirings::SemiringKind;
 use crate::vertex::Vertex;
-use mcm_bsp::{DistCtx, DistMatrix, Kernel};
+use mcm_bsp::{DistCtx, DistMatrix, Kernel, SpmvPlan};
 use mcm_sparse::permute::{random_relabel, Permutation};
 use mcm_sparse::{DenseVec, SpVec, Triples, Vidx, NIL};
 
@@ -73,6 +73,15 @@ pub struct McmStats {
     pub bottom_up_iterations: usize,
     /// One report per phase that augmented.
     pub augment_reports: Vec<AugmentReport>,
+    /// Kernel calls served by the reused SpMSpV plan (all blocks).
+    pub spmv_workspace_calls: u64,
+    /// Plan calls that ran entirely on warm buffers (no allocation).
+    pub spmv_workspace_hits: u64,
+    /// Bytes of sparse-accumulator capacity reused instead of reallocated.
+    pub spmv_bytes_reused: u64,
+    /// Wall-clock nanoseconds of each top-down SpMSpV iteration (in order
+    /// across phases; bottom-up iterations are not included).
+    pub spmv_iteration_ns: Vec<u64>,
 }
 
 /// The result of [`maximum_matching`].
@@ -131,6 +140,10 @@ pub fn run_phases(
     let (n1, n2) = (a.nrows(), a.ncols());
     let mut parent_r = DenseVec::nil(n1); // π_r
     let mut path_c = DenseVec::nil(n2);
+    // One SpMSpV plan for the whole run: per-block workspaces and slice
+    // buffers warm up in the first iteration and are reused by every later
+    // iteration of every phase (zero kernel-layer allocation once warm).
+    let mut plan: SpmvPlan<Vertex, Vertex> = SpmvPlan::new();
 
     loop {
         stats.phases += 1;
@@ -154,9 +167,7 @@ pub fn run_phases(
             // Pull pays off only when a random probe is likely to hit the
             // frontier: require majority column coverage (misses cost a
             // full adjacency scan, so low-density pulls lose to push).
-            let bottom_up = opts.direction_optimizing
-                && at.is_some()
-                && 2 * f_c.nnz() > n2;
+            let bottom_up = opts.direction_optimizing && at.is_some() && 2 * f_c.nnz() > n2;
             let f_r_all = if bottom_up {
                 stats.bottom_up_iterations += 1;
                 // Densify the frontier (local streaming sweep)...
@@ -165,13 +176,9 @@ pub fn run_phases(
                     fmap[j as usize] = Some(v);
                 }
                 // ...and list the candidate rows: unvisited this phase.
-                let candidates: Vec<Vidx> = (0..n1 as Vidx)
-                    .filter(|&r| parent_r.get(r) == NIL)
-                    .collect();
-                ctx.charge_compute_stream(
-                    Kernel::Select,
-                    (n1 + n2) as u64 / ctx.p().max(1) as u64,
-                );
+                let candidates: Vec<Vidx> =
+                    (0..n1 as Vidx).filter(|&r| parent_r.get(r) == NIL).collect();
+                ctx.charge_compute_stream(Kernel::Select, (n1 + n2) as u64 / ctx.p().max(1) as u64);
                 at.expect("bottom_up requires at").bottom_up_spmspv(
                     ctx,
                     Kernel::SpMV,
@@ -182,13 +189,17 @@ pub fn run_phases(
                     |acc, inc| semiring.take_incoming(acc, inc),
                 )
             } else {
-                a.spmspv(
+                let t0 = std::time::Instant::now();
+                let f_r_all = a.spmspv_with_plan(
                     ctx,
                     Kernel::SpMV,
+                    &mut plan,
                     &f_c,
                     |j, v: &Vertex| Vertex::new(j, v.root),
                     |acc, inc| semiring.take_incoming(acc, inc),
-                )
+                );
+                stats.spmv_iteration_ns.push(t0.elapsed().as_nanos() as u64);
+                f_r_all
             };
             // Step 2: keep rows not yet visited in this phase.
             let f_r_new = select(ctx, Kernel::Select, &f_r_all, &parent_r, |p| p == NIL);
@@ -214,9 +225,7 @@ pub fn run_phases(
             // then INVERT to land on the mate columns.
             let stepped = SpVec::from_sorted_pairs(
                 n1,
-                f_r.iter()
-                    .map(|(i, v)| (i, Vertex::new(m.mate_r.get(i), v.root)))
-                    .collect(),
+                f_r.iter().map(|(i, v)| (i, Vertex::new(m.mate_r.get(i), v.root))).collect(),
             );
             ctx.charge_compute_stream(Kernel::Select, stepped.nnz() as u64);
             f_c = invert_by(
@@ -237,6 +246,11 @@ pub fn run_phases(
         stats.augmentations += report.paths;
         stats.augment_reports.push(report);
     }
+
+    let ws = plan.stats();
+    stats.spmv_workspace_calls += ws.calls;
+    stats.spmv_workspace_hits += ws.reuse_hits;
+    stats.spmv_bytes_reused += ws.bytes_reused;
 }
 
 /// Maps a matching computed on relabeled vertices back to original labels.
@@ -307,11 +321,7 @@ mod tests {
                 (2, SemiringKind::RandParent(5), true),
             ] {
                 let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
-                let opts = McmOptions {
-                    semiring,
-                    prune: prune_on,
-                    ..Default::default()
-                };
+                let opts = McmOptions { semiring, prune: prune_on, ..Default::default() };
                 let r = maximum_matching(&mut ctx, &t, &opts);
                 r.matching.validate(&t.to_csc()).unwrap();
                 assert_eq!(
@@ -343,8 +353,12 @@ mod tests {
     #[test]
     fn permutation_is_transparent() {
         let t = fig2();
-        let base = maximum_matching_serial(&t, &McmOptions { permute_seed: None, ..Default::default() });
-        let perm = maximum_matching_serial(&t, &McmOptions { permute_seed: Some(77), ..Default::default() });
+        let base =
+            maximum_matching_serial(&t, &McmOptions { permute_seed: None, ..Default::default() });
+        let perm = maximum_matching_serial(
+            &t,
+            &McmOptions { permute_seed: Some(77), ..Default::default() },
+        );
         assert_eq!(base.matching.cardinality(), perm.matching.cardinality());
         perm.matching.validate(&t.to_csc()).unwrap();
     }
@@ -366,18 +380,15 @@ mod tests {
     fn direction_optimizing_is_bit_identical_under_min_parent() {
         // Without an initializer the first frontier is every column, so the
         // bottom-up path actually triggers; the result must be identical.
-        for t in [
-            fig2(),
-            {
-                use mcm_sparse::permute::SplitMix64;
-                let mut rng = SplitMix64::new(404);
-                let mut t = Triples::new(40, 40);
-                for _ in 0..160 {
-                    t.push(rng.below(40) as Vidx, rng.below(40) as Vidx);
-                }
-                t
-            },
-        ] {
+        for t in [fig2(), {
+            use mcm_sparse::permute::SplitMix64;
+            let mut rng = SplitMix64::new(404);
+            let mut t = Triples::new(40, 40);
+            for _ in 0..160 {
+                t.push(rng.below(40) as Vidx, rng.below(40) as Vidx);
+            }
+            t
+        }] {
             let run = |diropt: bool| {
                 let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
                 let opts = McmOptions {
@@ -424,6 +435,23 @@ mod tests {
             run(true) < run(false),
             "bottom-up should lower modeled SpMV time on dense frontiers"
         );
+    }
+
+    #[test]
+    fn workspace_counters_report_steady_state_reuse() {
+        // Cold start (no initializer) forces many BFS iterations through the
+        // shared plan: everything after the first iteration must hit warm
+        // buffers, and each top-down iteration must record its wall time.
+        let t = fig2();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let opts = McmOptions { init: Initializer::None, ..Default::default() };
+        let r = maximum_matching(&mut ctx, &t, &opts);
+        let s = &r.stats;
+        assert!(s.spmv_workspace_calls > 0);
+        assert!(s.spmv_workspace_hits > 0, "later iterations must reuse buffers");
+        assert!(s.spmv_bytes_reused > 0);
+        assert!(!s.spmv_iteration_ns.is_empty());
+        assert!(s.spmv_iteration_ns.len() <= s.iterations);
     }
 
     #[test]

@@ -81,7 +81,12 @@ pub fn invert_by<T, U>(
 }
 
 /// `INVERT` for plain index-valued vectors: `z[x[i]] = i`.
-pub fn invert(ctx: &mut DistCtx, kernel: Kernel, x: &SpVec<Vidx>, result_len: usize) -> SpVec<Vidx> {
+pub fn invert(
+    ctx: &mut DistCtx,
+    kernel: Kernel,
+    x: &SpVec<Vidx>,
+    result_len: usize,
+) -> SpVec<Vidx> {
     invert_by(ctx, kernel, x, result_len, |&v| v, |i, _| i)
 }
 
@@ -126,10 +131,7 @@ trait MapIndexed {
 
 impl MapIndexed for SpVec<Vidx> {
     fn map_indexed(&self, y: &DenseVec) -> SpVec<Vidx> {
-        SpVec::from_sorted_pairs(
-            self.len(),
-            self.iter().map(|(i, _)| (i, y.get(i))).collect(),
-        )
+        SpVec::from_sorted_pairs(self.len(), self.iter().map(|(i, _)| (i, y.get(i))).collect())
     }
 }
 

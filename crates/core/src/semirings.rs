@@ -20,8 +20,7 @@ use crate::vertex::Vertex;
 use mcm_sparse::Vidx;
 
 /// Which `(select2nd, ⊕)` semiring MCM-DIST uses for frontier expansion.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum SemiringKind {
     /// Keep the minimum parent index.
     #[default]
@@ -31,7 +30,6 @@ pub enum SemiringKind {
     /// Keep the candidate whose hashed root is smallest (seeded).
     RandRoot(u64),
 }
-
 
 /// A strong 64-bit mix (SplitMix64 finalizer) for order-free tie-breaking.
 #[inline]
@@ -86,11 +84,8 @@ mod tests {
     fn selections_are_total_orders() {
         // For each semiring and any pair, exactly one of (take a→b, take b→a,
         // equal-key) holds — required for arrival-order independence.
-        for s in [
-            SemiringKind::MinParent,
-            SemiringKind::RandParent(42),
-            SemiringKind::RandRoot(42),
-        ] {
+        for s in [SemiringKind::MinParent, SemiringKind::RandParent(42), SemiringKind::RandRoot(42)]
+        {
             for pa in 0..6u32 {
                 for pb in 0..6u32 {
                     let a = Vertex::new(pa, pa + 10);
@@ -110,9 +105,8 @@ mod tests {
     fn rand_semirings_depend_on_seed() {
         let a = Vertex::new(0, 0);
         let b = Vertex::new(1, 1);
-        let picks: Vec<bool> = (0..32u64)
-            .map(|seed| SemiringKind::RandRoot(seed).take_incoming(&a, &b))
-            .collect();
+        let picks: Vec<bool> =
+            (0..32u64).map(|seed| SemiringKind::RandRoot(seed).take_incoming(&a, &b)).collect();
         assert!(picks.iter().any(|&x| x) && picks.iter().any(|&x| !x));
     }
 

@@ -36,12 +36,9 @@ mod tests {
 
     #[test]
     fn result_is_maximal() {
-        let a = Triples::from_edges(
-            4,
-            4,
-            vec![(0, 0), (0, 1), (1, 0), (2, 2), (3, 2), (3, 3), (1, 3)],
-        )
-        .to_csc();
+        let a =
+            Triples::from_edges(4, 4, vec![(0, 0), (0, 1), (1, 0), (2, 2), (3, 2), (3, 3), (1, 3)])
+                .to_csc();
         let m = greedy_serial(&a);
         m.validate(&a).unwrap();
         assert!(is_maximal(&a, &m));

@@ -86,7 +86,9 @@ fn dfs(a: &Csc, m: &mut Matching, dist: &mut [u32], row_used: &mut [bool], c: Vi
         let mate = m.mate_r.get(r);
         let advance = if mate == NIL {
             true
-        } else { dist[mate as usize] == dist[c as usize] + 1 && dfs(a, m, dist, row_used, mate) };
+        } else {
+            dist[mate as usize] == dist[c as usize] + 1 && dfs(a, m, dist, row_used, mate)
+        };
         if advance {
             row_used[r as usize] = true;
             m.mate_r.set(r, c);
@@ -132,9 +134,7 @@ mod tests {
     #[test]
     fn paper_fig2_graph_has_perfect_column_matching_deficiency() {
         // Fig 2: 4 rows, 5 columns, so at most 4 columns can be matched.
-        let edges = vec![
-            (0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4),
-        ];
+        let edges = vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)];
         assert_eq!(mcm(edges, 4, 5), 4);
     }
 

@@ -47,7 +47,17 @@ pub fn karp_sipser_serial(a: &Csc, seed: u64) -> Matching {
                 }
                 // Find the unique unmatched column neighbour.
                 if let Some(&c) = at.col(r as usize).iter().find(|&&c| !m.col_matched(c)) {
-                    do_match(&mut m, a, &at, r, c, &mut deg_r, &mut deg_c, &mut q1_rows, &mut q1_cols);
+                    do_match(
+                        &mut m,
+                        a,
+                        &at,
+                        r,
+                        c,
+                        &mut deg_r,
+                        &mut deg_c,
+                        &mut q1_rows,
+                        &mut q1_cols,
+                    );
                     progressed = true;
                 }
             }
@@ -56,7 +66,17 @@ pub fn karp_sipser_serial(a: &Csc, seed: u64) -> Matching {
                     continue;
                 }
                 if let Some(&r) = a.col(c as usize).iter().find(|&&r| !m.row_matched(r)) {
-                    do_match(&mut m, a, &at, r, c, &mut deg_r, &mut deg_c, &mut q1_rows, &mut q1_cols);
+                    do_match(
+                        &mut m,
+                        a,
+                        &at,
+                        r,
+                        c,
+                        &mut deg_r,
+                        &mut deg_c,
+                        &mut q1_rows,
+                        &mut q1_cols,
+                    );
                     progressed = true;
                 }
             }

@@ -45,11 +45,8 @@ pub fn ms_bfs_serial(a: &Csc, init: Option<Matching>) -> (Matching, MsBfsStats) 
         dead_root.fill(false);
 
         // Initial column frontier: unmatched columns, each its own root.
-        let mut frontier: Vec<(Vidx, Vidx)> = m
-            .unmatched_cols()
-            .into_iter()
-            .map(|c| (c, c))
-            .collect(); // (column, root)
+        let mut frontier: Vec<(Vidx, Vidx)> =
+            m.unmatched_cols().into_iter().map(|c| (c, c)).collect(); // (column, root)
         let mut found_any = false;
 
         while !frontier.is_empty() {
@@ -144,22 +141,14 @@ mod tests {
             let a = t.to_csc();
             let (m, _) = ms_bfs_serial(&a, None);
             m.validate(&a).unwrap();
-            assert_eq!(
-                m.cardinality(),
-                hopcroft_karp(&a, None).cardinality(),
-                "trial {trial}"
-            );
+            assert_eq!(m.cardinality(), hopcroft_karp(&a, None).cardinality(), "trial {trial}");
         }
     }
 
     #[test]
     fn warm_start_reduces_phases() {
-        let a = Triples::from_edges(
-            4,
-            4,
-            vec![(0, 0), (1, 1), (2, 2), (3, 3), (0, 1), (1, 2)],
-        )
-        .to_csc();
+        let a = Triples::from_edges(4, 4, vec![(0, 0), (1, 1), (2, 2), (3, 3), (0, 1), (1, 2)])
+            .to_csc();
         let mut init = Matching::empty(4, 4);
         for i in 0..4 {
             init.add(i, i);

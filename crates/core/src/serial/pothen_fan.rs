@@ -23,7 +23,7 @@ pub fn pothen_fan(a: &Csc, init: Option<Matching>) -> Matching {
     // original algorithm).
     let mut lookahead = vec![0usize; n2];
     let mut visited_row = vec![u32::MAX; n1]; // phase id when last visited
-    // Explicit DFS stack of (column, adjacency cursor).
+                                              // Explicit DFS stack of (column, adjacency cursor).
     let mut stack: Vec<(Vidx, usize)> = Vec::new();
 
     let mut phase: u32 = 0;
@@ -133,11 +133,7 @@ mod tests {
         check(vec![(0, 0), (0, 1), (1, 0)], 2, 2);
         check(vec![(0, 0), (0, 1)], 1, 2);
         check(vec![], 3, 4);
-        check(
-            vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
-            4,
-            5,
-        );
+        check(vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)], 4, 5);
     }
 
     #[test]
@@ -155,11 +151,7 @@ mod tests {
             let a = t.to_csc();
             let pf = pothen_fan(&a, None);
             pf.validate(&a).unwrap();
-            assert_eq!(
-                pf.cardinality(),
-                hopcroft_karp(&a, None).cardinality(),
-                "trial {trial}"
-            );
+            assert_eq!(pf.cardinality(), hopcroft_karp(&a, None).cardinality(), "trial {trial}");
         }
     }
 

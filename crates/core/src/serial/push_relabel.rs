@@ -92,11 +92,7 @@ mod tests {
     #[test]
     fn eviction_chain() {
         // A chain forcing repeated evictions: every column prefers row 0.
-        let t = Triples::from_edges(
-            3,
-            3,
-            vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)],
-        );
+        let t = Triples::from_edges(3, 3, vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]);
         check(&t);
         let a = t.to_csc();
         assert_eq!(push_relabel(&a).cardinality(), 3);
@@ -116,11 +112,7 @@ mod tests {
             let a = t.to_csc();
             let pr = push_relabel(&a);
             pr.validate(&a).unwrap();
-            assert_eq!(
-                pr.cardinality(),
-                hopcroft_karp(&a, None).cardinality(),
-                "trial {trial}"
-            );
+            assert_eq!(pr.cardinality(), hopcroft_karp(&a, None).cardinality(), "trial {trial}");
         }
     }
 

@@ -151,11 +151,7 @@ mod tests {
     fn sacrifices_cardinality_for_weight_when_profitable() {
         // Matching both columns forces total 1 + 1 = 2; matching only c0 to
         // r0 yields 10. MWM must prefer weight over cardinality.
-        let a = WCsc::from_weighted_triples(
-            1,
-            2,
-            vec![(0, 0, 10.0), (0, 1, 1.0)],
-        );
+        let a = WCsc::from_weighted_triples(1, 2, vec![(0, 0, 10.0), (0, 1, 1.0)]);
         let r = auction_mwm(&a, exact_eps(2));
         assert_eq!(r.weight, 10.0);
         assert_eq!(r.matching.cardinality(), 1);

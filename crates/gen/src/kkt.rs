@@ -22,7 +22,12 @@ use mcm_sparse::{Triples, Vidx};
 /// `n_constraints` Jacobian rows touching `nnz_per_constraint` Hessian
 /// columns each. The result is square of dimension `g³ + n_constraints` and
 /// structurally symmetric.
-pub fn kkt_stencil(g: usize, n_constraints: usize, nnz_per_constraint: usize, seed: u64) -> Triples {
+pub fn kkt_stencil(
+    g: usize,
+    n_constraints: usize,
+    nnz_per_constraint: usize,
+    seed: u64,
+) -> Triples {
     assert!(g >= 2 && nnz_per_constraint >= 1);
     let nh = g * g * g;
     let n = nh + n_constraints;
@@ -142,9 +147,7 @@ mod tests {
                     continue;
                 }
                 seen[r] = true;
-                if mate_r[r] == usize::MAX
-                    || try_kuhn(a, mate_r[r], seen, mate_c, mate_r)
-                {
+                if mate_r[r] == usize::MAX || try_kuhn(a, mate_r[r], seen, mate_c, mate_r) {
                     mate_r[r] = c;
                     mate_c[c] = r;
                     return true;

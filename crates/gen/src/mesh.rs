@@ -89,16 +89,10 @@ pub fn bubble_mesh(w: usize, h: usize, n_bubbles: usize, seed: u64) -> Triples {
     }
     let inside = |v: Vidx| {
         let (x, y) = ((v as usize % w) as i64, (v as usize / w) as i64);
-        bubbles
-            .iter()
-            .any(|&(cx, cy, r2)| (x - cx) * (x - cx) + (y - cy) * (y - cy) <= r2)
+        bubbles.iter().any(|&(cx, cy, r2)| (x - cx) * (x - cx) + (y - cy) * (y - cy) <= r2)
     };
-    let kept: Vec<(Vidx, Vidx)> = base
-        .entries()
-        .iter()
-        .copied()
-        .filter(|&(u, v)| !inside(u) && !inside(v))
-        .collect();
+    let kept: Vec<(Vidx, Vidx)> =
+        base.entries().iter().copied().filter(|&(u, v)| !inside(u) && !inside(v)).collect();
     Triples::from_edges(base.nrows(), base.ncols(), kept)
 }
 

@@ -10,7 +10,6 @@
 
 use mcm_sparse::permute::SplitMix64;
 use mcm_sparse::{Triples, Vidx};
-use rayon::prelude::*;
 
 /// RMAT quadrant probabilities plus size parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,10 +53,7 @@ impl RmatParams {
 
     fn validate(&self) {
         let sum = self.a + self.b + self.c + self.d;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "RMAT quadrant probabilities must sum to 1, got {sum}"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "RMAT quadrant probabilities must sum to 1, got {sum}");
         assert!(self.scale >= 1 && self.scale < 31, "scale must be in 1..31");
     }
 }
@@ -91,7 +87,7 @@ fn sample_edge(p: &RmatParams, rng: &mut SplitMix64) -> (Vidx, Vidx) {
 
 /// Generates an RMAT matrix: `edge_factor · 2^scale` samples, deduplicated.
 ///
-/// Sampling is embarrassingly parallel (rayon) with per-chunk SplitMix64
+/// Sampling is embarrassingly parallel (`mcm-par`) with per-chunk SplitMix64
 /// streams derived from `seed`, so the result is deterministic regardless of
 /// thread count.
 ///
@@ -110,14 +106,15 @@ pub fn rmat(p: RmatParams, seed: u64) -> Triples {
     let m = p.edge_factor * n;
     const CHUNK: usize = 1 << 16;
     let chunks = m.div_ceil(CHUNK);
-    let edges: Vec<(Vidx, Vidx)> = (0..chunks)
-        .into_par_iter()
-        .flat_map_iter(|chunk| {
-            let mut rng = SplitMix64::new(seed ^ (0x9E37_79B9 + chunk as u64).wrapping_mul(0xABCD_EF12_3456_789B));
+    let per_chunk: Vec<Vec<(Vidx, Vidx)>> =
+        mcm_par::par_map_range(chunks, mcm_par::max_threads(), |chunk| {
+            let mut rng = SplitMix64::new(
+                seed ^ (0x9E37_79B9 + chunk as u64).wrapping_mul(0xABCD_EF12_3456_789B),
+            );
             let count = CHUNK.min(m - chunk * CHUNK);
-            (0..count).map(move |_| sample_edge(&p, &mut rng)).collect::<Vec<_>>()
-        })
-        .collect();
+            (0..count).map(|_| sample_edge(&p, &mut rng)).collect::<Vec<_>>()
+        });
+    let edges: Vec<(Vidx, Vidx)> = per_chunk.into_iter().flatten().collect();
     let mut t = Triples::from_edges(n, n, edges);
     t.sort_dedup();
     t
@@ -153,10 +150,7 @@ mod tests {
         let e = rmat(RmatParams::er(11), 7);
         let gs = DegreeHistogram::skew(&g.to_csc().row_degrees());
         let es = DegreeHistogram::skew(&e.to_csc().row_degrees());
-        assert!(
-            gs > 2.0 * es,
-            "expected G500 skew ({gs:.1}) well above ER skew ({es:.1})"
-        );
+        assert!(gs > 2.0 * es, "expected G500 skew ({gs:.1}) well above ER skew ({es:.1})");
     }
 
     #[test]

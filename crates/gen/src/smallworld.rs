@@ -19,11 +19,8 @@ pub fn watts_strogatz(n: usize, k: usize, p_rewire: f64, seed: u64) -> Triples {
     let mut t = Triples::with_capacity(n, n, 2 * n * k);
     for u in 0..n {
         for d in 1..=k {
-            let v = if rng.next_f64() < p_rewire {
-                rng.below(n as u64) as usize
-            } else {
-                (u + d) % n
-            };
+            let v =
+                if rng.next_f64() < p_rewire { rng.below(n as u64) as usize } else { (u + d) % n };
             if v != u {
                 t.push(u as Vidx, v as Vidx);
                 t.push(v as Vidx, u as Vidx);

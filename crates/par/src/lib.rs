@@ -1,0 +1,147 @@
+//! # mcm-par — minimal deterministic data parallelism
+//!
+//! A tiny replacement for the slice of rayon this workspace actually uses:
+//! parallel maps over index ranges and mutable slices, built on
+//! `std::thread::scope` so it needs no external crates, no global pool, and
+//! no `'static` bounds. Results always come back in input order, so callers
+//! stay deterministic regardless of the worker count.
+//!
+//! The intended altitude is coarse tasks (one DCSC block, one generator
+//! chunk): spawning an OS thread costs microseconds, so callers should hand
+//! over work that dwarfs that, and fall back to the inline path (`threads <=
+//! 1`) for tiny inputs.
+
+/// Number of hardware threads available to this process (≥ 1).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n` on up to `threads` OS threads and
+/// returns the results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so unevenly sized
+/// tasks balance across workers. `threads <= 1` or `n <= 1` runs inline
+/// with no thread spawn.
+///
+/// # Example
+///
+/// ```
+/// let squares = mcm_par::par_map_range(8, mcm_par::max_threads(), |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map_range<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut got: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        got.push((i, f(i)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<(usize, R)> = Vec::with_capacity(n);
+        for h in handles {
+            all.extend(h.join().expect("mcm-par worker panicked"));
+        }
+        all.sort_unstable_by_key(|&(i, _)| i);
+        all.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+/// Runs `f(index, &mut item)` for every item of `items` in parallel on up to
+/// `threads` OS threads, returning the per-item results in item order.
+///
+/// Items are split into contiguous runs, one per worker, so each item is
+/// touched by exactly one thread (this is what lets callers keep one
+/// *mutable* workspace per item). Inline when `threads <= 1` or there are
+/// fewer than two items.
+pub fn par_for_each_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let run = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(run)
+            .enumerate()
+            .map(|(w, chunk)| {
+                let f = &f;
+                scope.spawn(move || {
+                    chunk.iter_mut().enumerate().map(|(k, t)| f(w * run + k, t)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("mcm-par worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_range_preserves_order() {
+        for threads in [1, 2, 7] {
+            let got = par_map_range(100, threads, |i| 3 * i);
+            assert_eq!(got, (0..100).map(|i| 3 * i).collect::<Vec<_>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn map_range_handles_edges() {
+        assert!(par_map_range(0, 4, |i| i).is_empty());
+        assert_eq!(par_map_range(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for threads in [1, 3, 16] {
+            let mut items: Vec<u32> = vec![0; 37];
+            let idx = par_for_each_mut(&mut items, threads, |i, slot| {
+                *slot += 1;
+                i
+            });
+            assert!(items.iter().all(|&v| v == 1), "threads {threads}");
+            assert_eq!(idx, (0..37).collect::<Vec<_>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Dynamic scheduling: a single huge task must not serialize the rest.
+        let got = par_map_range(16, 4, |i| {
+            let spin = if i == 0 { 200_000 } else { 10 };
+            (0..spin).fold(i as u64, |a, b| a.wrapping_add(b))
+        });
+        assert_eq!(got.len(), 16);
+    }
+}

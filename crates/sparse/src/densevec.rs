@@ -80,11 +80,7 @@ impl DenseVec {
     /// Indices of the `NIL` entries (e.g. the unmatched column vertices
     /// seeding a phase of Algorithm 2).
     pub fn nil_indices(&self) -> Vec<Vidx> {
-        self.data
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &v)| (v == NIL).then_some(i as Vidx))
-            .collect()
+        self.data.iter().enumerate().filter_map(|(i, &v)| (v == NIL).then_some(i as Vidx)).collect()
     }
 
     /// The paper's `SET(y, x)` for a dense target: `y[i] ← x[i]` for every

@@ -49,11 +49,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 /// dropped, as the format mandates they are absent). Values are discarded.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<Triples, MmError> {
     let (nrows, ncols, entries) = parse_mm(reader)?;
-    Ok(Triples::from_edges(
-        nrows,
-        ncols,
-        entries.into_iter().map(|(i, j, _)| (i, j)).collect(),
-    ))
+    Ok(Triples::from_edges(nrows, ncols, entries.into_iter().map(|(i, j, _)| (i, j)).collect()))
 }
 
 /// Reads a Matrix Market `coordinate` file *with values* into a
@@ -70,14 +66,15 @@ pub fn read_matrix_market_weighted_file(path: impl AsRef<Path>) -> Result<crate:
     read_matrix_market_weighted(std::fs::File::open(path)?)
 }
 
+/// Parsed Matrix Market body: dimensions plus 0-based weighted entries.
+type MmBody = (usize, usize, Vec<(Vidx, Vidx, f64)>);
+
 /// The shared parser: dimensions plus 0-based `(row, col, value)` entries
 /// with symmetry already expanded.
-fn parse_mm<R: Read>(reader: R) -> Result<(usize, usize, Vec<(Vidx, Vidx, f64)>), MmError> {
+fn parse_mm<R: Read>(reader: R) -> Result<MmBody, MmError> {
     let mut lines = BufReader::new(reader).lines();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let head_l = header.to_ascii_lowercase();
     let fields: Vec<&str> = head_l.split_whitespace().collect();
     if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
@@ -108,18 +105,12 @@ fn parse_mm<R: Read>(reader: R) -> Result<(usize, usize, Vec<(Vidx, Vidx, f64)>)
     }
     let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
     let mut it = size_line.split_whitespace();
-    let nrows: usize = it
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad size line"))?;
-    let ncols: usize = it
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad size line"))?;
-    let declared_nnz: usize = it
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad size line"))?;
+    let nrows: usize =
+        it.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad size line"))?;
+    let ncols: usize =
+        it.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad size line"))?;
+    let declared_nnz: usize =
+        it.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad size line"))?;
 
     assert!(
         nrows < Vidx::MAX as usize && ncols < Vidx::MAX as usize,

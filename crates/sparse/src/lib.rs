@@ -31,6 +31,7 @@ pub mod spvec;
 pub mod stats;
 pub mod triples;
 pub mod wcsc;
+pub mod workspace;
 
 pub use csc::Csc;
 pub use dcsc::Dcsc;
@@ -40,6 +41,7 @@ pub use spmv::{spmspv, spmspv_csc, spmspv_monoid, spmv_dense};
 pub use spvec::SpVec;
 pub use triples::Triples;
 pub use wcsc::WCsc;
+pub use workspace::{SpmvWorkspace, WorkspaceStats};
 
 /// Vertex/column index type.
 ///

@@ -139,11 +139,7 @@ impl Permutation {
 pub fn permute_triples(t: &Triples, rowp: &Permutation, colp: &Permutation) -> Triples {
     assert_eq!(rowp.len(), t.nrows());
     assert_eq!(colp.len(), t.ncols());
-    let edges = t
-        .entries()
-        .iter()
-        .map(|&(i, j)| (rowp.apply(i), colp.apply(j)))
-        .collect();
+    let edges = t.entries().iter().map(|&(i, j)| (rowp.apply(i), colp.apply(j))).collect();
     Triples::from_edges(t.nrows(), t.ncols(), edges)
 }
 

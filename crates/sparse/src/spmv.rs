@@ -8,7 +8,20 @@
 //!
 //! All kernels report the number of traversed edges (`flops`) so the cost
 //! model can charge `γ · flops / t` of modeled compute per rank.
+//!
+//! The functions here are convenience wrappers that allocate a fresh
+//! [`SpmvWorkspace`](crate::workspace::SpmvWorkspace) and output vector per
+//! call. Hot paths (the per-block, per-iteration products inside
+//! `mcm-bsp::distmat`) should hold a workspace and call its `*_into`
+//! methods instead, which reuse the sparse accumulator and output
+//! allocations across calls — see [`crate::workspace`] for the
+//! generation-stamped SPA design and the intra-block parallel variant.
+//!
+//! The semiring multiply `mul(j, xj)` depends only on the column, so all
+//! kernels evaluate it once per matched column and clone the value per
+//! traversed edge (hence the `U: Clone` bound).
 
+use crate::workspace::SpmvWorkspace;
 use crate::{Csc, Dcsc, SpVec, Vidx};
 
 /// Result of a local SpMSpV: the output sparse vector plus the number of
@@ -50,146 +63,48 @@ pub struct SpmvOut<U> {
 /// assert_eq!(out.y.entries(), &[(0, 0), (1, 1)]);
 /// assert_eq!(out.flops, 3); // edges traversed
 /// ```
-pub fn spmspv<T, U>(
+pub fn spmspv<T, U: Clone>(
     a: &Dcsc,
     x: &SpVec<T>,
-    mut mul: impl FnMut(Vidx, &T) -> U,
-    mut take_incoming: impl FnMut(&U, &U) -> bool,
+    mul: impl FnMut(Vidx, &T) -> U,
+    take_incoming: impl FnMut(&U, &U) -> bool,
 ) -> SpmvOut<U> {
-    let mut spa: Vec<Option<U>> = Vec::new();
-    spa.resize_with(a.nrows(), || None);
-    let mut touched: Vec<Vidx> = Vec::new();
-    let mut flops = 0u64;
-
-    // Merge-join x.entries() (sorted by index) with a.nonzero_cols() (sorted).
-    let cols = a.nonzero_cols();
-    let xs = x.entries();
-    let (mut p, mut q) = (0usize, 0usize);
-    while p < xs.len() && q < cols.len() {
-        let (j, xj) = (&xs[p].0, &xs[p].1);
-        match cols[q].cmp(j) {
-            std::cmp::Ordering::Less => q += 1,
-            std::cmp::Ordering::Greater => p += 1,
-            std::cmp::Ordering::Equal => {
-                let (rows, _) = a.nth_col(q);
-                for &i in rows {
-                    flops += 1;
-                    let cand = mul(*j, xj);
-                    match &mut spa[i as usize] {
-                        slot @ None => {
-                            *slot = Some(cand);
-                            touched.push(i);
-                        }
-                        Some(acc) => {
-                            if take_incoming(acc, &cand) {
-                                *acc = cand;
-                            }
-                        }
-                    }
-                }
-                p += 1;
-                q += 1;
-            }
-        }
-    }
-
-    touched.sort_unstable();
-    let entries = touched
-        .into_iter()
-        .map(|i| (i, spa[i as usize].take().expect("touched row must be set")))
-        .collect();
-    SpmvOut { y: SpVec::from_sorted_pairs(a.nrows(), entries), flops }
+    let mut ws = SpmvWorkspace::new();
+    let mut y = SpVec::new(a.nrows());
+    let flops = ws.spmspv_into(a, x, mul, take_incoming, &mut y);
+    SpmvOut { y, flops }
 }
 
 /// Local SpMSpV over a CSC matrix (same contract as [`spmspv`]).
 ///
 /// Used by the CSC arm of the storage ablation; direct column indexing
 /// replaces the merge-join.
-pub fn spmspv_csc<T, U>(
+pub fn spmspv_csc<T, U: Clone>(
     a: &Csc,
     x: &SpVec<T>,
-    mut mul: impl FnMut(Vidx, &T) -> U,
-    mut take_incoming: impl FnMut(&U, &U) -> bool,
+    mul: impl FnMut(Vidx, &T) -> U,
+    take_incoming: impl FnMut(&U, &U) -> bool,
 ) -> SpmvOut<U> {
-    let mut spa: Vec<Option<U>> = Vec::new();
-    spa.resize_with(a.nrows(), || None);
-    let mut touched: Vec<Vidx> = Vec::new();
-    let mut flops = 0u64;
-
-    for (j, xj) in x.iter() {
-        for &i in a.col(j as usize) {
-            flops += 1;
-            let cand = mul(j, xj);
-            match &mut spa[i as usize] {
-                slot @ None => {
-                    *slot = Some(cand);
-                    touched.push(i);
-                }
-                Some(acc) => {
-                    if take_incoming(acc, &cand) {
-                        *acc = cand;
-                    }
-                }
-            }
-        }
-    }
-
-    touched.sort_unstable();
-    let entries = touched
-        .into_iter()
-        .map(|i| (i, spa[i as usize].take().expect("touched row must be set")))
-        .collect();
-    SpmvOut { y: SpVec::from_sorted_pairs(a.nrows(), entries), flops }
+    let mut ws = SpmvWorkspace::new();
+    let mut y = SpVec::new(a.nrows());
+    let flops = ws.spmspv_csc_into(a, x, mul, take_incoming, &mut y);
+    SpmvOut { y, flops }
 }
 
 /// Local SpMSpV over a general *monoid* "addition": `combine(&mut acc, inc)`
 /// folds every candidate into the accumulator (e.g. `+` for counting
 /// semirings). Must be commutative and associative — the distributed fold
 /// combines partials from different blocks in unspecified order.
-pub fn spmspv_monoid<T, U>(
+pub fn spmspv_monoid<T, U: Clone>(
     a: &Dcsc,
     x: &SpVec<T>,
-    mut mul: impl FnMut(Vidx, &T) -> U,
-    mut combine: impl FnMut(&mut U, U),
+    mul: impl FnMut(Vidx, &T) -> U,
+    combine: impl FnMut(&mut U, U),
 ) -> SpmvOut<U> {
-    let mut spa: Vec<Option<U>> = Vec::new();
-    spa.resize_with(a.nrows(), || None);
-    let mut touched: Vec<Vidx> = Vec::new();
-    let mut flops = 0u64;
-
-    let cols = a.nonzero_cols();
-    let xs = x.entries();
-    let (mut p, mut q) = (0usize, 0usize);
-    while p < xs.len() && q < cols.len() {
-        let (j, xj) = (&xs[p].0, &xs[p].1);
-        match cols[q].cmp(j) {
-            std::cmp::Ordering::Less => q += 1,
-            std::cmp::Ordering::Greater => p += 1,
-            std::cmp::Ordering::Equal => {
-                let (rows, _) = a.nth_col(q);
-                for &i in rows {
-                    flops += 1;
-                    let cand = mul(*j, xj);
-                    match &mut spa[i as usize] {
-                        slot @ None => {
-                            *slot = Some(cand);
-                            touched.push(i);
-                        }
-                        Some(acc) => combine(acc, cand),
-                    }
-                }
-                p += 1;
-                q += 1;
-            }
-        }
-    }
-
-    touched.sort_unstable();
-    let entries = touched
-        .into_iter()
-        .map(|i| (i, spa[i as usize].take().expect("touched row must be set")))
-        .collect();
-    SpmvOut { y: SpVec::from_sorted_pairs(a.nrows(), entries), flops }
+    let mut ws = SpmvWorkspace::new();
+    let mut y = SpVec::new(a.nrows());
+    let flops = ws.spmspv_monoid_into(a, x, mul, combine, &mut y);
+    SpmvOut { y, flops }
 }
 
 /// Dense-vector SpMV over an additive monoid: `y[i] = ⊕_j A(i,j) ⊗ x[j]`,
@@ -231,17 +146,7 @@ mod tests {
         Dcsc::from_triples(&Triples::from_edges(
             4,
             5,
-            vec![
-                (0, 0),
-                (0, 2),
-                (1, 0),
-                (1, 1),
-                (1, 3),
-                (2, 2),
-                (2, 4),
-                (3, 3),
-                (3, 4),
-            ],
+            vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
         ))
     }
 
@@ -251,18 +156,11 @@ mod tests {
         // (parent=self, root=self); semiring (select2nd, minParent).
         let a = fig2_matrix();
         let x = SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]);
-        let out = spmspv(
-            &a,
-            &x,
-            |j, &(_, root)| (j, root),
-            |acc: &(Vidx, Vidx), inc| inc.0 < acc.0,
-        );
+        let out =
+            spmspv(&a, &x, |j, &(_, root)| (j, root), |acc: &(Vidx, Vidx), inc| inc.0 < acc.0);
         // r1 reached from c1 only → (0,0); r2 from c1 and c2, minParent keeps c1;
         // r3 from c5 → (4,4); r4 from c5 → (4,4).
-        assert_eq!(
-            out.y.entries(),
-            &[(0, (0, 0)), (1, (0, 0)), (2, (4, 4)), (3, (4, 4))]
-        );
+        assert_eq!(out.y.entries(), &[(0, (0, 0)), (1, (0, 0)), (2, (4, 4)), (3, (4, 4))]);
         // flops = deg(c1) + deg(c2) + deg(c5) = 2 + 1 + 2 = 5.
         assert_eq!(out.flops, 5);
     }

@@ -28,7 +28,10 @@ impl<T> SpVec<T> {
     /// Debug-panics when the invariant does not hold or an index is out of
     /// bounds.
     pub fn from_sorted_pairs(len: usize, entries: Vec<(Vidx, T)>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "indices must be strictly increasing");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "indices must be strictly increasing"
+        );
         debug_assert!(entries.last().is_none_or(|&(i, _)| (i as usize) < len));
         Self { len, entries }
     }
@@ -81,10 +84,7 @@ impl<T> SpVec<T> {
 
     /// The value at index `i`, if explicitly stored. O(log nnz).
     pub fn get(&self, i: Vidx) -> Option<&T> {
-        self.entries
-            .binary_search_by_key(&i, |&(idx, _)| idx)
-            .ok()
-            .map(|k| &self.entries[k].1)
+        self.entries.binary_search_by_key(&i, |&(idx, _)| idx).ok().map(|k| &self.entries[k].1)
     }
 
     /// The paper's `IND(x)`: indices of the explicit entries.
@@ -99,10 +99,7 @@ impl<T> SpVec<T> {
 
     /// Maps values, preserving indices.
     pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> SpVec<U> {
-        SpVec {
-            len: self.len,
-            entries: self.entries.iter().map(|(i, v)| (*i, f(v))).collect(),
-        }
+        SpVec { len: self.len, entries: self.entries.iter().map(|(i, v)| (*i, f(v))).collect() }
     }
 
     /// Keeps only entries whose `(index, value)` satisfies `pred`.
@@ -112,12 +109,7 @@ impl<T> SpVec<T> {
     {
         SpVec {
             len: self.len,
-            entries: self
-                .entries
-                .iter()
-                .filter(|(i, v)| pred(*i, v))
-                .cloned()
-                .collect(),
+            entries: self.entries.iter().filter(|(i, v)| pred(*i, v)).cloned().collect(),
         }
     }
 
@@ -135,6 +127,29 @@ impl<T> SpVec<T> {
     /// Removes all entries, keeping the logical length.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Clears the entries and sets a new logical length, **keeping the
+    /// entry allocation** — the reuse primitive of the `spmspv_into`
+    /// workspace kernels (`crate::workspace`).
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.entries.clear();
+    }
+
+    /// Capacity of the underlying entry buffer. Exposed so steady-state
+    /// reuse can be asserted (a workspace kernel must not grow this once
+    /// warm).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    /// Pointer identity of the entry buffer (allocation-stability checks in
+    /// the zero-allocation regression tests).
+    #[inline]
+    pub fn as_entries_ptr(&self) -> *const (Vidx, T) {
+        self.entries.as_ptr()
     }
 }
 

@@ -262,11 +262,7 @@ mod tests {
 
     #[test]
     fn split_blocks_partitions_all_entries() {
-        let t = Triples::from_edges(
-            4,
-            6,
-            vec![(0, 0), (3, 5), (1, 2), (2, 3), (0, 5), (3, 0)],
-        );
+        let t = Triples::from_edges(4, 6, vec![(0, 0), (3, 5), (1, 2), (2, 3), (0, 5), (3, 0)]);
         let blocks = t.split_blocks(2, 3);
         assert_eq!(blocks.len(), 6);
         let total: usize = blocks.iter().map(|b| b.len()).sum();

@@ -76,20 +76,14 @@ impl WCsc {
     pub fn col_entries(&self, j: usize) -> impl Iterator<Item = (Vidx, f64)> + '_ {
         let lo = self.pattern.colptr()[j];
         let hi = self.pattern.colptr()[j + 1];
-        self.pattern.rowind()[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&i, &w)| (i, w))
+        self.pattern.rowind()[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&i, &w)| (i, w))
     }
 
     /// The weight of entry `(i, j)` when present.
     pub fn weight(&self, i: Vidx, j: usize) -> Option<f64> {
         let lo = self.pattern.colptr()[j];
         let hi = self.pattern.colptr()[j + 1];
-        self.pattern.rowind()[lo..hi]
-            .binary_search(&i)
-            .ok()
-            .map(|k| self.values[lo + k])
+        self.pattern.rowind()[lo..hi].binary_search(&i).ok().map(|k| self.values[lo + k])
     }
 
     /// Largest absolute weight (0 for an empty matrix).
@@ -110,11 +104,7 @@ mod tests {
 
     #[test]
     fn construction_and_lookup() {
-        let a = WCsc::from_weighted_triples(
-            3,
-            3,
-            vec![(2, 0, 1.0), (0, 0, 4.0), (1, 2, -2.0)],
-        );
+        let a = WCsc::from_weighted_triples(3, 3, vec![(2, 0, 1.0), (0, 0, 4.0), (1, 2, -2.0)]);
         assert_eq!(a.nnz(), 3);
         assert_eq!(a.weight(0, 0), Some(4.0));
         assert_eq!(a.weight(2, 0), Some(1.0));

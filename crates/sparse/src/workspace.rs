@@ -1,0 +1,569 @@
+//! Reusable, zero-allocation SpMSpV workspaces.
+//!
+//! The seed kernels in [`crate::spmv`] allocate and zero an `O(nrows)`
+//! sparse accumulator (SPA) plus a `touched` list on **every call** — once
+//! per DCSC block per MS-BFS iteration. That allocation traffic, not the
+//! semiring arithmetic, dominates the hot path (frontier kernels are
+//! memory-bound). This module amortizes it the way CombBLAS-style
+//! implementations do:
+//!
+//! * [`SpmvWorkspace`] owns a **generation-stamped SPA**: a `u32` epoch is
+//!   bumped per call and a slot is live only when `stamp[i] == epoch`, so
+//!   "resetting" the accumulator costs one integer increment instead of an
+//!   `O(nrows)` sweep or a fresh allocation. Epoch wraparound (every 2³²
+//!   calls) triggers the one hard reset.
+//! * The `*_into` kernels write into a **caller-owned** [`SpVec`] via
+//!   [`SpVec::reset`], so output allocations are reused across iterations
+//!   too. In steady state (buffers warm) a call performs **zero heap
+//!   allocation**; `tests/spmv_workspace.rs` pins this down by checking
+//!   pointer/capacity stability across iterations.
+//! * [`SpmvWorkspace::spmspv_parallel_into`] adds an intra-block thread
+//!   level (the paper's OpenMP axis): the matched frontier columns are
+//!   split into contiguous chunks by traversed-edge count, each chunk runs
+//!   against its own stamped SPA on its own thread, and the chunk results
+//!   merge in **ascending chunk (hence ascending column) order** through an
+//!   allocation-free k-way merge. Because every supported combiner is an
+//!   associative selection (see below), the merged result is bit-identical
+//!   to the serial kernel's — `MinParent`, `RandParent`/`RandRoot`, and
+//!   first-arrival combiners all included — and `flops` is exactly the
+//!   serial count.
+//!
+//! ### Combiner contract
+//!
+//! `take_incoming(acc, inc) -> bool` must implement an **associative
+//! selection**: `fold(a, b) = if take_incoming(a, b) { b } else { a }` must
+//! be associative (every total-order "keep the minimum key" selection is,
+//! as is first-arrival `|_, _| false`). The serial kernel folds candidates
+//! per row in ascending column order; the chunked kernel folds each chunk's
+//! sub-range in that same order and then folds the per-chunk survivors in
+//! ascending chunk order — associativity makes the two parenthesizations
+//! equal, value for value. Monoid `combine(&mut acc, inc)` must be
+//! commutative and associative, as [`crate::spmv::spmspv_monoid`] already
+//! requires.
+//!
+//! The column-level semiring multiply `mul(j, xj)` is invoked **once per
+//! matched column** and its value cloned per traversed edge (the multiply
+//! depends only on `(j, xj)`, never on the row), which the seed kernels
+//! re-evaluated per nonzero.
+
+use crate::{Csc, Dcsc, SpVec, Vidx};
+
+/// A generation-stamped sparse accumulator: values are live only when their
+/// stamp equals the current epoch, so reset is O(1).
+#[derive(Clone, Debug)]
+struct SpaBuf<U> {
+    epoch: u32,
+    stamp: Vec<u32>,
+    vals: Vec<Option<U>>,
+    touched: Vec<Vidx>,
+}
+
+impl<U> SpaBuf<U> {
+    fn new() -> Self {
+        Self { epoch: 0, stamp: Vec::new(), vals: Vec::new(), touched: Vec::new() }
+    }
+
+    /// Opens a new generation over `nrows` rows. Grows the buffers on first
+    /// use (or when a larger matrix arrives); otherwise allocation-free.
+    fn begin(&mut self, nrows: usize) {
+        if self.stamp.len() < nrows {
+            self.stamp.resize(nrows, 0);
+            self.vals.resize_with(nrows, || None);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wraparound: stale stamps could collide with the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Folds `cand` into row `i` under a selection combiner.
+    #[inline]
+    fn accum_select(&mut self, i: Vidx, cand: &U, take_incoming: &mut impl FnMut(&U, &U) -> bool)
+    where
+        U: Clone,
+    {
+        let iu = i as usize;
+        if self.stamp[iu] != self.epoch {
+            self.stamp[iu] = self.epoch;
+            self.vals[iu] = Some(cand.clone());
+            self.touched.push(i);
+        } else {
+            let acc = self.vals[iu].as_mut().expect("stamped slot must hold a value");
+            if take_incoming(acc, cand) {
+                *acc = cand.clone();
+            }
+        }
+    }
+
+    /// Folds `cand` into row `i` under a monoid combiner.
+    #[inline]
+    fn accum_monoid(&mut self, i: Vidx, cand: &U, combine: &mut impl FnMut(&mut U, U))
+    where
+        U: Clone,
+    {
+        let iu = i as usize;
+        if self.stamp[iu] != self.epoch {
+            self.stamp[iu] = self.epoch;
+            self.vals[iu] = Some(cand.clone());
+            self.touched.push(i);
+        } else {
+            let acc = self.vals[iu].as_mut().expect("stamped slot must hold a value");
+            combine(acc, cand.clone());
+        }
+    }
+
+    /// Sorts the touched rows and moves their values into `y` in row order.
+    fn drain_into(&mut self, y: &mut SpVec<U>) {
+        self.touched.sort_unstable();
+        for &i in &self.touched {
+            let v = self.vals[i as usize].take().expect("touched row must be set");
+            y.push(i, v);
+        }
+    }
+
+    /// Heap bytes currently held by this SPA (capacity-based).
+    fn heap_bytes(&self) -> u64 {
+        (self.stamp.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<Option<U>>()
+            + self.touched.capacity() * std::mem::size_of::<Vidx>()) as u64
+    }
+}
+
+/// Reuse counters exposed through `McmStats` (see `mcm-core`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Kernel calls served by this workspace.
+    pub calls: u64,
+    /// Calls that ran without growing any internal buffer — the steady
+    /// state. The first call on a given matrix shape is a miss; everything
+    /// after should hit.
+    pub reuse_hits: u64,
+    /// Bytes of SPA capacity reused instead of freshly allocated, summed
+    /// over hits: what the non-workspace kernels would have allocated (and
+    /// zeroed) per call.
+    pub bytes_reused: u64,
+}
+
+impl WorkspaceStats {
+    /// Merges another workspace's counters into this one.
+    pub fn merge(&mut self, other: &WorkspaceStats) {
+        self.calls += other.calls;
+        self.reuse_hits += other.reuse_hits;
+        self.bytes_reused += other.bytes_reused;
+    }
+}
+
+/// Reusable state for the `*_into` SpMSpV kernels: one stamped SPA for the
+/// serial path, per-chunk SPAs for the intra-block parallel path, and the
+/// merge-join scratch shared by both.
+#[derive(Clone, Debug)]
+pub struct SpmvWorkspace<U> {
+    spa: SpaBuf<U>,
+    /// One SPA per chunk of the parallel path (grown on demand).
+    chunk_spas: Vec<SpaBuf<U>>,
+    /// Matched `(frontier position, nonzero-column position)` pairs from the
+    /// merge-join, reused across calls.
+    pairs: Vec<(u32, u32)>,
+    /// Per-chunk cursors for the k-way merge.
+    heads: Vec<usize>,
+    /// Per-chunk pair-range boundaries (`chunk c` owns `bounds[c]..bounds[c+1]`).
+    bounds: Vec<usize>,
+    /// Reuse counters.
+    pub stats: WorkspaceStats,
+}
+
+impl<U> Default for SpmvWorkspace<U> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<U> SpmvWorkspace<U> {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            spa: SpaBuf::new(),
+            chunk_spas: Vec::new(),
+            pairs: Vec::new(),
+            heads: Vec::new(),
+            bounds: Vec::new(),
+            stats: WorkspaceStats::default(),
+        }
+    }
+
+    /// Records one call's reuse accounting: `needed` rows against what the
+    /// buffers already held.
+    fn note_call(&mut self, nrows: usize, chunks_used: usize) {
+        self.stats.calls += 1;
+        let warm = self.spa.stamp.len() >= nrows
+            && self.chunk_spas.len() >= chunks_used
+            && self.chunk_spas[..chunks_used].iter().all(|s| s.stamp.len() >= nrows);
+        if warm {
+            self.stats.reuse_hits += 1;
+            self.stats.bytes_reused += self.spa.heap_bytes()
+                + self.chunk_spas[..chunks_used].iter().map(|s| s.heap_bytes()).sum::<u64>();
+        }
+    }
+
+    /// DCSC SpMSpV into a caller-owned output vector; returns the traversed
+    /// edge count (`flops`), identical to [`crate::spmv::spmspv`].
+    ///
+    /// `y` is [`SpVec::reset`] to `a.nrows()` and filled in ascending row
+    /// order; its allocation is reused.
+    pub fn spmspv_into<T>(
+        &mut self,
+        a: &Dcsc,
+        x: &SpVec<T>,
+        mut mul: impl FnMut(Vidx, &T) -> U,
+        mut take_incoming: impl FnMut(&U, &U) -> bool,
+        y: &mut SpVec<U>,
+    ) -> u64
+    where
+        U: Clone,
+    {
+        self.note_call(a.nrows(), 0);
+        self.spa.begin(a.nrows());
+        let mut flops = 0u64;
+
+        let cols = a.nonzero_cols();
+        let xs = x.entries();
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < xs.len() && q < cols.len() {
+            let (j, xj) = (&xs[p].0, &xs[p].1);
+            match cols[q].cmp(j) {
+                std::cmp::Ordering::Less => q += 1,
+                std::cmp::Ordering::Greater => p += 1,
+                std::cmp::Ordering::Equal => {
+                    let (rows, _) = a.nth_col(q);
+                    if !rows.is_empty() {
+                        // The multiply depends only on (j, xj): hoist it out
+                        // of the row loop and clone per edge.
+                        let colv = mul(*j, xj);
+                        for &i in rows {
+                            flops += 1;
+                            self.spa.accum_select(i, &colv, &mut take_incoming);
+                        }
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+
+        y.reset(a.nrows());
+        self.spa.drain_into(y);
+        flops
+    }
+
+    /// CSC SpMSpV into a caller-owned output vector (same contract as
+    /// [`SpmvWorkspace::spmspv_into`]; direct column indexing replaces the
+    /// merge-join).
+    pub fn spmspv_csc_into<T>(
+        &mut self,
+        a: &Csc,
+        x: &SpVec<T>,
+        mut mul: impl FnMut(Vidx, &T) -> U,
+        mut take_incoming: impl FnMut(&U, &U) -> bool,
+        y: &mut SpVec<U>,
+    ) -> u64
+    where
+        U: Clone,
+    {
+        self.note_call(a.nrows(), 0);
+        self.spa.begin(a.nrows());
+        let mut flops = 0u64;
+
+        for (j, xj) in x.iter() {
+            let rows = a.col(j as usize);
+            if rows.is_empty() {
+                continue;
+            }
+            let colv = mul(j, xj);
+            for &i in rows {
+                flops += 1;
+                self.spa.accum_select(i, &colv, &mut take_incoming);
+            }
+        }
+
+        y.reset(a.nrows());
+        self.spa.drain_into(y);
+        flops
+    }
+
+    /// DCSC SpMSpV over a monoid "addition" into a caller-owned output
+    /// vector (the workspace counterpart of
+    /// [`crate::spmv::spmspv_monoid`]).
+    pub fn spmspv_monoid_into<T>(
+        &mut self,
+        a: &Dcsc,
+        x: &SpVec<T>,
+        mut mul: impl FnMut(Vidx, &T) -> U,
+        mut combine: impl FnMut(&mut U, U),
+        y: &mut SpVec<U>,
+    ) -> u64
+    where
+        U: Clone,
+    {
+        self.note_call(a.nrows(), 0);
+        self.spa.begin(a.nrows());
+        let mut flops = 0u64;
+
+        let cols = a.nonzero_cols();
+        let xs = x.entries();
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < xs.len() && q < cols.len() {
+            let (j, xj) = (&xs[p].0, &xs[p].1);
+            match cols[q].cmp(j) {
+                std::cmp::Ordering::Less => q += 1,
+                std::cmp::Ordering::Greater => p += 1,
+                std::cmp::Ordering::Equal => {
+                    let (rows, _) = a.nth_col(q);
+                    if !rows.is_empty() {
+                        let colv = mul(*j, xj);
+                        for &i in rows {
+                            flops += 1;
+                            self.spa.accum_monoid(i, &colv, &mut combine);
+                        }
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+
+        y.reset(a.nrows());
+        self.spa.drain_into(y);
+        flops
+    }
+
+    /// Intra-block thread-parallel DCSC SpMSpV: the matched frontier columns
+    /// are split into up to `threads` contiguous chunks (balanced by
+    /// traversed-edge count), each chunk accumulates into its own stamped
+    /// SPA on its own thread, and the per-chunk results merge in ascending
+    /// chunk order through an allocation-free k-way merge.
+    ///
+    /// Output and `flops` are **bit-identical** to
+    /// [`SpmvWorkspace::spmspv_into`] (see the module docs for the combiner
+    /// associativity contract). `threads <= 1` — or a frontier too small to
+    /// be worth splitting — falls through to the serial path.
+    pub fn spmspv_parallel_into<T>(
+        &mut self,
+        a: &Dcsc,
+        x: &SpVec<T>,
+        threads: usize,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        take_incoming: impl Fn(&U, &U) -> bool + Sync,
+        y: &mut SpVec<U>,
+    ) -> u64
+    where
+        T: Sync,
+        U: Clone + Send,
+    {
+        // Merge-join once, into the reusable pair list.
+        self.pairs.clear();
+        let cols = a.nonzero_cols();
+        let xs = x.entries();
+        let (mut p, mut q) = (0usize, 0usize);
+        let mut total_edges = 0u64;
+        while p < xs.len() && q < cols.len() {
+            match cols[q].cmp(&xs[p].0) {
+                std::cmp::Ordering::Less => q += 1,
+                std::cmp::Ordering::Greater => p += 1,
+                std::cmp::Ordering::Equal => {
+                    let (rows, _) = a.nth_col(q);
+                    if !rows.is_empty() {
+                        self.pairs.push((p as u32, q as u32));
+                        total_edges += rows.len() as u64;
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+
+        /// Below this many traversed edges, thread spawn costs more than it
+        /// saves; run serial.
+        const MIN_PARALLEL_EDGES: u64 = 4096;
+        let chunks = threads
+            .min(self.pairs.len())
+            .min((total_edges / MIN_PARALLEL_EDGES.max(1)).max(1) as usize);
+        if chunks <= 1 {
+            // Reuse the already-computed merge-join: run the serial SPA over
+            // the pair list directly.
+            self.note_call(a.nrows(), 0);
+            self.spa.begin(a.nrows());
+            let mut flops = 0u64;
+            for &(p, q) in &self.pairs {
+                let (j, xj) = (&xs[p as usize].0, &xs[p as usize].1);
+                let (rows, _) = a.nth_col(q as usize);
+                let colv = mul(*j, xj);
+                for &i in rows {
+                    flops += 1;
+                    let mut take = |acc: &U, inc: &U| take_incoming(acc, inc);
+                    self.spa.accum_select(i, &colv, &mut take);
+                }
+            }
+            y.reset(a.nrows());
+            self.spa.drain_into(y);
+            return flops;
+        }
+
+        // Chunk boundaries balanced by edge count (deterministic in the
+        // input, independent of the worker count actually scheduled).
+        self.bounds.clear();
+        self.bounds.push(0);
+        let per_chunk = total_edges.div_ceil(chunks as u64);
+        let mut acc_edges = 0u64;
+        for (k, &(_, q)) in self.pairs.iter().enumerate() {
+            let deg = {
+                let (rows, _) = a.nth_col(q as usize);
+                rows.len() as u64
+            };
+            acc_edges += deg;
+            if acc_edges >= per_chunk && self.bounds.len() < chunks && k + 1 < self.pairs.len() {
+                self.bounds.push(k + 1);
+                acc_edges = 0;
+            }
+        }
+        self.bounds.push(self.pairs.len());
+        let used = self.bounds.len() - 1;
+
+        if self.chunk_spas.len() < used {
+            self.chunk_spas.resize_with(used, SpaBuf::new);
+        }
+        self.note_call(a.nrows(), used);
+
+        // Parallel phase: one stamped SPA per chunk, ascending columns
+        // within each chunk.
+        let pairs = &self.pairs;
+        let bounds = &self.bounds;
+        let per_chunk_flops =
+            mcm_par::par_for_each_mut(&mut self.chunk_spas[..used], used, |c, spa| {
+                spa.begin(a.nrows());
+                let mut flops = 0u64;
+                for &(p, q) in &pairs[bounds[c]..bounds[c + 1]] {
+                    let (j, xj) = (&xs[p as usize].0, &xs[p as usize].1);
+                    let (rows, _) = a.nth_col(q as usize);
+                    let colv = mul(*j, xj);
+                    for &i in rows {
+                        flops += 1;
+                        let mut take = |acc: &U, inc: &U| take_incoming(acc, inc);
+                        spa.accum_select(i, &colv, &mut take);
+                    }
+                }
+                spa.touched.sort_unstable();
+                flops
+            });
+        let flops: u64 = per_chunk_flops.into_iter().sum();
+
+        // Deterministic fold: k-way merge of the per-chunk sorted rows,
+        // ties resolved toward the lower chunk (= earlier columns), values
+        // folded left-to-right with the combiner — exactly the serial
+        // arrival order, re-parenthesized per chunk.
+        y.reset(a.nrows());
+        self.heads.clear();
+        self.heads.resize(used, 0);
+        loop {
+            let mut best: Option<(Vidx, usize)> = None;
+            for c in 0..used {
+                let spa = &self.chunk_spas[c];
+                if self.heads[c] < spa.touched.len() {
+                    let r = spa.touched[self.heads[c]];
+                    if best.is_none_or(|(br, _)| r < br) {
+                        best = Some((r, c));
+                    }
+                }
+            }
+            let Some((r, c)) = best else { break };
+            self.heads[c] += 1;
+            let v = self.chunk_spas[c].vals[r as usize].take().expect("touched row must be set");
+            match y.entries_mut().last_mut() {
+                Some((last, acc)) if *last == r => {
+                    if take_incoming(acc, &v) {
+                        *acc = v;
+                    }
+                }
+                _ => y.push(r, v),
+            }
+        }
+        flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmspv;
+    use crate::Triples;
+
+    fn fig2_matrix() -> Dcsc {
+        Dcsc::from_triples(&Triples::from_edges(
+            4,
+            5,
+            vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
+        ))
+    }
+
+    #[test]
+    fn into_matches_seed_kernel() {
+        let a = fig2_matrix();
+        let x = SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]);
+        let seed = spmspv(&a, &x, |j, &(_, r)| (j, r), |acc: &(Vidx, Vidx), inc| inc.0 < acc.0);
+        let mut ws = SpmvWorkspace::new();
+        let mut y = SpVec::new(0);
+        let flops = ws.spmspv_into(&a, &x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0, &mut y);
+        assert_eq!(y, seed.y);
+        assert_eq!(flops, seed.flops);
+    }
+
+    #[test]
+    fn epoch_bump_does_not_leak_state() {
+        let a = fig2_matrix();
+        let mut ws: SpmvWorkspace<Vidx> = SpmvWorkspace::new();
+        let mut y = SpVec::new(0);
+        // First call touches rows 0..4.
+        let full = SpVec::from_pairs(5, vec![(0, 0u32), (1, 1), (3, 3), (4, 4)]);
+        ws.spmspv_into(&a, &full, |j, _| j, |acc, inc| inc < acc, &mut y);
+        assert_eq!(y.nnz(), 4);
+        // Second call with a tiny frontier: rows from call 1 must be gone.
+        let tiny = SpVec::from_pairs(5, vec![(1, 1u32)]);
+        ws.spmspv_into(&a, &tiny, |j, _| j, |acc, inc| inc < acc, &mut y);
+        assert_eq!(y.entries(), &[(1, 1)]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_fig2() {
+        let a = fig2_matrix();
+        let x = SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]);
+        let seed = spmspv(&a, &x, |j, &(_, r)| (j, r), |acc: &(Vidx, Vidx), inc| inc.0 < acc.0);
+        let mut ws = SpmvWorkspace::new();
+        let mut y = SpVec::new(0);
+        let flops = ws.spmspv_parallel_into(
+            &a,
+            &x,
+            4,
+            |j, &(_, r)| (j, r),
+            |acc, inc| inc.0 < acc.0,
+            &mut y,
+        );
+        assert_eq!(y, seed.y);
+        assert_eq!(flops, seed.flops);
+    }
+
+    #[test]
+    fn reuse_is_counted() {
+        let a = fig2_matrix();
+        let x = SpVec::from_pairs(5, vec![(0, 0u32), (4, 4)]);
+        let mut ws: SpmvWorkspace<Vidx> = SpmvWorkspace::new();
+        let mut y = SpVec::new(0);
+        for _ in 0..3 {
+            ws.spmspv_into(&a, &x, |j, _| j, |acc, inc| inc < acc, &mut y);
+        }
+        assert_eq!(ws.stats.calls, 3);
+        assert_eq!(ws.stats.reuse_hits, 2); // first call is the cold miss
+        assert!(ws.stats.bytes_reused > 0);
+    }
+}

@@ -15,12 +15,7 @@ use mcm_gen::mesh::triangulated_grid;
 
 fn main() {
     let g = triangulated_grid(96, 96, 7);
-    println!(
-        "delaunay-like mesh: {} x {} with {} edges\n",
-        g.nrows(),
-        g.ncols(),
-        g.len()
-    );
+    println!("delaunay-like mesh: {} x {} with {} edges\n", g.nrows(), g.ncols(), g.len());
 
     let cfg = MachineConfig::hybrid(4, 12); // 192 cores
     println!(

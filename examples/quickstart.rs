@@ -16,17 +16,7 @@ fn main() {
     let g = Triples::from_edges(
         4,
         5,
-        vec![
-            (0, 0),
-            (0, 2),
-            (1, 0),
-            (1, 1),
-            (1, 3),
-            (2, 2),
-            (2, 4),
-            (3, 3),
-            (3, 4),
-        ],
+        vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
     );
 
     // Simulate a 2x2 process grid with 2 threads per process (8 cores).
@@ -53,10 +43,7 @@ fn main() {
     // Verify against the independent certificate and the serial oracle.
     let a = g.to_csc();
     assert_maximum(&a, &result.matching);
-    assert_eq!(
-        result.matching.cardinality(),
-        hopcroft_karp(&a, None).cardinality()
-    );
+    assert_eq!(result.matching.cardinality(), hopcroft_karp(&a, None).cardinality());
     println!("\nverified: no augmenting path exists (Berge) and cardinality matches Hopcroft-Karp");
 
     println!("\nmodeled kernel breakdown on the simulated machine:\n{}", ctx.timers);

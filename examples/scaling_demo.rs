@@ -18,13 +18,7 @@ fn main() {
     // enough to sweep quickly, skewed like the paper's G500 inputs.
     let scale = 14;
     let g = rmat(RmatParams::g500(scale), 2016);
-    println!(
-        "G500 scale {}: {} x {} with {} edges\n",
-        scale,
-        g.nrows(),
-        g.ncols(),
-        g.len()
-    );
+    println!("G500 scale {}: {} x {} with {} edges\n", scale, g.nrows(), g.ncols(), g.len());
 
     println!(
         "{:>7} {:>9} {:>12} {:>9} {:>10} {:>10}",

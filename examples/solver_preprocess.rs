@@ -22,9 +22,7 @@ use mcm_sparse::{Triples, Vidx};
 /// Counts structurally nonzero diagonal entries.
 fn diagonal_nonzeros(t: &Triples) -> usize {
     let c = t.to_csc();
-    (0..t.ncols().min(t.nrows()))
-        .filter(|&j| c.contains(j as Vidx, j))
-        .count()
+    (0..t.ncols().min(t.nrows())).filter(|&j| c.contains(j as Vidx, j)).count()
 }
 
 fn main() {

@@ -78,11 +78,7 @@ fn weighted_step(t: &Triples) {
     // 5. The MC64-style follow-up: put numerically large entries on the
     //    diagonal by maximizing total weight (here: synthetic magnitudes).
     let mut rng = SplitMix64::new(2);
-    let entries = t
-        .entries()
-        .iter()
-        .map(|&(i, j)| (i, j, 1.0 + rng.below(1000) as f64))
-        .collect();
+    let entries = t.entries().iter().map(|&(i, j)| (i, j, 1.0 + rng.below(1000) as f64)).collect();
     let w = WCsc::from_weighted_triples(t.nrows(), t.ncols(), entries);
     let n = t.nrows().max(t.ncols());
     let r = auction_mwm(&w, 0.5 / (n as f64 + 1.0));

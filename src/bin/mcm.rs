@@ -87,10 +87,7 @@ usage:
 
 /// Pulls `--flag value` out of an argument list.
 fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn positional(args: &[String]) -> Option<&str> {
@@ -248,9 +245,8 @@ fn cmd_btf(args: &[String]) -> Result<(), String> {
     let btf = mcm_core::btf::block_triangular_form(&a, &m);
     println!("diagonal blocks: {}", btf.num_blocks());
     println!("largest block:   {}", btf.max_block());
-    let singletons = (0..btf.num_blocks())
-        .filter(|&b| btf.block_ptr[b + 1] - btf.block_ptr[b] == 1)
-        .count();
+    let singletons =
+        (0..btf.num_blocks()).filter(|&b| btf.block_ptr[b + 1] - btf.block_ptr[b] == 1).count();
     println!("singleton blocks: {singletons}");
     Ok(())
 }
@@ -265,7 +261,7 @@ fn cmd_mwm(args: &[String]) -> Result<(), String> {
         Some(s) => s.parse().map_err(|_| "bad --eps")?,
         None => default_eps,
     };
-    if !(eps > 0.0) {
+    if eps.is_nan() || eps <= 0.0 {
         return Err("--eps must be a positive number".into());
     }
     let r = mcm_core::weighted::auction_mwm(&a, eps);

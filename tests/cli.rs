@@ -31,12 +31,7 @@ fn gen_stats_match_roundtrip() {
     // Every algorithm agrees on the cardinality.
     let mut cards = std::collections::BTreeSet::new();
     for algo in ["dist", "hk", "pf", "pr", "msbfs", "graft"] {
-        let out = mcm()
-            .args(["match"])
-            .arg(&file)
-            .args(["--algo", algo])
-            .output()
-            .unwrap();
+        let out = mcm().args(["match"]).arg(&file).args(["--algo", algo]).output().unwrap();
         assert!(out.status.success(), "algo {algo}: {}", String::from_utf8_lossy(&out.stderr));
         let text = String::from_utf8_lossy(&out.stdout);
         let card: usize = text

@@ -16,8 +16,10 @@ fn strong_scaling_has_the_paper_shape() {
     let t = rmat(RmatParams::g500(12), 1);
     let ws = 1.0e9 / t.len() as f64;
     let t24 = run_mcm_scaled(MachineConfig::hybrid(2, 6), &t, &McmOptions::default(), ws).modeled_s;
-    let t192 = run_mcm_scaled(MachineConfig::hybrid(4, 12), &t, &McmOptions::default(), ws).modeled_s;
-    let t972 = run_mcm_scaled(MachineConfig::hybrid(9, 12), &t, &McmOptions::default(), ws).modeled_s;
+    let t192 =
+        run_mcm_scaled(MachineConfig::hybrid(4, 12), &t, &McmOptions::default(), ws).modeled_s;
+    let t972 =
+        run_mcm_scaled(MachineConfig::hybrid(9, 12), &t, &McmOptions::default(), ws).modeled_s;
     assert!(t192 < t24 * 0.6, "192 cores must beat 24 by >1.6x: {t24} vs {t192}");
     assert!(t972 < t192, "972 cores must beat 192: {t192} vs {t972}");
     assert!(t24 / t972 > 4.0, "speedup at 972 must exceed 4x, got {}", t24 / t972);

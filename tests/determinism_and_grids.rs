@@ -43,10 +43,8 @@ fn randomized_semirings_are_seed_deterministic() {
         for seed in [0u64, 7, 1234] {
             let run = || {
                 let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
-                let opts = McmOptions {
-                    semiring: SemiringKind::RandRoot(seed),
-                    ..Default::default()
-                };
+                let opts =
+                    McmOptions { semiring: SemiringKind::RandRoot(seed), ..Default::default() };
                 maximum_matching(&mut ctx, &t, &opts).matching
             };
             assert_eq!(run(), run(), "{name}: seed {seed} not reproducible");
@@ -61,10 +59,7 @@ fn randomized_semirings_are_grid_independent() {
     for (name, t) in inputs() {
         let run = |dim: usize| {
             let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
-            let opts = McmOptions {
-                semiring: SemiringKind::RandRoot(99),
-                ..Default::default()
-            };
+            let opts = McmOptions { semiring: SemiringKind::RandRoot(99), ..Default::default() };
             maximum_matching(&mut ctx, &t, &opts).matching
         };
         assert_eq!(run(1), run(3), "{name}");

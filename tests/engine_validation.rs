@@ -42,6 +42,11 @@ fn rank_parallel_spmspv(t: &Triples, x: &SpVec<Vidx>, pr: usize, pc: usize) -> S
         let col_group: Vec<usize> = (0..pr).map(|i| i * pc + bj).collect();
         let contribution = if bi == 0 { slices[bj].clone() } else { Vec::new() };
         let gathered = comm.allgatherv(&col_group, contribution);
+        // allgatherv moves (not clones) the self-copy, but sent_elems must
+        // still count all `pr` copies — the cost model's allgather volume
+        // includes the local one.
+        let expected_sent = if bi == 0 { (pr * slices[bj].len()) as u64 } else { 0 };
+        assert_eq!(comm.sent_elems(), expected_sent, "allgatherv send accounting");
         let my_x: Vec<(Vidx, Vidx)> = gathered.into_iter().flatten().collect();
 
         // --- Local multiply on this rank's block only. ---------------------
@@ -59,8 +64,7 @@ fn rank_parallel_spmspv(t: &Triples, x: &SpVec<Vidx>, pr: usize, pc: usize) -> S
 
         // --- Fold: gather partials (global rows) onto rank (bi, 0). --------
         let roff = row_off[bi] as Vidx;
-        let mine: Vec<(Vidx, Vidx)> =
-            part.y.iter().map(|(li, &v)| (li + roff, v)).collect();
+        let mine: Vec<(Vidx, Vidx)> = part.y.iter().map(|(li, &v)| (li + roff, v)).collect();
         let row_group: Vec<usize> = (0..pc).map(|j| bi * pc + j).collect();
         let collected = comm.gather(&row_group, mine);
 
@@ -102,8 +106,7 @@ fn rank_parallel_spmspv_matches_simulator() {
 
         let mut ctx = DistCtx::new(MachineConfig::hybrid(pr, 1));
         let a = DistMatrix::from_triples(&ctx, &t);
-        let simulated =
-            a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, _| j, |acc, inc| inc < acc);
+        let simulated = a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, _| j, |acc, inc| inc < acc);
         assert_eq!(real, simulated, "grid {pr}x{pc}");
     }
 }
@@ -166,10 +169,7 @@ fn rank_parallel_invert_matches_simulator_and_charged_volumes() {
         let j = rng.below(k as u64 + 1) as usize;
         vals.swap(k, j);
     }
-    let x = SpVec::from_sorted_pairs(
-        n,
-        (0..n).step_by(2).map(|i| (i as Vidx, vals[i])).collect(),
-    );
+    let x = SpVec::from_sorted_pairs(n, (0..n).step_by(2).map(|i| (i as Vidx, vals[i])).collect());
 
     for p_dim in [2usize, 3, 4] {
         let p = p_dim * p_dim;
@@ -184,20 +184,12 @@ fn rank_parallel_invert_matches_simulator_and_charged_volumes() {
         // moved. (Engine elements are pairs; the model's "words" are
         // 2 × pairs.)
         let model_send = per_rank_counts(&x, p);
-        let model_recv = mcm_bsp::collectives::per_rank_index_counts(
-            n,
-            p,
-            x.iter().map(|(_, &v)| v),
-        );
+        let model_recv =
+            mcm_bsp::collectives::per_rank_index_counts(n, p, x.iter().map(|(_, &v)| v));
         assert_eq!(sent, model_send, "sent pairs diverge at p = {p}");
         assert_eq!(recvd, model_recv, "received pairs diverge at p = {p}");
         let modeled_bottleneck = 2 * max_count(&model_send).max(max_count(&model_recv));
-        let real_bottleneck = 2 * sent
-            .iter()
-            .chain(recvd.iter())
-            .copied()
-            .max()
-            .unwrap_or(0);
+        let real_bottleneck = 2 * sent.iter().chain(recvd.iter()).copied().max().unwrap_or(0);
         assert_eq!(modeled_bottleneck, real_bottleneck);
     }
 }

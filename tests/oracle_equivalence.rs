@@ -1,6 +1,9 @@
-//! Property-based oracle tests: every algorithm in the crate must agree
-//! with Hopcroft–Karp on the maximum cardinality, on arbitrary bipartite
-//! graphs, arbitrary process grids, and arbitrary option combinations.
+//! Randomized oracle tests: every algorithm in the crate must agree with
+//! Hopcroft–Karp on the maximum cardinality, on arbitrary bipartite graphs,
+//! arbitrary process grids, and arbitrary option combinations.
+//!
+//! Randomized inputs come from seeded [`SplitMix64`] streams (deterministic,
+//! no external property-testing dependency).
 
 use mcm_bsp::{DistCtx, MachineConfig};
 use mcm_core::augment::AugmentMode;
@@ -9,42 +12,49 @@ use mcm_core::semirings::SemiringKind;
 use mcm_core::serial::{hopcroft_karp, ms_bfs_serial, pothen_fan};
 use mcm_core::verify::{is_maximal, is_maximum};
 use mcm_core::{maximum_matching, McmOptions};
+use mcm_sparse::permute::SplitMix64;
 use mcm_sparse::{Triples, Vidx};
-use proptest::prelude::*;
 
 /// An arbitrary bipartite graph: dimensions in 1..=24, up to 3·n edges.
-fn arb_graph() -> impl Strategy<Value = Triples> {
-    (1usize..=24, 1usize..=24).prop_flat_map(|(n1, n2)| {
-        let max_edges = 3 * n1.max(n2);
-        proptest::collection::vec((0..n1 as Vidx, 0..n2 as Vidx), 0..=max_edges)
-            .prop_map(move |edges| Triples::from_edges(n1, n2, edges))
-    })
+fn random_graph(rng: &mut SplitMix64) -> Triples {
+    let n1 = 1 + rng.below(24) as usize;
+    let n2 = 1 + rng.below(24) as usize;
+    let max_edges = 3 * n1.max(n2);
+    let m = rng.below(max_edges as u64 + 1) as usize;
+    let edges =
+        (0..m).map(|_| (rng.below(n1 as u64) as Vidx, rng.below(n2 as u64) as Vidx)).collect();
+    Triples::from_edges(n1, n2, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn distributed_mcm_matches_hopcroft_karp(t in arb_graph(), dim in 1usize..=3) {
+#[test]
+fn distributed_mcm_matches_hopcroft_karp() {
+    let mut rng = SplitMix64::new(0x0E01);
+    for trial in 0..CASES {
+        let t = random_graph(&mut rng);
+        let dim = 1 + rng.below(3) as usize;
         let a = t.to_csc();
         let want = hopcroft_karp(&a, None).cardinality();
         let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
         let r = maximum_matching(&mut ctx, &t, &McmOptions::default());
-        prop_assert_eq!(r.matching.cardinality(), want);
-        prop_assert!(r.matching.validate(&a).is_ok());
-        prop_assert!(is_maximum(&a, &r.matching));
+        assert_eq!(r.matching.cardinality(), want, "trial {trial} dim {dim}");
+        assert!(r.matching.validate(&a).is_ok(), "trial {trial}");
+        assert!(is_maximum(&a, &r.matching), "trial {trial}");
     }
+}
 
-    #[test]
-    fn all_option_combinations_agree(
-        t in arb_graph(),
-        prune in any::<bool>(),
-        diropt in any::<bool>(),
-        seed in 0u64..1000,
-        semiring_pick in 0u8..3,
-        augment_pick in 0u8..3,
-        init_pick in 0u8..4,
-    ) {
+#[test]
+fn all_option_combinations_agree() {
+    let mut rng = SplitMix64::new(0x0E02);
+    for trial in 0..CASES {
+        let t = random_graph(&mut rng);
+        let prune = rng.below(2) == 1;
+        let diropt = rng.below(2) == 1;
+        let seed = rng.below(1000);
+        let semiring_pick = rng.below(3);
+        let augment_pick = rng.below(3);
+        let init_pick = rng.below(4);
         let a = t.to_csc();
         let want = hopcroft_karp(&a, None).cardinality();
         let opts = McmOptions {
@@ -66,51 +76,65 @@ proptest! {
                 2 => Initializer::KarpSipser,
                 _ => Initializer::DynamicMindegree,
             },
-            permute_seed: if seed % 2 == 0 { Some(seed) } else { None },
+            permute_seed: if seed.is_multiple_of(2) { Some(seed) } else { None },
             seed,
         };
         let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
         let r = maximum_matching(&mut ctx, &t, &opts);
-        prop_assert_eq!(r.matching.cardinality(), want);
-        prop_assert!(r.matching.validate(&a).is_ok());
+        assert_eq!(r.matching.cardinality(), want, "trial {trial} opts {opts:?}");
+        assert!(r.matching.validate(&a).is_ok(), "trial {trial} opts {opts:?}");
     }
+}
 
-    #[test]
-    fn serial_algorithms_agree(t in arb_graph()) {
+#[test]
+fn serial_algorithms_agree() {
+    let mut rng = SplitMix64::new(0x0E03);
+    for trial in 0..CASES {
+        let t = random_graph(&mut rng);
         let a = t.to_csc();
         let hk = hopcroft_karp(&a, None);
         let pf = pothen_fan(&a, None);
         let (bfs, _) = ms_bfs_serial(&a, None);
-        prop_assert_eq!(pf.cardinality(), hk.cardinality());
-        prop_assert_eq!(bfs.cardinality(), hk.cardinality());
-        prop_assert!(hk.validate(&a).is_ok());
-        prop_assert!(pf.validate(&a).is_ok());
-        prop_assert!(bfs.validate(&a).is_ok());
+        assert_eq!(pf.cardinality(), hk.cardinality(), "trial {trial}");
+        assert_eq!(bfs.cardinality(), hk.cardinality(), "trial {trial}");
+        assert!(hk.validate(&a).is_ok(), "trial {trial}");
+        assert!(pf.validate(&a).is_ok(), "trial {trial}");
+        assert!(bfs.validate(&a).is_ok(), "trial {trial}");
     }
+}
 
-    #[test]
-    fn initializers_produce_valid_maximal_matchings(t in arb_graph(), seed in 0u64..100) {
+#[test]
+fn initializers_produce_valid_maximal_matchings() {
+    let mut rng = SplitMix64::new(0x0E04);
+    for trial in 0..CASES {
+        let t = random_graph(&mut rng);
+        let seed = rng.below(100);
         let a = t.to_csc();
         let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
         let da = mcm_bsp::DistMatrix::from_triples(&ctx, &t);
         let dat = mcm_bsp::DistMatrix::from_triples(&ctx, &t.transposed());
         for init in [Initializer::Greedy, Initializer::KarpSipser, Initializer::DynamicMindegree] {
             let m = init.run(&mut ctx, &da, &dat, seed);
-            prop_assert!(m.validate(&a).is_ok(), "{:?}", init);
-            prop_assert!(is_maximal(&a, &m), "{:?} not maximal", init);
+            assert!(m.validate(&a).is_ok(), "trial {trial} {init:?}");
+            assert!(is_maximal(&a, &m), "trial {trial} {init:?} not maximal");
             // ≥ 1/2-approximation guarantee of any maximal matching.
             let maximum = hopcroft_karp(&a, None).cardinality();
-            prop_assert!(2 * m.cardinality() >= maximum, "{:?} below 1/2-approx", init);
+            assert!(2 * m.cardinality() >= maximum, "trial {trial} {init:?} below 1/2-approx");
         }
     }
+}
 
-    #[test]
-    fn warm_start_preserves_the_maximum(t in arb_graph(), seed in 0u64..100) {
+#[test]
+fn warm_start_preserves_the_maximum() {
+    let mut rng = SplitMix64::new(0x0E05);
+    for trial in 0..CASES {
+        let t = random_graph(&mut rng);
+        let seed = rng.below(100);
         // Starting HK from any maximal matching must not change the result.
         let a = t.to_csc();
         let cold = hopcroft_karp(&a, None).cardinality();
         let maximal = mcm_core::serial::karp_sipser_serial(&a, seed);
         let warm = hopcroft_karp(&a, Some(maximal)).cardinality();
-        prop_assert_eq!(cold, warm);
+        assert_eq!(cold, warm, "trial {trial}");
     }
 }

@@ -20,17 +20,7 @@ fn fig2_graph() -> Triples {
     Triples::from_edges(
         4,
         5,
-        vec![
-            (0, 0),
-            (0, 2),
-            (1, 0),
-            (1, 1),
-            (1, 3),
-            (2, 2),
-            (2, 4),
-            (3, 3),
-            (3, 4),
-        ],
+        vec![(0, 0), (0, 2), (1, 0), (1, 1), (1, 3), (2, 2), (2, 4), (3, 3), (3, 4)],
     )
 }
 
@@ -112,9 +102,14 @@ fn first_iteration_reproduces_fig1_step_by_step() {
         4,
         f_r.iter().map(|(i, v)| (i, Vertex::new(m.mate_r.get(i), v.root))).collect(),
     );
-    let f_c2 = invert_by(&mut ctx, Kernel::Invert, &stepped, 5, |v| v.parent, |i, v| {
-        Vertex::new(i, v.root)
-    });
+    let f_c2 = invert_by(
+        &mut ctx,
+        Kernel::Invert,
+        &stepped,
+        5,
+        |v| v.parent,
+        |i, v| Vertex::new(i, v.root),
+    );
     assert_eq!(
         f_c2.entries(),
         &[(2, Vertex::new(0, 0)), (3, Vertex::new(1, 0))],
@@ -148,10 +143,7 @@ fn rand_root_semiring_balances_trees_on_fig2() {
     let g = fig2_graph();
     for seed in 0..8 {
         let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
-        let opts = McmOptions {
-            semiring: SemiringKind::RandRoot(seed),
-            ..Default::default()
-        };
+        let opts = McmOptions { semiring: SemiringKind::RandRoot(seed), ..Default::default() };
         let r = maximum_matching(&mut ctx, &g, &opts);
         assert_eq!(r.matching.cardinality(), 4, "seed {seed}");
     }

@@ -61,10 +61,9 @@ fn rand_root_balances_trees_around_low_index_hubs() {
     // The hub wins a row iff its hashed priority beats all 8 alternatives;
     // in expectation over seeds that is 1/9 of the rows. A single seed can
     // be (un)lucky — the hub's priority is one global draw — so average.
-    let mean_balanced: f64 = (0..16u64)
-        .map(|seed| max_tree_size(&t, SemiringKind::RandRoot(seed)) as f64)
-        .sum::<f64>()
-        / 16.0;
+    let mean_balanced: f64 =
+        (0..16u64).map(|seed| max_tree_size(&t, SemiringKind::RandRoot(seed)) as f64).sum::<f64>()
+            / 16.0;
     assert!(
         mean_balanced < n1 as f64 / 3.0,
         "randRoot should break the hub's monopoly on average: {mean_balanced} of {n1}"

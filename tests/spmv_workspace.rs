@@ -1,0 +1,210 @@
+//! Equivalence and zero-allocation tests for the SpMSpV workspace layer.
+//!
+//! The `*_into` kernels and the intra-block parallel path must be
+//! **bit-identical** to the seed kernels — same output entries, same flops —
+//! across semirings (MinParent, RandParent, counting monoid) on random
+//! R-MAT and Erdős–Rényi blocks. On top of that, the workspace must reach a
+//! zero-allocation steady state: after the first (cold) call, the output
+//! vector's buffer pointer and capacity stay put and the workspace reports
+//! reuse hits. All randomness is seeded SplitMix64 — deterministic runs.
+
+use mcm_core::semirings::SemiringKind;
+use mcm_core::vertex::Vertex;
+use mcm_gen::rmat::{rmat, RmatParams};
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::workspace::SpmvWorkspace;
+use mcm_sparse::{spmspv, spmspv_monoid, Dcsc, SpVec, Vidx};
+
+/// A frontier over `ncols` columns containing roughly `ncols / every`
+/// entries, each carrying a seed Vertex.
+fn frontier(ncols: usize, every: usize, rng: &mut SplitMix64) -> SpVec<Vertex> {
+    let pairs = (0..ncols as Vidx)
+        .filter(|_| rng.below(every as u64) == 0)
+        .map(|j| (j, Vertex::seed(j)))
+        .collect();
+    SpVec::from_sorted_pairs(ncols, pairs)
+}
+
+fn test_blocks() -> Vec<Dcsc> {
+    vec![
+        Dcsc::from_triples(&rmat(RmatParams::g500(9), 42)),
+        Dcsc::from_triples(&rmat(RmatParams::er(9), 7)),
+        Dcsc::from_triples(&rmat(RmatParams::ssca(8), 11)),
+    ]
+}
+
+#[test]
+fn workspace_and_parallel_match_seed_kernel_across_semirings() {
+    let blocks = test_blocks();
+    let mut rng = SplitMix64::new(0xD0C5);
+    for (bi, a) in blocks.iter().enumerate() {
+        for semiring in
+            [SemiringKind::MinParent, SemiringKind::RandParent(3), SemiringKind::RandRoot(17)]
+        {
+            for every in [1usize, 4, 64] {
+                let x = frontier(a.ncols(), every, &mut rng);
+                let seed = spmspv(
+                    a,
+                    &x,
+                    |j, v: &Vertex| Vertex::new(j, v.root),
+                    |acc, inc| semiring.take_incoming(acc, inc),
+                );
+
+                let mut ws = SpmvWorkspace::new();
+                let mut y = SpVec::new(0);
+                let flops = ws.spmspv_into(
+                    a,
+                    &x,
+                    |j, v: &Vertex| Vertex::new(j, v.root),
+                    |acc, inc| semiring.take_incoming(acc, inc),
+                    &mut y,
+                );
+                assert_eq!(y, seed.y, "block {bi} {semiring:?} every {every}: into");
+                assert_eq!(flops, seed.flops, "block {bi} {semiring:?}: into flops");
+
+                for threads in [2usize, 3, 8] {
+                    let mut wsp = SpmvWorkspace::new();
+                    let mut yp = SpVec::new(0);
+                    let pflops = wsp.spmspv_parallel_into(
+                        a,
+                        &x,
+                        threads,
+                        |j, v: &Vertex| Vertex::new(j, v.root),
+                        |acc, inc| semiring.take_incoming(acc, inc),
+                        &mut yp,
+                    );
+                    assert_eq!(
+                        yp, seed.y,
+                        "block {bi} {semiring:?} every {every} threads {threads}: parallel"
+                    );
+                    assert_eq!(
+                        pflops, seed.flops,
+                        "block {bi} {semiring:?} threads {threads}: parallel flops"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn monoid_workspace_matches_seed_kernel() {
+    let blocks = test_blocks();
+    let mut rng = SplitMix64::new(0xC027);
+    for (bi, a) in blocks.iter().enumerate() {
+        for every in [1usize, 8] {
+            let pairs = (0..a.ncols() as Vidx)
+                .filter(|_| rng.below(every as u64) == 0)
+                .map(|j| (j, ()))
+                .collect();
+            let x: SpVec<()> = SpVec::from_sorted_pairs(a.ncols(), pairs);
+            let seed = spmspv_monoid(a, &x, |_, _| 1u32, |acc, inc| *acc += inc);
+            let mut ws = SpmvWorkspace::new();
+            let mut y = SpVec::new(0);
+            let flops = ws.spmspv_monoid_into(a, &x, |_, _| 1u32, |acc, inc| *acc += inc, &mut y);
+            assert_eq!(y, seed.y, "block {bi} every {every}");
+            assert_eq!(flops, seed.flops, "block {bi} every {every}");
+        }
+    }
+}
+
+#[test]
+fn steady_state_performs_zero_heap_allocation() {
+    // After the first (cold) call, repeated products with the same shapes
+    // must not move or grow any buffer: the output SpVec keeps its pointer
+    // and capacity, and the workspace records every later call as a reuse
+    // hit. Three-plus iterations make the steady state observable.
+    let a = Dcsc::from_triples(&rmat(RmatParams::g500(9), 42));
+    let mut rng = SplitMix64::new(0xA110C);
+    let x = frontier(a.ncols(), 4, &mut rng);
+
+    let mut ws: SpmvWorkspace<Vertex> = SpmvWorkspace::new();
+    let mut y = SpVec::new(0);
+    let run = |ws: &mut SpmvWorkspace<Vertex>, y: &mut SpVec<Vertex>| {
+        ws.spmspv_into(
+            &a,
+            &x,
+            |j, v: &Vertex| Vertex::new(j, v.root),
+            |acc, inc| inc.parent < acc.parent,
+            y,
+        )
+    };
+
+    let cold_flops = run(&mut ws, &mut y);
+    let ptr = y.as_entries_ptr();
+    let cap = y.capacity();
+    assert!(cap > 0);
+
+    for iter in 0..4 {
+        let flops = run(&mut ws, &mut y);
+        assert_eq!(flops, cold_flops, "iteration {iter}");
+        assert_eq!(y.as_entries_ptr(), ptr, "iteration {iter}: buffer moved");
+        assert_eq!(y.capacity(), cap, "iteration {iter}: buffer grew");
+    }
+    assert_eq!(ws.stats.calls, 5);
+    assert_eq!(ws.stats.reuse_hits, 4, "all warm calls must be hits");
+    assert!(ws.stats.bytes_reused > 0);
+}
+
+#[test]
+fn steady_state_zero_allocation_holds_for_parallel_path() {
+    let a = Dcsc::from_triples(&rmat(RmatParams::g500(10), 5));
+    let mut rng = SplitMix64::new(0xA110D);
+    let x = frontier(a.ncols(), 2, &mut rng);
+
+    let mut ws: SpmvWorkspace<Vertex> = SpmvWorkspace::new();
+    let mut y = SpVec::new(0);
+    let run = |ws: &mut SpmvWorkspace<Vertex>, y: &mut SpVec<Vertex>| {
+        ws.spmspv_parallel_into(
+            &a,
+            &x,
+            4,
+            |j, v: &Vertex| Vertex::new(j, v.root),
+            |acc, inc| inc.parent < acc.parent,
+            y,
+        )
+    };
+
+    let cold_flops = run(&mut ws, &mut y);
+    let ptr = y.as_entries_ptr();
+    let cap = y.capacity();
+    for iter in 0..3 {
+        let flops = run(&mut ws, &mut y);
+        assert_eq!(flops, cold_flops, "iteration {iter}");
+        assert_eq!(y.as_entries_ptr(), ptr, "iteration {iter}: buffer moved");
+        assert_eq!(y.capacity(), cap, "iteration {iter}: buffer grew");
+    }
+}
+
+#[test]
+fn generation_bump_does_not_leak_across_calls() {
+    // Regression for the epoch-stamped SPA: rows touched by a large
+    // frontier must not reappear when a later call uses a small frontier —
+    // the epoch bump, not an O(nrows) sweep, is what isolates calls.
+    let a = Dcsc::from_triples(&rmat(RmatParams::er(8), 3));
+    let mut rng = SplitMix64::new(0x1EAF);
+    let big = frontier(a.ncols(), 1, &mut rng);
+    let small = frontier(a.ncols(), 32, &mut rng);
+
+    let mut ws: SpmvWorkspace<Vertex> = SpmvWorkspace::new();
+    let mut y = SpVec::new(0);
+    for round in 0..3 {
+        for x in [&big, &small] {
+            let seed = spmspv(
+                &a,
+                x,
+                |j, v: &Vertex| Vertex::new(j, v.root),
+                |acc, inc| inc.parent < acc.parent,
+            );
+            let flops = ws.spmspv_into(
+                &a,
+                x,
+                |j, v: &Vertex| Vertex::new(j, v.root),
+                |acc, inc| inc.parent < acc.parent,
+                &mut y,
+            );
+            assert_eq!(y, seed.y, "round {round}: stale SPA state leaked");
+            assert_eq!(flops, seed.flops, "round {round}");
+        }
+    }
+}

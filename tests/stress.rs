@@ -3,10 +3,10 @@
 //! because they cover combinations the targeted suites do not).
 
 use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_core::augment::AugmentMode;
 use mcm_core::maximal::Initializer;
 use mcm_core::semirings::SemiringKind;
 use mcm_core::serial::{hopcroft_karp, ms_bfs_graft, pothen_fan, push_relabel};
-use mcm_core::augment::AugmentMode;
 use mcm_core::{maximum_matching, McmOptions};
 use mcm_sparse::permute::SplitMix64;
 use mcm_sparse::{Triples, Vidx};
@@ -29,15 +29,17 @@ fn dist_matches_hk_exhaustive_options() {
         let t = random_graph(&mut rng, n1, n2, e);
         let want = hopcroft_karp(&t.to_csc(), None).cardinality();
         for dim in [1usize, 2, 3] {
-            for semiring in [
-                SemiringKind::MinParent,
-                SemiringKind::RandParent(3),
-                SemiringKind::RandRoot(4),
-            ] {
+            for semiring in
+                [SemiringKind::MinParent, SemiringKind::RandParent(3), SemiringKind::RandRoot(4)]
+            {
                 for prune in [true, false] {
                     for diropt in [false, true] {
                         for init in [Initializer::None, Initializer::KarpSipser] {
-                            for aug in [AugmentMode::Auto, AugmentMode::LevelParallel, AugmentMode::PathParallel] {
+                            for aug in [
+                                AugmentMode::Auto,
+                                AugmentMode::LevelParallel,
+                                AugmentMode::PathParallel,
+                            ] {
                                 let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 2));
                                 let opts = McmOptions {
                                     semiring,
@@ -97,10 +99,7 @@ fn grid_determinism_min_parent() {
         let t = random_graph(&mut rng, n1, n2, 3 * n1.max(n2));
         let run = |dim: usize| {
             let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
-            let opts = McmOptions {
-                augment: AugmentMode::LevelParallel,
-                ..Default::default()
-            };
+            let opts = McmOptions { augment: AugmentMode::LevelParallel, ..Default::default() };
             maximum_matching(&mut ctx, &t, &opts).matching
         };
         let base = run(1);

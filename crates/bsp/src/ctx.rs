@@ -3,6 +3,7 @@
 use crate::collectives::{max_count, per_rank_counts};
 use crate::cost::CostModel;
 use crate::machine::MachineConfig;
+use crate::sched::Schedule;
 use crate::timers::{Kernel, Timers};
 use mcm_sparse::SpVec;
 
@@ -36,6 +37,11 @@ pub struct DistCtx {
     /// Paper-scale multiplier for compute and graph-data bandwidth (≥ 1.0
     /// in the figure harnesses; 1.0 = charge the stand-in at face value).
     pub work_scale: f64,
+    /// Schedule perturbation for the simtest harness: when set, kernels
+    /// with order freedom (path-parallel augmentation's RMA epochs) execute
+    /// under seed-chosen adversarial interleavings instead of program
+    /// order. `None` (the default) is the friendly fixed schedule.
+    pub sched: Option<Schedule>,
 }
 
 impl DistCtx {
@@ -48,18 +54,24 @@ impl DistCtx {
     pub fn new(machine: MachineConfig) -> Self {
         let mut cost = CostModel::edison();
         cost.beta *= (12.0 / machine.threads_per_process as f64).max(1.0);
-        Self { machine, cost, timers: Timers::new(), work_scale: 1.0 }
+        Self { machine, cost, timers: Timers::new(), work_scale: 1.0, sched: None }
     }
 
     /// A context with an explicit cost model.
     pub fn with_cost(machine: MachineConfig, cost: CostModel) -> Self {
-        Self { machine, cost, timers: Timers::new(), work_scale: 1.0 }
+        Self { machine, cost, timers: Timers::new(), work_scale: 1.0, sched: None }
     }
 
     /// Sets the paper-scale work multiplier (see the type docs).
     pub fn with_work_scale(mut self, work_scale: f64) -> Self {
         assert!(work_scale > 0.0 && work_scale.is_finite());
         self.work_scale = work_scale;
+        self
+    }
+
+    /// Installs a simtest schedule perturbation (see [`crate::sched`]).
+    pub fn with_schedule(mut self, sched: Schedule) -> Self {
+        self.sched = Some(sched);
         self
     }
 

@@ -15,7 +15,9 @@
 //! collectives) — it is a correctness oracle for communication patterns,
 //! not a performance vehicle.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+use crate::sched::{RankSched, Schedule};
 
 /// Per-rank communicator: a full mesh of typed byte-free channels plus a
 /// sent-word counter.
@@ -27,8 +29,14 @@ pub struct RankComm<T: Send> {
     receiver: Receiver<(usize, Vec<T>)>,
     /// Elements this rank pushed into the mesh (monotonic).
     sent_elems: u64,
-    /// Out-of-order stash for messages from other ranks.
-    stash: Vec<Option<Vec<T>>>,
+    /// Out-of-order stash: per-source FIFO queues. mpsc preserves each
+    /// producer's send order, so popping a source's queue front replays its
+    /// stream in order even when a fast rank runs a whole collective ahead
+    /// of a slow peer (a schedule the simtest perturbations make likely).
+    stash: Vec<std::collections::VecDeque<Vec<T>>>,
+    /// Schedule perturbation state ([`run_ranks_sched`]); `None` runs the
+    /// friendly fixed schedule.
+    sched: Option<RankSched>,
 }
 
 impl<T: Send> RankComm<T> {
@@ -47,17 +55,56 @@ impl<T: Send> RankComm<T> {
         self.sent_elems
     }
 
+    /// Perturbation counters `(stalls, retries)` when running under
+    /// [`run_ranks_sched`]; `None` on the friendly schedule.
+    pub fn sched_stats(&self) -> Option<(u64, u64)> {
+        self.sched.as_ref().map(|s| (s.stalls, s.retries))
+    }
+
+    /// Replay certificate of this rank's decision stream (see
+    /// [`Schedule::trace_hash`]); `None` on the friendly schedule.
+    pub fn sched_trace(&self) -> Option<u64> {
+        self.sched.as_ref().map(|s| s.trace_hash())
+    }
+
     fn send_to(&mut self, dst: usize, data: Vec<T>) {
         self.sent_elems += data.len() as u64;
         if dst == self.rank {
-            self.stash[dst] = Some(data);
-        } else {
-            self.senders[dst].send((self.rank, data)).expect("peer rank hung up");
+            self.stash[dst].push_back(data);
+            return;
+        }
+        match self.sched.as_mut() {
+            None => self.senders[dst].send((self.rank, data)).expect("peer rank hung up"),
+            Some(rs) => {
+                // Perturbed path: stall before injecting, then model a
+                // transport with bounded transient failures — try_send
+                // until accepted, retrying (with yields) up to the budget,
+                // then a blocking send. The payload is counted exactly once
+                // above no matter how many attempts delivery took.
+                rs.maybe_stall();
+                let mut msg = (self.rank, data);
+                let budget = rs.retry_budget();
+                for _ in 0..budget {
+                    match self.senders[dst].try_send(msg) {
+                        Ok(()) => return,
+                        Err(TrySendError::Full(m)) => {
+                            msg = m;
+                            rs.note_retry();
+                            std::thread::yield_now();
+                        }
+                        Err(TrySendError::Disconnected(_)) => panic!("peer rank hung up"),
+                    }
+                }
+                self.senders[dst].send(msg).expect("peer rank hung up");
+            }
         }
     }
 
     fn recv_from(&mut self, src: usize) -> Vec<T> {
-        if let Some(msg) = self.stash[src].take() {
+        if let Some(rs) = self.sched.as_mut() {
+            rs.maybe_stall();
+        }
+        if let Some(msg) = self.stash[src].pop_front() {
             return msg;
         }
         loop {
@@ -65,23 +112,35 @@ impl<T: Send> RankComm<T> {
             if from == src {
                 return data;
             }
-            assert!(
-                self.stash[from].replace(data).is_none(),
-                "protocol error: two outstanding messages from rank {from}"
-            );
+            self.stash[from].push_back(data);
         }
     }
 
     /// Personalized all-to-all over the ranks in `group` (which must
     /// contain `self.rank`): element `sends[k]` goes to `group[k]`; returns
     /// what each group member sent here, in group order.
+    ///
+    /// Under a schedule ([`run_ranks_sched`]) the send and receive service
+    /// orders are independently permuted per call — delivery *order* across
+    /// the mesh is adversarial, while the returned vector stays in group
+    /// order (matching MPI's buffer-placement semantics).
     pub fn alltoallv(&mut self, group: &[usize], sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(sends.len(), group.len());
         debug_assert!(group.contains(&self.rank));
-        for (&dst, data) in group.iter().zip(sends) {
-            self.send_to(dst, data);
+        let (send_order, recv_order) = match self.sched.as_mut() {
+            Some(rs) => (rs.permutation(group.len()), rs.permutation(group.len())),
+            None => ((0..group.len()).collect(), (0..group.len()).collect()),
+        };
+        let mut sends: Vec<Option<Vec<T>>> = sends.into_iter().map(Some).collect();
+        for &k in &send_order {
+            let data = sends[k].take().expect("send slot consumed twice");
+            self.send_to(group[k], data);
         }
-        group.iter().map(|&src| self.recv_from(src)).collect()
+        let mut out: Vec<Option<Vec<T>>> = (0..group.len()).map(|_| None).collect();
+        for &k in &recv_order {
+            out[k] = Some(self.recv_from(group[k]));
+        }
+        out.into_iter().map(|m| m.expect("recv slot not filled")).collect()
     }
 
     /// Allgather over `group`: everyone contributes `mine`, everyone
@@ -113,8 +172,9 @@ impl<T: Send> RankComm<T> {
     ///
     /// Implemented over [`RankComm::alltoallv`] so the collective fully
     /// synchronizes every member: a fire-and-forget non-root could otherwise
-    /// race ahead into the next collective and give its peer two
-    /// outstanding messages (tripping the single-slot stash).
+    /// race arbitrarily many collectives ahead of a slow peer and flood its
+    /// inbox (the per-source stash keeps this correct, but unbounded skew
+    /// is not a schedule a real gather exhibits).
     pub fn gather(&mut self, group: &[usize], mine: Vec<T>) -> Vec<Vec<T>> {
         let root = group[0];
         let mut sends: Vec<Vec<T>> = group.iter().map(|_| Vec::new()).collect();
@@ -149,7 +209,35 @@ where
     R: Send,
     F: Fn(RankComm<T>) -> R + Sync,
 {
+    run_ranks_inner(p, (0..p).map(|_| None).collect(), f)
+}
+
+/// Like [`run_ranks`], but every rank executes under a deterministic
+/// schedule perturbation: rank `r` gets `sched.fork(r)`, which permutes its
+/// collective send/receive service orders and injects stalls and bounded
+/// send retries (see [`crate::sched`]). Payloads and [`RankComm::sent_elems`]
+/// accounting are never altered — only *when* and *in what order* things
+/// happen — so any divergence from the friendly schedule is a reordering
+/// bug in the code under test. Replaying the same `sched` seed replays the
+/// same per-rank decision streams.
+pub fn run_ranks_sched<T, R, F>(p: usize, sched: &Schedule, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(RankComm<T>) -> R + Sync,
+{
+    let scheds = (0..p).map(|r| Some(RankSched::new(sched.fork(r as u64)))).collect();
+    run_ranks_inner(p, scheds, f)
+}
+
+fn run_ranks_inner<T, R, F>(p: usize, scheds: Vec<Option<RankSched>>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(RankComm<T>) -> R + Sync,
+{
     assert!(p >= 1);
+    assert_eq!(scheds.len(), p);
     // Build the mesh: one inbox per rank. std mpsc receivers are not
     // cloneable, so each rank's Receiver is *moved* into its thread while
     // the SyncSender side is cloned per peer.
@@ -163,7 +251,7 @@ where
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (rank, receiver) in receivers.into_iter().enumerate() {
+        for (rank, (receiver, sched)) in receivers.into_iter().zip(scheds).enumerate() {
             let senders = senders.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
@@ -173,7 +261,8 @@ where
                     senders,
                     receiver,
                     sent_elems: 0,
-                    stash: (0..p).map(|_| None).collect(),
+                    stash: (0..p).map(|_| std::collections::VecDeque::new()).collect(),
+                    sched,
                 };
                 f(comm)
             }));
@@ -283,5 +372,50 @@ mod tests {
     fn single_rank_loopback() {
         let results = run_ranks::<u8, _, _>(1, |mut comm| comm.alltoallv(&[0], vec![vec![42]]));
         assert_eq!(results[0], vec![vec![42]]);
+    }
+
+    #[test]
+    fn scheduled_collectives_are_oblivious_to_the_schedule() {
+        // Under arbitrary send/recv service orders, stalls and retries, the
+        // collectives must return exactly the friendly-schedule results and
+        // count exactly the same sent elements.
+        let body = |mut comm: RankComm<u32>| {
+            let group: Vec<usize> = (0..4).collect();
+            let me = comm.rank() as u32;
+            let sends = (0..4).map(|dst| vec![me * 10 + dst as u32, me]).collect();
+            let a2a = comm.alltoallv(&group, sends);
+            let ag = comm.allgatherv(&group, vec![me; 3]);
+            let g = comm.gather(&group, vec![me + 7]);
+            (a2a, ag, g, comm.sent_elems())
+        };
+        let friendly = run_ranks::<u32, _, _>(4, body);
+        for seed in [0u64, 1, 2, 0xFEED] {
+            let sched = Schedule::new(seed);
+            let perturbed = run_ranks_sched::<u32, _, _>(4, &sched, body);
+            assert_eq!(perturbed, friendly, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scheduled_runs_replay_from_their_seed() {
+        let body = |mut comm: RankComm<u32>| {
+            let group: Vec<usize> = (0..3).collect();
+            for round in 0..5u32 {
+                let sends = (0..3).map(|d| vec![comm.rank() as u32 + d as u32 + round]).collect();
+                let _ = comm.alltoallv(&group, sends);
+            }
+            (comm.sent_elems(), comm.sched_stats(), comm.sched_trace())
+        };
+        let sched = Schedule::new(99);
+        let a = run_ranks_sched::<u32, _, _>(3, &sched, body);
+        let b = run_ranks_sched::<u32, _, _>(3, &sched, body);
+        // Decision streams (trace hashes) are a pure function of the seed.
+        for rank in 0..3 {
+            assert!(a[rank].1.is_some() && a[rank].2.is_some());
+            assert_eq!(a[rank].2, b[rank].2, "rank {rank} schedule diverged on replay");
+            assert_eq!(a[rank].0, b[rank].0);
+        }
+        let friendly = run_ranks::<u32, _, _>(3, body);
+        assert!(friendly[0].1.is_none() && friendly[0].2.is_none());
     }
 }

@@ -32,6 +32,7 @@ pub mod distmat;
 pub mod engine;
 pub mod machine;
 pub mod rma;
+pub mod sched;
 pub mod timers;
 
 pub use collectives::{balanced_owner, per_rank_counts};
@@ -40,4 +41,5 @@ pub use ctx::DistCtx;
 pub use distmat::{DistMatrix, SpmvPlan};
 pub use machine::{MachineConfig, ProcGrid};
 pub use rma::{RmaTally, RmaWindow};
+pub use sched::{FaultPlan, SchedConfig, Schedule, SimWindow};
 pub use timers::{Kernel, Timers};

@@ -12,6 +12,13 @@
 //! calls, and the modeled elapsed time of the asynchronous epoch is the
 //! maximum over origin ranks of their accumulated call costs — not a
 //! superstep sum.
+//!
+//! [`RmaWindow`] executes ops immediately in program order — one fixed,
+//! friendly schedule. The simtest harness ([`crate::sched`]) provides the
+//! adversarial counterpart: [`crate::sched::SimWindow`] services concurrent
+//! origin streams in a seed-chosen permuted order, so the disjointness
+//! invariants the friendly schedule never stresses get exercised under
+//! every interleaving a real RMA epoch could produce.
 
 use crate::cost::CostModel;
 

@@ -17,6 +17,7 @@
 
 use crate::matching::Matching;
 use crate::primitives::{invert, set_dense, set_sparse};
+use mcm_bsp::sched::{run_interleaved, OriginTask, Schedule, SimWindow};
 use mcm_bsp::{DistCtx, Kernel};
 use mcm_sparse::{DenseVec, SpVec, Vidx, NIL};
 
@@ -41,6 +42,9 @@ pub struct AugmentReport {
     pub paths: usize,
     /// Level-iterations executed (`⌈h/2⌉` for longest path `h`).
     pub levels: usize,
+    /// One-sided calls serviced under a perturbed schedule (0 on the
+    /// friendly fixed schedule — i.e. whenever `ctx.sched` is unset).
+    pub sched_steps: u64,
 }
 
 /// Augments `m` by the vertex-disjoint paths recorded in `path_c`
@@ -55,7 +59,7 @@ pub fn augment(
     let v_c = path_c.to_sparse();
     let k = v_c.nnz();
     if k == 0 {
-        return AugmentReport { used_path_parallel: false, paths: 0, levels: 0 };
+        return AugmentReport { used_path_parallel: false, paths: 0, levels: 0, sched_steps: 0 };
     }
     let p = ctx.p();
     // The switch criterion compares paper-scale path counts (k grows with
@@ -65,12 +69,12 @@ pub fn augment(
         AugmentMode::LevelParallel => false,
         AugmentMode::PathParallel => true,
     };
-    let levels = if path_parallel {
+    let (levels, sched_steps) = if path_parallel {
         path_parallel_augment(ctx, v_c, parent_r, m)
     } else {
-        level_parallel_augment(ctx, v_c, parent_r, m)
+        (level_parallel_augment(ctx, v_c, parent_r, m), 0)
     };
-    AugmentReport { used_path_parallel: path_parallel, paths: k, levels }
+    AugmentReport { used_path_parallel: path_parallel, paths: k, levels, sched_steps }
 }
 
 /// Algorithm 3: level-synchronous augmentation of all paths at once.
@@ -105,31 +109,53 @@ fn level_parallel_augment(
 }
 
 /// Algorithm 4: every path walked independently with one-sided operations.
+///
+/// On the friendly schedule (`ctx.sched` unset) the paths are walked in
+/// program order. Under a simtest [`Schedule`] each path becomes a
+/// [`PathWalker`] origin whose three one-sided calls per level are serviced
+/// in a seed-chosen adversarial interleaving with every other path's calls
+/// — the execution Algorithm 4 actually faces on real RMA hardware. The
+/// paths are vertex-disjoint by construction (§III-C), so *every*
+/// interleaving must produce the same matching; the differential sweeps
+/// assert exactly that. Returns `(max levels, interleaved service steps)`.
 fn path_parallel_augment(
     ctx: &mut DistCtx,
     v_c: SpVec<Vidx>,
     parent_r: &DenseVec,
     m: &mut Matching,
-) -> usize {
+) -> (usize, u64) {
     let p = ctx.p();
     let mut total_levels = 0u64;
     let mut max_levels = 0usize;
-    for &(_, end_row) in v_c.entries() {
-        let mut r = end_row;
-        let mut levels = 0usize;
-        loop {
-            levels += 1;
-            let c = parent_r.get(r); // MPI_Get
-            let next_r = m.mate_c.get(c); // merged MPI_Fetch_and_op
-            m.mate_r.set(r, c); // MPI_Put
-            m.mate_c.set(c, r);
-            if next_r == NIL {
-                break; // reached the root column
+    let mut sched_steps = 0u64;
+    if let Some(mut sched) = ctx.sched.take() {
+        sched_steps = walk_paths_interleaved(
+            &mut sched,
+            &v_c,
+            parent_r,
+            m,
+            &mut total_levels,
+            &mut max_levels,
+        );
+        ctx.sched = Some(sched);
+    } else {
+        for &(_, end_row) in v_c.entries() {
+            let mut r = end_row;
+            let mut levels = 0usize;
+            loop {
+                levels += 1;
+                let c = parent_r.get(r); // MPI_Get
+                let next_r = m.mate_c.get(c); // merged MPI_Fetch_and_op
+                m.mate_r.set(r, c); // MPI_Put
+                m.mate_c.set(c, r);
+                if next_r == NIL {
+                    break; // reached the root column
+                }
+                r = next_r;
             }
-            r = next_r;
+            total_levels += levels as u64;
+            max_levels = max_levels.max(levels);
         }
-        total_levels += levels as u64;
-        max_levels = max_levels.max(levels);
     }
     // Modeled epoch time, per the paper's §IV-B analysis: the paper-scale
     // run has k·work_scale paths "uniformly distributed across p
@@ -140,7 +166,97 @@ fn path_parallel_augment(
     let ops_bottleneck =
         (total_levels as f64 * 3.0 * ctx.work_scale / p as f64).max(3.0 * max_levels as f64);
     ctx.timers.charge(Kernel::Augment, ops_bottleneck * ctx.cost.rma_op());
-    max_levels
+    (max_levels, sched_steps)
+}
+
+/// Window indices of the three distributed vectors a [`PathWalker`]
+/// touches, mirroring the three `MPI_Win`s of Algorithm 4.
+const WIN_PARENT: usize = 0;
+const WIN_MATE_R: usize = 1;
+const WIN_MATE_C: usize = 2;
+
+/// One augmenting path as a resumable op stream: each `step` issues
+/// exactly one one-sided call, so the scheduler can interleave paths at
+/// the same granularity real RMA does.
+struct PathWalker {
+    r: Vidx,
+    c: Vidx,
+    state: WalkState,
+    levels: usize,
+}
+
+enum WalkState {
+    /// `MPI_Get`: fetch the BFS parent column of `r`.
+    GetParent,
+    /// `MPI_Fetch_and_op`: swap `r` into `mate_c[c]`, fetching the old row.
+    SwapMateC,
+    /// `MPI_Put`: record `mate_r[r] = c`, then advance or finish.
+    PutMateR {
+        /// Row fetched by the swap (`NIL` ⇒ the root column is reached).
+        next_r: Vidx,
+    },
+}
+
+impl OriginTask for PathWalker {
+    fn step(&mut self, win: &mut SimWindow<'_>) -> bool {
+        match self.state {
+            WalkState::GetParent => {
+                self.levels += 1;
+                self.c = win.get(WIN_PARENT, self.r);
+                self.state = WalkState::SwapMateC;
+                true
+            }
+            WalkState::SwapMateC => {
+                let next_r = win.fetch_and_put(WIN_MATE_C, self.c, self.r);
+                self.state = WalkState::PutMateR { next_r };
+                true
+            }
+            WalkState::PutMateR { next_r } => {
+                win.put(WIN_MATE_R, self.r, self.c);
+                if next_r == NIL {
+                    return false; // reached the root column
+                }
+                self.r = next_r;
+                self.state = WalkState::GetParent;
+                true
+            }
+        }
+    }
+}
+
+/// Services every path's op stream through a [`SimWindow`] in the
+/// schedule's interleaving; returns the number of service steps.
+fn walk_paths_interleaved(
+    sched: &mut Schedule,
+    v_c: &SpVec<Vidx>,
+    parent_r: &DenseVec,
+    m: &mut Matching,
+    total_levels: &mut u64,
+    max_levels: &mut usize,
+) -> u64 {
+    // The parent vector is read-only in the epoch; a window-local copy
+    // keeps the borrow simple (harness path only — not a perf vehicle).
+    let mut parent = parent_r.clone();
+    let mut walkers: Vec<PathWalker> = v_c
+        .entries()
+        .iter()
+        .map(|&(_, end_row)| PathWalker {
+            r: end_row,
+            c: NIL,
+            state: WalkState::GetParent,
+            levels: 0,
+        })
+        .collect();
+    let steps = {
+        let mut win =
+            SimWindow::new(vec![&mut parent, &mut m.mate_r, &mut m.mate_c], sched.fault());
+        run_interleaved(&mut win, sched, &mut walkers)
+    };
+    for w in &walkers {
+        *total_levels += w.levels as u64;
+        *max_levels = (*max_levels).max(w.levels);
+    }
+    steps
 }
 
 #[cfg(test)]
@@ -216,6 +332,42 @@ mod tests {
         let mut ctx = DistCtx::serial();
         let rep = augment(&mut ctx, AugmentMode::Auto, &path_c, &parent_r, &mut m);
         assert!(rep.used_path_parallel);
+    }
+
+    #[test]
+    fn path_parallel_is_schedule_oblivious() {
+        // Vertex-disjoint paths: every adversarial interleaving of the
+        // per-level RMA triplets must produce the friendly-schedule result.
+        let build = || {
+            let mut m = Matching::empty(4, 4);
+            m.add(0, 1); // path A: c0 — r0 = c1 — r1
+            let mut parent_r = DenseVec::nil(4);
+            parent_r.set(1, 1);
+            parent_r.set(0, 0);
+            parent_r.set(2, 2); // path B: length-1, c2 → r2
+            parent_r.set(3, 3); // path C: length-1, c3 → r3
+            let mut path_c = DenseVec::nil(4);
+            path_c.set(0, 1);
+            path_c.set(2, 2);
+            path_c.set(3, 3);
+            (path_c, parent_r, m)
+        };
+        let friendly = {
+            let (pc, pr, mut m) = build();
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+            augment(&mut ctx, AugmentMode::PathParallel, &pc, &pr, &mut m);
+            m
+        };
+        assert_eq!(friendly.cardinality(), 4);
+        for seed in 0..32 {
+            let (pc, pr, mut m) = build();
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1))
+                .with_schedule(mcm_bsp::Schedule::new(seed));
+            let rep = augment(&mut ctx, AugmentMode::PathParallel, &pc, &pr, &mut m);
+            assert!(rep.sched_steps > 0, "seed {seed}: interleaver did not run");
+            assert_eq!(m, friendly, "seed {seed}: interleaving changed the matching");
+            assert!(ctx.sched.is_some(), "schedule must be restored to the ctx");
+        }
     }
 
     #[test]

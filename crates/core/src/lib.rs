@@ -33,6 +33,7 @@ pub mod mcm;
 pub mod primitives;
 pub mod semirings;
 pub mod serial;
+pub mod simtest;
 pub mod verify;
 pub mod vertex;
 pub mod weighted;

@@ -82,6 +82,13 @@ pub struct McmStats {
     /// Wall-clock nanoseconds of each top-down SpMSpV iteration (in order
     /// across phases; bottom-up iterations are not included).
     pub spmv_iteration_ns: Vec<u64>,
+    /// Seed of the simtest schedule this run executed under (`None` on the
+    /// friendly fixed schedule) — the failure-report handle that replays
+    /// the exact perturbation.
+    pub sched_seed: Option<u64>,
+    /// One-sided calls serviced under perturbed interleavings, summed over
+    /// all path-parallel augmentation epochs.
+    pub sched_interleave_steps: u64,
 }
 
 /// The result of [`maximum_matching`].
@@ -144,9 +151,16 @@ pub fn run_phases(
     // buffers warm up in the first iteration and are reused by every later
     // iteration of every phase (zero kernel-layer allocation once warm).
     let mut plan: SpmvPlan<Vertex, Vertex> = SpmvPlan::new();
+    stats.sched_seed = ctx.sched.as_ref().map(|s| s.seed());
 
     loop {
         stats.phases += 1;
+        // Decorrelate the perturbations of each phase's RMA epochs: the
+        // schedule stream is reseeded as a pure function of (seed, phase),
+        // so a failing phase replays exactly from the run's seed.
+        if let Some(sched) = ctx.sched.as_mut() {
+            sched.next_phase(stats.phases as u64);
+        }
         parent_r.fill_nil();
         path_c.fill_nil();
 
@@ -244,6 +258,7 @@ pub fn run_phases(
             break; // no augmenting path: maximum reached
         }
         stats.augmentations += report.paths;
+        stats.sched_interleave_steps += report.sched_steps;
         stats.augment_reports.push(report);
     }
 

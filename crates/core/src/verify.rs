@@ -7,9 +7,52 @@
 //!   alternating BFS from all unmatched columns — independent of the
 //!   algorithms under test, so it catches agreement-in-error with the
 //!   Hopcroft–Karp oracle.
+//! * [`verify`] — both checks as a `Result<(), VerifyError>` so sweep
+//!   harnesses can report *which* check failed (and under which schedule
+//!   seed) without aborting; [`assert_maximum`] is the panicking wrapper.
 
 use crate::matching::Matching;
 use mcm_sparse::{Csc, Vidx, NIL};
+use std::fmt;
+
+/// Why a matching failed verification. `Display` gives the same diagnostic
+/// the old panicking API printed, so harnesses (the simtest sweeps) can
+/// attach context — notably the schedule seed — instead of aborting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Structural violation: inconsistent mates, out-of-range indices, or a
+    /// matched pair that is not an edge (from [`Matching::validate`]).
+    Invalid(String),
+    /// The matching is valid but admits an augmenting path (not maximum).
+    NotMaximum {
+        /// Cardinality of the non-maximum matching.
+        cardinality: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Invalid(e) => write!(f, "invalid matching: {e}"),
+            VerifyError::NotMaximum { cardinality } => {
+                write!(f, "matching of cardinality {cardinality} admits an augmenting path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Full verification as a `Result`: structural validity plus the Berge
+/// maximality certificate. The panicking [`assert_maximum`] wraps this for
+/// benches and examples.
+pub fn verify(a: &Csc, m: &Matching) -> Result<(), VerifyError> {
+    m.validate(a).map_err(VerifyError::Invalid)?;
+    if !is_maximum(a, m) {
+        return Err(VerifyError::NotMaximum { cardinality: m.cardinality() });
+    }
+    Ok(())
+}
 
 /// `true` when no edge connects an unmatched row to an unmatched column.
 pub fn is_maximal(a: &Csc, m: &Matching) -> bool {
@@ -63,16 +106,12 @@ pub fn is_maximum(a: &Csc, m: &Matching) -> bool {
     true
 }
 
-/// Panics with a diagnostic unless `m` is a valid maximum matching of `a`.
+/// Panics with a diagnostic unless `m` is a valid maximum matching of `a`
+/// (the [`verify`] wrapper for benches, examples, and tests).
 pub fn assert_maximum(a: &Csc, m: &Matching) {
-    if let Err(e) = m.validate(a) {
-        panic!("invalid matching: {e}");
+    if let Err(e) = verify(a, m) {
+        panic!("{e}");
     }
-    assert!(
-        is_maximum(a, m),
-        "matching of cardinality {} admits an augmenting path",
-        m.cardinality()
-    );
 }
 
 #[cfg(test)]
@@ -136,5 +175,24 @@ mod tests {
         let mut m = Matching::empty(2, 2);
         m.add(0, 0);
         assert_maximum(&a, &m);
+    }
+
+    #[test]
+    fn verify_returns_typed_errors() {
+        let a = z_graph();
+        let mut good = Matching::empty(2, 2);
+        good.add(0, 1);
+        good.add(1, 0);
+        assert_eq!(verify(&a, &good), Ok(()));
+
+        let mut suboptimal = Matching::empty(2, 2);
+        suboptimal.add(0, 0);
+        assert_eq!(verify(&a, &suboptimal), Err(VerifyError::NotMaximum { cardinality: 1 }));
+
+        let mut broken = Matching::empty(2, 2);
+        broken.mate_c.set(0, 1); // mate_r[1] left NIL: inconsistent
+        let err = verify(&a, &broken).unwrap_err();
+        assert!(matches!(err, VerifyError::Invalid(_)));
+        assert!(err.to_string().starts_with("invalid matching:"));
     }
 }

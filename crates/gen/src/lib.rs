@@ -26,6 +26,8 @@ pub mod mesh;
 pub mod realistic;
 pub mod rmat;
 pub mod smallworld;
+pub mod suite;
 
 pub use realistic::{representative4, table2, StandIn};
 pub use rmat::{rmat, RmatParams};
+pub use suite::simtest_suite;

@@ -1,0 +1,75 @@
+//! The simtest input suite: a curated, seed-parameterized batch of small
+//! instances spanning every structure class the generators produce.
+//!
+//! The schedule-perturbation sweeps (`tests/simtest_*.rs`, DESIGN.md §10)
+//! need inputs that are (a) small enough to run hundreds of perturbed
+//! configurations per CI job, and (b) diverse enough to exercise every
+//! regime of MCM-DIST: long single augmenting paths (path-parallel RMA
+//! chains), many disjoint paths (adversarial interleavings), skewed
+//! degrees (load imbalance in the collectives), and rectangular shapes
+//! (deficient matchings). One function owns that list so every harness
+//! sweeps the same inputs.
+
+use crate::banded::banded;
+use crate::er::gnm_bipartite;
+use crate::hard::{chain, crown, parallel_chains, staircase};
+use crate::mesh::road_grid;
+use crate::rmat::{rmat, RmatParams};
+use mcm_sparse::Triples;
+
+/// The standard simtest input batch, deterministic in `seed`. Names are
+/// stable identifiers for failure reports.
+pub fn simtest_suite(seed: u64) -> Vec<(String, Triples)> {
+    vec![
+        // Random structure: flat and skewed degree distributions, plus a
+        // rectangular deficient instance.
+        ("er_gnm_24x30".into(), gnm_bipartite(24, 30, 70, seed)),
+        ("er_gnm_sparse_20x20".into(), gnm_bipartite(20, 20, 26, seed.wrapping_add(1))),
+        ("rmat_g500_s5".into(), rmat(RmatParams::g500(5), seed)),
+        // Structured stand-ins: banded diffusion and a road-like mesh.
+        ("banded_28".into(), banded(28, 3, 2, seed)),
+        ("road_grid_6x5".into(), road_grid(6, 5, 0.15, seed)),
+        // Adversarial matching instances: one maximal-length augmenting
+        // chain, many simultaneous disjoint chains (the path-parallel RMA
+        // stress case), staircase phase-count blowup, and the crown's
+        // initializer trap.
+        ("chain_9".into(), chain(9)),
+        ("parallel_chains_3x4".into(), parallel_chains(3, 4)),
+        ("staircase_6".into(), staircase(6)),
+        ("crown_8".into(), crown(8)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_in_seed() {
+        let a = simtest_suite(7);
+        let b = simtest_suite(7);
+        assert_eq!(a.len(), b.len());
+        for ((na, ta), (nb, tb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(ta, tb, "{na} not deterministic");
+        }
+        let c = simtest_suite(8);
+        assert!(
+            a.iter().zip(&c).any(|((_, ta), (_, tc))| ta != tc),
+            "seed must actually vary the random instances"
+        );
+    }
+
+    #[test]
+    fn suite_names_are_unique_and_instances_nonempty() {
+        let suite = simtest_suite(1);
+        let mut names: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+        for (name, t) in &suite {
+            assert!(!t.is_empty(), "{name} is empty");
+            assert!(t.nrows() <= 64 && t.ncols() <= 64, "{name} too large for a sweep input");
+        }
+    }
+}

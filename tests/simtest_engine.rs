@@ -1,0 +1,180 @@
+//! Channel-engine collectives under schedule perturbation, plus the
+//! edge cases the PR-1 self-send-by-move path introduced: p = 1 groups,
+//! empty payloads, and exact `sent_elems` accounting (no element may be
+//! counted twice however the schedule reorders, stalls, or retries).
+
+use mcm_bsp::engine::{run_ranks, run_ranks_sched, RankComm};
+use mcm_bsp::Schedule;
+
+// ---------------------------------------------------------------------------
+// Edge cases on the friendly schedule.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn p1_alltoallv_and_allgatherv_loop_back() {
+    let results = run_ranks::<u32, _, _>(1, |mut comm| {
+        let a2a = comm.alltoallv(&[0], vec![vec![7, 8]]);
+        let ag = comm.allgatherv(&[0], vec![9]);
+        let g = comm.gather(&[0], vec![10]);
+        (a2a, ag, g, comm.sent_elems())
+    });
+    let (a2a, ag, g, sent) = &results[0];
+    assert_eq!(*a2a, vec![vec![7, 8]]);
+    assert_eq!(*ag, vec![vec![9]]);
+    assert_eq!(*g, vec![vec![10]]);
+    // 2 (alltoallv) + 1 (allgatherv self-copy) + 1 (gather): each element
+    // exactly once — the self-send-by-move path must not double-count.
+    assert_eq!(*sent, 4);
+}
+
+#[test]
+fn empty_payloads_cost_nothing_and_deliver_empty() {
+    let results = run_ranks::<u32, _, _>(3, |mut comm| {
+        let group: Vec<usize> = (0..3).collect();
+        let a2a = comm.alltoallv(&group, vec![Vec::new(), Vec::new(), Vec::new()]);
+        let ag = comm.allgatherv(&group, Vec::new());
+        (a2a, ag, comm.sent_elems())
+    });
+    for (a2a, ag, sent) in results {
+        assert_eq!(sent, 0, "empty payloads must charge zero sent elements");
+        assert_eq!(a2a, vec![Vec::new(), Vec::new(), Vec::new()]);
+        assert_eq!(ag, vec![Vec::new(), Vec::new(), Vec::new()]);
+    }
+}
+
+#[test]
+fn allgatherv_self_send_by_move_counts_exactly_once_per_member() {
+    // The self-copy is moved (not cloned), but accounting must equal the
+    // cost model's allgather volume: |group| copies of `mine`, no more.
+    for p in [1usize, 2, 4] {
+        let results = run_ranks::<u64, _, _>(p, |mut comm| {
+            let group: Vec<usize> = (0..p).collect();
+            let mine = vec![comm.rank() as u64; 5];
+            let gathered = comm.allgatherv(&group, mine);
+            (gathered, comm.sent_elems())
+        });
+        for (gathered, sent) in results {
+            assert_eq!(sent, (p * 5) as u64, "p = {p}");
+            for (src, msg) in gathered.into_iter().enumerate() {
+                assert_eq!(msg, vec![src as u64; 5], "p = {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_empty_and_nonempty_sends_route_exactly() {
+    // Rank r sends r elements to each even destination, nothing to odd
+    // ones: asymmetric payloads exercise the stash under reordering.
+    let p = 4;
+    let results = run_ranks::<u32, _, _>(p, |mut comm| {
+        let group: Vec<usize> = (0..p).collect();
+        let me = comm.rank() as u32;
+        let sends = (0..p)
+            .map(|dst| if dst % 2 == 0 { vec![me; comm.rank()] } else { Vec::new() })
+            .collect();
+        (comm.alltoallv(&group, sends), comm.sent_elems())
+    });
+    for (dst, (recvd, sent)) in results.into_iter().enumerate() {
+        // Rank r sends r elements to each of the two even destinations.
+        assert_eq!(sent, 2 * dst as u64, "rank {dst} charged the wrong volume");
+        for (src, msg) in recvd.into_iter().enumerate() {
+            let want = if dst % 2 == 0 { vec![src as u32; src] } else { Vec::new() };
+            assert_eq!(msg, want, "src {src} dst {dst}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The same collectives under adversarial schedules.
+// ---------------------------------------------------------------------------
+
+/// Per-rank outcome of [`workload`]: last alltoallv, allgatherv, gather,
+/// and the charged element count.
+type WorkloadResult = (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<Vec<u32>>, u64);
+
+/// A multi-round mixed-collective body whose results and accounting must
+/// be schedule-oblivious.
+fn workload(mut comm: RankComm<u32>) -> WorkloadResult {
+    let p = comm.p();
+    let group: Vec<usize> = (0..p).collect();
+    let me = comm.rank() as u32;
+    let mut last_a2a = Vec::new();
+    for round in 0..4u32 {
+        let sends = (0..p).map(|dst| vec![me * 100 + dst as u32 + round; (dst + 1) % 3]).collect();
+        last_a2a = comm.alltoallv(&group, sends);
+    }
+    let ag = comm.allgatherv(&group, vec![me; 2]);
+    let g = comm.gather(&group, vec![me + 50]);
+    (last_a2a, ag, g, comm.sent_elems())
+}
+
+#[test]
+fn perturbed_collectives_match_friendly_schedule_exactly() {
+    for p in [2usize, 4, 6] {
+        let friendly = run_ranks::<u32, _, _>(p, workload);
+        for seed in [0u64, 1, 7, 0x5EED] {
+            let perturbed = run_ranks_sched::<u32, _, _>(p, &Schedule::new(seed), workload);
+            assert_eq!(perturbed, friendly, "p = {p} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn perturbed_subgroup_collectives_do_not_interfere() {
+    // Disjoint column groups run concurrently under stalls and reordering
+    // (the 2D-grid SpMSpV expand/fold communication shape).
+    let body = |mut comm: RankComm<u32>| {
+        let base = (comm.rank() / 2) * 2;
+        let group = vec![base, base + 1];
+        let sends = group.iter().map(|&d| vec![(comm.rank() * 4 + d) as u32]).collect();
+        let a2a = comm.alltoallv(&group, sends);
+        let ag = comm.allgatherv(&group, vec![comm.rank() as u32]);
+        (a2a, ag)
+    };
+    let friendly = run_ranks::<u32, _, _>(4, body);
+    for seed in 0..8u64 {
+        let perturbed = run_ranks_sched::<u32, _, _>(4, &Schedule::new(seed), body);
+        assert_eq!(perturbed, friendly, "seed {seed}");
+    }
+}
+
+#[test]
+fn stalls_and_retries_are_observable_but_never_change_accounting() {
+    let body = |mut comm: RankComm<u32>| {
+        let p = comm.p();
+        let group: Vec<usize> = (0..p).collect();
+        for _ in 0..6 {
+            let sends = (0..p).map(|d| vec![comm.rank() as u32; d + 1]).collect();
+            let _ = comm.alltoallv(&group, sends);
+        }
+        (comm.sent_elems(), comm.sched_stats().expect("sched stats must exist"))
+    };
+    let mut any_stall = false;
+    for seed in 0..6u64 {
+        let results = run_ranks_sched::<u32, _, _>(4, &Schedule::new(seed), body);
+        for (rank, (sent, (stalls, _retries))) in results.into_iter().enumerate() {
+            // 6 rounds × Σ(d+1 for d in 0..4) = 6 × 10 elements per rank.
+            assert_eq!(sent, 60, "seed {seed} rank {rank}");
+            any_stall |= stalls > 0;
+        }
+    }
+    assert!(any_stall, "the default schedule config should inject at least one stall");
+}
+
+#[test]
+fn perturbed_runs_replay_their_decision_streams() {
+    let body = |mut comm: RankComm<u32>| {
+        let group: Vec<usize> = (0..comm.p()).collect();
+        for _ in 0..3 {
+            let sends = (0..comm.p()).map(|_| vec![comm.rank() as u32]).collect();
+            let _ = comm.alltoallv(&group, sends);
+        }
+        comm.sched_trace().expect("trace must exist under a schedule")
+    };
+    let a = run_ranks_sched::<u32, _, _>(3, &Schedule::new(123), body);
+    let b = run_ranks_sched::<u32, _, _>(3, &Schedule::new(123), body);
+    let c = run_ranks_sched::<u32, _, _>(3, &Schedule::new(124), body);
+    assert_eq!(a, b, "same seed must replay identical per-rank schedules");
+    assert_ne!(a, c, "different seeds must perturb differently");
+}

@@ -1,0 +1,196 @@
+//! RMA atomicity under adversarial service orders (DESIGN.md §10): the
+//! property tests behind Algorithm 4's correctness argument. Concurrent
+//! `fetch_and_put` streams racing on one slot must produce exactly one
+//! winner under *every* permuted service order; vertex-disjoint streams
+//! must commute; and the full path-parallel matching kernel must be
+//! schedule-oblivious end to end — while a deliberately broken window
+//! (fetch dropped) is reliably detected.
+
+use mcm_bsp::sched::{run_interleaved, OriginTask};
+use mcm_bsp::{DistCtx, FaultPlan, MachineConfig, SchedConfig, Schedule, SimWindow};
+use mcm_core::augment::AugmentMode;
+use mcm_core::maximal::Initializer;
+use mcm_core::serial::hopcroft_karp;
+use mcm_core::{maximum_matching, verify, McmOptions};
+use mcm_gen::hard::{chain, parallel_chains};
+use mcm_sparse::{DenseVec, Vidx, NIL};
+
+/// One simulated origin issuing a single `fetch_and_put` on a shared slot.
+struct Racer {
+    id: Vidx,
+    slot: Vidx,
+    saw: Option<Vidx>,
+}
+
+impl OriginTask for Racer {
+    fn step(&mut self, win: &mut SimWindow<'_>) -> bool {
+        self.saw = Some(win.fetch_and_put(0, self.slot, self.id));
+        false
+    }
+}
+
+#[test]
+fn n_rank_fetch_and_put_race_has_one_winner_under_every_service_order() {
+    // 8 origins on one slot across a wide seed range: the service order is
+    // a schedule-chosen permutation, and in every one of them exactly one
+    // origin must observe the initial NIL (it "won" the slot) while the
+    // others each observe a distinct predecessor — the atomic swap chain.
+    for n in [2 as Vidx, 3, 8] {
+        for seed in 0..256u64 {
+            let mut slot = DenseVec::nil(1);
+            let mut win = SimWindow::new(vec![&mut slot], FaultPlan::default());
+            let mut racers: Vec<Racer> =
+                (0..n).map(|id| Racer { id, slot: 0, saw: None }).collect();
+            let mut sched = Schedule::new(seed);
+            let steps = run_interleaved(&mut win, &mut sched, &mut racers);
+            assert_eq!(steps, n as u64, "each origin issues exactly one call");
+
+            let winners = racers.iter().filter(|r| r.saw == Some(NIL)).count();
+            assert_eq!(winners, 1, "n = {n} seed {seed}: atomicity violated");
+            let mut seen: Vec<Vidx> = racers.iter().map(|r| r.saw.unwrap()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), n as usize, "n = {n} seed {seed}: lost update");
+            // The final occupant is the one nobody fetched back out.
+            let last = slot.get(0);
+            assert!(
+                racers.iter().all(|r| r.saw != Some(last)),
+                "n = {n} seed {seed}: final occupant was also swapped out"
+            );
+        }
+    }
+}
+
+#[test]
+fn broken_window_collapses_the_swap_chain_under_every_schedule() {
+    // With the injected `drop_fetch` bug armed, the put lands but every
+    // fetch returns NIL — so every origin believes it won. This is the
+    // signal the differential sweeps key on; it must appear under every
+    // seed, not just a lucky one.
+    for seed in 0..32u64 {
+        let mut slot = DenseVec::nil(1);
+        let mut win = SimWindow::new(vec![&mut slot], FaultPlan::broken_fetch_and_put());
+        let mut racers: Vec<Racer> = (0..5).map(|id| Racer { id, slot: 0, saw: None }).collect();
+        let mut sched = Schedule::new(seed);
+        run_interleaved(&mut win, &mut sched, &mut racers);
+        let winners = racers.iter().filter(|r| r.saw == Some(NIL)).count();
+        assert!(winners > 1, "seed {seed}: the injected bug must be observable");
+    }
+}
+
+/// An origin that walks its own private slot: get, bump, put, repeat.
+/// Disjoint origins must commute under any interleaving.
+struct DisjointWalker {
+    slot: Vidx,
+    rounds: u32,
+}
+
+impl OriginTask for DisjointWalker {
+    fn step(&mut self, win: &mut SimWindow<'_>) -> bool {
+        if self.rounds == 0 {
+            return false;
+        }
+        let cur = win.fetch_and_put(0, self.slot, self.slot * 100 + self.rounds as Vidx);
+        let _ = cur;
+        self.rounds -= 1;
+        self.rounds > 0
+    }
+}
+
+#[test]
+fn vertex_disjoint_streams_commute_under_every_interleaving() {
+    // The disjointness invariant of Algorithm 4: origins touching disjoint
+    // slots must leave the window in the same final state no matter how
+    // the schedule interleaves their calls.
+    let reference = {
+        let mut v = DenseVec::nil(8);
+        let mut win = SimWindow::new(vec![&mut v], FaultPlan::default());
+        let mut tasks: Vec<DisjointWalker> =
+            (0..8).map(|slot| DisjointWalker { slot, rounds: 4 }).collect();
+        let mut sched = Schedule::new(0);
+        run_interleaved(&mut win, &mut sched, &mut tasks);
+        (0..8).map(|i| v.get(i)).collect::<Vec<_>>()
+    };
+    for seed in 1..64u64 {
+        let mut v = DenseVec::nil(8);
+        let mut win = SimWindow::new(vec![&mut v], FaultPlan::default());
+        let mut tasks: Vec<DisjointWalker> =
+            (0..8).map(|slot| DisjointWalker { slot, rounds: 4 }).collect();
+        let mut sched = Schedule::new(seed);
+        run_interleaved(&mut win, &mut sched, &mut tasks);
+        let state: Vec<Vidx> = (0..8).map(|i| v.get(i)).collect();
+        assert_eq!(state, reference, "seed {seed}: disjoint streams failed to commute");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the path-parallel kernel through MCM-DIST.
+// ---------------------------------------------------------------------------
+
+fn path_parallel_opts() -> McmOptions {
+    McmOptions {
+        augment: AugmentMode::PathParallel,
+        init: Initializer::Greedy,
+        ..McmOptions::default()
+    }
+}
+
+#[test]
+fn path_parallel_matching_is_schedule_oblivious_end_to_end() {
+    let graphs = [("chain_10", chain(10)), ("parallel_chains_4x3", parallel_chains(4, 3))];
+    let opts = path_parallel_opts();
+    for (name, g) in &graphs {
+        let a = g.to_csc();
+        let oracle = hopcroft_karp(&a, None).cardinality();
+        let friendly = {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+            maximum_matching(&mut ctx, g, &opts)
+        };
+        assert_eq!(friendly.matching.cardinality(), oracle, "{name}: friendly run wrong");
+        for seed in 0..24u64 {
+            let mut ctx =
+                DistCtx::new(MachineConfig::hybrid(2, 1)).with_schedule(Schedule::new(seed));
+            let result = maximum_matching(&mut ctx, g, &opts);
+            assert_eq!(
+                result.matching, friendly.matching,
+                "{name} seed {seed}: schedule changed the matching"
+            );
+            verify::verify(&a, &result.matching)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_eq!(result.stats.sched_seed, Some(seed), "{name}: seed not recorded");
+            assert!(
+                result.stats.sched_interleave_steps > 0,
+                "{name} seed {seed}: the interleaver never ran"
+            );
+        }
+    }
+}
+
+#[test]
+fn broken_window_corrupts_real_matchings_and_replays_from_its_seed() {
+    // Arm the injected bug through a real MCM-DIST run: dropped fetches
+    // truncate augmenting-path walks, leaving a wrong (smaller or invalid)
+    // matching. At least one seed in a small budget must expose it, and
+    // that seed must reproduce the identical wrong outcome on replay.
+    let g = chain(8);
+    let a = g.to_csc();
+    let oracle = hopcroft_karp(&a, None).cardinality();
+    let opts = path_parallel_opts();
+    let cfg = SchedConfig { fault: FaultPlan::broken_fetch_and_put(), ..SchedConfig::default() };
+
+    let run = |seed: u64| {
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(1, 1))
+            .with_schedule(Schedule::with_config(seed, cfg));
+        maximum_matching(&mut ctx, &g, &opts)
+    };
+
+    let caught = (0..8u64).find(|&seed| {
+        let r = run(seed);
+        r.matching.cardinality() != oracle || verify::verify(&a, &r.matching).is_err()
+    });
+    let seed = caught.expect("broken fetch_and_put survived every schedule in the budget");
+
+    let first = run(seed);
+    let again = run(seed);
+    assert_eq!(first.matching, again.matching, "seed {seed} did not replay deterministically");
+}

@@ -11,6 +11,21 @@ use mcm_core::{maximum_matching, McmOptions};
 use mcm_sparse::permute::SplitMix64;
 use mcm_sparse::{Triples, Vidx};
 
+/// Resolves a stress case's RNG seed: the case default, unless
+/// `MCM_TEST_SEED` overrides it (decimal or `0x`-prefixed hex). Every
+/// assertion message below carries the resolved seed, so any failure
+/// replays exactly with `MCM_TEST_SEED=<seed> cargo test --test stress`
+/// (see EXPERIMENTS.md, "Reproducing a failing schedule").
+fn stress_seed(default: u64) -> u64 {
+    let Ok(raw) = std::env::var("MCM_TEST_SEED") else { return default };
+    let raw = raw.trim();
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("MCM_TEST_SEED={raw} is not a u64"))
+}
+
 fn random_graph(rng: &mut SplitMix64, n1: usize, n2: usize, edges: usize) -> Triples {
     let mut t = Triples::new(n1, n2);
     for _ in 0..edges {
@@ -21,7 +36,8 @@ fn random_graph(rng: &mut SplitMix64, n1: usize, n2: usize, edges: usize) -> Tri
 
 #[test]
 fn dist_matches_hk_exhaustive_options() {
-    let mut rng = SplitMix64::new(0xDEAD);
+    let seed = stress_seed(0xDEAD);
+    let mut rng = SplitMix64::new(seed);
     for trial in 0..60 {
         let n1 = 1 + (rng.next_u64() % 30) as usize;
         let n2 = 1 + (rng.next_u64() % 30) as usize;
@@ -51,11 +67,13 @@ fn dist_matches_hk_exhaustive_options() {
                                     seed: trial,
                                 };
                                 let r = maximum_matching(&mut ctx, &t, &opts);
-                                r.matching.validate(&t.to_csc()).unwrap();
+                                r.matching.validate(&t.to_csc()).unwrap_or_else(|e| {
+                                    panic!("seed {seed:#x} trial {trial} dim {dim}: {e}")
+                                });
                                 assert_eq!(
                                     r.matching.cardinality(),
                                     want,
-                                    "trial {trial} dim {dim} {semiring:?} prune {prune} diropt {diropt} init {init:?} aug {aug:?}"
+                                    "seed {seed:#x} trial {trial} dim {dim} {semiring:?} prune {prune} diropt {diropt} init {init:?} aug {aug:?}"
                                 );
                             }
                         }
@@ -68,7 +86,8 @@ fn dist_matches_hk_exhaustive_options() {
 
 #[test]
 fn serial_algorithms_match_hk_adversarial() {
-    let mut rng = SplitMix64::new(77777);
+    let seed = stress_seed(77777);
+    let mut rng = SplitMix64::new(seed);
     for trial in 0..300 {
         // Skewed shapes, including very tall / very wide.
         let n1 = 1 + (rng.next_u64() % 50) as usize;
@@ -78,21 +97,22 @@ fn serial_algorithms_match_hk_adversarial() {
         let a = t.to_csc();
         let want = hopcroft_karp(&a, None).cardinality();
         let pf = pothen_fan(&a, None);
-        pf.validate(&a).unwrap();
-        assert_eq!(pf.cardinality(), want, "pf trial {trial} {n1}x{n2}");
+        pf.validate(&a).unwrap_or_else(|e| panic!("pf seed {seed:#x} trial {trial}: {e}"));
+        assert_eq!(pf.cardinality(), want, "pf seed {seed:#x} trial {trial} {n1}x{n2}");
         let pr = push_relabel(&a);
-        pr.validate(&a).unwrap();
-        assert_eq!(pr.cardinality(), want, "pr trial {trial} {n1}x{n2}");
+        pr.validate(&a).unwrap_or_else(|e| panic!("pr seed {seed:#x} trial {trial}: {e}"));
+        assert_eq!(pr.cardinality(), want, "pr seed {seed:#x} trial {trial} {n1}x{n2}");
         let (g, _) = ms_bfs_graft(&a, None);
-        g.validate(&a).unwrap();
-        assert_eq!(g.cardinality(), want, "graft trial {trial} {n1}x{n2}");
+        g.validate(&a).unwrap_or_else(|e| panic!("graft seed {seed:#x} trial {trial}: {e}"));
+        assert_eq!(g.cardinality(), want, "graft seed {seed:#x} trial {trial} {n1}x{n2}");
     }
 }
 
 #[test]
 fn grid_determinism_min_parent() {
     // Deterministic semiring: identical matchings across grid shapes.
-    let mut rng = SplitMix64::new(31415);
+    let seed = stress_seed(31415);
+    let mut rng = SplitMix64::new(seed);
     for trial in 0..30 {
         let n1 = 2 + (rng.next_u64() % 40) as usize;
         let n2 = 2 + (rng.next_u64() % 40) as usize;
@@ -104,14 +124,15 @@ fn grid_determinism_min_parent() {
         };
         let base = run(1);
         for dim in 2..=4 {
-            assert_eq!(run(dim), base, "trial {trial} dim {dim}");
+            assert_eq!(run(dim), base, "seed {seed:#x} trial {trial} dim {dim}");
         }
     }
 }
 
 #[test]
 fn grid_determinism_rand_semirings() {
-    let mut rng = SplitMix64::new(999);
+    let seed = stress_seed(999);
+    let mut rng = SplitMix64::new(seed);
     for trial in 0..20 {
         let n = 2 + (rng.next_u64() % 30) as usize;
         let t = random_graph(&mut rng, n, n, 3 * n);
@@ -127,7 +148,7 @@ fn grid_determinism_rand_semirings() {
             };
             let base = run(1);
             for dim in 2..=3 {
-                assert_eq!(run(dim), base, "trial {trial} dim {dim} {semiring:?}");
+                assert_eq!(run(dim), base, "seed {seed:#x} trial {trial} dim {dim} {semiring:?}");
             }
         }
     }
@@ -156,7 +177,8 @@ fn auction_doc_eps_is_exact_for_integer_weights() {
         }
         go(a, 0, &mut vec![false; a.nrows()])
     }
-    let mut rng = SplitMix64::new(4242);
+    let seed = stress_seed(4242);
+    let mut rng = SplitMix64::new(seed);
     for trial in 0..300 {
         let n1 = 2 + (rng.next_u64() % 5) as usize;
         let n2 = 2 + (rng.next_u64() % 5) as usize;
@@ -176,7 +198,7 @@ fn auction_doc_eps_is_exact_for_integer_weights() {
         let got = auction_mwm(&a, eps);
         assert!(
             (got.weight - want).abs() < 1e-9,
-            "trial {trial}: doc-eps auction {} vs brute {want}",
+            "seed {seed:#x} trial {trial}: doc-eps auction {} vs brute {want}",
             got.weight
         );
     }

@@ -133,6 +133,70 @@ pub fn maximum_matching(ctx: &mut DistCtx, t: &Triples, opts: &McmOptions) -> Mc
     McmResult { matching, stats }
 }
 
+/// Warm-start entry point: resumes MCM-DIST from an existing valid (not
+/// necessarily maximal) matching instead of running an initializer.
+///
+/// §V of the paper shows a warm start removes most of the BFS work; the
+/// incremental engine (`mcm-dyn`) leans on this as its large-dirty-set
+/// fallback — after a batch of edge updates, the stale matching is still
+/// valid on the new graph (matched deletions were unmatched first), so the
+/// phase loop only has to repair the damaged region.
+///
+/// # Panics
+/// Panics when `warm`'s dimensions do not match `t`'s; debug-panics when
+/// `warm` is not a valid matching of `t`.
+pub fn maximum_matching_from(
+    ctx: &mut DistCtx,
+    t: &Triples,
+    warm: Matching,
+    opts: &McmOptions,
+) -> McmResult {
+    assert!(
+        warm.n1() == t.nrows() && warm.n2() == t.ncols(),
+        "warm matching is {}x{} but the graph is {}x{}",
+        warm.n1(),
+        warm.n2(),
+        t.nrows(),
+        t.ncols()
+    );
+    debug_assert!(warm.validate(&t.to_csc()).is_ok());
+    let (work, perms) = match opts.permute_seed {
+        Some(seed) => {
+            let (pt, rowp, colp) = random_relabel(t, seed);
+            (pt, Some((rowp, colp)))
+        }
+        None => (t.clone(), None),
+    };
+    let a = DistMatrix::from_triples(ctx, &work);
+    let at = opts.direction_optimizing.then(|| DistMatrix::from_triples(ctx, &work.transposed()));
+    let mut m = match &perms {
+        None => warm,
+        Some((rowp, colp)) => permute_matching(warm, rowp, colp),
+    };
+    let mut stats = McmStats { init_cardinality: m.cardinality(), ..Default::default() };
+
+    run_phases(ctx, &a, at.as_ref(), &mut m, opts, &mut stats);
+
+    let matching = match perms {
+        None => m,
+        Some((rowp, colp)) => unpermute(m, &rowp, &colp),
+    };
+    McmResult { matching, stats }
+}
+
+/// Maps a matching in original labels into relabeled vertices (the inverse
+/// of [`unpermute`], used by the warm-start entry).
+fn permute_matching(m: Matching, rowp: &Permutation, colp: &Permutation) -> Matching {
+    let mut out = Matching::empty(m.n1(), m.n2());
+    for j in 0..m.n2() as Vidx {
+        let i = m.mate_c.get(j);
+        if i != NIL {
+            out.add(rowp.apply(i), colp.apply(j));
+        }
+    }
+    out
+}
+
 /// The phase loop of Algorithm 2, operating on an already-distributed
 /// matrix and matching (used directly by benches that pre-distribute).
 /// `at` (the transpose) is only consulted when `opts.direction_optimizing`.
@@ -467,6 +531,67 @@ mod tests {
         assert!(s.spmv_bytes_reused > 0);
         assert!(!s.spmv_iteration_ns.is_empty());
         assert!(s.spmv_iteration_ns.len() <= s.iterations);
+    }
+
+    #[test]
+    fn warm_start_resumes_and_reaches_maximum() {
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(0x3A57);
+        for trial in 0..10 {
+            let (n1, n2) =
+                (10 + (rng.next_u64() % 20) as usize, 10 + (rng.next_u64() % 20) as usize);
+            let mut t = Triples::new(n1, n2);
+            for _ in 0..3 * n1.max(n2) {
+                t.push(rng.below(n1 as u64) as Vidx, rng.below(n2 as u64) as Vidx);
+            }
+            let a = t.to_csc();
+            let want = hopcroft_karp(&a, None).cardinality();
+            // A deliberately stale warm start: a greedy matching on a
+            // subsample of the columns (valid, far from maximal).
+            let mut warm = Matching::empty(n1, n2);
+            for j in (0..n2 as Vidx).step_by(3) {
+                for &i in a.col(j as usize) {
+                    if !warm.row_matched(i) && !warm.col_matched(j) {
+                        warm.add(i, j);
+                        break;
+                    }
+                }
+            }
+            // Both the unpermuted and the relabeled paths must repair it.
+            for permute_seed in [None, Some(0xBEEF + trial)] {
+                let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+                let opts = McmOptions { permute_seed, ..Default::default() };
+                let r = maximum_matching_from(&mut ctx, &t, warm.clone(), &opts);
+                r.matching.validate(&a).unwrap();
+                assert_eq!(
+                    r.matching.cardinality(),
+                    want,
+                    "trial {trial} permute {permute_seed:?}"
+                );
+                assert_eq!(r.stats.init_cardinality, warm.cardinality());
+                assert_maximum(&a, &r.matching);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_from_maximum_does_no_augmentation() {
+        let t = fig2();
+        let a = t.to_csc();
+        let warm = hopcroft_karp(&a, None);
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        let r = maximum_matching_from(&mut ctx, &t, warm, &McmOptions::default());
+        assert_eq!(r.stats.augmentations, 0, "an already-maximum warm start needs no paths");
+        assert_eq!(r.stats.phases, 1, "one certifying phase only");
+        assert_eq!(r.matching.cardinality(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm matching is")]
+    fn warm_start_rejects_dimension_mismatch() {
+        let t = fig2();
+        let mut ctx = DistCtx::serial();
+        let _ = maximum_matching_from(&mut ctx, &t, Matching::empty(2, 2), &McmOptions::default());
     }
 
     #[test]

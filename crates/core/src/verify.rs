@@ -7,6 +7,9 @@
 //!   alternating BFS from all unmatched columns — independent of the
 //!   algorithms under test, so it catches agreement-in-error with the
 //!   Hopcroft–Karp oracle.
+//! * [`is_maximum_from`] — the same Berge check seeded from a caller-chosen
+//!   set of free columns (the *dirty region*), the per-batch running
+//!   certificate of the incremental engine (`mcm-dyn`).
 //! * [`verify`] — both checks as a `Result<(), VerifyError>` so sweep
 //!   harnesses can report *which* check failed (and under which schedule
 //!   seed) without aborting; [`assert_maximum`] is the panicking wrapper.
@@ -75,13 +78,29 @@ pub fn is_maximal(a: &Csc, m: &Matching) -> bool {
 /// column go to any unvisited row neighbour; from a matched row go to its
 /// mate column. Reaching an unmatched row ⇔ an augmenting path exists.
 pub fn is_maximum(a: &Csc, m: &Matching) -> bool {
+    let seeds: Vec<Vidx> = m.unmatched_cols();
+    is_maximum_from(a, m, &seeds)
+}
+
+/// Dirty-region Berge certificate: `true` when no augmenting path starts
+/// at any of `seed_cols` (matched seeds are skipped).
+///
+/// This is [`is_maximum`] restricted to a caller-chosen set of free
+/// columns. It certifies *global* maximality only under an invariant the
+/// caller must supply — namely that every free column **not** in
+/// `seed_cols` already had no augmenting path and nothing since has
+/// created one (the incremental engine's per-batch situation: updates
+/// only dirtied `seed_cols`' trees, and augmenting elsewhere never
+/// creates new paths from a settled free vertex). The sweep harnesses
+/// cross-check it against the full [`is_maximum`].
+pub fn is_maximum_from(a: &Csc, m: &Matching, seed_cols: &[Vidx]) -> bool {
     let mut visited_col = vec![false; a.ncols()];
     let mut visited_row = vec![false; a.nrows()];
     let mut queue: Vec<Vidx> = Vec::new();
-    for c in 0..a.ncols() {
-        if !m.col_matched(c as Vidx) {
-            visited_col[c] = true;
-            queue.push(c as Vidx);
+    for &c in seed_cols {
+        if !m.col_matched(c) && !visited_col[c as usize] {
+            visited_col[c as usize] = true;
+            queue.push(c);
         }
     }
     let mut head = 0;
@@ -175,6 +194,45 @@ mod tests {
         let mut m = Matching::empty(2, 2);
         m.add(0, 0);
         assert_maximum(&a, &m);
+    }
+
+    #[test]
+    fn seeded_certificate_matches_full_berge() {
+        use mcm_sparse::permute::SplitMix64;
+        // On random instances: seeding from *all* free columns must agree
+        // with is_maximum, and seeding from a free column with a path must
+        // find it while settled free columns certify clean.
+        let mut rng = SplitMix64::new(0x5EEDED);
+        for trial in 0..20 {
+            let (n1, n2) = (12usize, 12usize);
+            let mut t = Triples::new(n1, n2);
+            for _ in 0..30 {
+                t.push(rng.below(n1 as u64) as Vidx, rng.below(n2 as u64) as Vidx);
+            }
+            let a = t.to_csc();
+            // Greedy (possibly suboptimal) matching.
+            let mut m = Matching::empty(n1, n2);
+            for j in 0..n2 {
+                for &i in a.col(j) {
+                    if !m.row_matched(i) && !m.col_matched(j as Vidx) {
+                        m.add(i, j as Vidx);
+                        break;
+                    }
+                }
+            }
+            let free: Vec<Vidx> = m.unmatched_cols();
+            assert_eq!(is_maximum_from(&a, &m, &free), is_maximum(&a, &m), "trial {trial}");
+            assert!(is_maximum_from(&a, &m, &[]), "empty seed set certifies vacuously");
+        }
+    }
+
+    #[test]
+    fn seeded_certificate_finds_path_only_from_its_tree() {
+        let a = z_graph();
+        let mut m = Matching::empty(2, 2);
+        m.add(0, 0); // augmenting path exists from free column 1
+        assert!(!is_maximum_from(&a, &m, &[1]));
+        assert!(is_maximum_from(&a, &m, &[0]), "matched seeds are skipped");
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! # mcm-dyn — dynamic bipartite graphs, incrementally repaired matchings
+//!
+//! The paper solves maximum cardinality matching once, on a frozen
+//! matrix. This crate keeps that answer live while edges come and go:
+//!
+//! * [`DynGraph`] — a mutable bipartite graph as two lock-stepped
+//!   [`CscOverlay`](mcm_sparse::CscOverlay)s (column and row adjacency),
+//!   with epoch-bumping compaction back into frozen CSC;
+//! * [`DynMatching`] — an always-maximum matching repaired after each
+//!   update batch by single-source augmenting searches from the dirtied
+//!   vertices, falling back to the warm-started multi-source MS-BFS
+//!   driver (`mcm-core`) when the dirty set is large — the dynamic
+//!   analogue of the paper's `k < 2p²` path-vs-level parallelism switch;
+//! * [`proto`] — the line protocol of the `mcmd` serving binary
+//!   (`insert`/`delete`/`query`/`snapshot`/`stats`, plain text or JSONL).
+//!
+//! Every batch ends certified: a Berge check seeded at the batch's dirty
+//! region (or a full sweep when the repair itself had to go global).
+//! `tests/dyn_oracle.rs` sweeps the engine differentially against
+//! from-scratch Hopcroft–Karp over the `mcm-gen` update-trace suite.
+
+pub mod engine;
+pub mod graph;
+pub mod proto;
+
+pub use engine::{BatchReport, CertScope, DynMatching, DynOptions, DynStats, Update};
+pub use graph::DynGraph;
+pub use proto::{parse_command, Command};

@@ -1,0 +1,153 @@
+//! The `mcmd` wire protocol: one command per line.
+//!
+//! Two spellings are accepted and can be mixed freely on one stream:
+//!
+//! * plain text — `insert 3 5`, `delete 3 5`, `query`, `stats`,
+//!   `snapshot out.mtx`, `quit`; blank lines and `#` comments ignored;
+//! * JSONL — `{"op": "insert", "u": 3, "v": 5}` and friends. The parser
+//!   is deliberately a tokenizer, not a JSON library (the workspace has
+//!   no serde and the grammar is six fixed shapes): structural
+//!   punctuation is stripped and `u`/`v`/`path` keys are honoured, so
+//!   key order does not matter.
+//!
+//! Row/column indices are 0-based, matching the rest of the workspace
+//! (`mcm-sparse` converts at the Matrix Market boundary only).
+
+use mcm_sparse::Vidx;
+
+/// One parsed `mcmd` command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Stage edge (row, col) for insertion.
+    Insert(Vidx, Vidx),
+    /// Stage edge (row, col) for deletion.
+    Delete(Vidx, Vidx),
+    /// Flush staged updates, repair, report the cardinality.
+    Query,
+    /// Flush, repair, report cumulative engine statistics.
+    Stats,
+    /// Flush, repair, write the live graph as Matrix Market to the path.
+    Snapshot(String),
+    /// Flush, repair, exit cleanly.
+    Quit,
+}
+
+/// Parses one input line. `Ok(None)` for blank lines and `#` comments;
+/// `Err` carries a message suitable for an `error <msg>` response line.
+pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    // Strip JSON structure; what remains is whitespace-separated tokens
+    // in both spellings.
+    let norm: String =
+        trimmed
+            .chars()
+            .map(|ch| {
+                if matches!(ch, '{' | '}' | '[' | ']' | '"' | '\'' | ',' | ':') {
+                    ' '
+                } else {
+                    ch
+                }
+            })
+            .collect();
+    let toks: Vec<&str> = norm.split_whitespace().collect();
+    let verb_pos = toks
+        .iter()
+        .position(|t| {
+            matches!(
+                t.to_ascii_lowercase().as_str(),
+                "insert" | "delete" | "query" | "stats" | "snapshot" | "quit" | "exit"
+            )
+        })
+        .ok_or_else(|| format!("unrecognized command: {trimmed}"))?;
+    let verb = toks[verb_pos].to_ascii_lowercase();
+    match verb.as_str() {
+        "query" => Ok(Some(Command::Query)),
+        "stats" => Ok(Some(Command::Stats)),
+        "quit" | "exit" => Ok(Some(Command::Quit)),
+        "snapshot" => {
+            let path = value_after_key(&toks, "path")
+                .or_else(|| toks.get(verb_pos + 1).copied())
+                .filter(|p| !p.eq_ignore_ascii_case("path"))
+                .ok_or_else(|| "snapshot needs a path".to_string())?;
+            Ok(Some(Command::Snapshot(path.to_string())))
+        }
+        verb @ ("insert" | "delete") => {
+            let (u, v) = match (keyed_index(&toks, "u"), keyed_index(&toks, "v")) {
+                (Some(u), Some(v)) => (u, v),
+                _ => positional_pair(&toks, verb_pos)
+                    .ok_or_else(|| format!("{verb} needs two vertex indices: {trimmed}"))?,
+            };
+            Ok(Some(if verb == "insert" { Command::Insert(u, v) } else { Command::Delete(u, v) }))
+        }
+        _ => unreachable!("position() only matches the verbs above"),
+    }
+}
+
+/// The token following key `k` (for JSONL `"u": 3` / `"path": "x"` pairs).
+fn value_after_key<'a>(toks: &[&'a str], k: &str) -> Option<&'a str> {
+    toks.iter().position(|t| t.eq_ignore_ascii_case(k)).and_then(|i| toks.get(i + 1)).copied()
+}
+
+fn keyed_index(toks: &[&str], k: &str) -> Option<Vidx> {
+    value_after_key(toks, k).and_then(|t| t.parse::<Vidx>().ok())
+}
+
+/// The first two integer tokens after the verb (plain-text spelling).
+fn positional_pair(toks: &[&str], verb_pos: usize) -> Option<(Vidx, Vidx)> {
+    let mut ints = toks[verb_pos + 1..].iter().filter_map(|t| t.parse::<Vidx>().ok());
+    Some((ints.next()?, ints.next()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_commands_parse() {
+        assert_eq!(parse_command("insert 3 5").unwrap(), Some(Command::Insert(3, 5)));
+        assert_eq!(parse_command("  delete 0 12 ").unwrap(), Some(Command::Delete(0, 12)));
+        assert_eq!(parse_command("query").unwrap(), Some(Command::Query));
+        assert_eq!(parse_command("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(
+            parse_command("snapshot /tmp/x.mtx").unwrap(),
+            Some(Command::Snapshot("/tmp/x.mtx".into()))
+        );
+        assert_eq!(parse_command("quit").unwrap(), Some(Command::Quit));
+        assert_eq!(parse_command("exit").unwrap(), Some(Command::Quit));
+    }
+
+    #[test]
+    fn jsonl_commands_parse_in_any_key_order() {
+        assert_eq!(
+            parse_command(r#"{"op": "insert", "u": 3, "v": 5}"#).unwrap(),
+            Some(Command::Insert(3, 5))
+        );
+        assert_eq!(
+            parse_command(r#"{"v": 5, "u": 3, "op": "delete"}"#).unwrap(),
+            Some(Command::Delete(3, 5))
+        );
+        assert_eq!(parse_command(r#"{"op": "query"}"#).unwrap(), Some(Command::Query));
+        assert_eq!(
+            parse_command(r#"{"op": "snapshot", "path": "out.mtx"}"#).unwrap(),
+            Some(Command::Snapshot("out.mtx".into()))
+        );
+    }
+
+    #[test]
+    fn blanks_and_comments_are_skipped() {
+        assert_eq!(parse_command("").unwrap(), None);
+        assert_eq!(parse_command("   ").unwrap(), None);
+        assert_eq!(parse_command("# warmup done").unwrap(), None);
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        assert!(parse_command("frobnicate 1 2").is_err());
+        assert!(parse_command("insert 1").is_err());
+        assert!(parse_command("insert x y").is_err());
+        assert!(parse_command("snapshot").is_err());
+    }
+}

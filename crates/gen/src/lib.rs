@@ -27,7 +27,9 @@ pub mod realistic;
 pub mod rmat;
 pub mod smallworld;
 pub mod suite;
+pub mod trace;
 
 pub use realistic::{representative4, table2, StandIn};
 pub use rmat::{rmat, RmatParams};
-pub use suite::simtest_suite;
+pub use suite::{simtest_suite, update_trace_suite};
+pub use trace::{update_trace, TraceOp, TraceParams};

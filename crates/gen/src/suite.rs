@@ -15,6 +15,7 @@ use crate::er::gnm_bipartite;
 use crate::hard::{chain, crown, parallel_chains, staircase};
 use crate::mesh::road_grid;
 use crate::rmat::{rmat, RmatParams};
+use crate::trace::TraceParams;
 use mcm_sparse::Triples;
 
 /// The standard simtest input batch, deterministic in `seed`. Names are
@@ -40,9 +41,56 @@ pub fn simtest_suite(seed: u64) -> Vec<(String, Triples)> {
     ]
 }
 
+/// The curated update-trace batch for the dynamic-engine sweeps
+/// (`tests/dyn_oracle.rs`, `benches/dynamic.rs`), deterministic in `seed`.
+/// Names are stable identifiers for failure reports. The mix spans the
+/// repair regimes: balanced churn (small dirty sets, single-path repair),
+/// insert-heavy growth (interior inserts that need global sweeps),
+/// delete-heavy decay with maximal matched-edge bias (freed endpoints on
+/// both sides), and a rectangular deficient instance.
+pub fn update_trace_suite(seed: u64) -> Vec<(String, TraceParams)> {
+    vec![
+        ("churn_16x16".into(), TraceParams::churn(16, 16, seed)),
+        (
+            "grow_24x20".into(),
+            TraceParams {
+                warmup_edges: 30,
+                batches: 8,
+                ops_per_batch: 12,
+                insert_frac: 0.85,
+                matched_bias: 0.3,
+                ..TraceParams::churn(24, 20, seed.wrapping_add(1))
+            },
+        ),
+        (
+            "decay_20x24".into(),
+            TraceParams {
+                warmup_edges: 110,
+                batches: 8,
+                ops_per_batch: 10,
+                insert_frac: 0.25,
+                matched_bias: 1.0,
+                ..TraceParams::churn(20, 24, seed.wrapping_add(2))
+            },
+        ),
+        (
+            "wide_12x36".into(),
+            TraceParams {
+                warmup_edges: 60,
+                batches: 6,
+                ops_per_batch: 14,
+                insert_frac: 0.55,
+                matched_bias: 0.6,
+                ..TraceParams::churn(12, 36, seed.wrapping_add(3))
+            },
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::update_trace;
 
     #[test]
     fn suite_is_deterministic_in_seed() {
@@ -71,5 +119,27 @@ mod tests {
             assert!(!t.is_empty(), "{name} is empty");
             assert!(t.nrows() <= 64 && t.ncols() <= 64, "{name} too large for a sweep input");
         }
+    }
+
+    #[test]
+    fn trace_suite_is_deterministic_and_sweep_sized() {
+        let a = update_trace_suite(5);
+        let b = update_trace_suite(5);
+        assert_eq!(a.len(), b.len());
+        let mut names: Vec<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len(), "trace names must be unique");
+        for ((na, pa), (_, pb)) in a.iter().zip(&b) {
+            let (ta, tb) = (update_trace(pa), update_trace(pb));
+            assert_eq!(ta, tb, "{na} not deterministic");
+            assert!(pa.n1 <= 64 && pa.n2 <= 64, "{na} too large for a sweep input");
+            assert!(pa.batches >= 4, "{na} must exercise several repair batches");
+        }
+        let c = update_trace_suite(6);
+        assert!(
+            a.iter().zip(&c).any(|((_, pa), (_, pc))| update_trace(pa) != update_trace(pc)),
+            "seed must actually vary the traces"
+        );
     }
 }

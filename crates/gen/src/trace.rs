@@ -1,0 +1,321 @@
+//! Seeded insert/delete/query update traces for the dynamic matching
+//! engine (`mcm-dyn`) and the `mcmd` service.
+//!
+//! A trace is the streaming analogue of a static test matrix: a warmup
+//! build phase, then batches of edge updates, each batch closed by a
+//! `Query` checkpoint where harnesses compare the incremental engine
+//! against a from-scratch recompute. The generator tracks the live edge
+//! set so deletes hit live edges, and maintains a *greedy* matching mirror
+//! so the `matched_bias` knob can steer deletions toward edges that are
+//! likely matched — the expensive repair case (a matched-edge deletion
+//! frees both endpoints and forces an augmenting-path search).
+//!
+//! Deterministic in `seed` (SplitMix64 stream, like every other generator
+//! in this crate); the greedy mirror is part of the generator, not a
+//! statement about what the engine under test matches.
+
+use mcm_sparse::permute::SplitMix64;
+use mcm_sparse::{Triples, Vidx, NIL};
+
+/// One operation of an update trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Insert edge (row, col).
+    Insert(Vidx, Vidx),
+    /// Delete edge (row, col).
+    Delete(Vidx, Vidx),
+    /// Checkpoint: harnesses flush pending updates, repair, and compare
+    /// against the recompute oracle here.
+    Query,
+}
+
+/// Shape and mix of one generated trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceParams {
+    /// Row vertices.
+    pub n1: usize,
+    /// Column vertices.
+    pub n2: usize,
+    /// Edges inserted (best-effort fresh) before the first `Query`.
+    pub warmup_edges: usize,
+    /// Update batches after warmup; each ends with a `Query`.
+    pub batches: usize,
+    /// Insert/delete operations per batch.
+    pub ops_per_batch: usize,
+    /// Probability an operation is an insert (vs a delete).
+    pub insert_frac: f64,
+    /// Probability a delete targets a greedily-matched edge (the
+    /// matched-edge-deletion bias knob); remaining deletes pick uniformly
+    /// among live edges.
+    pub matched_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceParams {
+    /// A balanced default: as many inserts as deletes, deletions biased
+    /// toward matched edges.
+    pub fn churn(n1: usize, n2: usize, seed: u64) -> Self {
+        Self {
+            n1,
+            n2,
+            warmup_edges: 3 * n1.max(n2),
+            batches: 6,
+            ops_per_batch: (n1 + n2) / 4,
+            insert_frac: 0.5,
+            matched_bias: 0.7,
+            seed,
+        }
+    }
+}
+
+/// Bookkeeping the generator keeps while emitting ops: the live edge set
+/// (for valid deletes) and a greedy matching mirror (for the bias knob).
+struct TraceState {
+    n2: usize,
+    /// Live edges, unordered; swap-removed on delete.
+    live: Vec<(Vidx, Vidx)>,
+    /// live-position + 1 of each (r, c), 0 = absent (dense: traces are
+    /// suite-scale by design).
+    pos: Vec<u32>,
+    /// Greedy mirror mates.
+    mate_r: Vec<Vidx>,
+    mate_c: Vec<Vidx>,
+    /// Columns currently matched in the greedy mirror (lazily pruned).
+    matched_cols: Vec<Vidx>,
+}
+
+impl TraceState {
+    fn new(n1: usize, n2: usize) -> Self {
+        Self {
+            n2,
+            live: Vec::new(),
+            pos: vec![0; n1 * n2],
+            mate_r: vec![NIL; n1],
+            mate_c: vec![NIL; n2],
+            matched_cols: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn key(&self, r: Vidx, c: Vidx) -> usize {
+        r as usize * self.n2 + c as usize
+    }
+
+    fn contains(&self, r: Vidx, c: Vidx) -> bool {
+        self.pos[self.key(r, c)] != 0
+    }
+
+    fn insert(&mut self, r: Vidx, c: Vidx) {
+        debug_assert!(!self.contains(r, c));
+        self.live.push((r, c));
+        let k = self.key(r, c);
+        self.pos[k] = self.live.len() as u32;
+        if self.mate_r[r as usize] == NIL && self.mate_c[c as usize] == NIL {
+            self.mate_r[r as usize] = c;
+            self.mate_c[c as usize] = r;
+            self.matched_cols.push(c);
+        }
+    }
+
+    fn delete(&mut self, r: Vidx, c: Vidx) {
+        debug_assert!(self.contains(r, c));
+        let k = self.key(r, c);
+        let at = self.pos[k] as usize - 1;
+        let last = *self.live.last().unwrap();
+        self.live.swap_remove(at);
+        let klast = self.key(last.0, last.1);
+        self.pos[klast] = at as u32 + 1;
+        self.pos[k] = 0;
+        if self.mate_r[r as usize] == c {
+            self.mate_r[r as usize] = NIL;
+            self.mate_c[c as usize] = NIL;
+            // matched_cols entry pruned lazily on the next biased pick.
+        }
+    }
+
+    /// A greedily-matched live edge, or `None` when the mirror is empty.
+    fn pick_matched(&mut self, rng: &mut SplitMix64) -> Option<(Vidx, Vidx)> {
+        while !self.matched_cols.is_empty() {
+            let at = rng.below(self.matched_cols.len() as u64) as usize;
+            let c = self.matched_cols[at];
+            let r = self.mate_c[c as usize];
+            if r != NIL && self.contains(r, c) {
+                return Some((r, c));
+            }
+            self.matched_cols.swap_remove(at); // stale: unmatched since
+        }
+        None
+    }
+}
+
+/// Generates a seeded insert/delete/query trace for an `n1 × n2` dynamic
+/// bipartite graph (see [`TraceParams`]). The trace is valid by
+/// construction: deletes always hit live edges and inserts are fresh
+/// (best-effort — at near-complete density an insert may repeat a live
+/// edge, which engines treat as a no-op).
+pub fn update_trace(p: &TraceParams) -> Vec<TraceOp> {
+    assert!(p.n1 > 0 && p.n2 > 0);
+    assert!((0.0..=1.0).contains(&p.insert_frac) && (0.0..=1.0).contains(&p.matched_bias));
+    let mut rng = SplitMix64::new(p.seed);
+    let mut st = TraceState::new(p.n1, p.n2);
+    let mut ops = Vec::with_capacity(p.warmup_edges + p.batches * (p.ops_per_batch + 1) + 1);
+
+    let fresh_edge = |rng: &mut SplitMix64, st: &TraceState| {
+        for _ in 0..8 {
+            let r = rng.below(p.n1 as u64) as Vidx;
+            let c = rng.below(p.n2 as u64) as Vidx;
+            if !st.contains(r, c) {
+                return Some((r, c));
+            }
+        }
+        None
+    };
+
+    for _ in 0..p.warmup_edges {
+        if let Some((r, c)) = fresh_edge(&mut rng, &st) {
+            st.insert(r, c);
+            ops.push(TraceOp::Insert(r, c));
+        }
+    }
+    ops.push(TraceOp::Query);
+
+    for _ in 0..p.batches {
+        for _ in 0..p.ops_per_batch {
+            let want_insert = rng.next_f64() < p.insert_frac || st.live.is_empty();
+            if want_insert {
+                if let Some((r, c)) = fresh_edge(&mut rng, &st) {
+                    st.insert(r, c);
+                    ops.push(TraceOp::Insert(r, c));
+                }
+            } else {
+                let picked =
+                    if rng.next_f64() < p.matched_bias { st.pick_matched(&mut rng) } else { None };
+                let (r, c) =
+                    picked.unwrap_or_else(|| st.live[rng.below(st.live.len() as u64) as usize]);
+                st.delete(r, c);
+                ops.push(TraceOp::Delete(r, c));
+            }
+        }
+        ops.push(TraceOp::Query);
+    }
+    ops
+}
+
+/// Materializes the edge set a trace prefix builds (ignoring queries) —
+/// the recompute oracle's view of the graph at any checkpoint.
+pub fn materialize(n1: usize, n2: usize, prefix: &[TraceOp]) -> Triples {
+    let mut live: Vec<bool> = vec![false; n1 * n2];
+    for op in prefix {
+        match *op {
+            TraceOp::Insert(r, c) => live[r as usize * n2 + c as usize] = true,
+            TraceOp::Delete(r, c) => live[r as usize * n2 + c as usize] = false,
+            TraceOp::Query => {}
+        }
+    }
+    let mut t = Triples::new(n1, n2);
+    for r in 0..n1 {
+        for c in 0..n2 {
+            if live[r * n2 + c] {
+                t.push(r as Vidx, c as Vidx);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(seed: u64) -> TraceParams {
+        TraceParams { matched_bias: 0.8, ..TraceParams::churn(12, 10, seed) }
+    }
+
+    #[test]
+    fn trace_is_deterministic_in_seed() {
+        assert_eq!(update_trace(&params(7)), update_trace(&params(7)));
+        assert_ne!(update_trace(&params(7)), update_trace(&params(8)));
+    }
+
+    #[test]
+    fn trace_is_valid_against_a_mirror() {
+        // Every delete hits a live edge; every insert is fresh; the batch
+        // structure closes with queries.
+        let ops = update_trace(&params(3));
+        let p = params(3);
+        let mut live = vec![false; p.n1 * p.n2];
+        let mut queries = 0;
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                TraceOp::Insert(r, c) => {
+                    let k = r as usize * p.n2 + c as usize;
+                    assert!(!live[k], "step {step}: duplicate insert ({r},{c})");
+                    live[k] = true;
+                }
+                TraceOp::Delete(r, c) => {
+                    let k = r as usize * p.n2 + c as usize;
+                    assert!(live[k], "step {step}: delete of dead edge ({r},{c})");
+                    live[k] = false;
+                }
+                TraceOp::Query => queries += 1,
+            }
+        }
+        assert_eq!(queries, p.batches + 1, "one query per batch plus warmup");
+        assert_eq!(ops.last(), Some(&TraceOp::Query));
+    }
+
+    #[test]
+    fn matched_bias_steers_deletions() {
+        // With full bias every delete (while the mirror has matched edges)
+        // hits a mirror-matched edge; with zero bias deletes are uniform.
+        // Count how many deletes hit the greedy mirror under each knob.
+        let hit_rate = |bias: f64| {
+            let p = TraceParams {
+                insert_frac: 0.35,
+                matched_bias: bias,
+                batches: 10,
+                ..TraceParams::churn(16, 16, 99)
+            };
+            let ops = update_trace(&p);
+            let mut st = TraceState::new(p.n1, p.n2);
+            let (mut deletes, mut hits) = (0u32, 0u32);
+            for op in &ops {
+                match *op {
+                    TraceOp::Insert(r, c) => st.insert(r, c),
+                    TraceOp::Delete(r, c) => {
+                        deletes += 1;
+                        if st.mate_r[r as usize] == c {
+                            hits += 1;
+                        }
+                        st.delete(r, c);
+                    }
+                    TraceOp::Query => {}
+                }
+            }
+            assert!(deletes > 10, "trace produced too few deletes to measure");
+            f64::from(hits) / f64::from(deletes)
+        };
+        assert!(hit_rate(1.0) > hit_rate(0.0) + 0.2, "bias knob has no effect");
+    }
+
+    #[test]
+    fn materialize_agrees_with_full_replay() {
+        let p = params(11);
+        let ops = update_trace(&p);
+        let t = materialize(p.n1, p.n2, &ops);
+        // Replay through a dense mirror and compare.
+        let mut live = vec![false; p.n1 * p.n2];
+        for op in &ops {
+            match *op {
+                TraceOp::Insert(r, c) => live[r as usize * p.n2 + c as usize] = true,
+                TraceOp::Delete(r, c) => live[r as usize * p.n2 + c as usize] = false,
+                TraceOp::Query => {}
+            }
+        }
+        assert_eq!(t.len(), live.iter().filter(|&&b| b).count());
+        for &(r, c) in t.entries() {
+            assert!(live[r as usize * p.n2 + c as usize]);
+        }
+    }
+}

@@ -277,4 +277,26 @@ mod tests {
         want.sort_dedup();
         assert_eq!(back, want);
     }
+
+    #[test]
+    fn file_roundtrip_at_buffered_scale() {
+        // Large enough that the write spans many BufWriter flushes and
+        // the read spans many BufReader refills; deterministic entries so
+        // the file is identical across platforms.
+        let (n1, n2) = (211usize, 193usize);
+        let mut t = Triples::new(n1, n2);
+        let mut x = 0x9E37u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            t.push(((x >> 33) % n1 as u64) as Vidx, (x % n2 as u64) as Vidx);
+        }
+        let path = std::env::temp_dir().join("mcm_io_file_roundtrip.mtx");
+        write_matrix_market_file(&t, &path).unwrap();
+        let back = read_matrix_market_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut want = t.clone();
+        want.sort_dedup();
+        assert_eq!(back, want);
+        assert!(want.len() > 4000, "dedup collapsed the instance: {}", want.len());
+    }
 }

@@ -13,7 +13,10 @@
 //! * [`DenseVec`] — a dense vector with the paper's `-1`-means-missing
 //!   convention expressed through the [`NIL`] sentinel,
 //! * semiring sparse-matrix × sparse-vector products ([`spmspv`]) used for
-//!   frontier expansion in multi-source BFS.
+//!   frontier expansion in multi-source BFS,
+//! * [`CscOverlay`] — an insert/delete edge overlay over a CSC base with
+//!   epoch-based compaction, the storage layer of the dynamic matching
+//!   engine (`mcm-dyn`).
 //!
 //! Bipartite graphs `G = (R, C, E)` are represented as an `n1 × n2` binary
 //! matrix `A` where `A[i][j] != 0` iff row vertex `i` is adjacent to column
@@ -24,6 +27,7 @@ pub mod csc;
 pub mod dcsc;
 pub mod densevec;
 pub mod io;
+pub mod overlay;
 pub mod permute;
 pub mod semiring;
 pub mod spmv;
@@ -36,6 +40,7 @@ pub mod workspace;
 pub use csc::Csc;
 pub use dcsc::Dcsc;
 pub use densevec::DenseVec;
+pub use overlay::CscOverlay;
 pub use semiring::{Combiner, MinCombiner, Select2nd};
 pub use spmv::{spmspv, spmspv_csc, spmspv_monoid, spmv_dense};
 pub use spvec::SpVec;

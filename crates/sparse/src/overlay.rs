@@ -1,0 +1,352 @@
+//! Insert/delete edge overlay on top of a compressed-sparse-column base.
+//!
+//! The static pipeline freezes a graph into [`Csc`] once; the dynamic
+//! matching engine (`mcm-dyn`) needs cheap point updates *and* the fast
+//! merged column scans the repair BFS performs. [`CscOverlay`] keeps the
+//! bulk of the graph in an immutable CSC base and stages mutations in two
+//! small per-column sorted lists (`inserted`, `deleted`). Scans merge the
+//! base column (minus deletions) with the insertions in sorted order, so a
+//! column visit stays `O(deg)`; when the overlay grows past a caller-chosen
+//! bound, [`CscOverlay::compact`] folds it back into a fresh CSC base and
+//! bumps the *epoch* — the handle downstream caches (distributed blocks,
+//! SpMSpV plans) use to notice the base changed underneath them.
+
+use crate::{Csc, Triples, Vidx};
+
+/// A mutable sparse pattern: an immutable [`Csc`] base plus sorted
+/// per-column insert/delete lists, compacted epoch by epoch.
+///
+/// # Example
+///
+/// ```
+/// use mcm_sparse::overlay::CscOverlay;
+/// use mcm_sparse::Triples;
+///
+/// let base = Triples::from_edges(3, 3, vec![(0, 0), (1, 1)]).to_csc();
+/// let mut g = CscOverlay::new(base);
+/// assert!(g.insert(2, 1));
+/// assert!(g.delete(0, 0));
+/// assert!(!g.contains(0, 0) && g.contains(2, 1));
+/// assert_eq!(g.nnz(), 2);
+/// let epoch = g.epoch();
+/// g.compact();
+/// assert_eq!(g.epoch(), epoch + 1);
+/// assert_eq!(g.overlay_nnz(), 0);
+/// assert_eq!(g.nnz(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CscOverlay {
+    base: Csc,
+    /// Per-column sorted row indices present in the graph but not the base.
+    inserted: Vec<Vec<Vidx>>,
+    /// Per-column sorted row indices present in the base but deleted.
+    deleted: Vec<Vec<Vidx>>,
+    n_inserted: usize,
+    n_deleted: usize,
+    epoch: u64,
+}
+
+impl CscOverlay {
+    /// Wraps an existing CSC base with an empty overlay (epoch 0).
+    pub fn new(base: Csc) -> Self {
+        let ncols = base.ncols();
+        Self {
+            base,
+            inserted: vec![Vec::new(); ncols],
+            deleted: vec![Vec::new(); ncols],
+            n_inserted: 0,
+            n_deleted: 0,
+            epoch: 0,
+        }
+    }
+
+    /// An empty `nrows × ncols` graph (all edges will live in the overlay
+    /// until the first compaction).
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Self::new(Csc::empty(nrows, ncols))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.base.nrows()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.base.ncols()
+    }
+
+    /// Live edge count (base minus deletions plus insertions).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.base.nnz() - self.n_deleted + self.n_inserted
+    }
+
+    /// Staged overlay size: inserted plus deleted entries. Callers use this
+    /// against [`CscOverlay::nnz`] to decide when to compact.
+    #[inline]
+    pub fn overlay_nnz(&self) -> usize {
+        self.n_inserted + self.n_deleted
+    }
+
+    /// Compaction epoch: bumped every time the base is rebuilt, so caches
+    /// keyed on the base (distributed blocks, SpMSpV plans) can invalidate.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` when edge `(r, c)` is live.
+    pub fn contains(&self, r: Vidx, c: Vidx) -> bool {
+        let j = c as usize;
+        if self.inserted[j].binary_search(&r).is_ok() {
+            return true;
+        }
+        self.base.contains(r, j) && self.deleted[j].binary_search(&r).is_err()
+    }
+
+    /// Inserts edge `(r, c)`; returns `true` when the edge was not already
+    /// live. Re-inserting a base edge staged for deletion just un-deletes it.
+    ///
+    /// # Panics
+    /// Debug-panics on out-of-bounds coordinates.
+    pub fn insert(&mut self, r: Vidx, c: Vidx) -> bool {
+        debug_assert!((r as usize) < self.nrows() && (c as usize) < self.ncols());
+        let j = c as usize;
+        if let Ok(pos) = self.deleted[j].binary_search(&r) {
+            self.deleted[j].remove(pos);
+            self.n_deleted -= 1;
+            return true;
+        }
+        if self.base.contains(r, j) {
+            return false;
+        }
+        match self.inserted[j].binary_search(&r) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.inserted[j].insert(pos, r);
+                self.n_inserted += 1;
+                true
+            }
+        }
+    }
+
+    /// Deletes edge `(r, c)`; returns `true` when the edge was live.
+    pub fn delete(&mut self, r: Vidx, c: Vidx) -> bool {
+        debug_assert!((r as usize) < self.nrows() && (c as usize) < self.ncols());
+        let j = c as usize;
+        if let Ok(pos) = self.inserted[j].binary_search(&r) {
+            self.inserted[j].remove(pos);
+            self.n_inserted -= 1;
+            return true;
+        }
+        if !self.base.contains(r, j) {
+            return false;
+        }
+        match self.deleted[j].binary_search(&r) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.deleted[j].insert(pos, r);
+                self.n_deleted += 1;
+                true
+            }
+        }
+    }
+
+    /// Live degree of column `c`.
+    pub fn col_degree(&self, c: Vidx) -> usize {
+        let j = c as usize;
+        self.base.col_nnz(j) - self.deleted[j].len() + self.inserted[j].len()
+    }
+
+    /// Visits the live row indices of column `c` in sorted order: the base
+    /// column minus staged deletions, merged with staged insertions.
+    pub fn for_each_in_col(&self, c: Vidx, mut f: impl FnMut(Vidx)) {
+        let j = c as usize;
+        let ins = &self.inserted[j];
+        let del = &self.deleted[j];
+        let mut ii = 0; // cursor into ins
+        let mut di = 0; // cursor into del
+        for &r in self.base.col(j) {
+            while ii < ins.len() && ins[ii] < r {
+                f(ins[ii]);
+                ii += 1;
+            }
+            if di < del.len() && del[di] == r {
+                di += 1;
+                continue;
+            }
+            f(r);
+        }
+        for &r in &ins[ii..] {
+            f(r);
+        }
+    }
+
+    /// Materializes the live edge set as (sorted, deduplicated) triples.
+    pub fn to_triples(&self) -> Triples {
+        let mut t = Triples::with_capacity(self.nrows(), self.ncols(), self.nnz());
+        for c in 0..self.ncols() as Vidx {
+            self.for_each_in_col(c, |r| t.push(r, c));
+        }
+        t
+    }
+
+    /// Materializes the live edge set as a fresh CSC.
+    pub fn to_csc(&self) -> Csc {
+        Csc::from_sorted_triples(&self.to_triples())
+    }
+
+    /// Folds the overlay back into the base (new epoch). No-op overlays
+    /// still bump the epoch so callers can force cache invalidation.
+    pub fn compact(&mut self) {
+        if self.overlay_nnz() > 0 {
+            self.base = self.to_csc();
+            for v in &mut self.inserted {
+                v.clear();
+            }
+            for v in &mut self.deleted {
+                v.clear();
+            }
+            self.n_inserted = 0;
+            self.n_deleted = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Read-only view of the current base (valid for the current epoch).
+    #[inline]
+    pub fn base(&self) -> &Csc {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permute::SplitMix64;
+
+    fn base3() -> Csc {
+        Triples::from_edges(3, 3, vec![(0, 0), (2, 0), (1, 1), (0, 2)]).to_csc()
+    }
+
+    #[test]
+    fn insert_delete_and_contains() {
+        let mut g = CscOverlay::new(base3());
+        assert_eq!(g.nnz(), 4);
+        assert!(g.contains(2, 0));
+        assert!(!g.insert(2, 0), "re-inserting a base edge is a no-op");
+        assert!(g.insert(1, 0));
+        assert!(!g.insert(1, 0), "re-inserting an overlay edge is a no-op");
+        assert!(g.delete(0, 0));
+        assert!(!g.delete(0, 0), "double delete is a no-op");
+        assert!(!g.contains(0, 0));
+        assert_eq!(g.nnz(), 4);
+        assert_eq!(g.col_degree(0), 2);
+    }
+
+    #[test]
+    fn delete_then_reinsert_base_edge() {
+        let mut g = CscOverlay::new(base3());
+        assert!(g.delete(1, 1));
+        assert!(!g.contains(1, 1));
+        assert!(g.insert(1, 1), "un-deleting restores the base edge");
+        assert!(g.contains(1, 1));
+        assert_eq!(g.overlay_nnz(), 0, "un-delete must not leave overlay residue");
+    }
+
+    #[test]
+    fn insert_then_delete_overlay_edge() {
+        let mut g = CscOverlay::new(base3());
+        assert!(g.insert(2, 2));
+        assert!(g.delete(2, 2));
+        assert_eq!(g.overlay_nnz(), 0);
+        assert!(!g.contains(2, 2));
+    }
+
+    #[test]
+    fn merged_column_scan_is_sorted_and_complete() {
+        let mut g = CscOverlay::new(base3());
+        g.insert(1, 0); // between base rows 0 and 2
+        g.delete(2, 0);
+        let mut seen = Vec::new();
+        g.for_each_in_col(0, |r| seen.push(r));
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn compact_preserves_edges_and_bumps_epoch() {
+        let mut g = CscOverlay::new(base3());
+        g.insert(2, 2);
+        g.delete(0, 0);
+        let before = g.to_csc();
+        assert_eq!(g.epoch(), 0);
+        g.compact();
+        assert_eq!(g.epoch(), 1);
+        assert_eq!(g.overlay_nnz(), 0);
+        assert_eq!(g.base(), &before);
+        assert_eq!(g.to_csc(), before);
+    }
+
+    #[test]
+    fn randomized_differential_against_dense_mirror() {
+        // Overlay vs a dense boolean mirror under a random op stream with
+        // interleaved compactions: membership, nnz, and materialization
+        // must agree at every step.
+        let (n1, n2) = (13usize, 11usize);
+        let mut g = CscOverlay::empty(n1, n2);
+        let mut mirror = vec![false; n1 * n2];
+        let mut rng = SplitMix64::new(0xD1FF);
+        for step in 0..2000 {
+            let r = rng.below(n1 as u64) as usize;
+            let c = rng.below(n2 as u64) as usize;
+            let (rv, cv) = (r as Vidx, c as Vidx);
+            match rng.below(3) {
+                0 => {
+                    let changed = g.insert(rv, cv);
+                    assert_eq!(changed, !mirror[r * n2 + c], "step {step} insert ({r},{c})");
+                    mirror[r * n2 + c] = true;
+                }
+                1 => {
+                    let changed = g.delete(rv, cv);
+                    assert_eq!(changed, mirror[r * n2 + c], "step {step} delete ({r},{c})");
+                    mirror[r * n2 + c] = false;
+                }
+                _ => {
+                    assert_eq!(g.contains(rv, cv), mirror[r * n2 + c], "step {step}");
+                }
+            }
+            if step % 257 == 0 {
+                g.compact();
+            }
+            if step % 97 == 0 {
+                let want = mirror.iter().filter(|&&b| b).count();
+                assert_eq!(g.nnz(), want, "step {step} nnz");
+                let a = g.to_csc();
+                assert_eq!(a.nnz(), want);
+                for rr in 0..n1 {
+                    for cc in 0..n2 {
+                        assert_eq!(
+                            a.contains(rr as Vidx, cc),
+                            mirror[rr * n2 + cc],
+                            "step {step} csc ({rr},{cc})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_overlay_materializes_inserts_only() {
+        let mut g = CscOverlay::empty(4, 4);
+        g.insert(3, 1);
+        g.insert(0, 1);
+        let t = g.to_triples();
+        assert_eq!(t.entries(), &[(0, 1), (3, 1)]);
+        g.compact();
+        assert_eq!(g.base().nnz(), 2);
+    }
+}

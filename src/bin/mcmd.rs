@@ -1,0 +1,229 @@
+//! `mcmd` — streaming update service for dynamic maximum matching.
+//!
+//! Reads commands from stdin (or `--input <file>`), one per line, plain
+//! text or JSONL (see `mcm_dyn::proto`):
+//!
+//! ```text
+//! insert <row> <col>      stage an edge insertion
+//! delete <row> <col>      stage an edge deletion
+//! query                   flush staged updates, print "matching <card>"
+//! stats                   flush, print cumulative engine counters
+//! snapshot <path>         flush, write the live graph as Matrix Market
+//! quit                    flush and exit
+//! ```
+//!
+//! Updates are *batched*: nothing is repaired until a `query`, `stats`,
+//! `snapshot`, or `quit` forces a flush, so a burst of inserts costs one
+//! repair pass. Each flush prints a `batch ...` line with the per-batch
+//! repair report (dirty-set size, paths, fallback, certificate scope) —
+//! the running Berge certificate described in DESIGN.md §11.
+//!
+//! ```text
+//! mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
+//!      [--fallback f] [--full-verify] [--quiet]
+//! ```
+
+use mcm_dyn::{Command, DynMatching, DynOptions};
+use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mcmd — streaming update service for dynamic maximum matching
+
+usage:
+  mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
+       [--fallback f] [--full-verify] [--quiet]
+
+  --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
+  --load file.mtx       start from a Matrix Market graph instead (solves it first)
+  --input file          read commands from a file instead of stdin
+  --fallback f          dirty fraction of n1+n2 above which repair falls back to
+                        the warm-started MS-BFS driver (default 0.25)
+  --full-verify         re-verify the full matching after every batch
+  --quiet               suppress per-batch report lines
+
+commands (one per line, plain text or JSONL {\"op\":..,\"u\":..,\"v\":..}):
+  insert <row> <col> | delete <row> <col> | query | stats | snapshot <path> | quit
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `mcmd --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let fallback = match opt(args, "--fallback") {
+        Some(f) => f.parse::<f64>().map_err(|_| format!("bad --fallback value: {f}"))?,
+        None => 0.25,
+    };
+    let opts = DynOptions {
+        fallback_threshold: fallback,
+        full_verify: args.iter().any(|a| a == "--full-verify"),
+        ..DynOptions::default()
+    };
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    let mut dm = match opt(args, "--load") {
+        Some(path) => {
+            let t = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
+            let dm = DynMatching::from_triples(&t, opts);
+            println!(
+                "loaded {} {}x{} nnz {} matching {}",
+                path,
+                dm.graph().n1(),
+                dm.graph().n2(),
+                dm.graph().nnz(),
+                dm.cardinality()
+            );
+            dm
+        }
+        None => {
+            let parse = |v: Option<&str>, what: &str| -> Result<usize, String> {
+                match v {
+                    Some(s) => s.parse().map_err(|_| format!("bad {what} value: {s}")),
+                    None => Ok(1024),
+                }
+            };
+            let n1 = parse(opt(args, "--rows"), "--rows")?;
+            let n2 = parse(opt(args, "--cols"), "--cols")?;
+            DynMatching::new(n1, n2, opts)
+        }
+    };
+
+    match opt(args, "--input") {
+        Some(path) => {
+            let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            serve(&mut dm, std::io::BufReader::new(f), quiet)
+        }
+        None => serve(&mut dm, std::io::stdin().lock(), quiet),
+    }
+}
+
+fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut staged: Vec<mcm_dyn::Update> = Vec::new();
+    let (n1, n2) = (dm.graph().n1(), dm.graph().n2());
+
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        let cmd = match mcm_dyn::parse_command(&line) {
+            Ok(Some(cmd)) => cmd,
+            Ok(None) => continue,
+            Err(e) => {
+                writeln!(out, "error line {}: {e}", lineno + 1).ok();
+                continue;
+            }
+        };
+        // Range-check updates here so the engine can keep dense scratch.
+        if let Command::Insert(r, c) | Command::Delete(r, c) = cmd {
+            if r as usize >= n1 || c as usize >= n2 {
+                writeln!(out, "error line {}: vertex out of range ({r}, {c})", lineno + 1).ok();
+                continue;
+            }
+            staged.push(match cmd {
+                Command::Insert(r, c) => mcm_dyn::Update::Insert(r, c),
+                Command::Delete(r, c) => mcm_dyn::Update::Delete(r, c),
+                _ => unreachable!(),
+            });
+            continue;
+        }
+        flush(dm, &mut staged, &mut out, quiet);
+        match cmd {
+            Command::Query => {
+                writeln!(out, "matching {}", dm.cardinality()).ok();
+            }
+            Command::Stats => {
+                let s = dm.stats();
+                writeln!(
+                    out,
+                    "stats batches {} updates {} inserts {} deletes {} matched_deletes {} \
+                     immediate {} searches {} repaired {} path_edges {} max_path {} \
+                     interior {} sweeps {} fallbacks {} cert_seeds {} cardinality {} \
+                     nnz {} epoch {}",
+                    s.batches,
+                    s.updates,
+                    s.inserts,
+                    s.deletes,
+                    s.matched_deletes,
+                    s.immediate_matches,
+                    s.local_searches,
+                    s.repaired,
+                    s.repair_path_edges,
+                    s.max_repair_path,
+                    s.interior_inserts,
+                    s.global_sweeps,
+                    s.fallbacks,
+                    s.cert_seeds,
+                    dm.cardinality(),
+                    dm.graph().nnz(),
+                    dm.graph().epoch(),
+                )
+                .ok();
+            }
+            Command::Snapshot(path) => {
+                match write_matrix_market_file(&dm.graph().to_triples(), &path) {
+                    Ok(()) => {
+                        writeln!(out, "snapshot {} nnz {}", path, dm.graph().nnz()).ok();
+                    }
+                    Err(e) => {
+                        writeln!(out, "error line {}: {path}: {e}", lineno + 1).ok();
+                    }
+                }
+            }
+            Command::Quit => break,
+            Command::Insert(..) | Command::Delete(..) => unreachable!("staged above"),
+        }
+        out.flush().ok();
+    }
+    // EOF flushes too, so piped traces that end in updates still repair.
+    flush(dm, &mut staged, &mut out, quiet);
+    out.flush().ok();
+    Ok(())
+}
+
+fn flush(
+    dm: &mut DynMatching,
+    staged: &mut Vec<mcm_dyn::Update>,
+    out: &mut impl Write,
+    quiet: bool,
+) {
+    if staged.is_empty() {
+        return;
+    }
+    let rep = dm.apply_batch(staged);
+    staged.clear();
+    if !quiet {
+        writeln!(
+            out,
+            "batch applied {} dirty {} repaired {} path_edges {} sweeps {} fallback {} \
+             cert {:?} seeds {} cardinality {}",
+            rep.applied,
+            rep.dirty,
+            rep.repaired,
+            rep.repair_path_edges,
+            rep.global_sweeps,
+            rep.fallback,
+            rep.cert_scope,
+            rep.cert_seeds,
+            rep.cardinality,
+        )
+        .ok();
+    }
+}

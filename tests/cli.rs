@@ -121,3 +121,86 @@ fn helpful_errors() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
 }
+
+fn mcmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcmd"))
+}
+
+/// Drives `mcmd` over stdin and returns its stdout.
+fn mcmd_session(args: &[&str], script: &str) -> String {
+    use std::io::Write;
+    let mut child = mcmd()
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn mcmd_streams_updates_and_answers_queries() {
+    let text = mcmd_session(
+        &["--rows", "8", "--cols", "8", "--quiet", "--full-verify"],
+        "insert 0 0\ninsert 1 1\nquery\n\
+         # deleting the matched edge must shrink the matching\n\
+         delete 0 0\nquery\n\
+         {\"op\": \"insert\", \"u\": 0, \"v\": 1}\n{\"v\": 0, \"u\": 1, \"op\": \"insert\"}\nquery\n\
+         stats\nquit\n",
+    );
+    let cards: Vec<&str> = text.lines().filter(|l| l.starts_with("matching ")).collect();
+    assert_eq!(cards, ["matching 2", "matching 1", "matching 2"], "{text}");
+    let stats = text.lines().find(|l| l.starts_with("stats ")).unwrap_or_else(|| panic!("{text}"));
+    assert!(stats.contains("matched_deletes 1"), "{stats}");
+    assert!(stats.contains("batches 3"), "{stats}");
+}
+
+#[test]
+fn mcmd_snapshot_roundtrips_through_mcm() {
+    let snap = tmp("mcmd_snap.mtx");
+    let script = format!("insert 0 0\ninsert 0 1\ninsert 1 0\nsnapshot {}\nquit\n", snap.display());
+    let text = mcmd_session(&["--rows", "4", "--cols", "4", "--quiet"], &script);
+    assert!(text.contains("snapshot"), "{text}");
+    // The snapshot is a valid Matrix Market file the static CLI can read,
+    // and the dynamic and static answers agree.
+    let out = mcm().args(["match"]).arg(&snap).args(["--algo", "hk"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("maximum matching: 2"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn mcmd_reports_errors_without_dying() {
+    let text = mcmd_session(
+        &["--rows", "4", "--cols", "4", "--quiet"],
+        "insert 0 0\nfrobnicate\ninsert 99 0\nquery\nquit\n",
+    );
+    assert!(text.contains("error line 2"), "{text}");
+    assert!(text.contains("error line 3"), "{text}");
+    assert!(text.contains("matching 1"), "{text}");
+}
+
+#[test]
+fn mcmd_loads_a_matrix_and_repairs_on_top() {
+    let file = tmp("mcmd_load.mtx");
+    assert!(mcm()
+        .args(["gen", "mesh", "--scale", "6", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    let text = mcmd_session(&["--load", file.to_str().unwrap(), "--quiet"], "query\nquit\n");
+    let loaded =
+        text.lines().find(|l| l.starts_with("loaded ")).unwrap_or_else(|| panic!("{text}"));
+    // "loaded <path> <n1>x<n2> nnz <z> matching <card>"
+    let card: usize = loaded.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(card > 0, "{loaded}");
+    assert!(text.contains(&format!("matching {card}")), "{text}");
+}

@@ -156,6 +156,15 @@ impl DistCtx {
         self.timers.charge(kernel, dt);
     }
 
+    /// Charges a broadcast of `words` of graph data (work-scaled) from one
+    /// root over all `p` ranks. MCM-DIST itself never broadcasts; this is
+    /// the accounting hook behind [`crate::comm::Communicator::bcast`].
+    #[inline]
+    pub fn charge_bcast(&mut self, kernel: Kernel, words: u64) {
+        let dt = self.cost.bcast(self.p(), self.scaled(words));
+        self.timers.charge(kernel, dt);
+    }
+
     /// Applies the work scale to a graph-data word count.
     #[inline]
     fn scaled(&self, words: u64) -> u64 {

@@ -30,11 +30,39 @@
 //! sequence and each product uses the chunked intra-block parallel kernel,
 //! whose output is bit-identical to the serial one.
 
+use crate::comm::{Communicator, EngineComm};
 use crate::ctx::DistCtx;
 use crate::timers::Kernel;
 use mcm_sparse::triples::block_offsets;
 use mcm_sparse::workspace::{SpmvWorkspace, WorkspaceStats};
 use mcm_sparse::{Dcsc, SpVec, Triples, Vidx};
+use std::sync::Mutex;
+
+/// Fold semantics of the engine-mesh product: semiring selection
+/// (`spmspv`) or commutative-monoid accumulation (`spmspv_monoid`).
+enum MeshFold<'f, U> {
+    Select(&'f (dyn Fn(&U, &U) -> bool + Sync)),
+    Monoid(&'f (dyn Fn(&mut U, U) + Sync)),
+}
+
+/// Wire format of the engine-mesh SpMSpV: expand payloads (block-local
+/// column index + frontier value) and fold payloads (block-local row
+/// index + partial product).
+#[derive(Clone)]
+enum Wire<T, U> {
+    X(Vidx, T),
+    Y(Vidx, U),
+}
+
+/// Per-rank outcome of one engine-mesh product session, carrying the
+/// observed volumes the cost mirror charges from.
+struct MeshOut<U> {
+    entries: Vec<(Vidx, U)>,
+    flops: u64,
+    slice_nnz: u64,
+    sent_pairs: u64,
+    recv_pairs: u64,
+}
 
 /// Per-block reusable state of a [`SpmvPlan`].
 #[derive(Debug)]
@@ -581,6 +609,220 @@ impl DistMatrix {
         }
         SpVec::from_sorted_pairs(self.nrows, entries)
     }
+
+    /// Engine-backend SpMSpV: the same expand → multiply → fold plan as
+    /// [`DistMatrix::spmspv_with_plan`], executed as one real session on
+    /// the [`EngineComm`] channel mesh with rank `(bi, bj)` owning plan
+    /// block `(bi, bj)` — the frontier allgathers along each grid column
+    /// and partials fold along each grid row, exactly the CombBLAS 2D
+    /// pattern the simulator models. Bit-identical to the simulator
+    /// (candidates fold per row in ascending global column order) and
+    /// charge-mirrored from the observed per-rank volumes.
+    pub(crate) fn spmspv_mesh<T, U>(
+        &self,
+        eng: &mut EngineComm,
+        kernel: Kernel,
+        plan: &mut SpmvPlan<T, U>,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        take_incoming: impl Fn(&U, &U) -> bool + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Send + Sync,
+        U: Clone + Send + Sync,
+    {
+        self.mesh_product(eng, kernel, plan, x, &mul, MeshFold::Select(&take_incoming))
+    }
+
+    /// Engine-backend counterpart of [`DistMatrix::spmspv_monoid_with_plan`]
+    /// (see [`DistMatrix::spmspv_mesh`]).
+    pub(crate) fn spmspv_monoid_mesh<T, U>(
+        &self,
+        eng: &mut EngineComm,
+        kernel: Kernel,
+        plan: &mut SpmvPlan<T, U>,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        combine: impl Fn(&mut U, U) + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Send + Sync,
+        U: Clone + Send + Sync,
+    {
+        self.mesh_product(eng, kernel, plan, x, &mul, MeshFold::Monoid(&combine))
+    }
+
+    fn mesh_product<T, U>(
+        &self,
+        eng: &mut EngineComm,
+        kernel: Kernel,
+        plan: &mut SpmvPlan<T, U>,
+        x: &SpVec<T>,
+        mul: &(dyn Fn(Vidx, &T) -> U + Sync),
+        fold: MeshFold<'_, U>,
+    ) -> SpVec<U>
+    where
+        T: Copy + Send + Sync,
+        U: Clone + Send + Sync,
+    {
+        assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
+        let (pr, pc) = (self.pr, self.pc);
+        let grid = &eng.ctx().machine.grid;
+        assert_eq!((grid.pr, grid.pc), (pr, pc), "matrix grid must match the engine mesh");
+        let nblocks = pr * pc;
+        let p = nblocks;
+        plan.ensure(nblocks, pc);
+
+        // Owner distribution of the frontier: block column bj's x-range is
+        // sub-split across that grid column's pr ranks, so the expand
+        // allgather moves exactly the volume the cost model charges.
+        let xs = x.entries();
+        let mut piece_data: Vec<Vec<Wire<T, U>>> = (0..p).map(|_| Vec::new()).collect();
+        for bj in 0..pc {
+            let lo = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj]);
+            let hi = xs.partition_point(|&(j, _)| (j as usize) < self.col_off[bj + 1]);
+            let off = self.col_off[bj] as Vidx;
+            let offs = block_offsets(hi - lo, pr);
+            for bi in 0..pr {
+                let seg = &xs[lo + offs[bi]..lo + offs[bi + 1]];
+                piece_data[bi * pc + bj] = seg.iter().map(|&(j, v)| Wire::X(j - off, v)).collect();
+            }
+        }
+        type PieceSlot<T, U> = Mutex<Option<Vec<Wire<T, U>>>>;
+        let pieces: Vec<PieceSlot<T, U>> =
+            piece_data.into_iter().map(|d| Mutex::new(Some(d))).collect();
+
+        // 1:1 rank ↔ plan block — the mesh *is* the matrix grid, so every
+        // rank reuses "its" workspace and output buffer across calls.
+        let slots: Vec<Mutex<&mut PlanBlock<U>>> =
+            plan.blocks[..nblocks].iter_mut().map(Mutex::new).collect();
+
+        let threads = eng.ctx().threads();
+        let row_off = &self.row_off;
+        let col_off = &self.col_off;
+        let blocks = &self.blocks;
+        let fold = &fold;
+
+        let results: Vec<MeshOut<U>> = eng.session::<Wire<T, U>, _, _>(|mut comm| {
+            let q = comm.rank();
+            let (bi, bj) = (q / pc, q % pc);
+
+            // -- Expand: allgather frontier pieces along this grid column.
+            // Group order is ascending bi and pieces are consecutive
+            // subranges, so concatenation rebuilds the sorted slice.
+            let mine = pieces[q].lock().unwrap().take().expect("frontier piece consumed twice");
+            let col_group: Vec<usize> = (0..pr).map(|i| i * pc + bj).collect();
+            let gathered = comm.allgatherv(&col_group, mine);
+            let mut slice_entries: Vec<(Vidx, T)> = Vec::new();
+            for msg in gathered {
+                for w in msg {
+                    match w {
+                        Wire::X(lj, v) => slice_entries.push((lj, v)),
+                        Wire::Y(..) => unreachable!("fold payload during expand"),
+                    }
+                }
+            }
+            let slice_nnz = slice_entries.len() as u64;
+            let slice = SpVec::from_sorted_pairs(col_off[bj + 1] - col_off[bj], slice_entries);
+
+            // -- Local multiply into this rank's plan block.
+            let mut guard = slots[q].lock().unwrap();
+            let st = &mut **guard;
+            let off = col_off[bj] as Vidx;
+            let block = &blocks[q];
+            let flops = match fold {
+                MeshFold::Select(take) => {
+                    if threads > 1 {
+                        st.ws.spmspv_parallel_into(
+                            block,
+                            &slice,
+                            threads,
+                            |lj, v| mul(lj + off, v),
+                            |acc, inc| take(acc, inc),
+                            &mut st.out,
+                        )
+                    } else {
+                        st.ws.spmspv_into(
+                            block,
+                            &slice,
+                            |lj, v| mul(lj + off, v),
+                            |acc, inc| take(acc, inc),
+                            &mut st.out,
+                        )
+                    }
+                }
+                MeshFold::Monoid(comb) => st.ws.spmspv_monoid_into(
+                    block,
+                    &slice,
+                    |lj, v| mul(lj + off, v),
+                    |acc, inc| comb(acc, inc),
+                    &mut st.out,
+                ),
+            };
+
+            // -- Fold: route partials to their row owners along this grid
+            // row; group order (ascending bj) plus the stable by-row sort
+            // keeps per-row candidates in ascending global column order.
+            let block_rows = (row_off[bi + 1] - row_off[bi]).max(1);
+            let mut sends: Vec<Vec<Wire<T, U>>> = (0..pc).map(|_| Vec::new()).collect();
+            for (i, v) in st.out.iter() {
+                let owner = crate::collectives::balanced_owner(block_rows, pc, i as usize);
+                sends[owner].push(Wire::Y(i, v.clone()));
+            }
+            let sent_pairs = st.out.nnz() as u64;
+            drop(guard);
+            let row_group: Vec<usize> = (0..pc).map(|j| bi * pc + j).collect();
+            let recvd = comm.alltoallv(&row_group, sends);
+            let mut merged: Vec<(Vidx, U)> = Vec::new();
+            for msg in recvd {
+                for w in msg {
+                    match w {
+                        Wire::Y(i, v) => merged.push((i, v)),
+                        Wire::X(..) => unreachable!("expand payload during fold"),
+                    }
+                }
+            }
+            let recv_pairs = merged.len() as u64;
+            merged.sort_by_key(|&(i, _)| i);
+            let mut folded: Vec<(Vidx, U)> = Vec::with_capacity(merged.len());
+            for (i, v) in merged {
+                match folded.last_mut() {
+                    Some((last, acc)) if *last == i => match fold {
+                        MeshFold::Select(take) => {
+                            if take(acc, &v) {
+                                *acc = v;
+                            }
+                        }
+                        MeshFold::Monoid(comb) => comb(acc, v),
+                    },
+                    _ => folded.push((i, v)),
+                }
+            }
+            let roff = row_off[bi] as Vidx;
+            let entries: Vec<(Vidx, U)> = folded.into_iter().map(|(i, v)| (i + roff, v)).collect();
+            MeshOut { entries, flops, slice_nnz, sent_pairs, recv_pairs }
+        });
+
+        // Mirror the simulator's charges from the observed volumes (the
+        // exact formulas of `spmspv_with_plan`, computed per rank here:
+        // send/recv pairs are 2 words each, slices 2 words per entry).
+        let expand_max = results.iter().map(|r| 2 * r.slice_nnz).max().unwrap_or(0);
+        let max_flops = results.iter().map(|r| r.flops).max().unwrap_or(0);
+        let fold_bottleneck =
+            results.iter().map(|r| (2 * r.sent_pairs).max(2 * r.recv_pairs)).max().unwrap_or(0);
+        let ctx = eng.ctx_mut();
+        ctx.charge_allgather(kernel, pr, expand_max);
+        ctx.charge_compute(kernel, max_flops);
+        ctx.charge_alltoallv(kernel, pc, fold_bottleneck);
+
+        // Rank order is row-major over the grid and outputs are globalized
+        // per block row, so rank-order concatenation is globally ascending.
+        let mut entries = Vec::with_capacity(results.iter().map(|r| r.entries.len()).sum());
+        for r in results {
+            entries.extend(r.entries);
+        }
+        SpVec::from_sorted_pairs(self.nrows, entries)
+    }
 }
 
 #[cfg(test)]
@@ -777,5 +1019,92 @@ mod tests {
         let small = DistMatrix::with_grid(&t, 2, 2);
         let large = DistMatrix::with_grid(&t, 16, 16);
         assert!(large.hypersparse_fraction() >= small.hypersparse_fraction());
+    }
+
+    #[test]
+    fn mesh_product_matches_simulator_bit_for_bit() {
+        // The engine mesh runs real ranks over real channels; the result —
+        // including tie-breaks of the order-sensitive min-column semiring —
+        // must equal the simulator's on every square grid, for both the
+        // select and monoid folds, at 1 and 2 intra-rank threads.
+        let t = fig2_triples();
+        let x: SpVec<(Vidx, Vidx)> =
+            SpVec::from_pairs(5, vec![(0, (0, 0)), (2, (2, 2)), (3, (3, 3)), (4, (4, 4))]);
+        let cnt = SpVec::from_pairs(5, vec![(0, ()), (1, ()), (3, ()), (4, ())]);
+        for dim in 1..=3usize {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+            let a = DistMatrix::from_triples(&ctx, &t);
+            let want =
+                a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0);
+            let want_cnt =
+                a.spmspv_monoid(&mut ctx, Kernel::Init, &cnt, |_, _| 1u32, |a, b| *a += b);
+            for threads in [1usize, 2] {
+                let mut eng = EngineComm::new(dim * dim, threads);
+                let mut plan = SpmvPlan::new();
+                let got = a.spmspv_mesh(
+                    &mut eng,
+                    Kernel::SpMV,
+                    &mut plan,
+                    &x,
+                    |j, &(_, r)| (j, r),
+                    |acc, inc| inc.0 < acc.0,
+                );
+                assert_eq!(got, want, "grid {dim}x{dim} threads {threads}");
+                // Plan buffers reused across engine calls, still identical.
+                let again = a.spmspv_mesh(
+                    &mut eng,
+                    Kernel::SpMV,
+                    &mut plan,
+                    &x,
+                    |j, &(_, r)| (j, r),
+                    |acc, inc| inc.0 < acc.0,
+                );
+                assert_eq!(again, want, "grid {dim}x{dim} threads {threads} (reused plan)");
+
+                let mut cnt_plan = SpmvPlan::new();
+                let got_cnt = a.spmspv_monoid_mesh(
+                    &mut eng,
+                    Kernel::Init,
+                    &mut cnt_plan,
+                    &cnt,
+                    |_, _| 1u32,
+                    |a, b| *a += b,
+                );
+                assert_eq!(got_cnt, want_cnt, "monoid grid {dim}x{dim} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_product_mirrors_simulator_charges() {
+        // Same volumes → same modeled charges: the engine backend's SpMV
+        // accounting must agree with the simulator's per kernel call.
+        let t = fig2_triples();
+        let x: SpVec<(Vidx, Vidx)> =
+            SpVec::from_pairs(5, vec![(0, (0, 0)), (2, (2, 2)), (4, (4, 4))]);
+        for dim in [2usize, 3] {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+            let a = DistMatrix::from_triples(&ctx, &t);
+            let before = ctx.timers.seconds(Kernel::SpMV);
+            let _ =
+                a.spmspv(&mut ctx, Kernel::SpMV, &x, |j, &(_, r)| (j, r), |acc, inc| inc.0 < acc.0);
+            let sim_cost = ctx.timers.seconds(Kernel::SpMV) - before;
+
+            let mut eng = EngineComm::new(dim * dim, 1);
+            let mut plan = SpmvPlan::new();
+            let _ = a.spmspv_mesh(
+                &mut eng,
+                Kernel::SpMV,
+                &mut plan,
+                &x,
+                |j, &(_, r)| (j, r),
+                |acc, inc| inc.0 < acc.0,
+            );
+            let eng_cost = eng.ctx().timers.seconds(Kernel::SpMV);
+            assert!(
+                (sim_cost - eng_cost).abs() < 1e-15,
+                "grid {dim}x{dim}: sim {sim_cost} vs engine {eng_cost}"
+            );
+        }
     }
 }

@@ -67,6 +67,18 @@ impl<T: Send> RankComm<T> {
         self.sched.as_ref().map(|s| s.trace_hash())
     }
 
+    /// Consumes one perturbation point from this rank's schedule — a
+    /// `maybe_stall` identical to the one every send/receive performs.
+    /// Long compute sections with order freedom (the engine backend's RMA
+    /// epochs between fences) call this so the adversarial schedule can
+    /// skew ranks *inside* the epoch, not just at its communication edges.
+    /// A no-op on the friendly schedule.
+    pub fn perturb_point(&mut self) {
+        if let Some(rs) = self.sched.as_mut() {
+            rs.maybe_stall();
+        }
+    }
+
     fn send_to(&mut self, dst: usize, data: Vec<T>) {
         self.sent_elems += data.len() as u64;
         if dst == self.rank {

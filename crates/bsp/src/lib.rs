@@ -26,6 +26,7 @@
 // Index loops over parallel arrays are the clearest style in these kernels.
 #![allow(clippy::needless_range_loop)]
 pub mod collectives;
+pub mod comm;
 pub mod cost;
 pub mod ctx;
 pub mod distmat;
@@ -36,10 +37,11 @@ pub mod sched;
 pub mod timers;
 
 pub use collectives::{balanced_owner, per_rank_counts};
+pub use comm::{AtomicWin, BackendKind, Communicator, EngineComm, ReduceOp, RmaTask, RmaWin};
 pub use cost::CostModel;
 pub use ctx::DistCtx;
 pub use distmat::{DistMatrix, SpmvPlan};
 pub use machine::{MachineConfig, ProcGrid};
-pub use rma::{RmaTally, RmaWindow};
+pub use rma::{RmaTally, RmaWindow, TalliedWin};
 pub use sched::{FaultPlan, SchedConfig, Schedule, SimWindow};
 pub use timers::{Kernel, Timers};

@@ -117,6 +117,60 @@ impl<'a> RmaWindow<'a> {
     }
 }
 
+/// Adapter connecting this module's per-origin cost accounting to the
+/// backend-agnostic [`crate::comm::RmaWin`] surface: a multi-vector window
+/// whose every one-sided call is charged to a fixed origin rank's
+/// [`RmaTally`]. Lets [`crate::comm::RmaTask`] op streams (the path
+/// walkers) run under the epoch-elapsed accounting of this module without
+/// knowing about it.
+pub struct TalliedWin<'a> {
+    vecs: Vec<&'a mut mcm_sparse::DenseVec>,
+    tally: &'a mut RmaTally,
+    cost: CostModel,
+    origin: usize,
+}
+
+impl<'a> TalliedWin<'a> {
+    /// Opens a window over `vecs` charging calls by `origin` into `tally`.
+    pub fn new(
+        vecs: Vec<&'a mut mcm_sparse::DenseVec>,
+        tally: &'a mut RmaTally,
+        cost: CostModel,
+        origin: usize,
+    ) -> Self {
+        Self { vecs, tally, cost, origin }
+    }
+
+    /// Switches the issuing origin rank (e.g. between task streams).
+    pub fn set_origin(&mut self, origin: usize) {
+        self.origin = origin;
+    }
+}
+
+impl crate::comm::RmaWin for TalliedWin<'_> {
+    fn get(&mut self, win: usize, idx: mcm_sparse::Vidx) -> mcm_sparse::Vidx {
+        self.tally.op(self.origin, &self.cost);
+        self.vecs[win].get(idx)
+    }
+
+    fn put(&mut self, win: usize, idx: mcm_sparse::Vidx, v: mcm_sparse::Vidx) {
+        self.tally.op(self.origin, &self.cost);
+        self.vecs[win].set(idx, v);
+    }
+
+    fn fetch_and_put(
+        &mut self,
+        win: usize,
+        idx: mcm_sparse::Vidx,
+        v: mcm_sparse::Vidx,
+    ) -> mcm_sparse::Vidx {
+        self.tally.op(self.origin, &self.cost);
+        let prev = self.vecs[win].get(idx);
+        self.vecs[win].set(idx, v);
+        prev
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +208,37 @@ mod tests {
         let t = RmaTally::new(4);
         assert_eq!(t.elapsed(), 0.0);
         assert_eq!(t.total_ops(), 0);
+    }
+
+    #[test]
+    fn tallied_win_drives_rma_tasks_with_origin_accounting() {
+        use crate::comm::{RmaTask, RmaWin};
+
+        /// One swap on a shared slot, then done.
+        struct OneSwap(mcm_sparse::Vidx);
+        impl RmaTask for OneSwap {
+            fn step(&mut self, win: &mut dyn RmaWin) -> bool {
+                let _ = win.fetch_and_put(0, 0, self.0);
+                false
+            }
+        }
+
+        let cost = CostModel { alpha: 1.0, alpha_soft: 0.0, beta: 0.0, gamma: 0.0 };
+        let mut slot = DenseVec::nil(1);
+        let mut tally = RmaTally::new(2);
+        {
+            let mut win = TalliedWin::new(vec![&mut slot], &mut tally, cost, 0);
+            let mut a = OneSwap(7);
+            while a.step(&mut win) {}
+            win.set_origin(1);
+            let mut b = OneSwap(9);
+            while b.step(&mut win) {}
+            assert_eq!(win.get(0, 0), 9); // one more op charged to origin 1
+        }
+        assert_eq!(slot.get(0), 9);
+        assert_eq!(tally.total_ops(), 3);
+        // Origin 0 issued 1 call, origin 1 issued 2: elapsed is the max.
+        assert!((tally.elapsed() - 2.0).abs() < 1e-12);
     }
 
     #[test]

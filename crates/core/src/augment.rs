@@ -14,11 +14,18 @@
 //! *"the path parallel augmentation performs better when the number of
 //! augmenting paths k < 2p². Therefore, we use this criterion to
 //! automatically switch between these two variants"* — [`AugmentMode::Auto`].
+//!
+//! Both kernels are written against the backend-agnostic
+//! [`Communicator`]: level-parallel's INVERTs route through real
+//! all-to-alls on the engine, and path-parallel's walkers implement
+//! [`RmaTask`] so one [`Communicator::rma_epoch`] call services them
+//! through the schedule-driven [`mcm_bsp::SimWindow`] interleaver on the
+//! simulator or through per-rank atomic windows on the engine.
 
 use crate::matching::Matching;
 use crate::primitives::{invert, set_dense, set_sparse};
-use mcm_bsp::sched::{run_interleaved, OriginTask, Schedule, SimWindow};
-use mcm_bsp::{DistCtx, Kernel};
+use mcm_bsp::collectives::per_rank_counts;
+use mcm_bsp::{Communicator, Kernel, ReduceOp, RmaTask, RmaWin};
 use mcm_sparse::{DenseVec, SpVec, Vidx, NIL};
 
 /// Which augmentation kernel to run.
@@ -49,8 +56,8 @@ pub struct AugmentReport {
 
 /// Augments `m` by the vertex-disjoint paths recorded in `path_c`
 /// (index = root column, value = end row) using parent pointers `parent_r`.
-pub fn augment(
-    ctx: &mut DistCtx,
+pub fn augment<C: Communicator>(
+    comm: &mut C,
     mode: AugmentMode,
     path_c: &DenseVec,
     parent_r: &DenseVec,
@@ -61,25 +68,25 @@ pub fn augment(
     if k == 0 {
         return AugmentReport { used_path_parallel: false, paths: 0, levels: 0, sched_steps: 0 };
     }
-    let p = ctx.p();
+    let p = comm.p();
     // The switch criterion compares paper-scale path counts (k grows with
     // matrix size, so it is work-scaled) to 2p² (§IV-B).
     let path_parallel = match mode {
-        AugmentMode::Auto => (k as f64 * ctx.work_scale) < 2.0 * (p * p) as f64,
+        AugmentMode::Auto => (k as f64 * comm.ctx().work_scale) < 2.0 * (p * p) as f64,
         AugmentMode::LevelParallel => false,
         AugmentMode::PathParallel => true,
     };
     let (levels, sched_steps) = if path_parallel {
-        path_parallel_augment(ctx, v_c, parent_r, m)
+        path_parallel_augment(comm, v_c, parent_r, m)
     } else {
-        (level_parallel_augment(ctx, v_c, parent_r, m), 0)
+        (level_parallel_augment(comm, v_c, parent_r, m), 0)
     };
     AugmentReport { used_path_parallel: path_parallel, paths: k, levels, sched_steps }
 }
 
 /// Algorithm 3: level-synchronous augmentation of all paths at once.
-fn level_parallel_augment(
-    ctx: &mut DistCtx,
+fn level_parallel_augment<C: Communicator>(
+    comm: &mut C,
     mut v_c: SpVec<Vidx>,
     parent_r: &DenseVec,
     m: &mut Matching,
@@ -90,19 +97,21 @@ fn level_parallel_augment(
     while !v_c.is_empty() {
         levels += 1;
         // Emptiness check is an allreduce over the sparse vector's nnz.
-        ctx.charge_allreduce(Kernel::Augment, 1);
+        let total =
+            comm.allreduce(Kernel::Augment, &per_rank_counts(&v_c, comm.p()), ReduceOp::Sum);
+        debug_assert_eq!(total as usize, v_c.nnz());
         // v_r ← INVERT(v_c): rows to be matched this level.
-        let v_r = invert(ctx, Kernel::Augment, &v_c, n1);
+        let v_r = invert(comm, Kernel::Augment, &v_c, n1);
         // v_r ← SET(v_r, π_r): each row's new mate is its BFS parent column.
-        let v_r = set_sparse(ctx, Kernel::Augment, &v_r, parent_r);
+        let v_r = set_sparse(comm, Kernel::Augment, &v_r, parent_r);
         // v_c' ← INVERT(v_r): those parent columns, carrying their new rows.
-        let v_c2 = invert(ctx, Kernel::Augment, &v_r, n2);
+        let v_c2 = invert(comm, Kernel::Augment, &v_r, n2);
         // Old mates of the parent columns — the rows to re-attach next level
         // (NIL for root columns: their paths terminate here).
-        let v_next = set_sparse(ctx, Kernel::Augment, &v_c2, &m.mate_c);
+        let v_next = set_sparse(comm, Kernel::Augment, &v_c2, &m.mate_c);
         // mate updates (dense SETs, local).
-        set_dense(ctx, Kernel::Augment, &mut m.mate_c, &v_c2, |&r| r);
-        set_dense(ctx, Kernel::Augment, &mut m.mate_r, &v_r, |&c| c);
+        set_dense(comm, Kernel::Augment, &mut m.mate_c, &v_c2, |&r| r);
+        set_dense(comm, Kernel::Augment, &mut m.mate_r, &v_r, |&c| c);
         v_c = v_next.filter(|_, &r| r != NIL);
     }
     levels
@@ -110,52 +119,46 @@ fn level_parallel_augment(
 
 /// Algorithm 4: every path walked independently with one-sided operations.
 ///
-/// On the friendly schedule (`ctx.sched` unset) the paths are walked in
-/// program order. Under a simtest [`Schedule`] each path becomes a
-/// [`PathWalker`] origin whose three one-sided calls per level are serviced
-/// in a seed-chosen adversarial interleaving with every other path's calls
-/// — the execution Algorithm 4 actually faces on real RMA hardware. The
+/// Each path becomes a [`PathWalker`] origin whose three one-sided calls
+/// per level run inside one [`Communicator::rma_epoch`]. On the simulator
+/// with no [`mcm_bsp::Schedule`] installed, origins complete in program
+/// order; under a schedule their calls are serviced in a seed-chosen
+/// adversarial interleaving — the execution Algorithm 4 actually faces on
+/// real RMA hardware. On the engine backend the epoch runs on real threads
+/// over shared atomic windows and is closed by an all-to-all fence. The
 /// paths are vertex-disjoint by construction (§III-C), so *every*
 /// interleaving must produce the same matching; the differential sweeps
 /// assert exactly that. Returns `(max levels, interleaved service steps)`.
-fn path_parallel_augment(
-    ctx: &mut DistCtx,
+fn path_parallel_augment<C: Communicator>(
+    comm: &mut C,
     v_c: SpVec<Vidx>,
     parent_r: &DenseVec,
     m: &mut Matching,
 ) -> (usize, u64) {
-    let p = ctx.p();
+    let p = comm.p();
+    // The parent vector is read-only in the epoch; a window-local copy
+    // keeps the exposure list uniform across backends.
+    let mut parent = parent_r.clone();
+    let mut walkers: Vec<PathWalker> = v_c
+        .entries()
+        .iter()
+        .map(|&(_, end_row)| PathWalker {
+            r: end_row,
+            c: NIL,
+            state: WalkState::GetParent,
+            levels: 0,
+        })
+        .collect();
+    let sched_steps = comm.rma_epoch(
+        Kernel::Augment,
+        vec![&mut parent, &mut m.mate_r, &mut m.mate_c],
+        &mut walkers,
+    );
     let mut total_levels = 0u64;
     let mut max_levels = 0usize;
-    let mut sched_steps = 0u64;
-    if let Some(mut sched) = ctx.sched.take() {
-        sched_steps = walk_paths_interleaved(
-            &mut sched,
-            &v_c,
-            parent_r,
-            m,
-            &mut total_levels,
-            &mut max_levels,
-        );
-        ctx.sched = Some(sched);
-    } else {
-        for &(_, end_row) in v_c.entries() {
-            let mut r = end_row;
-            let mut levels = 0usize;
-            loop {
-                levels += 1;
-                let c = parent_r.get(r); // MPI_Get
-                let next_r = m.mate_c.get(c); // merged MPI_Fetch_and_op
-                m.mate_r.set(r, c); // MPI_Put
-                m.mate_c.set(c, r);
-                if next_r == NIL {
-                    break; // reached the root column
-                }
-                r = next_r;
-            }
-            total_levels += levels as u64;
-            max_levels = max_levels.max(levels);
-        }
+    for w in &walkers {
+        total_levels += w.levels as u64;
+        max_levels = max_levels.max(w.levels);
     }
     // Modeled epoch time, per the paper's §IV-B analysis: the paper-scale
     // run has k·work_scale paths "uniformly distributed across p
@@ -163,6 +166,7 @@ fn path_parallel_augment(
     // the bottleneck rank issues (Σ levels)·3·work_scale / p calls. A
     // single path is a sequential dependency chain, so the epoch can never
     // beat 3·h·(α+β) for the longest path h.
+    let ctx = comm.ctx_mut();
     let ops_bottleneck =
         (total_levels as f64 * 3.0 * ctx.work_scale / p as f64).max(3.0 * max_levels as f64);
     ctx.timers.charge(Kernel::Augment, ops_bottleneck * ctx.cost.rma_op());
@@ -176,8 +180,8 @@ const WIN_MATE_R: usize = 1;
 const WIN_MATE_C: usize = 2;
 
 /// One augmenting path as a resumable op stream: each `step` issues
-/// exactly one one-sided call, so the scheduler can interleave paths at
-/// the same granularity real RMA does.
+/// exactly one one-sided call, so the scheduler (or a real engine rank)
+/// can interleave paths at the same granularity real RMA does.
 struct PathWalker {
     r: Vidx,
     c: Vidx,
@@ -197,8 +201,8 @@ enum WalkState {
     },
 }
 
-impl OriginTask for PathWalker {
-    fn step(&mut self, win: &mut SimWindow<'_>) -> bool {
+impl RmaTask for PathWalker {
+    fn step(&mut self, win: &mut dyn RmaWin) -> bool {
         match self.state {
             WalkState::GetParent => {
                 self.levels += 1;
@@ -224,45 +228,10 @@ impl OriginTask for PathWalker {
     }
 }
 
-/// Services every path's op stream through a [`SimWindow`] in the
-/// schedule's interleaving; returns the number of service steps.
-fn walk_paths_interleaved(
-    sched: &mut Schedule,
-    v_c: &SpVec<Vidx>,
-    parent_r: &DenseVec,
-    m: &mut Matching,
-    total_levels: &mut u64,
-    max_levels: &mut usize,
-) -> u64 {
-    // The parent vector is read-only in the epoch; a window-local copy
-    // keeps the borrow simple (harness path only — not a perf vehicle).
-    let mut parent = parent_r.clone();
-    let mut walkers: Vec<PathWalker> = v_c
-        .entries()
-        .iter()
-        .map(|&(_, end_row)| PathWalker {
-            r: end_row,
-            c: NIL,
-            state: WalkState::GetParent,
-            levels: 0,
-        })
-        .collect();
-    let steps = {
-        let mut win =
-            SimWindow::new(vec![&mut parent, &mut m.mate_r, &mut m.mate_c], sched.fault());
-        run_interleaved(&mut win, sched, &mut walkers)
-    };
-    for w in &walkers {
-        *total_levels += w.levels as u64;
-        *max_levels = (*max_levels).max(w.levels);
-    }
-    steps
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcm_bsp::MachineConfig;
+    use mcm_bsp::{DistCtx, EngineComm, MachineConfig};
 
     /// One path of length 3 (c0 — r0 = c1 — r1, augmenting):
     /// matching {(r0,c1)}, path ends at unmatched r1 whose parent is c1,
@@ -368,6 +337,21 @@ mod tests {
             assert_eq!(m, friendly, "seed {seed}: interleaving changed the matching");
             assert!(ctx.sched.is_some(), "schedule must be restored to the ctx");
         }
+    }
+
+    #[test]
+    fn path_parallel_on_the_engine_matches_the_simulator() {
+        // The trait-routed epoch must produce the identical matching when
+        // the walkers run on real threads over atomic windows.
+        let (pc, pr, mut sim_m) = one_path();
+        let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+        augment(&mut ctx, AugmentMode::PathParallel, &pc, &pr, &mut sim_m);
+        let (pc, pr, mut eng_m) = one_path();
+        let mut eng = EngineComm::new(4, 1);
+        let rep = augment(&mut eng, AugmentMode::PathParallel, &pc, &pr, &mut eng_m);
+        assert!(rep.used_path_parallel);
+        assert_eq!(eng_m, sim_m);
+        assert_eq!(eng_m.cardinality(), 2);
     }
 
     #[test]

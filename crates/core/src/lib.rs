@@ -39,6 +39,9 @@ pub mod vertex;
 pub mod weighted;
 
 pub use matching::Matching;
-pub use mcm::{maximum_matching, maximum_matching_from, McmOptions, McmResult, McmStats};
+pub use mcm::{
+    maximum_matching, maximum_matching_engine, maximum_matching_from, McmOptions, McmResult,
+    McmStats,
+};
 pub use semirings::SemiringKind;
 pub use vertex::Vertex;

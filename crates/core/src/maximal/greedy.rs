@@ -9,13 +9,16 @@
 
 use crate::matching::Matching;
 use crate::primitives::{invert, select};
-use mcm_bsp::{DistCtx, DistMatrix, Kernel};
-use mcm_sparse::{SpVec, NIL};
+use mcm_bsp::collectives::per_rank_counts;
+use mcm_bsp::{Communicator, DistMatrix, Kernel, ReduceOp, SpmvPlan};
+use mcm_sparse::{SpVec, Vidx, NIL};
 
 /// Greedy distributed maximal matching over the column side.
-pub fn greedy(ctx: &mut DistCtx, a: &DistMatrix) -> Matching {
+pub fn greedy<C: Communicator>(comm: &mut C, a: &DistMatrix) -> Matching {
     let (n1, n2) = (a.nrows(), a.ncols());
     let mut m = Matching::empty(n1, n2);
+    // Per-rank workspaces reused across every proposal round.
+    let mut plan: SpmvPlan<Vidx, Vidx> = SpmvPlan::new();
 
     loop {
         // Frontier: all unmatched columns, proposing themselves.
@@ -24,14 +27,15 @@ pub fn greedy(ctx: &mut DistCtx, a: &DistMatrix) -> Matching {
         if f_c.is_empty() {
             break;
         }
-        ctx.charge_allreduce(Kernel::Init, 1);
+        let total = comm.allreduce(Kernel::Init, &per_rank_counts(&f_c, comm.p()), ReduceOp::Sum);
+        debug_assert_eq!(total as usize, f_c.nnz());
 
         // Each row receives its minimum proposing column.
-        let cand_r = a.spmspv(ctx, Kernel::Init, &f_c, |j, _| j, |acc, inc| inc < acc);
+        let cand_r = comm.spmspv(a, Kernel::Init, &mut plan, &f_c, |j, _| j, |acc, inc| inc < acc);
         // Only unmatched rows can accept.
-        let cand_r = select(ctx, Kernel::Init, &cand_r, &m.mate_r, |v| v == NIL);
+        let cand_r = select(comm, Kernel::Init, &cand_r, &m.mate_r, |v| v == NIL);
         // Resolve column conflicts: each column keeps its first accepting row.
-        let winners = invert(ctx, Kernel::Init, &cand_r, n2);
+        let winners = invert(comm, Kernel::Init, &cand_r, n2);
         if winners.is_empty() {
             break; // no unmatched column reaches an unmatched row: maximal
         }
@@ -46,7 +50,7 @@ pub fn greedy(ctx: &mut DistCtx, a: &DistMatrix) -> Matching {
 mod tests {
     use super::*;
     use crate::verify::is_maximal;
-    use mcm_bsp::MachineConfig;
+    use mcm_bsp::{DistCtx, MachineConfig};
     use mcm_sparse::Triples;
 
     fn run(t: &Triples, dim: usize) -> Matching {

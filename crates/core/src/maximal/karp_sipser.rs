@@ -13,7 +13,8 @@
 
 use crate::matching::Matching;
 use crate::primitives::{invert_by, select};
-use mcm_bsp::{DistCtx, DistMatrix, Kernel};
+use mcm_bsp::collectives::per_rank_counts;
+use mcm_bsp::{Communicator, DistMatrix, Kernel, ReduceOp, SpmvPlan};
 use mcm_sparse::{SpVec, Vidx, NIL};
 
 /// A strong 64-bit mix for the random-phase proposal order.
@@ -25,15 +26,30 @@ fn mix(seed: u64, v: Vidx) -> u64 {
 }
 
 /// Distributed Karp–Sipser: degree-1 columns first, random fallback rounds.
-pub fn karp_sipser(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix, seed: u64) -> Matching {
+pub fn karp_sipser<C: Communicator>(
+    comm: &mut C,
+    a: &DistMatrix,
+    at: &DistMatrix,
+    seed: u64,
+) -> Matching {
     let (n1, n2) = (a.nrows(), a.ncols());
     assert_eq!((at.nrows(), at.ncols()), (n2, n1), "at must be the transpose of a");
     let mut m = Matching::empty(n1, n2);
+    // Per-rank workspaces reused across the cascade rounds.
+    let mut count_plan: SpmvPlan<(), u32> = SpmvPlan::new();
+    let mut cand_plan: SpmvPlan<Vidx, Vidx> = SpmvPlan::new();
 
     // deg_c[j] = # adjacent unmatched rows (dynamic). Initialized by a
     // counting SpMSpV over all rows.
     let all_rows = SpVec::from_sorted_pairs(n1, (0..n1 as Vidx).map(|r| (r, ())).collect());
-    let deg0 = at.spmspv_monoid(ctx, Kernel::Init, &all_rows, |_, _| 1u32, |acc, inc| *acc += inc);
+    let deg0 = comm.spmspv_monoid(
+        at,
+        Kernel::Init,
+        &mut count_plan,
+        &all_rows,
+        |_, _| 1u32,
+        |acc, inc| *acc += inc,
+    );
     let mut deg_c = vec![0u32; n2];
     for (j, &d) in deg0.iter() {
         deg_c[j as usize] = d;
@@ -49,18 +65,20 @@ pub fn karp_sipser(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix, seed: u64
         if f_r.is_empty() {
             break;
         }
-        ctx.charge_allreduce(Kernel::Init, 1);
+        let total = comm.allreduce(Kernel::Init, &per_rank_counts(&f_r, comm.p()), ReduceOp::Sum);
+        debug_assert_eq!(total as usize, f_r.nnz());
 
         // Each column keeps the min-hash unmatched row reaching it.
         let rs = seed ^ round.wrapping_mul(0xA24B_AED4_963E_E407);
-        let cand_c = at.spmspv(
-            ctx,
+        let cand_c = comm.spmspv(
+            at,
             Kernel::Init,
+            &mut cand_plan,
             &f_r,
             |_, &r| r,
             |acc, inc| (mix(rs, *inc), *inc) < (mix(rs, *acc), *acc),
         );
-        let cand_c = select(ctx, Kernel::Init, &cand_c, &m.mate_c, |v| v == NIL);
+        let cand_c = select(comm, Kernel::Init, &cand_c, &m.mate_c, |v| v == NIL);
         if cand_c.is_empty() {
             break; // maximal: no unmatched column touches an unmatched row
         }
@@ -71,7 +89,7 @@ pub fn karp_sipser(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix, seed: u64
         let chosen = if deg1.is_empty() { cand_c } else { deg1 };
 
         // Resolve row conflicts; commit.
-        let winners = invert_by(ctx, Kernel::Init, &chosen, n1, |&r| r, |c, _| c);
+        let winners = invert_by(comm, Kernel::Init, &chosen, n1, |&r| r, |c, _| c);
         let mut new_rows: Vec<(Vidx, ())> = Vec::with_capacity(winners.nnz());
         for &(r, c) in winners.entries() {
             m.add(r, c);
@@ -82,8 +100,14 @@ pub fn karp_sipser(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix, seed: u64
 
         // Degree update: columns adjacent to newly matched rows lose one
         // unmatched neighbour each (counting SpMSpV over the transpose).
-        let dec =
-            at.spmspv_monoid(ctx, Kernel::Init, &new_rows, |_, _| 1u32, |acc, inc| *acc += inc);
+        let dec = comm.spmspv_monoid(
+            at,
+            Kernel::Init,
+            &mut count_plan,
+            &new_rows,
+            |_, _| 1u32,
+            |acc, inc| *acc += inc,
+        );
         for (j, &d) in dec.iter() {
             deg_c[j as usize] = deg_c[j as usize].saturating_sub(d);
         }
@@ -96,7 +120,7 @@ mod tests {
     use super::*;
     use crate::maximal::greedy;
     use crate::verify::is_maximal;
-    use mcm_bsp::MachineConfig;
+    use mcm_bsp::{DistCtx, MachineConfig};
     use mcm_sparse::Triples;
 
     fn run(t: &Triples, dim: usize, seed: u64) -> Matching {

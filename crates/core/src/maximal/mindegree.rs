@@ -9,22 +9,38 @@
 
 use crate::matching::Matching;
 use crate::primitives::{invert_by, select};
-use mcm_bsp::{DistCtx, DistMatrix, Kernel};
+use mcm_bsp::collectives::per_rank_counts;
+use mcm_bsp::{Communicator, DistMatrix, Kernel, ReduceOp, SpmvPlan};
 use mcm_sparse::{SpVec, Vidx, NIL};
 
 /// Distributed dynamic-mindegree maximal matching.
 ///
 /// `a` is the `n1 × n2` matrix, `at` its transpose (rows propose along
 /// `at`: columns of `at` are the rows of `a`).
-pub fn dynamic_mindegree(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix) -> Matching {
+pub fn dynamic_mindegree<C: Communicator>(
+    comm: &mut C,
+    a: &DistMatrix,
+    at: &DistMatrix,
+) -> Matching {
     let (n1, n2) = (a.nrows(), a.ncols());
     assert_eq!((at.nrows(), at.ncols()), (n2, n1), "at must be the transpose of a");
     let mut m = Matching::empty(n1, n2);
+    // Per-rank workspaces: one plan per (matrix, value-type) pair, reused
+    // across every degree-count and proposal round.
+    let mut deg_plan: SpmvPlan<(), u32> = SpmvPlan::new();
+    let mut cand_plan: SpmvPlan<(Vidx, u32), (Vidx, u32)> = SpmvPlan::new();
 
     // Current degree of each row = # adjacent unmatched columns. The initial
     // value is the static row degree (one counting SpMSpV over all columns).
     let all_cols = SpVec::from_sorted_pairs(n2, (0..n2 as Vidx).map(|c| (c, ())).collect());
-    let deg0 = a.spmspv_monoid(ctx, Kernel::Init, &all_cols, |_, _| 1u32, |acc, inc| *acc += inc);
+    let deg0 = comm.spmspv_monoid(
+        a,
+        Kernel::Init,
+        &mut deg_plan,
+        &all_cols,
+        |_, _| 1u32,
+        |acc, inc| *acc += inc,
+    );
     let mut deg_r = vec![0u32; n1];
     for (i, &d) in deg0.iter() {
         deg_r[i as usize] = d;
@@ -39,12 +55,14 @@ pub fn dynamic_mindegree(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix) -> 
         if f_r.is_empty() {
             break;
         }
-        ctx.charge_allreduce(Kernel::Init, 1);
+        let total = comm.allreduce(Kernel::Init, &per_rank_counts(&f_r, comm.p()), ReduceOp::Sum);
+        debug_assert_eq!(total as usize, f_r.nnz());
 
         // Each column keeps the (degree, index)-minimal unmatched row.
-        let cand_c = at.spmspv_monoid(
-            ctx,
+        let cand_c = comm.spmspv_monoid(
+            at,
             Kernel::Init,
+            &mut cand_plan,
             &f_r,
             |_, &(r, d)| (r, d),
             |acc: &mut (Vidx, u32), inc| {
@@ -54,9 +72,9 @@ pub fn dynamic_mindegree(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix) -> 
             },
         );
         // Only unmatched columns can accept.
-        let cand_c = select(ctx, Kernel::Init, &cand_c, &m.mate_c, |v| v == NIL);
+        let cand_c = select(comm, Kernel::Init, &cand_c, &m.mate_c, |v| v == NIL);
         // Resolve row conflicts: each row keeps its first accepting column.
-        let winners = invert_by(ctx, Kernel::Init, &cand_c, n1, |&(r, _)| r, |c, _| c);
+        let winners = invert_by(comm, Kernel::Init, &cand_c, n1, |&(r, _)| r, |c, _| c);
         if winners.is_empty() {
             break; // maximal
         }
@@ -69,8 +87,14 @@ pub fn dynamic_mindegree(ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix) -> 
         }
         new_cols.sort_unstable_by_key(|&(c, _)| c);
         let new_cols = SpVec::from_sorted_pairs(n2, new_cols);
-        let dec =
-            a.spmspv_monoid(ctx, Kernel::Init, &new_cols, |_, _| 1u32, |acc, inc| *acc += inc);
+        let dec = comm.spmspv_monoid(
+            a,
+            Kernel::Init,
+            &mut deg_plan,
+            &new_cols,
+            |_, _| 1u32,
+            |acc, inc| *acc += inc,
+        );
         for (i, &d) in dec.iter() {
             deg_r[i as usize] = deg_r[i as usize].saturating_sub(d);
         }
@@ -83,7 +107,7 @@ mod tests {
     use super::*;
     use crate::maximal::greedy;
     use crate::verify::is_maximal;
-    use mcm_bsp::MachineConfig;
+    use mcm_bsp::{DistCtx, MachineConfig};
     use mcm_sparse::Triples;
 
     fn run(t: &Triples, dim: usize) -> Matching {

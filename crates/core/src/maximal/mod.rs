@@ -34,7 +34,7 @@ pub use karp_sipser::karp_sipser;
 pub use mindegree::dynamic_mindegree;
 
 use crate::matching::Matching;
-use mcm_bsp::{DistCtx, DistMatrix};
+use mcm_bsp::{Communicator, DistMatrix};
 
 /// Which maximal matching seeds MCM-DIST.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -64,13 +64,20 @@ impl Initializer {
 
     /// Runs the initializer. `a` is the distributed matrix and `at` its
     /// transpose (needed by the row-proposing variants); pass the same
-    /// context so the cost lands in `Kernel::Init`.
-    pub fn run(&self, ctx: &mut DistCtx, a: &DistMatrix, at: &DistMatrix, seed: u64) -> Matching {
+    /// backend so the cost lands in `Kernel::Init` and the proposal
+    /// rounds execute on the caller's simulator or engine.
+    pub fn run<C: Communicator>(
+        &self,
+        comm: &mut C,
+        a: &DistMatrix,
+        at: &DistMatrix,
+        seed: u64,
+    ) -> Matching {
         match self {
             Initializer::None => Matching::empty(a.nrows(), a.ncols()),
-            Initializer::Greedy => greedy(ctx, a),
-            Initializer::KarpSipser => karp_sipser(ctx, a, at, seed),
-            Initializer::DynamicMindegree => dynamic_mindegree(ctx, a, at),
+            Initializer::Greedy => greedy(comm, a),
+            Initializer::KarpSipser => karp_sipser(comm, a, at, seed),
+            Initializer::DynamicMindegree => dynamic_mindegree(comm, a, at),
         }
     }
 }

@@ -16,7 +16,8 @@ use crate::maximal::Initializer;
 use crate::primitives::{invert_by, prune, select, set_dense};
 use crate::semirings::SemiringKind;
 use crate::vertex::Vertex;
-use mcm_bsp::{DistCtx, DistMatrix, Kernel, SpmvPlan};
+use mcm_bsp::collectives::per_rank_counts;
+use mcm_bsp::{Communicator, DistCtx, DistMatrix, EngineComm, Kernel, ReduceOp, SpmvPlan};
 use mcm_sparse::permute::{random_relabel, Permutation};
 use mcm_sparse::{DenseVec, SpVec, Triples, Vidx, NIL};
 
@@ -100,9 +101,15 @@ pub struct McmResult {
     pub stats: McmStats,
 }
 
-/// Computes a maximum cardinality matching of the bipartite graph `t` on the
-/// simulated machine of `ctx`. Modeled time accrues into `ctx.timers`.
-pub fn maximum_matching(ctx: &mut DistCtx, t: &Triples, opts: &McmOptions) -> McmResult {
+/// Computes a maximum cardinality matching of the bipartite graph `t` on
+/// the machine behind `comm` — the cost-model simulator ([`DistCtx`]) or
+/// the thread-per-rank engine ([`EngineComm`]); modeled time accrues into
+/// the backend's timers either way.
+pub fn maximum_matching<C: Communicator>(
+    comm: &mut C,
+    t: &Triples,
+    opts: &McmOptions,
+) -> McmResult {
     // Load-balancing random relabeling (§IV-A); undone before returning.
     let (work, perms) = match opts.permute_seed {
         Some(seed) => {
@@ -112,19 +119,19 @@ pub fn maximum_matching(ctx: &mut DistCtx, t: &Triples, opts: &McmOptions) -> Mc
         None => (t.clone(), None),
     };
 
-    let a = DistMatrix::from_triples(ctx, &work);
+    let a = DistMatrix::from_triples(comm.ctx(), &work);
     // The transpose is needed by the row-proposing initializers and by the
     // bottom-up direction; build it once if anything wants it.
     let needs_at = !matches!(opts.init, Initializer::None) || opts.direction_optimizing;
-    let at = needs_at.then(|| DistMatrix::from_triples(ctx, &work.transposed()));
+    let at = needs_at.then(|| DistMatrix::from_triples(comm.ctx(), &work.transposed()));
     let mut m = match (&opts.init, &at) {
         (Initializer::None, _) => Matching::empty(a.nrows(), a.ncols()),
-        (init, Some(at)) => init.run(ctx, &a, at, opts.seed),
+        (init, Some(at)) => init.run(comm, &a, at, opts.seed),
         _ => unreachable!("needs_at covers every non-None initializer"),
     };
     let mut stats = McmStats { init_cardinality: m.cardinality(), ..Default::default() };
 
-    run_phases(ctx, &a, at.as_ref(), &mut m, opts, &mut stats);
+    run_phases(comm, &a, at.as_ref(), &mut m, opts, &mut stats);
 
     let matching = match perms {
         None => m,
@@ -145,8 +152,8 @@ pub fn maximum_matching(ctx: &mut DistCtx, t: &Triples, opts: &McmOptions) -> Mc
 /// # Panics
 /// Panics when `warm`'s dimensions do not match `t`'s; debug-panics when
 /// `warm` is not a valid matching of `t`.
-pub fn maximum_matching_from(
-    ctx: &mut DistCtx,
+pub fn maximum_matching_from<C: Communicator>(
+    comm: &mut C,
     t: &Triples,
     warm: Matching,
     opts: &McmOptions,
@@ -167,15 +174,16 @@ pub fn maximum_matching_from(
         }
         None => (t.clone(), None),
     };
-    let a = DistMatrix::from_triples(ctx, &work);
-    let at = opts.direction_optimizing.then(|| DistMatrix::from_triples(ctx, &work.transposed()));
+    let a = DistMatrix::from_triples(comm.ctx(), &work);
+    let at =
+        opts.direction_optimizing.then(|| DistMatrix::from_triples(comm.ctx(), &work.transposed()));
     let mut m = match &perms {
         None => warm,
         Some((rowp, colp)) => permute_matching(warm, rowp, colp),
     };
     let mut stats = McmStats { init_cardinality: m.cardinality(), ..Default::default() };
 
-    run_phases(ctx, &a, at.as_ref(), &mut m, opts, &mut stats);
+    run_phases(comm, &a, at.as_ref(), &mut m, opts, &mut stats);
 
     let matching = match perms {
         None => m,
@@ -200,8 +208,8 @@ fn permute_matching(m: Matching, rowp: &Permutation, colp: &Permutation) -> Matc
 /// The phase loop of Algorithm 2, operating on an already-distributed
 /// matrix and matching (used directly by benches that pre-distribute).
 /// `at` (the transpose) is only consulted when `opts.direction_optimizing`.
-pub fn run_phases(
-    ctx: &mut DistCtx,
+pub fn run_phases<C: Communicator>(
+    comm: &mut C,
     a: &DistMatrix,
     at: Option<&DistMatrix>,
     m: &mut Matching,
@@ -211,18 +219,19 @@ pub fn run_phases(
     let (n1, n2) = (a.nrows(), a.ncols());
     let mut parent_r = DenseVec::nil(n1); // π_r
     let mut path_c = DenseVec::nil(n2);
-    // One SpMSpV plan for the whole run: per-block workspaces and slice
-    // buffers warm up in the first iteration and are reused by every later
-    // iteration of every phase (zero kernel-layer allocation once warm).
+    // One SpMSpV plan for the whole run: per-block (per-rank, on the
+    // engine) workspaces and slice buffers warm up in the first iteration
+    // and are reused by every later iteration of every phase (zero
+    // kernel-layer allocation once warm).
     let mut plan: SpmvPlan<Vertex, Vertex> = SpmvPlan::new();
-    stats.sched_seed = ctx.sched.as_ref().map(|s| s.seed());
+    stats.sched_seed = comm.ctx().sched.as_ref().map(|s| s.seed());
 
     loop {
         stats.phases += 1;
         // Decorrelate the perturbations of each phase's RMA epochs: the
         // schedule stream is reseeded as a pure function of (seed, phase),
         // so a failing phase replays exactly from the run's seed.
-        if let Some(sched) = ctx.sched.as_mut() {
+        if let Some(sched) = comm.ctx_mut().sched.as_mut() {
             sched.next_phase(stats.phases as u64);
         }
         parent_r.fill_nil();
@@ -236,7 +245,12 @@ pub fn run_phases(
 
         while !f_c.is_empty() {
             stats.iterations += 1;
-            ctx.charge_allreduce(Kernel::Other, 1); // f_c ≠ φ check
+            // f_c ≠ φ check: a real allreduce of the per-rank frontier
+            // counts (one control word each — charged identically to the
+            // old hard-wired charge_allreduce).
+            let total =
+                comm.allreduce(Kernel::Other, &per_rank_counts(&f_c, comm.p()), ReduceOp::Sum);
+            debug_assert_eq!(total as usize, f_c.nnz());
 
             // Step 1: explore neighbours of the column frontier — top-down
             // SpMSpV, or bottom-up when the frontier is dense enough
@@ -256,7 +270,9 @@ pub fn run_phases(
                 // ...and list the candidate rows: unvisited this phase.
                 let candidates: Vec<Vidx> =
                     (0..n1 as Vidx).filter(|&r| parent_r.get(r) == NIL).collect();
-                ctx.charge_compute_stream(Kernel::Select, (n1 + n2) as u64 / ctx.p().max(1) as u64);
+                let p = comm.p();
+                let ctx = comm.ctx_mut();
+                ctx.charge_compute_stream(Kernel::Select, (n1 + n2) as u64 / p.max(1) as u64);
                 at.expect("bottom_up requires at").bottom_up_spmspv(
                     ctx,
                     Kernel::SpMV,
@@ -268,8 +284,8 @@ pub fn run_phases(
                 )
             } else {
                 let t0 = std::time::Instant::now();
-                let f_r_all = a.spmspv_with_plan(
-                    ctx,
+                let f_r_all = comm.spmspv(
+                    a,
                     Kernel::SpMV,
                     &mut plan,
                     &f_c,
@@ -280,21 +296,21 @@ pub fn run_phases(
                 f_r_all
             };
             // Step 2: keep rows not yet visited in this phase.
-            let f_r_new = select(ctx, Kernel::Select, &f_r_all, &parent_r, |p| p == NIL);
+            let f_r_new = select(comm, Kernel::Select, &f_r_all, &parent_r, |p| p == NIL);
             // Step 3: record their parents.
-            set_dense(ctx, Kernel::Select, &mut parent_r, &f_r_new, |v| v.parent);
+            set_dense(comm, Kernel::Select, &mut parent_r, &f_r_new, |v| v.parent);
             // Step 4: split into unmatched (path endpoints) and matched rows.
-            let uf_r = select(ctx, Kernel::Select, &f_r_new, &m.mate_r, |v| v == NIL);
-            let mut f_r = select(ctx, Kernel::Select, &f_r_new, &m.mate_r, |v| v != NIL);
+            let uf_r = select(comm, Kernel::Select, &f_r_new, &m.mate_r, |v| v == NIL);
+            let mut f_r = select(comm, Kernel::Select, &f_r_new, &m.mate_r, |v| v != NIL);
 
             if !uf_r.is_empty() {
                 // Step 5: record one augmenting-path endpoint per tree.
-                let t_c = invert_by(ctx, Kernel::Invert, &uf_r, n2, |v| v.root, |i, _| i);
-                set_dense(ctx, Kernel::Select, &mut path_c, &t_c, |&r| r);
+                let t_c = invert_by(comm, Kernel::Invert, &uf_r, n2, |v| v.root, |i, _| i);
+                set_dense(comm, Kernel::Select, &mut path_c, &t_c, |&r| r);
                 // Step 6: prune the rest of those trees from the frontier.
                 if opts.prune {
                     let roots: Vec<Vidx> = t_c.ind();
-                    f_r = prune(ctx, Kernel::Prune, &f_r, &roots, |v| v.root);
+                    f_r = prune(comm, Kernel::Prune, &f_r, &roots, |v| v.root);
                 }
             }
 
@@ -305,9 +321,9 @@ pub fn run_phases(
                 n1,
                 f_r.iter().map(|(i, v)| (i, Vertex::new(m.mate_r.get(i), v.root))).collect(),
             );
-            ctx.charge_compute_stream(Kernel::Select, stepped.nnz() as u64);
+            comm.ctx_mut().charge_compute_stream(Kernel::Select, stepped.nnz() as u64);
             f_c = invert_by(
-                ctx,
+                comm,
                 Kernel::Invert,
                 &stepped,
                 n2,
@@ -317,7 +333,7 @@ pub fn run_phases(
         }
 
         // Step 8: augment by every path discovered in this phase.
-        let report = augment(ctx, opts.augment, &path_c, &parent_r, m);
+        let report = augment(comm, opts.augment, &path_c, &parent_r, m);
         if report.paths == 0 {
             break; // no augmenting path: maximum reached
         }
@@ -352,6 +368,22 @@ fn unpermute(m: Matching, rowp: &Permutation, colp: &Permutation) -> Matching {
 pub fn maximum_matching_serial(t: &Triples, opts: &McmOptions) -> McmResult {
     let mut ctx = DistCtx::serial();
     maximum_matching(&mut ctx, t, opts)
+}
+
+/// MCM on the thread-per-rank execution backend: `p` real ranks (a perfect
+/// square — the 2D SpMV grid) with `threads` workers per rank, every
+/// collective a real channel-mesh exchange and every RMA epoch an atomic
+/// window. Produces the identical matching the simulator backend produces
+/// (the `backend_differential` suite asserts this across the full
+/// generator corpus) while actually using all `p · threads` cores.
+pub fn maximum_matching_engine(
+    p: usize,
+    threads: usize,
+    t: &Triples,
+    opts: &McmOptions,
+) -> McmResult {
+    let mut comm = EngineComm::new(p, threads);
+    maximum_matching(&mut comm, t, opts)
 }
 
 #[cfg(test)]

@@ -1,9 +1,12 @@
 //! The matrix-algebraic primitives of Table I: `IND`, `SELECT`, `SET`,
 //! `INVERT`, `PRUNE`.
 //!
-//! Each function executes the operation on the (logically distributed)
-//! vectors and charges the communication/computation the paper's Table I and
-//! §IV-B attribute to it:
+//! Every primitive is written once against the backend-agnostic
+//! [`Communicator`] trait, so the same code executes on the cost-model
+//! simulator ([`mcm_bsp::DistCtx`]) and on the thread-per-rank engine
+//! ([`mcm_bsp::EngineComm`]). Each function performs the operation on the
+//! (logically or physically distributed) vectors and charges the
+//! communication/computation the paper's Table I and §IV-B attribute to it:
 //!
 //! | op     | communication                         | computation        |
 //! |--------|---------------------------------------|--------------------|
@@ -14,38 +17,43 @@
 //! | PRUNE  | allgather of the root set             | sort + binary search |
 //!
 //! Computation is charged at the *bottleneck rank* (max entries owned by any
-//! of the `p` ranks), divided by the threads-per-process.
+//! of the `p` ranks), divided by the threads-per-process. The communicating
+//! primitives (`INVERT`, `PRUNE`) route their payloads through
+//! [`Communicator::alltoallv`] / [`Communicator::allgatherv`], which move
+//! real message buffers on the engine backend and charge the identical
+//! α–β–γ formulas on both.
 
-use mcm_bsp::collectives::{max_count, per_rank_counts};
-use mcm_bsp::{DistCtx, Kernel};
+use mcm_bsp::collectives::{balanced_owner, max_count, per_rank_counts};
+use mcm_bsp::{Communicator, Kernel};
+use mcm_sparse::triples::block_offsets;
 use mcm_sparse::{DenseVec, SpVec, Vidx};
 
 /// `SELECT(x, y, expr)`: keep the entries of sparse `x` whose aligned dense
 /// entry satisfies `pred`. Purely local (vectors share the same block
 /// distribution).
-pub fn select<T: Clone>(
-    ctx: &mut DistCtx,
+pub fn select<C: Communicator, T: Clone>(
+    comm: &mut C,
     kernel: Kernel,
     x: &SpVec<T>,
     y: &DenseVec,
     pred: impl Fn(Vidx) -> bool,
 ) -> SpVec<T> {
     assert_eq!(x.len(), y.len(), "SELECT requires aligned vectors");
-    charge_local(ctx, kernel, x);
+    charge_local(comm, kernel, x);
     x.filter(|i, _| pred(y.get(i)))
 }
 
 /// `SET(y, x)` with a dense target: `y[i] ← f(x[i])` for every explicit
 /// entry of `x`. Local.
-pub fn set_dense<T>(
-    ctx: &mut DistCtx,
+pub fn set_dense<C: Communicator, T>(
+    comm: &mut C,
     kernel: Kernel,
     y: &mut DenseVec,
     x: &SpVec<T>,
     f: impl Fn(&T) -> Vidx,
 ) {
     assert_eq!(x.len(), y.len(), "SET requires aligned vectors");
-    charge_local(ctx, kernel, x);
+    charge_local(comm, kernel, x);
     for (i, v) in x.iter() {
         y.set(i, f(v));
     }
@@ -53,9 +61,14 @@ pub fn set_dense<T>(
 
 /// `SET(x, y)` with a sparse target: replace every explicit value of `x`
 /// with the aligned dense value `y[i]`. Local.
-pub fn set_sparse(ctx: &mut DistCtx, kernel: Kernel, x: &SpVec<Vidx>, y: &DenseVec) -> SpVec<Vidx> {
+pub fn set_sparse<C: Communicator>(
+    comm: &mut C,
+    kernel: Kernel,
+    x: &SpVec<Vidx>,
+    y: &DenseVec,
+) -> SpVec<Vidx> {
     assert_eq!(x.len(), y.len(), "SET requires aligned vectors");
-    charge_local(ctx, kernel, x);
+    charge_local(comm, kernel, x);
     x.map_indexed(y)
 }
 
@@ -66,62 +79,98 @@ pub fn set_sparse(ctx: &mut DistCtx, kernel: Kernel, x: &SpVec<Vidx>, y: &DenseV
 /// keep the first index").
 ///
 /// Communication: every pair is routed to the rank owning its *new* index —
-/// a personalized all-to-all over all `p` ranks (§IV-B).
-pub fn invert_by<T, U>(
-    ctx: &mut DistCtx,
+/// a personalized all-to-all over all `p` ranks (§IV-B). The pairs really
+/// travel through [`Communicator::alltoallv`]; draining the received
+/// messages destination-major and source-ascending reproduces the original
+/// index order per key, so the keep-first dedup is bit-identical on both
+/// backends.
+pub fn invert_by<C: Communicator, T, U: Send + Clone>(
+    comm: &mut C,
     kernel: Kernel,
     x: &SpVec<T>,
     result_len: usize,
     key: impl Fn(&T) -> Vidx,
     value: impl Fn(Vidx, &T) -> U,
 ) -> SpVec<U> {
-    ctx.charge_invert_route(kernel, x, result_len, |v| key(v));
-    let pairs: Vec<(Vidx, U)> = x.iter().map(|(i, v)| (key(v), value(i, v))).collect();
+    let p = comm.p();
+    let n = x.len();
+    let mut sends: Vec<Vec<Vec<(Vidx, U)>>> =
+        (0..p).map(|_| (0..p).map(|_| Vec::new()).collect()).collect();
+    for (i, v) in x.iter() {
+        let src = balanced_owner(n.max(1), p, i as usize);
+        let k = key(v);
+        let dst = balanced_owner(result_len.max(1), p, k as usize);
+        sends[src][dst].push((k, value(i, v)));
+    }
+    let send_max =
+        sends.iter().map(|row| row.iter().map(|m| m.len() as u64).sum::<u64>()).max().unwrap_or(0);
+    let recvd = comm.alltoallv(kernel, 2, sends);
+    let recv_max =
+        recvd.iter().map(|row| row.iter().map(|m| m.len() as u64).sum::<u64>()).max().unwrap_or(0);
+    // Local packing/unpacking on the bottleneck rank (streaming sweeps).
+    comm.ctx_mut().charge_compute_stream(kernel, send_max + recv_max);
+
+    // Drain destination-major, source-ascending: sources own contiguous
+    // ascending index ranges, so each key's candidates appear in original
+    // index order and the stable keep-first dedup matches the serial INVERT.
+    let mut pairs: Vec<(Vidx, U)> = Vec::new();
+    for row in recvd {
+        for msg in row {
+            pairs.extend(msg);
+        }
+    }
     SpVec::from_pairs(result_len, pairs)
 }
 
 /// `INVERT` for plain index-valued vectors: `z[x[i]] = i`.
-pub fn invert(
-    ctx: &mut DistCtx,
+pub fn invert<C: Communicator>(
+    comm: &mut C,
     kernel: Kernel,
     x: &SpVec<Vidx>,
     result_len: usize,
 ) -> SpVec<Vidx> {
-    invert_by(ctx, kernel, x, result_len, |&v| v, |i, _| i)
+    invert_by(comm, kernel, x, result_len, |&v| v, |i, _| i)
 }
 
 /// `PRUNE(x, q)`: remove the entries of `x` whose `key` appears in `q` (the
 /// roots of trees that discovered augmenting paths this iteration).
 ///
-/// Communication: `q` is allgathered on all ranks — `αp + βµ` (§IV-B).
+/// Communication: `q` is allgathered on all ranks — `αp + βµ` (§IV-B). Each
+/// rank contributes its balanced block of the root set; the concatenation
+/// every rank receives is the full `q`.
 /// Computation: `min(sort(ψ) + µ·log ψ, sort(µ) + ψ·log µ)` from Table I;
 /// we sort the (usually much smaller) root set `q` and binary-search each of
 /// the ψ frontier entries into it.
-pub fn prune<T: Clone>(
-    ctx: &mut DistCtx,
+pub fn prune<C: Communicator, T: Clone>(
+    comm: &mut C,
     kernel: Kernel,
     x: &SpVec<T>,
     q: &[Vidx],
     key: impl Fn(&T) -> Vidx,
 ) -> SpVec<T> {
-    let p = ctx.p();
+    let p = comm.p();
     let mu = q.len() as u64;
-    ctx.charge_allgather(kernel, p, mu);
+    let off = block_offsets(q.len(), p);
+    let chunks: Vec<Vec<Vidx>> = (0..p).map(|r| q[off[r]..off[r + 1]].to_vec()).collect();
+    let gathered = comm.allgatherv(kernel, 1, chunks);
+    let roots: Vec<Vidx> = gathered.into_iter().flatten().collect();
+    debug_assert_eq!(roots, q, "allgathered root set must reassemble q");
+
     let psi_max = max_count(&per_rank_counts(x, p));
     let log_mu = (mu.max(2) as f64).log2().ceil() as u64;
     let sort_mu = mu * log_mu;
-    ctx.charge_compute_stream(kernel, sort_mu + psi_max * log_mu);
+    comm.ctx_mut().charge_compute_stream(kernel, sort_mu + psi_max * log_mu);
 
-    let mut sorted: Vec<Vidx> = q.to_vec();
+    let mut sorted = roots;
     sorted.sort_unstable();
     sorted.dedup();
     x.filter(|_, v| sorted.binary_search(&key(v)).is_err())
 }
 
 /// Charges `O(nnz)` streaming local work at the bottleneck rank.
-fn charge_local<T>(ctx: &mut DistCtx, kernel: Kernel, x: &SpVec<T>) {
-    let counts = per_rank_counts(x, ctx.p());
-    ctx.charge_compute_stream(kernel, max_count(&counts));
+fn charge_local<C: Communicator, T>(comm: &mut C, kernel: Kernel, x: &SpVec<T>) {
+    let counts = per_rank_counts(x, comm.p());
+    comm.ctx_mut().charge_compute_stream(kernel, max_count(&counts));
 }
 
 /// Extension trait hosting the aligned-gather used by [`set_sparse`].
@@ -138,6 +187,7 @@ impl MapIndexed for SpVec<Vidx> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcm_bsp::{DistCtx, EngineComm};
     use mcm_sparse::NIL;
 
     fn ctx() -> DistCtx {
@@ -191,6 +241,42 @@ mod tests {
         let before = c.timers.seconds(Kernel::Invert);
         let _ = invert(&mut c, Kernel::Invert, &x, 8);
         assert!(c.timers.seconds(Kernel::Invert) > before);
+    }
+
+    #[test]
+    fn invert_charges_match_the_direct_route_formula() {
+        // The trait-routed INVERT must charge exactly what the hard-wired
+        // charge_invert_route always charged: an alltoallv at the
+        // bottleneck pair volume plus a streaming pack/unpack sweep.
+        let x = SpVec::from_pairs(8, vec![(0, 0u32), (2, 0), (4, 0), (6, 0)]);
+        let mut direct = ctx();
+        direct.charge_invert_route(Kernel::Invert, &x, 8, |&v| v);
+        let mut routed = ctx();
+        let _ = invert(&mut routed, Kernel::Invert, &x, 8);
+        assert_eq!(
+            direct.timers.seconds(Kernel::Invert),
+            routed.timers.seconds(Kernel::Invert),
+            "routed INVERT drifted from the modeled charge"
+        );
+        assert_eq!(direct.timers.calls(Kernel::Invert), routed.timers.calls(Kernel::Invert));
+    }
+
+    #[test]
+    fn invert_and_prune_agree_across_backends() {
+        let x = SpVec::from_pairs(10, vec![(0, 3u32), (2, 7), (3, 7), (5, 1), (7, 3), (9, 0)]);
+        for p in [1usize, 4, 9] {
+            let dim = (p as f64).sqrt() as usize;
+            let mut sim = DistCtx::new(mcm_bsp::MachineConfig::hybrid(dim, 1));
+            let mut eng = EngineComm::new(p, 1);
+            let a = invert(&mut sim, Kernel::Invert, &x, 10);
+            let b = invert(&mut eng, Kernel::Invert, &x, 10);
+            assert_eq!(a, b, "INVERT diverged at p = {p}");
+            let q = [7u32, 0];
+            let pa = prune(&mut sim, Kernel::Prune, &x, &q, |&v| v);
+            let pb = prune(&mut eng, Kernel::Prune, &x, &q, |&v| v);
+            assert_eq!(pa, pb, "PRUNE diverged at p = {p}");
+            assert_eq!(pa.entries(), &[(0, 3), (5, 1), (7, 3)]);
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! of this differentially against from-scratch Hopcroft–Karp.
 
 use crate::graph::DynGraph;
-use mcm_bsp::DistCtx;
+use mcm_bsp::{DistCtx, EngineComm};
 use mcm_core::mcm::maximum_matching_from;
 use mcm_core::serial::hopcroft_karp;
 use mcm_core::verify::VerifyError;
@@ -52,6 +52,22 @@ pub enum Update {
     Insert(Vidx, Vidx),
     /// Delete edge (row, col); a no-op when not live.
     Delete(Vidx, Vidx),
+}
+
+/// Which communication backend services the warm-started MS-BFS fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackBackend {
+    /// Serial cost-model simulator (`DistCtx::serial()`): modeled time
+    /// only, zero threads — the historical default.
+    Simulator,
+    /// Real `EngineComm` mesh: `p` ranks (perfect square) × `threads`
+    /// worker threads per rank, so large recomputes use all cores.
+    Engine {
+        /// Rank count (must be a perfect square).
+        p: usize,
+        /// Worker threads per rank.
+        threads: usize,
+    },
 }
 
 /// Tunables of the incremental engine.
@@ -68,6 +84,8 @@ pub struct DynOptions {
     pub full_verify: bool,
     /// Options handed to the MS-BFS fallback driver.
     pub fallback_opts: McmOptions,
+    /// Backend that executes the fallback driver.
+    pub backend: FallbackBackend,
 }
 
 impl Default for DynOptions {
@@ -78,6 +96,7 @@ impl Default for DynOptions {
             // Warm starts carry their own structure; skip the relabeling
             // permutation so small repair solves stay allocation-light.
             fallback_opts: McmOptions { permute_seed: None, ..Default::default() },
+            backend: FallbackBackend::Simulator,
         }
     }
 }
@@ -400,12 +419,22 @@ impl DynMatching {
     }
 
     /// Large-dirty-set path: hand the stale matching to the multi-source
-    /// MS-BFS driver (§V warm start) on a serial simulated machine.
+    /// MS-BFS driver (§V warm start) on the configured backend — the
+    /// serial simulator by default, or the real thread-per-rank mesh
+    /// engine so big recomputes use all cores.
     fn fallback(&mut self) {
         let t = self.g.to_triples();
         let stale = std::mem::replace(&mut self.m, Matching::empty(0, 0));
-        let mut ctx = DistCtx::serial();
-        let r = maximum_matching_from(&mut ctx, &t, stale, &self.opts.fallback_opts);
+        let r = match self.opts.backend {
+            FallbackBackend::Simulator => {
+                let mut ctx = DistCtx::serial();
+                maximum_matching_from(&mut ctx, &t, stale, &self.opts.fallback_opts)
+            }
+            FallbackBackend::Engine { p, threads } => {
+                let mut comm = EngineComm::new(p, threads);
+                maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+            }
+        };
         self.m = r.matching;
     }
 
@@ -611,6 +640,48 @@ mod tests {
         let r = dm.apply_batch(&[Update::Insert(1, 1)]);
         assert!(r.fallback);
         assert_eq!(dm.cardinality(), 2);
+    }
+
+    #[test]
+    fn engine_backend_fallback_matches_simulator() {
+        // Same forced-fallback batches, once per backend: cardinalities
+        // must track each other (both are maximum, certified per batch).
+        let (n1, n2) = (10usize, 10usize);
+        for backend in [
+            FallbackBackend::Simulator,
+            FallbackBackend::Engine { p: 4, threads: 1 },
+            FallbackBackend::Engine { p: 1, threads: 2 },
+        ] {
+            let mut rng = SplitMix64::new(0xD15C);
+            let mut dm = DynMatching::new(
+                n1,
+                n2,
+                DynOptions {
+                    fallback_threshold: 0.0, // every non-trivial batch falls back
+                    full_verify: true,
+                    backend,
+                    ..DynOptions::default()
+                },
+            );
+            let mut fell_back = false;
+            for _ in 0..12 {
+                let mut ops = Vec::new();
+                for _ in 0..5 {
+                    let r = rng.below(n1 as u64) as Vidx;
+                    let c = rng.below(n2 as u64) as Vidx;
+                    if rng.below(4) < 3 {
+                        ops.push(Update::Insert(r, c));
+                    } else {
+                        ops.push(Update::Delete(r, c));
+                    }
+                }
+                fell_back |= dm.apply_batch(&ops).fallback;
+                let a = dm.graph().to_csc();
+                let want = hopcroft_karp(&a, None).cardinality();
+                assert_eq!(dm.cardinality(), want, "backend {backend:?} diverged from HK");
+            }
+            assert!(fell_back, "backend {backend:?} never exercised the fallback");
+        }
     }
 
     #[test]

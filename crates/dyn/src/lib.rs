@@ -23,6 +23,8 @@ pub mod engine;
 pub mod graph;
 pub mod proto;
 
-pub use engine::{BatchReport, CertScope, DynMatching, DynOptions, DynStats, Update};
+pub use engine::{
+    BatchReport, CertScope, DynMatching, DynOptions, DynStats, FallbackBackend, Update,
+};
 pub use graph::DynGraph;
 pub use proto::{parse_command, Command};

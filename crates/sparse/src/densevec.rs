@@ -67,6 +67,16 @@ impl DenseVec {
         &mut self.data
     }
 
+    /// Atomic view of the storage, for concurrent one-sided access (the
+    /// RMA windows of a thread-per-rank execution backend). Requires the
+    /// exclusive borrow, so no non-atomic access can overlap it; `Vidx`
+    /// (`u32`) and `AtomicU32` have identical size, alignment, and bit
+    /// validity, so the reinterpretation is sound.
+    pub fn as_atomic_view(&mut self) -> &[std::sync::atomic::AtomicU32] {
+        let slice: *mut [Vidx] = self.data.as_mut_slice();
+        unsafe { &*(slice as *const [std::sync::atomic::AtomicU32]) }
+    }
+
     /// Resets every entry to `NIL`.
     pub fn fill_nil(&mut self) {
         self.data.fill(NIL);
@@ -139,6 +149,20 @@ mod tests {
         let x = SpVec::from_pairs(5, vec![(0, 3), (2, 2), (3, 2)]);
         y.set_from_sparse(&x);
         assert_eq!(y.as_slice(), &[3, 9, 2, 2, 9]);
+    }
+
+    #[test]
+    fn atomic_view_aliases_the_storage() {
+        let mut v = DenseVec::nil(3);
+        v.set(1, 7);
+        {
+            let view = v.as_atomic_view();
+            assert_eq!(view.len(), 3);
+            assert_eq!(view[1].load(std::sync::atomic::Ordering::SeqCst), 7);
+            view[2].store(9, std::sync::atomic::Ordering::SeqCst);
+        }
+        assert_eq!(v.get(2), 9);
+        assert!(!v.is_set(0));
     }
 
     #[test]

@@ -20,10 +20,16 @@
 //!
 //! ```text
 //! mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
-//!      [--fallback f] [--full-verify] [--quiet]
+//!      [--fallback f] [--backend sim|engine] [--ranks p] [--threads t]
+//!      [--full-verify] [--quiet]
 //! ```
+//!
+//! With `--backend engine`, large-dirty-set fallback recomputes run on
+//! the real thread-per-rank `EngineComm` mesh (`--ranks × --threads`
+//! cores) instead of the serial cost-model simulator — warm-started
+//! recomputes actually use all cores.
 
-use mcm_dyn::{Command, DynMatching, DynOptions};
+use mcm_dyn::{Command, DynMatching, DynOptions, FallbackBackend};
 use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -33,13 +39,18 @@ mcmd — streaming update service for dynamic maximum matching
 
 usage:
   mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
-       [--fallback f] [--full-verify] [--quiet]
+       [--fallback f] [--backend sim|engine] [--ranks p] [--threads t]
+       [--full-verify] [--quiet]
 
   --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
   --load file.mtx       start from a Matrix Market graph instead (solves it first)
   --input file          read commands from a file instead of stdin
   --fallback f          dirty fraction of n1+n2 above which repair falls back to
                         the warm-started MS-BFS driver (default 0.25)
+  --backend sim|engine  run fallback recomputes on the serial cost-model
+                        simulator (default) or the real thread-per-rank mesh
+  --ranks p             engine backend: rank count, a perfect square (default 4)
+  --threads t           engine backend: worker threads per rank (default 1)
   --full-verify         re-verify the full matching after every batch
   --quiet               suppress per-batch report lines
 
@@ -72,9 +83,32 @@ fn run(args: &[String]) -> Result<(), String> {
         Some(f) => f.parse::<f64>().map_err(|_| format!("bad --fallback value: {f}"))?,
         None => 0.25,
     };
+    let parse_usize = |v: Option<&str>, what: &str, default: usize| -> Result<usize, String> {
+        match v {
+            Some(s) => s.parse().map_err(|_| format!("bad {what} value: {s}")),
+            None => Ok(default),
+        }
+    };
+    let backend = match opt(args, "--backend") {
+        None | Some("sim") => FallbackBackend::Simulator,
+        Some("engine") => {
+            let p = parse_usize(opt(args, "--ranks"), "--ranks", 4)?;
+            let dim = (p as f64).sqrt().round() as usize;
+            if p == 0 || dim * dim != p {
+                return Err(format!("--ranks must be a positive perfect square, got {p}"));
+            }
+            let threads = parse_usize(opt(args, "--threads"), "--threads", 1)?;
+            if threads == 0 {
+                return Err("--threads must be positive".to_string());
+            }
+            FallbackBackend::Engine { p, threads }
+        }
+        Some(other) => return Err(format!("bad --backend value: {other} (want sim|engine)")),
+    };
     let opts = DynOptions {
         fallback_threshold: fallback,
         full_verify: args.iter().any(|a| a == "--full-verify"),
+        backend,
         ..DynOptions::default()
     };
     let quiet = args.iter().any(|a| a == "--quiet");
@@ -94,14 +128,8 @@ fn run(args: &[String]) -> Result<(), String> {
             dm
         }
         None => {
-            let parse = |v: Option<&str>, what: &str| -> Result<usize, String> {
-                match v {
-                    Some(s) => s.parse().map_err(|_| format!("bad {what} value: {s}")),
-                    None => Ok(1024),
-                }
-            };
-            let n1 = parse(opt(args, "--rows"), "--rows")?;
-            let n2 = parse(opt(args, "--cols"), "--cols")?;
+            let n1 = parse_usize(opt(args, "--rows"), "--rows", 1024)?;
+            let n2 = parse_usize(opt(args, "--cols"), "--cols", 1024)?;
             DynMatching::new(n1, n2, opts)
         }
     };

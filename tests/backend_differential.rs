@@ -1,0 +1,108 @@
+//! Backend differential: full MCM-DIST on the cost-model simulator vs the
+//! real thread-per-rank mesh engine, across the `mcm-gen` suite — all
+//! initializers × both augmentation kernels × p ∈ {1, 4, 9}.
+//!
+//! The comm trait layer (`mcm_bsp::comm`, DESIGN.md §12) promises that one
+//! generic pipeline runs identically on either backend: same cardinality,
+//! and in fact the *identical matching*, since every collective is
+//! deterministic and the engine's RMA epochs service vertex-disjoint
+//! paths. Both sides are additionally Berge-certified and checked maximum
+//! against serial Hopcroft–Karp.
+//!
+//! `MCM_TEST_SEED=<seed>` (decimal or `0x` hex) replays a sweep exactly;
+//! `MCM_ENGINE_TEST_THREADS=<t>` sets the engine's per-rank thread count
+//! (CI runs t ∈ {1, 2}).
+
+use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_core::augment::AugmentMode;
+use mcm_core::maximal::Initializer;
+use mcm_core::mcm::{maximum_matching, maximum_matching_engine, McmOptions};
+use mcm_core::serial::hopcroft_karp;
+use mcm_core::verify;
+use mcm_gen::simtest_suite;
+
+/// Default suite seed, overridable via `MCM_TEST_SEED`.
+fn seed(default: u64) -> u64 {
+    let Ok(raw) = std::env::var("MCM_TEST_SEED") else { return default };
+    let parsed = match raw.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("MCM_TEST_SEED={raw} is not a u64"))
+}
+
+/// Engine worker threads per rank, overridable via `MCM_ENGINE_TEST_THREADS`.
+fn engine_threads() -> usize {
+    std::env::var("MCM_ENGINE_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+
+#[test]
+fn engine_and_simulator_produce_identical_matchings_across_the_suite() {
+    let cases = simtest_suite(seed(0xD1FF_BACC));
+    let threads = engine_threads();
+    let inits = [
+        Initializer::None,
+        Initializer::Greedy,
+        Initializer::KarpSipser,
+        Initializer::DynamicMindegree,
+    ];
+    let augments = [AugmentMode::LevelParallel, AugmentMode::PathParallel];
+    let mut runs = 0usize;
+    for (name, t) in &cases {
+        let a = t.to_csc();
+        let want = hopcroft_karp(&a, None).cardinality();
+        for dim in [1usize, 2, 3] {
+            let p = dim * dim;
+            for init in inits {
+                for augment in augments {
+                    let opts = McmOptions { init, augment, ..McmOptions::default() };
+                    let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
+                    let sim = maximum_matching(&mut ctx, t, &opts);
+                    let eng = maximum_matching_engine(p, threads, t, &opts);
+                    let tag =
+                        format!("{name} p={p} threads={threads} init={init:?} augment={augment:?}");
+                    assert_eq!(
+                        sim.matching.cardinality(),
+                        eng.matching.cardinality(),
+                        "cardinality diverged: {tag}"
+                    );
+                    assert_eq!(sim.matching, eng.matching, "matching diverged: {tag}");
+                    assert_eq!(eng.matching.cardinality(), want, "not maximum: {tag}");
+                    verify::verify(&a, &sim.matching)
+                        .unwrap_or_else(|e| panic!("simulator Berge failed: {tag}: {e}"));
+                    verify::verify(&a, &eng.matching)
+                        .unwrap_or_else(|e| panic!("engine Berge failed: {tag}: {e}"));
+                    runs += 1;
+                }
+            }
+        }
+    }
+    // 9 cases × 3 grids × 4 initializers × 2 kernels, each run twice.
+    assert_eq!(runs, cases.len() * 3 * inits.len() * augments.len());
+}
+
+#[test]
+fn engine_backend_warm_start_matches_simulator() {
+    // The dyn fallback path hands a *stale* matching to either backend:
+    // warm starts must agree too.
+    let cases = simtest_suite(seed(0xD1FF_BACC));
+    let threads = engine_threads();
+    let (name, t) = &cases[0];
+    let a = t.to_csc();
+    let opts = McmOptions { permute_seed: None, ..McmOptions::default() };
+
+    // A deliberately suboptimal warm start: greedy on the serial sim.
+    let stale = {
+        let mut ctx = DistCtx::serial();
+        let am = mcm_bsp::DistMatrix::from_triples(&ctx, t);
+        mcm_core::maximal::greedy(&mut ctx, &am)
+    };
+
+    let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+    let sim = mcm_core::mcm::maximum_matching_from(&mut ctx, t, stale.clone(), &opts);
+    let mut comm = mcm_bsp::EngineComm::new(4, threads);
+    let eng = mcm_core::mcm::maximum_matching_from(&mut comm, t, stale, &opts);
+    assert_eq!(sim.matching, eng.matching, "warm-started {name} diverged");
+    verify::verify(&a, &eng.matching).unwrap();
+    assert_eq!(eng.matching.cardinality(), hopcroft_karp(&a, None).cardinality());
+}

@@ -188,6 +188,56 @@ fn mcmd_reports_errors_without_dying() {
 }
 
 #[test]
+fn mcmd_engine_backend_agrees_with_simulator() {
+    // Same trace, forced fallbacks (--fallback 0), both backends: query
+    // answers must be identical, and the engine run must really fall back.
+    let script = "insert 0 0\ninsert 0 1\ninsert 1 0\ninsert 2 2\nquery\n\
+                  delete 0 0\ninsert 3 2\ninsert 2 3\nquery\nstats\nquit\n";
+    let sim = mcmd_session(
+        &["--rows", "6", "--cols", "6", "--fallback", "0", "--full-verify", "--quiet"],
+        script,
+    );
+    let eng = mcmd_session(
+        &[
+            "--rows",
+            "6",
+            "--cols",
+            "6",
+            "--fallback",
+            "0",
+            "--full-verify",
+            "--quiet",
+            "--backend",
+            "engine",
+            "--ranks",
+            "4",
+            "--threads",
+            "2",
+        ],
+        script,
+    );
+    let cards = |t: &str| -> Vec<String> {
+        t.lines().filter(|l| l.starts_with("matching ")).map(str::to_owned).collect()
+    };
+    assert_eq!(cards(&sim), cards(&eng), "sim:\n{sim}\nengine:\n{eng}");
+    let stats = eng.lines().find(|l| l.starts_with("stats ")).unwrap_or_else(|| panic!("{eng}"));
+    assert!(!stats.contains("fallbacks 0"), "engine run never fell back: {stats}");
+}
+
+#[test]
+fn mcmd_rejects_bad_backend_flags() {
+    for args in [
+        &["--backend", "frob"][..],
+        &["--backend", "engine", "--ranks", "3"][..],
+        &["--backend", "engine", "--threads", "0"][..],
+    ] {
+        let out = mcmd().args(args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("error"), "{args:?}");
+    }
+}
+
+#[test]
 fn mcmd_loads_a_matrix_and_repairs_on_top() {
     let file = tmp("mcmd_load.mtx");
     assert!(mcm()

@@ -7,7 +7,10 @@
 //! (fetch dropped) is reliably detected.
 
 use mcm_bsp::sched::{run_interleaved, OriginTask};
-use mcm_bsp::{DistCtx, FaultPlan, MachineConfig, SchedConfig, Schedule, SimWindow};
+use mcm_bsp::{
+    Communicator, DistCtx, EngineComm, FaultPlan, Kernel, MachineConfig, RmaTask, RmaWin,
+    SchedConfig, Schedule, SimWindow,
+};
 use mcm_core::augment::AugmentMode;
 use mcm_core::maximal::Initializer;
 use mcm_core::serial::hopcroft_karp;
@@ -24,6 +27,15 @@ struct Racer {
 
 impl OriginTask for Racer {
     fn step(&mut self, win: &mut SimWindow<'_>) -> bool {
+        self.saw = Some(win.fetch_and_put(0, self.slot, self.id));
+        false
+    }
+}
+
+// The same racer through the backend-agnostic window surface, so the
+// trait-routed `Communicator::rma_epoch` path can drive it too.
+impl RmaTask for Racer {
+    fn step(&mut self, win: &mut dyn RmaWin) -> bool {
         self.saw = Some(win.fetch_and_put(0, self.slot, self.id));
         false
     }
@@ -193,4 +205,123 @@ fn broken_window_corrupts_real_matchings_and_replays_from_its_seed() {
     let first = run(seed);
     let again = run(seed);
     assert_eq!(first.matching, again.matching, "seed {seed} did not replay deterministically");
+}
+
+// ---------------------------------------------------------------------------
+// The trait-routed path: `Communicator::rma_epoch` on both backends.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trait_routed_epoch_consumes_the_same_pick_stream_as_the_legacy_interleaver() {
+    // `DistCtx::rma_epoch` must service concurrent origins in the exact
+    // order `run_interleaved` picks for the same schedule seed — replay
+    // seeds recorded before the comm-trait refactor must stay valid.
+    for n in [2 as Vidx, 5, 8] {
+        for seed in 0..64u64 {
+            let legacy = {
+                let mut slot = DenseVec::nil(1);
+                let mut win = SimWindow::new(vec![&mut slot], FaultPlan::default());
+                let mut racers: Vec<Racer> =
+                    (0..n).map(|id| Racer { id, slot: 0, saw: None }).collect();
+                let mut sched = Schedule::new(seed);
+                run_interleaved(&mut win, &mut sched, &mut racers);
+                (racers.iter().map(|r| r.saw).collect::<Vec<_>>(), slot.get(0))
+            };
+            let routed = {
+                let mut ctx =
+                    DistCtx::new(MachineConfig::hybrid(1, 1)).with_schedule(Schedule::new(seed));
+                let mut slot = DenseVec::nil(1);
+                let mut racers: Vec<Racer> =
+                    (0..n).map(|id| Racer { id, slot: 0, saw: None }).collect();
+                let steps = ctx.rma_epoch(Kernel::Augment, vec![&mut slot], &mut racers);
+                assert_eq!(steps, n as u64, "each origin issues exactly one call");
+                (racers.iter().map(|r| r.saw).collect::<Vec<_>>(), slot.get(0))
+            };
+            assert_eq!(routed, legacy, "n = {n} seed {seed}: pick streams diverged");
+        }
+    }
+}
+
+#[test]
+fn engine_epoch_swap_chain_holds_under_run_ranks_sched_perturbation() {
+    // The engine services its RMA epochs on real atomics while
+    // `run_ranks_sched` perturbs every rank's progress; the per-source
+    // FIFO stash behind the closing fence must keep the swap chain exact
+    // under every seed.
+    for n in [2 as Vidx, 6, 9] {
+        for seed in 0..24u64 {
+            let mut eng = EngineComm::new(4, 1).with_schedule(Schedule::new(seed));
+            let mut slot = DenseVec::nil(1);
+            let mut racers: Vec<Racer> =
+                (0..n).map(|id| Racer { id, slot: 0, saw: None }).collect();
+            let steps = eng.rma_epoch(Kernel::Augment, vec![&mut slot], &mut racers);
+            assert!(steps > 0, "n = {n} seed {seed}: the perturbed epoch never stalled anyone");
+
+            let winners = racers.iter().filter(|r| r.saw == Some(NIL)).count();
+            assert_eq!(winners, 1, "n = {n} seed {seed}: engine atomicity violated");
+            let mut seen: Vec<Vidx> = racers.iter().map(|r| r.saw.unwrap()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), n as usize, "n = {n} seed {seed}: engine lost an update");
+            let last = slot.get(0);
+            assert!(
+                racers.iter().all(|r| r.saw != Some(last)),
+                "n = {n} seed {seed}: final occupant was also swapped out"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_path_parallel_matching_is_schedule_oblivious_end_to_end() {
+    // MCM-DIST through the trait-routed engine backend: the matching must
+    // not depend on how run_ranks_sched perturbs collectives or on how
+    // the atomic window services the walkers — and must equal the
+    // simulator's answer for the same options.
+    let graphs = [("chain_10", chain(10)), ("parallel_chains_4x3", parallel_chains(4, 3))];
+    let opts = path_parallel_opts();
+    for (name, g) in &graphs {
+        let a = g.to_csc();
+        let oracle = hopcroft_karp(&a, None).cardinality();
+        let sim = {
+            let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
+            maximum_matching(&mut ctx, g, &opts)
+        };
+        let friendly = {
+            let mut eng = EngineComm::new(4, 1);
+            maximum_matching(&mut eng, g, &opts)
+        };
+        assert_eq!(friendly.matching.cardinality(), oracle, "{name}: friendly engine run wrong");
+        assert_eq!(friendly.matching, sim.matching, "{name}: engine diverged from simulator");
+        for seed in 0..12u64 {
+            let mut eng = EngineComm::new(4, 1).with_schedule(Schedule::new(seed));
+            let result = maximum_matching(&mut eng, g, &opts);
+            assert_eq!(
+                result.matching, friendly.matching,
+                "{name} seed {seed}: schedule changed the engine matching"
+            );
+            verify::verify(&a, &result.matching)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_eq!(result.stats.sched_seed, Some(seed), "{name}: seed not recorded");
+        }
+    }
+}
+
+#[test]
+fn engine_broken_window_is_caught_by_the_same_checks() {
+    // Arming the injected drop-fetch bug on the engine's atomic window
+    // must corrupt real matchings within the same small seed budget the
+    // simulator harness uses.
+    let g = chain(8);
+    let a = g.to_csc();
+    let oracle = hopcroft_karp(&a, None).cardinality();
+    let opts = path_parallel_opts();
+    let cfg = SchedConfig { fault: FaultPlan::broken_fetch_and_put(), ..SchedConfig::default() };
+
+    let caught = (0..8u64).any(|seed| {
+        let mut eng = EngineComm::new(4, 1).with_schedule(Schedule::with_config(seed, cfg));
+        let r = maximum_matching(&mut eng, &g, &opts);
+        r.matching.cardinality() != oracle || verify::verify(&a, &r.matching).is_err()
+    });
+    assert!(caught, "broken fetch_and_put survived every engine schedule in the budget");
 }

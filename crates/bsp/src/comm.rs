@@ -150,6 +150,39 @@ impl RmaWin for AtomicWin<'_> {
     }
 }
 
+/// Wraps an [`RmaWin`], counting the one-sided calls issued through it —
+/// the per-epoch RMA op metric on the simulator backend ([`AtomicWin`]
+/// counts natively on the engine).
+struct CountingWin<'w, W: RmaWin> {
+    inner: &'w mut W,
+    ops: u64,
+}
+
+impl<W: RmaWin> RmaWin for CountingWin<'_, W> {
+    fn get(&mut self, win: usize, idx: Vidx) -> Vidx {
+        self.ops += 1;
+        self.inner.get(win, idx)
+    }
+    fn put(&mut self, win: usize, idx: Vidx, v: Vidx) {
+        self.ops += 1;
+        self.inner.put(win, idx, v)
+    }
+    fn fetch_and_put(&mut self, win: usize, idx: Vidx, v: Vidx) -> Vidx {
+        self.ops += 1;
+        self.inner.fetch_and_put(win, idx, v)
+    }
+}
+
+/// Records one completed RMA exposure epoch and its one-sided op count.
+#[inline]
+fn record_rma_epoch(backend: &'static str, ops: u64) {
+    if mcm_obs::metrics_enabled() {
+        let labels = [("backend", backend)];
+        mcm_obs::counter_add("mcm_rma_epochs_total", &labels, 1);
+        mcm_obs::counter_add("mcm_rma_ops_total", &labels, ops);
+    }
+}
+
 /// Interleaves RMA task streams under a schedule-chosen service order —
 /// the [`RmaTask`] twin of [`crate::sched::run_interleaved`], consuming
 /// picks from the same decision stream.
@@ -292,6 +325,7 @@ impl Communicator for DistCtx {
         words_per_elem: u64,
         sends: Vec<Vec<Vec<T>>>,
     ) -> Vec<Vec<Vec<T>>> {
+        let _span = mcm_obs::kernel_span("alltoallv", kernel.name());
         let p = self.p();
         assert_eq!(sends.len(), p, "one send row per rank");
         let mut send_tot = vec![0u64; p];
@@ -321,6 +355,7 @@ impl Communicator for DistCtx {
         words_per_elem: u64,
         contribs: Vec<Vec<T>>,
     ) -> Vec<Vec<T>> {
+        let _span = mcm_obs::kernel_span("allgatherv", kernel.name());
         let p = self.p();
         assert_eq!(contribs.len(), p, "one contribution per rank");
         let total: u64 = contribs.iter().map(|c| c.len() as u64).sum();
@@ -329,12 +364,14 @@ impl Communicator for DistCtx {
     }
 
     fn allreduce(&mut self, kernel: Kernel, per_rank: &[u64], op: ReduceOp) -> u64 {
+        let _span = mcm_obs::kernel_span("allreduce", kernel.name());
         assert_eq!(per_rank.len(), self.p(), "one contribution per rank");
         self.charge_allreduce(kernel, 1);
         op.fold(per_rank.iter().copied())
     }
 
     fn bcast<T: Send + Clone>(&mut self, kernel: Kernel, root: usize, data: Vec<T>) -> Vec<T> {
+        let _span = mcm_obs::kernel_span("bcast", kernel.name());
         assert!(root < self.p(), "bcast root out of range");
         self.charge_bcast(kernel, data.len() as u64);
         data
@@ -353,6 +390,7 @@ impl Communicator for DistCtx {
         T: Copy + Send + Sync,
         U: Clone + Send + Sync,
     {
+        let _span = mcm_obs::kernel_span("spmspv", kernel.name());
         a.spmspv_with_plan(self, kernel, plan, x, mul, take_incoming)
     }
 
@@ -369,33 +407,40 @@ impl Communicator for DistCtx {
         T: Copy + Send + Sync,
         U: Clone + Send + Sync,
     {
+        let _span = mcm_obs::kernel_span("spmspv_monoid", kernel.name());
         a.spmspv_monoid_with_plan(self, kernel, plan, x, mul, combine)
     }
 
     fn rma_epoch<W: RmaTask + Send>(
         &mut self,
-        _kernel: Kernel,
+        kernel: Kernel,
         wins: Vec<&mut DenseVec>,
         tasks: &mut [W],
     ) -> u64 {
+        let _span = mcm_obs::kernel_span("rma_epoch", kernel.name());
         match self.sched.take() {
             Some(mut sched) => {
                 // Adversarial interleaving, consuming the schedule's pick
                 // stream exactly like the pre-trait epochs did — replay
                 // seeds and trace hashes stay valid.
-                let steps = {
+                let (steps, ops) = {
                     let mut win = SimWindow::new(wins, sched.fault());
-                    interleave_tasks(&mut win, &mut sched, tasks)
+                    let mut cwin = CountingWin { inner: &mut win, ops: 0 };
+                    let steps = interleave_tasks(&mut cwin, &mut sched, tasks);
+                    (steps, cwin.ops)
                 };
                 self.sched = Some(sched);
+                record_rma_epoch("sim", ops);
                 steps
             }
             None => {
                 // Friendly schedule: origins complete in program order.
                 let mut win = SimWindow::new(wins, FaultPlan::default());
+                let mut cwin = CountingWin { inner: &mut win, ops: 0 };
                 for t in tasks.iter_mut() {
-                    while t.step(&mut win) {}
+                    while t.step(&mut cwin) {}
                 }
+                record_rma_epoch("sim", cwin.ops);
                 0
             }
         }
@@ -489,6 +534,7 @@ impl Communicator for EngineComm {
         words_per_elem: u64,
         sends: Vec<Vec<Vec<T>>>,
     ) -> Vec<Vec<Vec<T>>> {
+        let _span = mcm_obs::kernel_span("alltoallv", kernel.name());
         let p = self.ctx.p();
         assert_eq!(sends.len(), p, "one send row per rank");
         let mut send_tot = vec![0u64; p];
@@ -519,6 +565,7 @@ impl Communicator for EngineComm {
         words_per_elem: u64,
         contribs: Vec<Vec<T>>,
     ) -> Vec<Vec<T>> {
+        let _span = mcm_obs::kernel_span("allgatherv", kernel.name());
         let p = self.ctx.p();
         assert_eq!(contribs.len(), p, "one contribution per rank");
         let total: u64 = contribs.iter().map(|c| c.len() as u64).sum();
@@ -537,6 +584,7 @@ impl Communicator for EngineComm {
     }
 
     fn allreduce(&mut self, kernel: Kernel, per_rank: &[u64], op: ReduceOp) -> u64 {
+        let _span = mcm_obs::kernel_span("allreduce", kernel.name());
         let p = self.ctx.p();
         assert_eq!(per_rank.len(), p, "one contribution per rank");
         self.ctx.charge_allreduce(kernel, 1);
@@ -551,6 +599,7 @@ impl Communicator for EngineComm {
     }
 
     fn bcast<T: Send + Clone>(&mut self, kernel: Kernel, root: usize, data: Vec<T>) -> Vec<T> {
+        let _span = mcm_obs::kernel_span("bcast", kernel.name());
         let p = self.ctx.p();
         assert!(root < p, "bcast root out of range");
         self.ctx.charge_bcast(kernel, data.len() as u64);
@@ -589,6 +638,7 @@ impl Communicator for EngineComm {
         T: Copy + Send + Sync,
         U: Clone + Send + Sync,
     {
+        let _span = mcm_obs::kernel_span("spmspv", kernel.name());
         a.spmspv_mesh(self, kernel, plan, x, mul, take_incoming)
     }
 
@@ -605,17 +655,20 @@ impl Communicator for EngineComm {
         T: Copy + Send + Sync,
         U: Clone + Send + Sync,
     {
+        let _span = mcm_obs::kernel_span("spmspv_monoid", kernel.name());
         a.spmspv_monoid_mesh(self, kernel, plan, x, mul, combine)
     }
 
     fn rma_epoch<W: RmaTask + Send>(
         &mut self,
-        _kernel: Kernel,
+        kernel: Kernel,
         wins: Vec<&mut DenseVec>,
         tasks: &mut [W],
     ) -> u64 {
+        let _span = mcm_obs::kernel_span("rma_epoch", kernel.name());
         let p = self.ctx.p();
         let fault = self.ctx.sched.as_ref().map(|s| s.fault()).unwrap_or_default();
+        let total_ops = std::sync::atomic::AtomicU64::new(0);
 
         fn view(w: &mut DenseVec) -> &[AtomicU32] {
             w.as_atomic_view()
@@ -667,12 +720,14 @@ impl Communicator for EngineComm {
             // orders route through the per-source FIFO stash, so epoch
             // completion tolerates arbitrary rank skew.
             let _ = comm.alltoallv(&group, (0..p).map(|_| Vec::new()).collect());
+            total_ops.fetch_add(win.ops(), Ordering::Relaxed);
             steps
         };
         let per_rank: Vec<u64> = match epoch_sched.as_ref() {
             Some(s) => run_ranks_sched(p, s, body),
             None => run_ranks(p, body),
         };
+        record_rma_epoch("engine", total_ops.into_inner());
         per_rank.into_iter().sum()
     }
 }

@@ -7,6 +7,21 @@ use crate::sched::Schedule;
 use crate::timers::{Kernel, Timers};
 use mcm_sparse::SpVec;
 
+/// Per-collective bytes/calls metrics, recorded at the accounting choke
+/// point both backends share (the engine charges its observed volumes
+/// through the same helpers). `words` is the *charged* volume: the
+/// bottleneck rank for alltoallv, the replicated total for allgather —
+/// i.e. the quantity the α–β model prices, 8 bytes per word. No-op unless
+/// metrics are enabled.
+#[inline]
+fn record_collective(op: &'static str, kernel: Kernel, words: u64) {
+    if mcm_obs::metrics_enabled() {
+        let labels = [("op", op), ("kernel", kernel.name())];
+        mcm_obs::counter_add("mcm_comm_calls_total", &labels, 1);
+        mcm_obs::counter_add("mcm_comm_bytes_total", &labels, words * 8);
+    }
+}
+
 /// Everything a distributed kernel needs to execute and account for itself:
 /// the simulated machine, the α–β–γ cost model, and per-kernel timers.
 ///
@@ -119,6 +134,7 @@ impl DistCtx {
     pub fn charge_allgather(&mut self, kernel: Kernel, g: usize, total_words: u64) {
         let dt = self.cost.allgather(g, self.scaled(total_words));
         self.timers.charge(kernel, dt);
+        record_collective("allgather", kernel, total_words);
     }
 
     /// Charges a personalized all-to-all of graph data over `g` ranks with
@@ -127,6 +143,7 @@ impl DistCtx {
     pub fn charge_alltoallv(&mut self, kernel: Kernel, g: usize, max_words: u64) {
         let dt = self.cost.alltoallv(g, self.scaled(max_words));
         self.timers.charge(kernel, dt);
+        record_collective("alltoallv", kernel, max_words);
     }
 
     /// Charges a root gather of graph data (`total_words`, work-scaled) over
@@ -135,6 +152,7 @@ impl DistCtx {
     pub fn charge_gather(&mut self, kernel: Kernel, total_words: u64) -> f64 {
         let dt = self.cost.gather(self.p(), self.scaled(total_words));
         self.timers.charge(kernel, dt);
+        record_collective("gather", kernel, total_words);
         dt
     }
 
@@ -143,6 +161,7 @@ impl DistCtx {
     pub fn charge_scatter(&mut self, kernel: Kernel, total_words: u64) -> f64 {
         let dt = self.cost.scatter(self.p(), self.scaled(total_words));
         self.timers.charge(kernel, dt);
+        record_collective("scatter", kernel, total_words);
         dt
     }
 
@@ -154,6 +173,7 @@ impl DistCtx {
     pub fn charge_allreduce(&mut self, kernel: Kernel, words: u64) {
         let dt = self.cost.allreduce(self.p(), words);
         self.timers.charge(kernel, dt);
+        record_collective("allreduce", kernel, words);
     }
 
     /// Charges a broadcast of `words` of graph data (work-scaled) from one
@@ -163,6 +183,7 @@ impl DistCtx {
     pub fn charge_bcast(&mut self, kernel: Kernel, words: u64) {
         let dt = self.cost.bcast(self.p(), self.scaled(words));
         self.timers.charge(kernel, dt);
+        record_collective("bcast", kernel, words);
     }
 
     /// Applies the work scale to a graph-data word count.

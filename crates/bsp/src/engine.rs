@@ -267,6 +267,14 @@ where
             let senders = senders.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
+                // Trace spans recorded by this rank's body carry its rank id
+                // (rank threads are joined before the driver collects the
+                // trace, so their buffers are always flushed by then).
+                mcm_obs::set_thread_rank(rank);
+                // Untagged on purpose: the coordinating thread already
+                // holds the kernel-tagged span for this collective, and
+                // the measured breakdown must not count the work twice.
+                let _span = mcm_obs::span("rank_session");
                 let comm = RankComm {
                     rank,
                     p,

@@ -68,6 +68,7 @@ pub fn augment<C: Communicator>(
     if k == 0 {
         return AugmentReport { used_path_parallel: false, paths: 0, levels: 0, sched_steps: 0 };
     }
+    let _span = mcm_obs::kernel_span("augment", "Augment");
     let p = comm.p();
     // The switch criterion compares paper-scale path counts (k grows with
     // matrix size, so it is work-scaled) to 2p² (§IV-B).
@@ -81,6 +82,11 @@ pub fn augment<C: Communicator>(
     } else {
         (level_parallel_augment(comm, v_c, parent_r, m), 0)
     };
+    if mcm_obs::metrics_enabled() {
+        let kernel = if path_parallel { "path_parallel" } else { "level_parallel" };
+        mcm_obs::counter_add("mcm_augment_passes_total", &[("kernel", kernel)], 1);
+        mcm_obs::counter_add("mcm_augment_paths_total", &[("kernel", kernel)], k as u64);
+    }
     AugmentReport { used_path_parallel: path_parallel, paths: k, levels, sched_steps }
 }
 

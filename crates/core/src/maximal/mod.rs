@@ -73,6 +73,7 @@ impl Initializer {
         at: &DistMatrix,
         seed: u64,
     ) -> Matching {
+        let _span = mcm_obs::kernel_span(self.name(), "Init");
         match self {
             Initializer::None => Matching::empty(a.nrows(), a.ncols()),
             Initializer::Greedy => greedy(comm, a),

@@ -228,6 +228,8 @@ pub fn run_phases<C: Communicator>(
 
     loop {
         stats.phases += 1;
+        let _phase_span = mcm_obs::span("ms_bfs_phase");
+        mcm_obs::counter_add("mcm_phases_total", &[], 1);
         // Decorrelate the perturbations of each phase's RMA epochs: the
         // schedule stream is reseeded as a pure function of (seed, phase),
         // so a failing phase replays exactly from the run's seed.
@@ -260,8 +262,10 @@ pub fn run_phases<C: Communicator>(
             // frontier: require majority column coverage (misses cost a
             // full adjacency scan, so low-density pulls lose to push).
             let bottom_up = opts.direction_optimizing && at.is_some() && 2 * f_c.nnz() > n2;
+            mcm_obs::counter_add("mcm_bfs_iterations_total", &[], 1);
             let f_r_all = if bottom_up {
                 stats.bottom_up_iterations += 1;
+                let _span = mcm_obs::kernel_span("bottom_up_spmspv", "SpMV");
                 // Densify the frontier (local streaming sweep)...
                 let mut fmap: Vec<Option<Vertex>> = vec![None; n2];
                 for (j, &v) in f_c.iter() {
@@ -283,7 +287,10 @@ pub fn run_phases<C: Communicator>(
                     |acc, inc| semiring.take_incoming(acc, inc),
                 )
             } else {
-                let t0 = std::time::Instant::now();
+                // One measurement path: the always-on stopwatch feeds both
+                // the compat `McmStats` field and (when enabled) the obs
+                // registry's latency histogram.
+                let sw = mcm_obs::Stopwatch::new();
                 let f_r_all = comm.spmspv(
                     a,
                     Kernel::SpMV,
@@ -292,7 +299,9 @@ pub fn run_phases<C: Communicator>(
                     |j, v: &Vertex| Vertex::new(j, v.root),
                     |acc, inc| semiring.take_incoming(acc, inc),
                 );
-                stats.spmv_iteration_ns.push(t0.elapsed().as_nanos() as u64);
+                let ns = sw.elapsed_ns();
+                stats.spmv_iteration_ns.push(ns);
+                mcm_obs::observe_ns("mcm_spmv_iteration_seconds", &[], ns);
                 f_r_all
             };
             // Step 2: keep rows not yet visited in this phase.
@@ -342,10 +351,18 @@ pub fn run_phases<C: Communicator>(
         stats.augment_reports.push(report);
     }
 
+    // Workspace accounting is measured once (by the plan itself) and fans
+    // out to the compat `McmStats` fields and the obs registry.
     let ws = plan.stats();
     stats.spmv_workspace_calls += ws.calls;
     stats.spmv_workspace_hits += ws.reuse_hits;
     stats.spmv_bytes_reused += ws.bytes_reused;
+    if mcm_obs::metrics_enabled() {
+        mcm_obs::counter_add("mcm_spmv_workspace_calls_total", &[], ws.calls);
+        mcm_obs::counter_add("mcm_spmv_workspace_hits_total", &[], ws.reuse_hits);
+        mcm_obs::counter_add("mcm_spmv_workspace_bytes_reused_total", &[], ws.bytes_reused);
+        mcm_obs::counter_add("mcm_augmentations_total", &[], stats.augmentations as u64);
+    }
 }
 
 /// Maps a matching computed on relabeled vertices back to original labels.

@@ -38,6 +38,7 @@ pub fn select<C: Communicator, T: Clone>(
     y: &DenseVec,
     pred: impl Fn(Vidx) -> bool,
 ) -> SpVec<T> {
+    let _span = mcm_obs::kernel_span("select", kernel.name());
     assert_eq!(x.len(), y.len(), "SELECT requires aligned vectors");
     charge_local(comm, kernel, x);
     x.filter(|i, _| pred(y.get(i)))
@@ -52,6 +53,7 @@ pub fn set_dense<C: Communicator, T>(
     x: &SpVec<T>,
     f: impl Fn(&T) -> Vidx,
 ) {
+    let _span = mcm_obs::kernel_span("set_dense", kernel.name());
     assert_eq!(x.len(), y.len(), "SET requires aligned vectors");
     charge_local(comm, kernel, x);
     for (i, v) in x.iter() {
@@ -67,6 +69,7 @@ pub fn set_sparse<C: Communicator>(
     x: &SpVec<Vidx>,
     y: &DenseVec,
 ) -> SpVec<Vidx> {
+    let _span = mcm_obs::kernel_span("set_sparse", kernel.name());
     assert_eq!(x.len(), y.len(), "SET requires aligned vectors");
     charge_local(comm, kernel, x);
     x.map_indexed(y)
@@ -92,6 +95,7 @@ pub fn invert_by<C: Communicator, T, U: Send + Clone>(
     key: impl Fn(&T) -> Vidx,
     value: impl Fn(Vidx, &T) -> U,
 ) -> SpVec<U> {
+    let _span = mcm_obs::kernel_span("invert", kernel.name());
     let p = comm.p();
     let n = x.len();
     let mut sends: Vec<Vec<Vec<(Vidx, U)>>> =
@@ -148,6 +152,7 @@ pub fn prune<C: Communicator, T: Clone>(
     q: &[Vidx],
     key: impl Fn(&T) -> Vidx,
 ) -> SpVec<T> {
+    let _span = mcm_obs::kernel_span("prune", kernel.name());
     let p = comm.p();
     let mu = q.len() as u64;
     let off = block_offsets(q.len(), p);

@@ -270,6 +270,8 @@ impl DynMatching {
     /// Applies a batch of updates and repairs the matching back to
     /// maximum. Returns what the repair did.
     pub fn apply_batch(&mut self, updates: &[Update]) -> BatchReport {
+        let _span = mcm_obs::span("apply_batch");
+        let sw = mcm_obs::Stopwatch::new();
         let mut rep = BatchReport::default();
         let mut dirty_rows: Vec<Vidx> = Vec::new();
         let mut dirty_cols: Vec<Vidx> = Vec::new();
@@ -389,6 +391,18 @@ impl DynMatching {
             self.verify_full().expect("full per-batch verification failed");
         }
 
+        // Satellite: every batch reports its repair-strategy decision —
+        // "warm_start" when the dirty set blew the budget and the batch
+        // re-ran the MS-BFS driver, "incremental" otherwise.
+        if mcm_obs::metrics_enabled() {
+            let strategy = if rep.fallback { "warm_start" } else { "incremental" };
+            let labels = [("strategy", strategy)];
+            mcm_obs::counter_add("mcm_dyn_batches_total", &labels, 1);
+            mcm_obs::counter_add("mcm_dyn_updates_total", &labels, rep.applied as u64);
+            mcm_obs::counter_add("mcm_dyn_repaired_total", &labels, rep.repaired as u64);
+            mcm_obs::observe_ns("mcm_dyn_batch_seconds", &labels, sw.elapsed_ns());
+        }
+
         self.absorb(&rep);
         rep
     }
@@ -423,6 +437,7 @@ impl DynMatching {
     /// serial simulator by default, or the real thread-per-rank mesh
     /// engine so big recomputes use all cores.
     fn fallback(&mut self) {
+        let _span = mcm_obs::span("warm_start_fallback");
         let t = self.g.to_triples();
         let stale = std::mem::replace(&mut self.m, Matching::empty(0, 0));
         let r = match self.opts.backend {

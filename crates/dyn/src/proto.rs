@@ -3,7 +3,8 @@
 //! Two spellings are accepted and can be mixed freely on one stream:
 //!
 //! * plain text — `insert 3 5`, `delete 3 5`, `query`, `stats`,
-//!   `snapshot out.mtx`, `quit`; blank lines and `#` comments ignored;
+//!   `metrics`, `snapshot out.mtx`, `quit`; blank lines and `#` comments
+//!   ignored;
 //! * JSONL — `{"op": "insert", "u": 3, "v": 5}` and friends. The parser
 //!   is deliberately a tokenizer, not a JSON library (the workspace has
 //!   no serde and the grammar is six fixed shapes): structural
@@ -26,6 +27,9 @@ pub enum Command {
     Query,
     /// Flush, repair, report cumulative engine statistics.
     Stats,
+    /// Flush, repair, dump the metrics registry in Prometheus text
+    /// exposition, terminated by a `# EOF` line.
+    Metrics,
     /// Flush, repair, write the live graph as Matrix Market to the path.
     Snapshot(String),
     /// Flush, repair, exit cleanly.
@@ -58,7 +62,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         .position(|t| {
             matches!(
                 t.to_ascii_lowercase().as_str(),
-                "insert" | "delete" | "query" | "stats" | "snapshot" | "quit" | "exit"
+                "insert" | "delete" | "query" | "stats" | "metrics" | "snapshot" | "quit" | "exit"
             )
         })
         .ok_or_else(|| format!("unrecognized command: {trimmed}"))?;
@@ -66,6 +70,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
     match verb.as_str() {
         "query" => Ok(Some(Command::Query)),
         "stats" => Ok(Some(Command::Stats)),
+        "metrics" => Ok(Some(Command::Metrics)),
         "quit" | "exit" => Ok(Some(Command::Quit)),
         "snapshot" => {
             let path = value_after_key(&toks, "path")
@@ -111,6 +116,7 @@ mod tests {
         assert_eq!(parse_command("  delete 0 12 ").unwrap(), Some(Command::Delete(0, 12)));
         assert_eq!(parse_command("query").unwrap(), Some(Command::Query));
         assert_eq!(parse_command("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse_command("metrics").unwrap(), Some(Command::Metrics));
         assert_eq!(
             parse_command("snapshot /tmp/x.mtx").unwrap(),
             Some(Command::Snapshot("/tmp/x.mtx".into()))
@@ -130,6 +136,7 @@ mod tests {
             Some(Command::Delete(3, 5))
         );
         assert_eq!(parse_command(r#"{"op": "query"}"#).unwrap(), Some(Command::Query));
+        assert_eq!(parse_command(r#"{"op": "metrics"}"#).unwrap(), Some(Command::Metrics));
         assert_eq!(
             parse_command(r#"{"op": "snapshot", "path": "out.mtx"}"#).unwrap(),
             Some(Command::Snapshot("out.mtx".into()))

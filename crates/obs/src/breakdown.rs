@@ -1,0 +1,148 @@
+//! Measured per-kernel wall-clock breakdown, printable side by side with
+//! the modeled α–β–γ breakdown from `mcm-bsp::Timers` (the Fig. 5 shape
+//! check).
+//!
+//! Aggregation sums only top-level kernel spans (`nested_kernel == false`)
+//! so a communication span recorded inside e.g. an `Invert` span does not
+//! count its wall time twice. Spans from concurrent rank threads overlap
+//! in real time; the breakdown reports summed span time (CPU-rank-time,
+//! like the modeled timers, which also sum the bottleneck rank per call),
+//! so both columns share units of "kernel-time".
+
+use std::collections::BTreeMap;
+
+use crate::trace::Trace;
+
+/// Aggregated measured breakdown: per kernel, total wall seconds of
+/// top-level spans and how many such spans were recorded.
+#[derive(Debug, Default, Clone)]
+pub struct WallBreakdown {
+    /// Kernel name → (seconds, span count), sorted by kernel name.
+    rows: BTreeMap<&'static str, (f64, u64)>,
+}
+
+impl WallBreakdown {
+    /// Aggregates every non-nested kernel-tagged span in `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut rows: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
+        for e in &trace.events {
+            let Some(kernel) = e.kernel else { continue };
+            if e.nested_kernel {
+                continue;
+            }
+            let row = rows.entry(kernel).or_insert((0.0, 0));
+            row.0 += e.dur_ns as f64 / 1e9;
+            row.1 += 1;
+        }
+        WallBreakdown { rows }
+    }
+
+    /// (seconds, span count) measured for `kernel`, zero if never seen.
+    pub fn get(&self, kernel: &str) -> (f64, u64) {
+        self.rows.get(kernel).copied().unwrap_or((0.0, 0))
+    }
+
+    /// Total measured seconds across all kernels.
+    pub fn total_seconds(&self) -> f64 {
+        self.rows.values().map(|(s, _)| s).sum()
+    }
+
+    /// Rows sorted by kernel name.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, f64, u64)> + '_ {
+        self.rows.iter().map(|(k, (s, c))| (*k, *s, *c))
+    }
+}
+
+/// Renders the measured-vs-modeled per-kernel table. `modeled` is
+/// `Timers::breakdown()` mapped through `Kernel::name()`:
+/// `(kernel, modeled_seconds, modeled_calls)`. Kernels appearing on either
+/// side get a row; both totals are printed so the Fig. 5 shape comparison
+/// is a single glance.
+pub fn side_by_side(measured: &WallBreakdown, modeled: &[(&str, f64, u64)]) -> String {
+    let mut kernels: Vec<&str> = measured.rows().map(|(k, _, _)| k).collect();
+    for (k, _, _) in modeled {
+        if !kernels.contains(k) {
+            kernels.push(k);
+        }
+    }
+    kernels.sort_unstable();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>14} {:>10} {:>14} {:>10}\n",
+        "kernel", "measured_s", "spans", "modeled_s", "calls"
+    ));
+    let (mut meas_total, mut model_total) = (0.0f64, 0.0f64);
+    for k in kernels {
+        let (ms, mc) = measured.get(k);
+        let (ds, dc) = modeled
+            .iter()
+            .find(|(mk, _, _)| *mk == k)
+            .map(|(_, s, c)| (*s, *c))
+            .unwrap_or((0.0, 0));
+        if ms == 0.0 && ds == 0.0 && mc == 0 && dc == 0 {
+            continue;
+        }
+        meas_total += ms;
+        model_total += ds;
+        out.push_str(&format!("{:<10} {:>14.6} {:>10} {:>14.6} {:>10}\n", k, ms, mc, ds, dc));
+    }
+    out.push_str(&format!(
+        "{:<10} {:>14.6} {:>10} {:>14.6} {:>10}\n",
+        "total", meas_total, "", model_total, ""
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn ev(kernel: Option<&'static str>, dur_ns: u64, nested: bool) -> TraceEvent {
+        TraceEvent {
+            name: "x",
+            kernel,
+            rank: 0,
+            tid: 0,
+            start_ns: 0,
+            dur_ns,
+            nested_kernel: nested,
+        }
+    }
+
+    #[test]
+    fn aggregates_top_level_kernel_spans_only() {
+        let trace = Trace {
+            events: vec![
+                ev(Some("SpMV"), 1_000_000_000, false),
+                ev(Some("SpMV"), 500_000_000, false),
+                ev(Some("SpMV"), 250_000_000, true), // nested: excluded
+                ev(Some("Invert"), 100_000_000, false),
+                ev(None, 999_000_000_000, false), // untagged: excluded
+            ],
+            dropped: 0,
+        };
+        let b = WallBreakdown::from_trace(&trace);
+        let (s, c) = b.get("SpMV");
+        assert!((s - 1.5).abs() < 1e-9);
+        assert_eq!(c, 2);
+        assert_eq!(b.get("Invert").1, 1);
+        assert_eq!(b.get("Augment"), (0.0, 0));
+        assert!((b.total_seconds() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_shows_both_sides_and_totals() {
+        let trace = Trace { events: vec![ev(Some("SpMV"), 2_000_000_000, false)], dropped: 0 };
+        let b = WallBreakdown::from_trace(&trace);
+        let table = side_by_side(&b, &[("SpMV", 1.25, 7), ("Augment", 0.5, 3)]);
+        assert!(table.contains("kernel"));
+        assert!(table.contains("SpMV"));
+        assert!(table.contains("2.000000"));
+        assert!(table.contains("1.250000"));
+        // Augment has no measured spans but still appears (modeled side).
+        assert!(table.contains("Augment"));
+        assert!(table.lines().last().unwrap().starts_with("total"));
+    }
+}

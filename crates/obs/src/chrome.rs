@@ -1,0 +1,110 @@
+//! Chrome `chrome://tracing` / Perfetto JSON export.
+//!
+//! Emits the "JSON Array Format" with complete (`"ph":"X"`) events only:
+//! timestamps and durations in **microseconds** (fractional, from the
+//! nanosecond source), `pid` = rank (so each rank gets its own process
+//! track), `tid` = stable recording-thread id. Load the file via
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_event(out: &mut String, e: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, e.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, e.kernel.unwrap_or("span"));
+    out.push_str("\",\"ph\":\"X\",\"ts\":");
+    // µs with ns resolution preserved as fraction.
+    out.push_str(&format!("{:.3}", e.start_ns as f64 / 1e3));
+    out.push_str(",\"dur\":");
+    out.push_str(&format!("{:.3}", e.dur_ns as f64 / 1e3));
+    out.push_str(&format!(",\"pid\":{},\"tid\":{},\"args\":{{\"rank\":{}", e.rank, e.tid, e.rank));
+    if e.nested_kernel {
+        out.push_str(",\"nested_kernel\":true");
+    }
+    out.push_str("}}");
+}
+
+/// Serializes a drained [`Trace`] to Chrome tracing JSON. Events are
+/// sorted by (rank, tid, start) so output is deterministic given a trace.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut events: Vec<&TraceEvent> = trace.events.iter().collect();
+    events.sort_by_key(|e| (e.rank, e.tid, e.start_ns, e.dur_ns));
+    let mut out = String::with_capacity(64 + events.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event(&mut out, e);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"");
+    if trace.dropped > 0 {
+        out.push_str(&format!(",\"otherData\":{{\"dropped\":{}}}", trace.dropped));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, rank: u32, start: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            kernel: Some("SpMV"),
+            rank,
+            tid: rank as u64,
+            start_ns: start,
+            dur_ns: dur,
+            nested_kernel: false,
+        }
+    }
+
+    #[test]
+    fn emits_complete_events_in_microseconds() {
+        let trace =
+            Trace { events: vec![ev("b", 1, 2500, 1000), ev("a", 0, 1500, 500)], dropped: 0 };
+        let json = to_chrome_json(&trace);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        // 1500 ns → 1.500 µs; rank 0 sorts first.
+        let a = json.find("\"ts\":1.500").unwrap();
+        let b = json.find("\"ts\":2.500").unwrap();
+        assert!(a < b);
+        assert!(json.contains("\"dur\":0.500"));
+        assert!(json.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn escapes_are_safe() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn dropped_count_is_reported() {
+        let trace = Trace { events: vec![], dropped: 7 };
+        let json = to_chrome_json(&trace);
+        assert!(json.contains("\"dropped\":7"));
+    }
+}

@@ -1,0 +1,159 @@
+//! # mcm-obs — tracing, metrics & profiling for the matching stack
+//!
+//! The paper's evaluation (Figs. 5–9) is built on per-kernel runtime
+//! breakdowns; `mcm-bsp::timers` reproduces those in *modeled* α–β–γ time
+//! only. This crate adds the measured side: wall-clock visibility into the
+//! real execution backends (`EngineComm`, `mcmd`) so the modeled and
+//! measured breakdowns can be printed side by side (`mcm match
+//! --breakdown`) and the next bottleneck found with data instead of the
+//! cost model's word.
+//!
+//! Two independent facilities, both **no-ops until enabled**:
+//!
+//! * **Structured tracing** ([`trace`]) — nestable spans recorded into
+//!   per-thread buffers (the hot path is a push onto a thread-local `Vec`;
+//!   no locks, no allocation once warm), keyed by rank and stamped with
+//!   monotonic nanoseconds. Export to Chrome `chrome://tracing` JSON
+//!   ([`chrome`]) or aggregate kernel-tagged spans into a measured
+//!   per-kernel wall-clock breakdown ([`breakdown`]).
+//! * **Metrics** ([`metrics`]) — a global registry of counters, gauges and
+//!   log-bucketed latency histograms with Prometheus text exposition
+//!   ([`prom`]); `mcmd` serves it over the line protocol (`metrics`
+//!   command).
+//!
+//! ## Zero-cost default
+//!
+//! Both facilities are off by default: every instrumentation site guards
+//! itself on one `Relaxed` atomic load ([`tracing_enabled`] /
+//! [`metrics_enabled`]) and does nothing else when disabled. The
+//! `obs_overhead` bench measures the disabled-recorder cost on the
+//! `engine_e2e` sweep (recorded in `BENCH_obs.json`, methodology in
+//! DESIGN.md §13) and `tests/obs.rs` gates it in CI at <2%.
+//!
+//! ```
+//! mcm_obs::enable_tracing(true);
+//! {
+//!     let _outer = mcm_obs::kernel_span("spmspv", "SpMV");
+//!     let _inner = mcm_obs::kernel_span("allgatherv", "SpMV"); // nested
+//! }
+//! let trace = mcm_obs::take_trace();
+//! assert_eq!(trace.events.len(), 2);
+//! assert!(trace.to_chrome_json().contains("\"ph\":\"X\""));
+//! mcm_obs::enable_tracing(false);
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod breakdown;
+pub mod chrome;
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+pub use breakdown::{side_by_side, WallBreakdown};
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use trace::{
+    kernel_span, set_thread_rank, span, take_trace, SpanGuard, Stopwatch, Trace, TraceEvent,
+};
+
+/// Master switch for span recording (default off).
+static TRACING: AtomicBool = AtomicBool::new(false);
+/// Master switch for metrics recording (default off).
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+/// Turns span recording on or off. Spans opened while enabled still close
+/// correctly if recording is disabled mid-span.
+pub fn enable_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently recorded — one `Relaxed` load; this is the
+/// entire disabled-path cost of a [`span`] call.
+#[inline(always)]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns metrics recording on or off.
+pub fn enable_metrics(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+}
+
+/// Whether metrics are currently recorded — one `Relaxed` load; this is
+/// the entire disabled-path cost of the counter/histogram helpers.
+#[inline(always)]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Enables (or disables) both facilities at once.
+pub fn enable_all(on: bool) {
+    enable_tracing(on);
+    enable_metrics(on);
+}
+
+/// Adds `v` to the counter `name{labels}` — a no-op unless
+/// [`metrics_enabled`].
+#[inline]
+pub fn counter_add(name: &str, labels: &[(&str, &str)], v: u64) {
+    if metrics_enabled() {
+        registry().counter(name, labels).add(v);
+    }
+}
+
+/// Sets the gauge `name{labels}` — a no-op unless [`metrics_enabled`].
+#[inline]
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], v: f64) {
+    if metrics_enabled() {
+        registry().gauge(name, labels).set(v);
+    }
+}
+
+/// Records `ns` nanoseconds into the latency histogram `name{labels}` — a
+/// no-op unless [`metrics_enabled`].
+#[inline]
+pub fn observe_ns(name: &str, labels: &[(&str, &str)], ns: u64) {
+    if metrics_enabled() {
+        registry().histogram(name, labels).observe_ns(ns);
+    }
+}
+
+/// Serializes unit tests that touch the global flags, sink, or registry
+/// (they run in parallel threads of one test binary otherwise).
+#[cfg(test)]
+pub(crate) static TEST_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_default_off_and_toggle() {
+        let _g = test_guard();
+        // Other tests in this binary toggle the same globals; only check
+        // the toggles are observable, not the ambient state.
+        enable_tracing(true);
+        assert!(tracing_enabled());
+        enable_tracing(false);
+        assert!(!tracing_enabled());
+        enable_metrics(true);
+        assert!(metrics_enabled());
+        enable_metrics(false);
+        assert!(!metrics_enabled());
+    }
+
+    #[test]
+    fn disabled_helpers_do_not_touch_the_registry() {
+        let _g = test_guard();
+        enable_metrics(false);
+        counter_add("lib_test_never_created_total", &[], 1);
+        observe_ns("lib_test_never_created_seconds", &[], 1);
+        let text = prom::expose(registry());
+        assert!(!text.contains("lib_test_never_created"));
+    }
+}

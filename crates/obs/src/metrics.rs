@@ -1,0 +1,237 @@
+//! Metrics registry: counters, gauges and log₂-bucketed latency
+//! histograms, addressed by `name{label="value",…}`.
+//!
+//! Handles are `Arc`-backed atomics: look one up once (a registry lock),
+//! then update it lock-free from any thread. The convenience helpers in
+//! the crate root ([`crate::counter_add`] etc.) do lookup + update per
+//! call, which is fine off the hot path; hot loops should cache the
+//! handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log₂ nanosecond buckets: bucket `i` counts observations
+/// `v ≤ 2^i ns`, i.e. the spread covers 1 ns to ~584 years.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Monotonic counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge (f64 stored as bits).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Latency histogram over log₂ nanosecond buckets.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+/// Index of the smallest bucket whose upper bound `2^i` covers `ns`.
+fn bucket_index(ns: u64) -> usize {
+    if ns <= 1 {
+        0
+    } else {
+        (64 - (ns - 1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    pub fn observe_ns(&self, ns: u64) {
+        self.0.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_seconds(&self) -> f64 {
+        self.0.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Per-bucket counts (not cumulative), index `i` ↦ upper bound `2^i` ns.
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// `name` + sorted labels; the registry key.
+pub type MetricKey = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    let mut ls: Vec<(String, String)> =
+        labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    ls.sort();
+    (name.to_string(), ls)
+}
+
+/// A family-of-metrics store. [`registry`] returns the process-global one;
+/// independent instances can be created for tests.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, Counter>>,
+    gauges: Mutex<BTreeMap<MetricKey, Gauge>>,
+    histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counters.lock().unwrap().entry(key(name, labels)).or_default().clone()
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.gauges.lock().unwrap().entry(key(name, labels)).or_default().clone()
+    }
+
+    /// Gets or creates the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histograms.lock().unwrap().entry(key(name, labels)).or_default().clone()
+    }
+
+    /// Sorted snapshots for exposition (see [`crate::prom`]).
+    pub fn snapshot_counters(&self) -> Vec<(MetricKey, u64)> {
+        self.counters.lock().unwrap().iter().map(|(k, c)| (k.clone(), c.get())).collect()
+    }
+
+    pub fn snapshot_gauges(&self) -> Vec<(MetricKey, f64)> {
+        self.gauges.lock().unwrap().iter().map(|(k, g)| (k.clone(), g.get())).collect()
+    }
+
+    pub fn snapshot_histograms(&self) -> Vec<(MetricKey, Histogram)> {
+        self.histograms.lock().unwrap().iter().map(|(k, h)| (k.clone(), h.clone())).collect()
+    }
+
+    /// Removes every metric (test isolation; the service never calls it).
+    pub fn clear(&self) {
+        self.counters.lock().unwrap().clear();
+        self.gauges.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+}
+
+/// The process-global registry used by the crate-root helpers.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_key() {
+        let r = Registry::new();
+        let a = r.counter("req_total", &[("code", "ok")]);
+        let b = r.counter("req_total", &[("code", "ok")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        // Different labels → different counter.
+        assert_eq!(r.counter("req_total", &[("code", "err")]).get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        r.counter("c", &[("a", "1"), ("b", "2")]).inc();
+        assert_eq!(r.counter("c", &[("b", "2"), ("a", "1")]).get(), 1);
+    }
+
+    #[test]
+    fn gauge_round_trips_floats() {
+        let r = Registry::new();
+        let g = r.gauge("occupancy", &[]);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        g.set(-3.5);
+        assert_eq!(r.gauge("occupancy", &[]).get(), -3.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cumulative_by_construction() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0); // ≤ 2^0
+        assert_eq!(bucket_index(2), 1); // ≤ 2^1
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+
+        let r = Registry::new();
+        let h = r.histogram("lat", &[]);
+        h.observe_ns(1);
+        h.observe_ns(1000);
+        h.observe_ns(1000);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum_seconds() - 2001e-9).abs() < 1e-15);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[10], 2); // 1000 ≤ 1024 = 2^10
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_increments() {
+        let r = Registry::new();
+        let c = r.counter("par_total", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,164 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`Registry`](crate::metrics::Registry).
+//!
+//! Output is deterministic: metric families sorted by name, series sorted
+//! by label set, histogram buckets ascending with the empty leading tail
+//! elided. `mcmd` serves this over the line protocol (`metrics` command,
+//! terminated by `# EOF`).
+
+use crate::metrics::{Histogram, MetricKey, Registry, HIST_BUCKETS};
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `name{a="1",b="2"}`; an extra label (histograms' `le`) is
+/// appended after the recorded ones.
+fn series(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let (name, labels) = key;
+    if labels.is_empty() && extra.is_none() {
+        return name.clone();
+    }
+    let mut out = format!("{name}{{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// `f64` rendering: decimal (Rust's shortest round-trip `Display`), which
+/// Prometheus parses; avoids locale/exponent ambiguity for our bounds.
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn type_line(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
+    if last.as_deref() != Some(name) {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        *last = Some(name.to_string());
+    }
+}
+
+/// Serializes every metric in `r` to Prometheus text exposition.
+pub fn expose(r: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<String> = None;
+
+    for (key, v) in r.snapshot_counters() {
+        type_line(&mut out, &mut last_name, &key.0, "counter");
+        out.push_str(&format!("{} {}\n", series(&key, None), v));
+    }
+    last_name = None;
+    for (key, v) in r.snapshot_gauges() {
+        type_line(&mut out, &mut last_name, &key.0, "gauge");
+        out.push_str(&format!("{} {}\n", series(&key, None), num(v)));
+    }
+    last_name = None;
+    for (key, h) in r.snapshot_histograms() {
+        type_line(&mut out, &mut last_name, &key.0, "histogram");
+        let bucket_key = (format!("{}_bucket", key.0), key.1.clone());
+        // Buckets use the `_bucket` suffix; sum/count splice their own.
+        push_histogram_series(&mut out, &key, &bucket_key, &h);
+    }
+    out
+}
+
+fn push_histogram_series(out: &mut String, key: &MetricKey, bucket_key: &MetricKey, h: &Histogram) {
+    let buckets = h.bucket_counts();
+    let last_used = (0..HIST_BUCKETS).rev().find(|&i| buckets[i] > 0);
+    let mut cumulative = 0u64;
+    if let Some(last_used) = last_used {
+        for (i, &b) in buckets.iter().enumerate().take(last_used + 1) {
+            cumulative += b;
+            let le = (1u128 << i) as f64 / 1e9;
+            out.push_str(&format!(
+                "{} {}\n",
+                series(bucket_key, Some(("le", &num(le)))),
+                cumulative
+            ));
+        }
+    }
+    out.push_str(&format!("{} {}\n", series(bucket_key, Some(("le", "+Inf"))), h.count()));
+    let sum_key = (format!("{}_sum", key.0), key.1.clone());
+    out.push_str(&format!("{} {}\n", series(&sum_key, None), num(h.sum_seconds())));
+    let count_key = (format!("{}_count", key.0), key.1.clone());
+    out.push_str(&format!("{} {}\n", series(&count_key, None), h.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn counters_and_gauges_expose_sorted() {
+        let r = Registry::new();
+        r.counter("b_total", &[]).add(2);
+        r.counter("a_total", &[("x", "1")]).add(1);
+        r.gauge("g", &[]).set(1.5);
+        let text = expose(&r);
+        let a = text.find("a_total{x=\"1\"} 1").unwrap();
+        let b = text.find("b_total 2").unwrap();
+        assert!(a < b, "families sorted by name");
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("# TYPE g gauge"));
+        assert!(text.contains("g 1.5"));
+    }
+
+    #[test]
+    fn histogram_exposes_cumulative_buckets_sum_count() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", &[("op", "query")]);
+        h.observe_ns(1); // bucket 0, le=1e-9
+        h.observe_ns(2); // bucket 1, le=2e-9
+        let text = expose(&r);
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{op=\"query\",le=\"0.000000001\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{op=\"query\",le=\"0.000000002\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{op=\"query\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_seconds_sum{op=\"query\"} 0.000000003"));
+        assert!(text.contains("lat_seconds_count{op=\"query\"} 2"));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_and_count() {
+        let r = Registry::new();
+        let _ = r.histogram("empty_seconds", &[]);
+        let text = expose(&r);
+        assert!(text.contains("empty_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("empty_seconds_count 0"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("esc_total", &[("p", "a\"b\\c\nd")]).inc();
+        let text = expose(&r);
+        assert!(text.contains("esc_total{p=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

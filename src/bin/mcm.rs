@@ -9,15 +9,22 @@
 //!
 //! match options:
 //!   --algo dist|hk|pf|pr|msbfs|graft   algorithm (default dist)
-//!   --grid <d>                         simulated d×d process grid (dist)
-//!   --threads <t>                      simulated threads/process (dist)
+//!   --backend sim|engine               cost-model simulator (default) or the
+//!                                      real thread-per-rank mesh (dist only)
+//!   --grid <d>                         simulated d×d process grid (sim)
+//!   --ranks <p>                        engine rank count, a perfect square
+//!   --threads <t>                      threads per process/rank (dist)
+//!   --breakdown                        print the measured wall-clock
+//!                                      per-kernel breakdown next to the
+//!                                      modeled α–β–γ one (dist)
+//!   --trace-out <file>                 write a chrome://tracing JSON trace
 //!   --out <file>                       write "row col" pairs
 //! gen families: g500, ssca, er (RMAT presets); road, mesh (2D meshes)
 //! ```
 //!
 //! Matrices are Matrix Market files; values are ignored (pattern matching).
 
-use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_bsp::{Communicator, DistCtx, EngineComm, MachineConfig};
 use mcm_core::dm::{dulmage_mendelsohn, DmBlock};
 // btf used via full path in cmd_btf
 use mcm_core::serial::{hopcroft_karp, ms_bfs_graft, ms_bfs_serial, pothen_fan, push_relabel};
@@ -77,7 +84,8 @@ mcm — maximum cardinality matching in bipartite graphs (Azad & Buluc, IPDPS 20
 
 usage:
   mcm stats   <file.mtx>
-  mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft] [--grid d] [--threads t] [--out file]
+  mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft] [--backend sim|engine]
+              [--grid d] [--ranks p] [--threads t] [--breakdown] [--trace-out file] [--out file]
   mcm permute <file.mtx> --out <out.mtx>
   mcm dm      <file.mtx>
   mcm btf     <file.mtx>
@@ -127,10 +135,26 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn compute(t: &Triples, algo: &str, grid: usize, threads: usize) -> Result<Matching, String> {
-    let a = t.to_csc();
-    Ok(match algo {
-        "dist" => {
+/// The distributed driver's choice of backend plus the modeled per-kernel
+/// rows it leaves behind (for `--breakdown`).
+struct DistRun {
+    matching: Matching,
+    /// `(kernel name, modeled seconds, modeled calls)` per kernel.
+    modeled: Vec<(&'static str, f64, u64)>,
+}
+
+fn compute_dist(
+    t: &Triples,
+    backend: &str,
+    grid: usize,
+    ranks: usize,
+    threads: usize,
+) -> Result<DistRun, String> {
+    let rows = |ctx: &DistCtx| {
+        ctx.timers.breakdown().into_iter().map(|(k, s, c)| (k.name(), s, c)).collect()
+    };
+    match backend {
+        "sim" => {
             let mut ctx = DistCtx::new(MachineConfig::hybrid(grid, threads));
             let r = maximum_matching(&mut ctx, t, &McmOptions::default());
             eprintln!(
@@ -141,27 +165,82 @@ fn compute(t: &Triples, algo: &str, grid: usize, threads: usize) -> Result<Match
                 threads,
                 ctx.timers.total() * 1e3
             );
-            r.matching
+            Ok(DistRun { matching: r.matching, modeled: rows(&ctx) })
         }
+        "engine" => {
+            let dim = (ranks as f64).sqrt().round() as usize;
+            if ranks == 0 || dim * dim != ranks {
+                return Err(format!("--ranks must be a positive perfect square, got {ranks}"));
+            }
+            let mut comm = EngineComm::new(ranks, threads);
+            let r = maximum_matching(&mut comm, t, &McmOptions::default());
+            eprintln!(
+                "engine: {} ranks x {} threads; modeled time {:.3} ms",
+                ranks,
+                threads,
+                comm.ctx().timers.total() * 1e3
+            );
+            Ok(DistRun { matching: r.matching, modeled: rows(comm.ctx()) })
+        }
+        other => Err(format!("bad --backend value: {other} (want sim|engine)")),
+    }
+}
+
+fn compute(
+    t: &Triples,
+    algo: &str,
+    backend: &str,
+    grid: usize,
+    ranks: usize,
+    threads: usize,
+) -> Result<DistRun, String> {
+    let a = t.to_csc();
+    let matching = match algo {
+        "dist" => return compute_dist(t, backend, grid, ranks, threads),
         "hk" => hopcroft_karp(&a, None),
         "pf" => pothen_fan(&a, None),
         "pr" => push_relabel(&a),
         "msbfs" => ms_bfs_serial(&a, None).0,
         "graft" => ms_bfs_graft(&a, None).0,
         other => return Err(format!("unknown algorithm: {other}")),
-    })
+    };
+    Ok(DistRun { matching, modeled: Vec::new() })
 }
 
 fn cmd_match(args: &[String]) -> Result<(), String> {
     let t = load(args)?;
     let algo = opt(args, "--algo").unwrap_or("dist");
+    let backend = opt(args, "--backend").unwrap_or("sim");
     let grid: usize = opt(args, "--grid").unwrap_or("2").parse().map_err(|_| "bad --grid")?;
+    let ranks: usize = opt(args, "--ranks").unwrap_or("4").parse().map_err(|_| "bad --ranks")?;
     let threads: usize =
         opt(args, "--threads").unwrap_or("4").parse().map_err(|_| "bad --threads")?;
     if grid == 0 || threads == 0 {
         return Err("--grid and --threads must be at least 1".into());
     }
-    let m = compute(&t, algo, grid, threads)?;
+    let breakdown = args.iter().any(|a| a == "--breakdown");
+    let trace_out = opt(args, "--trace-out");
+    if (breakdown || trace_out.is_some()) && algo != "dist" {
+        return Err("--breakdown and --trace-out need --algo dist".into());
+    }
+    if breakdown || trace_out.is_some() {
+        mcm_obs::enable_tracing(true);
+        drop(mcm_obs::take_trace()); // start the run from an empty sink
+    }
+    let DistRun { matching: m, modeled } = compute(&t, algo, backend, grid, ranks, threads)?;
+    if breakdown || trace_out.is_some() {
+        mcm_obs::enable_tracing(false);
+        let trace = mcm_obs::take_trace();
+        if breakdown {
+            let measured = mcm_obs::WallBreakdown::from_trace(&trace);
+            eprintln!("per-kernel breakdown (measured wall clock vs modeled alpha-beta-gamma):");
+            eprint!("{}", mcm_obs::side_by_side(&measured, &modeled));
+        }
+        if let Some(path) = trace_out {
+            std::fs::write(path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote chrome://tracing JSON ({} events) to {path}", trace.events.len());
+        }
+    }
     let a = t.to_csc();
     m.validate(&a).map_err(|e| format!("internal error, invalid matching: {e}"))?;
     assert!(is_maximum(&a, &m), "internal error: matching not maximum");

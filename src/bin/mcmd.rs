@@ -8,6 +8,7 @@
 //! delete <row> <col>      stage an edge deletion
 //! query                   flush staged updates, print "matching <card>"
 //! stats                   flush, print cumulative engine counters
+//! metrics                 flush, dump the Prometheus registry ("# EOF" ends it)
 //! snapshot <path>         flush, write the live graph as Matrix Market
 //! quit                    flush and exit
 //! ```
@@ -21,13 +22,20 @@
 //! ```text
 //! mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
 //!      [--fallback f] [--backend sim|engine] [--ranks p] [--threads t]
-//!      [--full-verify] [--quiet]
+//!      [--trace-out file] [--full-verify] [--quiet]
 //! ```
 //!
 //! With `--backend engine`, large-dirty-set fallback recomputes run on
 //! the real thread-per-rank `EngineComm` mesh (`--ranks × --threads`
 //! cores) instead of the serial cost-model simulator — warm-started
 //! recomputes actually use all cores.
+//!
+//! The `mcm-obs` metrics registry is always live in `mcmd`: per-request
+//! latency histograms (`mcmd_request_seconds{verb}`), per-batch repair
+//! metrics and the incremental-vs-warm-start strategy counters
+//! (`mcm_dyn_batches_total{strategy}`) are all served by the `metrics`
+//! command. `--trace-out` additionally records spans for the whole
+//! session and writes a `chrome://tracing` JSON file at exit.
 
 use mcm_dyn::{Command, DynMatching, DynOptions, FallbackBackend};
 use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
@@ -40,7 +48,7 @@ mcmd — streaming update service for dynamic maximum matching
 usage:
   mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
        [--fallback f] [--backend sim|engine] [--ranks p] [--threads t]
-       [--full-verify] [--quiet]
+       [--trace-out file] [--full-verify] [--quiet]
 
   --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
   --load file.mtx       start from a Matrix Market graph instead (solves it first)
@@ -51,11 +59,13 @@ usage:
                         simulator (default) or the real thread-per-rank mesh
   --ranks p             engine backend: rank count, a perfect square (default 4)
   --threads t           engine backend: worker threads per rank (default 1)
+  --trace-out file      record spans; write chrome://tracing JSON at exit
   --full-verify         re-verify the full matching after every batch
   --quiet               suppress per-batch report lines
 
 commands (one per line, plain text or JSONL {\"op\":..,\"u\":..,\"v\":..}):
-  insert <row> <col> | delete <row> <col> | query | stats | snapshot <path> | quit
+  insert <row> <col> | delete <row> <col> | query | stats | metrics |
+  snapshot <path> | quit
 ";
 
 fn main() -> ExitCode {
@@ -113,6 +123,16 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let quiet = args.iter().any(|a| a == "--quiet");
 
+    // The registry is the service's own telemetry (request latencies,
+    // per-batch repair counters, strategy decisions); the `metrics`
+    // command serves it, so it is always live.
+    mcm_obs::enable_metrics(true);
+    let trace_out = opt(args, "--trace-out").map(str::to_string);
+    if trace_out.is_some() {
+        mcm_obs::enable_tracing(true);
+        drop(mcm_obs::take_trace()); // start the session from an empty sink
+    }
+
     let mut dm = match opt(args, "--load") {
         Some(path) => {
             let t = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
@@ -134,13 +154,20 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     };
 
-    match opt(args, "--input") {
+    let served = match opt(args, "--input") {
         Some(path) => {
             let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
             serve(&mut dm, std::io::BufReader::new(f), quiet)
         }
         None => serve(&mut dm, std::io::stdin().lock(), quiet),
+    };
+    if let Some(path) = trace_out {
+        mcm_obs::enable_tracing(false);
+        let trace = mcm_obs::take_trace();
+        std::fs::write(&path, trace.to_chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote chrome://tracing JSON ({} events) to {path}", trace.events.len());
     }
+    served
 }
 
 fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), String> {
@@ -159,20 +186,24 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
                 continue;
             }
         };
+        let sw = mcm_obs::Stopwatch::new();
+        let verb = verb_of(&cmd);
         // Range-check updates here so the engine can keep dense scratch.
         if let Command::Insert(r, c) | Command::Delete(r, c) = cmd {
             if r as usize >= n1 || c as usize >= n2 {
                 writeln!(out, "error line {}: vertex out of range ({r}, {c})", lineno + 1).ok();
-                continue;
+            } else {
+                staged.push(match cmd {
+                    Command::Insert(r, c) => mcm_dyn::Update::Insert(r, c),
+                    Command::Delete(r, c) => mcm_dyn::Update::Delete(r, c),
+                    _ => unreachable!(),
+                });
             }
-            staged.push(match cmd {
-                Command::Insert(r, c) => mcm_dyn::Update::Insert(r, c),
-                Command::Delete(r, c) => mcm_dyn::Update::Delete(r, c),
-                _ => unreachable!(),
-            });
+            mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
             continue;
         }
         flush(dm, &mut staged, &mut out, quiet);
+        let quit = matches!(cmd, Command::Quit);
         match cmd {
             Command::Query => {
                 writeln!(out, "matching {}", dm.cardinality()).ok();
@@ -184,7 +215,7 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
                     "stats batches {} updates {} inserts {} deletes {} matched_deletes {} \
                      immediate {} searches {} repaired {} path_edges {} max_path {} \
                      interior {} sweeps {} fallbacks {} cert_seeds {} cardinality {} \
-                     nnz {} epoch {}",
+                     nnz {} epoch {} incremental {} warm_start {}",
                     s.batches,
                     s.updates,
                     s.inserts,
@@ -202,8 +233,14 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
                     dm.cardinality(),
                     dm.graph().nnz(),
                     dm.graph().epoch(),
+                    s.batches - s.fallbacks,
+                    s.fallbacks,
                 )
                 .ok();
+            }
+            Command::Metrics => {
+                out.write_all(mcm_obs::prom::expose(mcm_obs::registry()).as_bytes()).ok();
+                writeln!(out, "# EOF").ok();
             }
             Command::Snapshot(path) => {
                 match write_matrix_market_file(&dm.graph().to_triples(), &path) {
@@ -215,8 +252,12 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
                     }
                 }
             }
-            Command::Quit => break,
+            Command::Quit => {}
             Command::Insert(..) | Command::Delete(..) => unreachable!("staged above"),
+        }
+        mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
+        if quit {
+            break;
         }
         out.flush().ok();
     }
@@ -224,6 +265,18 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
     flush(dm, &mut staged, &mut out, quiet);
     out.flush().ok();
     Ok(())
+}
+
+fn verb_of(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Insert(..) => "insert",
+        Command::Delete(..) => "delete",
+        Command::Query => "query",
+        Command::Stats => "stats",
+        Command::Metrics => "metrics",
+        Command::Snapshot(..) => "snapshot",
+        Command::Quit => "quit",
+    }
 }
 
 fn flush(

@@ -238,6 +238,105 @@ fn mcmd_rejects_bad_backend_flags() {
 }
 
 #[test]
+fn match_breakdown_prints_measured_vs_modeled() {
+    let file = tmp("breakdown.mtx");
+    assert!(mcm()
+        .args(["gen", "g500", "--scale", "7", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    let trace = tmp("breakdown_trace.json");
+    let out = mcm()
+        .args(["match"])
+        .arg(&file)
+        .args(["--backend", "engine", "--ranks", "4", "--threads", "2", "--breakdown"])
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The side-by-side table: header plus measured seconds for the
+    // kernels every run exercises.
+    assert!(err.contains("measured_s"), "{err}");
+    assert!(err.contains("modeled_s"), "{err}");
+    assert!(err.contains("SpMV"), "{err}");
+    assert!(err.contains("total"), "{err}");
+    // And a loadable Chrome trace next to it.
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+}
+
+#[test]
+fn match_breakdown_requires_dist() {
+    let file = tmp("breakdown_hk.mtx");
+    assert!(mcm()
+        .args(["gen", "er", "--scale", "6", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    let out =
+        mcm().args(["match"]).arg(&file).args(["--algo", "hk", "--breakdown"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--algo dist"));
+}
+
+#[test]
+fn mcmd_metrics_command_serves_prometheus_text() {
+    let text = mcmd_session(
+        &["--rows", "8", "--cols", "8", "--quiet"],
+        "insert 0 0\ninsert 1 1\nquery\nmetrics\nquit\n",
+    );
+    // Strategy counters (satellite: per-batch fallback decisions), batch
+    // latency histogram, per-request latencies, and the EOF terminator.
+    assert!(text.contains("# TYPE mcm_dyn_batches_total counter"), "{text}");
+    assert!(text.contains("mcm_dyn_batches_total{strategy=\"incremental\"} 1"), "{text}");
+    assert!(text.contains("mcm_dyn_batch_seconds_count{strategy=\"incremental\"} 1"), "{text}");
+    assert!(text.contains("mcmd_request_seconds_count{verb=\"insert\"} 2"), "{text}");
+    assert!(text.contains("mcmd_request_seconds_count{verb=\"query\"} 1"), "{text}");
+    assert!(text.lines().any(|l| l == "# EOF"), "{text}");
+}
+
+#[test]
+fn mcmd_metrics_labels_warm_start_fallbacks() {
+    let text = mcmd_session(
+        &["--rows", "6", "--cols", "6", "--fallback", "0", "--quiet"],
+        "insert 0 0\ninsert 0 1\ninsert 1 0\nquery\nmetrics\nquit\n",
+    );
+    assert!(text.contains("mcm_dyn_batches_total{strategy=\"warm_start\"} 1"), "{text}");
+    let stats = mcmd_session(
+        &["--rows", "6", "--cols", "6", "--fallback", "0", "--quiet"],
+        "insert 0 0\ninsert 0 1\ninsert 1 0\nstats\nquit\n",
+    );
+    let line = stats.lines().find(|l| l.starts_with("stats ")).unwrap_or_else(|| panic!("{stats}"));
+    assert!(line.contains("incremental 0"), "{line}");
+    assert!(line.contains("warm_start 1"), "{line}");
+}
+
+#[test]
+fn mcmd_trace_out_writes_chrome_json() {
+    use std::io::Write;
+    let trace = tmp("mcmd_trace.json");
+    let mut child = mcmd()
+        .args(["--rows", "8", "--cols", "8", "--quiet", "--trace-out"])
+        .arg(&trace)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"insert 0 0\ninsert 1 1\nquery\nquit\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    assert!(json.contains("\"name\":\"apply_batch\""), "{json}");
+}
+
+#[test]
 fn mcmd_loads_a_matrix_and_repairs_on_top() {
     let file = tmp("mcmd_load.mtx");
     assert!(mcm()

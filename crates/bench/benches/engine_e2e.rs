@@ -1,13 +1,14 @@
-//! End-to-end wall-clock of the promoted execution backend: full MCM-DIST
-//! on the real thread-per-rank `EngineComm` mesh across a core sweep
-//! (threads 1/2/4/8), against the serial cost-model simulator and serial
-//! Hopcroft–Karp on the same graph. The modeled-time story lives in the
-//! figure binaries; this bench answers the sharded-serving question —
-//! what a warm recompute actually costs on real cores
-//! (`mcmd --backend engine`, DESIGN.md §12).
+//! End-to-end wall-clock of the execution backends: full MCM-DIST on the
+//! real thread-per-rank `EngineComm` mesh and on the fused shared-memory
+//! `SharedComm` arena across a core sweep (1/2/4/8), against the serial
+//! cost-model simulator and serial Hopcroft–Karp on the same graph. The
+//! modeled-time story lives in the figure binaries; this bench answers
+//! the sharded-serving question — what a warm recompute actually costs
+//! on real cores (`mcmd --backend engine|shared`, DESIGN.md §12, §14).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_core::mcm::maximum_matching_shared;
 use mcm_core::serial::hopcroft_karp;
 use mcm_core::{maximum_matching, maximum_matching_engine, McmOptions};
 use mcm_gen::rmat::{rmat, RmatParams};
@@ -39,6 +40,20 @@ fn bench_engine_e2e(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("engine", cores), |b| {
             b.iter(|| {
                 black_box(maximum_matching_engine(p, threads, &t, &opts).matching.cardinality())
+            })
+        });
+    }
+
+    // SharedComm executes fused in one address space; the relabeling
+    // permutation only hurts locality there, so the shared rows run the
+    // same configuration `mcmd --backend shared` uses for recomputes.
+    let shared_opts = McmOptions { permute_seed: None, ..McmOptions::default() };
+    for &(cores, p, threads) in &CORES {
+        group.bench_function(BenchmarkId::new("shared", cores), |b| {
+            b.iter(|| {
+                black_box(
+                    maximum_matching_shared(p, threads, &t, &shared_opts).matching.cardinality(),
+                )
             })
         });
     }

@@ -52,6 +52,10 @@ pub enum BackendKind {
     Simulator,
     /// Thread-per-rank channel-mesh engine: real message passing.
     Engine,
+    /// Shared-memory backend: one address space, collectives as shared-arena
+    /// exchanges, SpMSpV fused with the communication epoch
+    /// ([`crate::shared::SharedComm`]).
+    Shared,
 }
 
 /// Reduction operator for [`Communicator::allreduce`].
@@ -151,11 +155,11 @@ impl RmaWin for AtomicWin<'_> {
 }
 
 /// Wraps an [`RmaWin`], counting the one-sided calls issued through it —
-/// the per-epoch RMA op metric on the simulator backend ([`AtomicWin`]
-/// counts natively on the engine).
-struct CountingWin<'w, W: RmaWin> {
-    inner: &'w mut W,
-    ops: u64,
+/// the per-epoch RMA op metric on the simulator and shared backends
+/// ([`AtomicWin`] counts natively on the engine).
+pub(crate) struct CountingWin<'w, W: RmaWin> {
+    pub(crate) inner: &'w mut W,
+    pub(crate) ops: u64,
 }
 
 impl<W: RmaWin> RmaWin for CountingWin<'_, W> {
@@ -175,7 +179,7 @@ impl<W: RmaWin> RmaWin for CountingWin<'_, W> {
 
 /// Records one completed RMA exposure epoch and its one-sided op count.
 #[inline]
-fn record_rma_epoch(backend: &'static str, ops: u64) {
+pub(crate) fn record_rma_epoch(backend: &'static str, ops: u64) {
     if mcm_obs::metrics_enabled() {
         let labels = [("backend", backend)];
         mcm_obs::counter_add("mcm_rma_epochs_total", &labels, 1);
@@ -186,7 +190,7 @@ fn record_rma_epoch(backend: &'static str, ops: u64) {
 /// Interleaves RMA task streams under a schedule-chosen service order —
 /// the [`RmaTask`] twin of [`crate::sched::run_interleaved`], consuming
 /// picks from the same decision stream.
-fn interleave_tasks<W: RmaWin, T: RmaTask>(
+pub(crate) fn interleave_tasks<W: RmaWin, T: RmaTask>(
     win: &mut W,
     sched: &mut Schedule,
     tasks: &mut [T],
@@ -231,6 +235,16 @@ pub trait Communicator {
         self.ctx().threads()
     }
 
+    /// The **physical** grid this backend executes matrix blocks on —
+    /// usually the accounting grid itself, but the shared-memory backend
+    /// executes everything on a single `1 × 1` block while still charging
+    /// the logical `√p × √p` decomposition. Matrix assembly must use this
+    /// grid so blocks match the execution layout.
+    fn exec_grid(&self) -> (usize, usize) {
+        let g = &self.ctx().machine.grid;
+        (g.pr, g.pc)
+    }
+
     /// Personalized all-to-all: routes `sends[src][dst]` to
     /// `recvd[dst][src]`, charging the bottleneck rank's volume.
     fn alltoallv<T: Send + Clone>(
@@ -273,7 +287,7 @@ pub trait Communicator {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync;
+        U: Copy + Send + Sync;
 
     /// [`Communicator::spmspv`] with a commutative-monoid accumulator
     /// (`combine`) instead of a selection.
@@ -288,7 +302,7 @@ pub trait Communicator {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync;
+        U: Copy + Send + Sync;
 
     /// One RMA exposure epoch: exposes `wins`, drives every task's op
     /// stream to completion, closes the epoch (a fence on the engine).
@@ -388,7 +402,7 @@ impl Communicator for DistCtx {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         let _span = mcm_obs::kernel_span("spmspv", kernel.name());
         a.spmspv_with_plan(self, kernel, plan, x, mul, take_incoming)
@@ -405,7 +419,7 @@ impl Communicator for DistCtx {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         let _span = mcm_obs::kernel_span("spmspv_monoid", kernel.name());
         a.spmspv_monoid_with_plan(self, kernel, plan, x, mul, combine)
@@ -636,7 +650,7 @@ impl Communicator for EngineComm {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         let _span = mcm_obs::kernel_span("spmspv", kernel.name());
         a.spmspv_mesh(self, kernel, plan, x, mul, take_incoming)
@@ -653,7 +667,7 @@ impl Communicator for EngineComm {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         let _span = mcm_obs::kernel_span("spmspv_monoid", kernel.name());
         a.spmspv_monoid_mesh(self, kernel, plan, x, mul, combine)

@@ -33,7 +33,8 @@
 use crate::comm::{Communicator, EngineComm};
 use crate::ctx::DistCtx;
 use crate::timers::Kernel;
-use mcm_sparse::triples::block_offsets;
+use mcm_sparse::permute::Permutation;
+use mcm_sparse::triples::{block_offsets, block_owner};
 use mcm_sparse::workspace::{SpmvWorkspace, WorkspaceStats};
 use mcm_sparse::{Dcsc, SpVec, Triples, Vidx};
 use std::sync::Mutex;
@@ -66,12 +67,12 @@ struct MeshOut<U> {
 
 /// Per-block reusable state of a [`SpmvPlan`].
 #[derive(Debug)]
-struct PlanBlock<U> {
+struct PlanBlock<U: Copy> {
     ws: SpmvWorkspace<U>,
     out: SpVec<U>,
 }
 
-impl<U> PlanBlock<U> {
+impl<U: Copy> PlanBlock<U> {
     fn new() -> Self {
         Self { ws: SpmvWorkspace::new(), out: SpVec::new(0) }
     }
@@ -84,18 +85,18 @@ impl<U> PlanBlock<U> {
 /// on the same grid — buffers grow to the high-water mark and are then
 /// reused, so steady-state iterations allocate nothing in the kernel layer.
 #[derive(Debug)]
-pub struct SpmvPlan<T, U> {
+pub struct SpmvPlan<T, U: Copy> {
     blocks: Vec<PlanBlock<U>>,
     slices: Vec<SpVec<T>>,
 }
 
-impl<T, U> Default for SpmvPlan<T, U> {
+impl<T, U: Copy> Default for SpmvPlan<T, U> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T, U> SpmvPlan<T, U> {
+impl<T, U: Copy> SpmvPlan<T, U> {
     /// An empty plan; buffers materialize on first use.
     pub fn new() -> Self {
         Self { blocks: Vec::new(), slices: Vec::new() }
@@ -160,21 +161,201 @@ impl DistMatrix {
 
     /// Distributes `t` over an explicit `pr × pc` grid.
     pub fn with_grid(t: &Triples, pr: usize, pc: usize) -> Self {
-        let parts = t.split_blocks(pr, pc);
-        let blocks: Vec<Dcsc> = mcm_par::par_map_range(parts.len(), mcm_par::max_threads(), |i| {
-            Dcsc::from_triples(&parts[i])
-        });
+        Self::with_grid_mapped(t, pr, pc, None, None, false)
+    }
+
+    /// Distributes `t` with the relabeling and transposition fused into the
+    /// scatter: entry `(i, j)` lands as `(rowp(i), colp(j))`, swapped when
+    /// `transpose` is set. Avoids materializing the permuted (and
+    /// transposed) triple lists that `maximum_matching` previously cloned
+    /// on every solve.
+    pub fn from_triples_mapped(
+        ctx: &DistCtx,
+        t: &Triples,
+        rowp: Option<&Permutation>,
+        colp: Option<&Permutation>,
+        transpose: bool,
+    ) -> Self {
+        Self::with_grid_mapped(t, ctx.machine.grid.pr, ctx.machine.grid.pc, rowp, colp, transpose)
+    }
+
+    /// Builds `A` and `Aᵀ` together from one scatter pass over `t` —
+    /// permutation lookups and block routing are paid once for both
+    /// orientations. Used by the matching pipeline, which needs the
+    /// transpose for every row-proposing initializer.
+    pub fn from_triples_mapped_pair(
+        ctx: &DistCtx,
+        t: &Triples,
+        rowp: Option<&Permutation>,
+        colp: Option<&Permutation>,
+    ) -> (Self, Self) {
+        let (pr, pc) = (ctx.machine.grid.pr, ctx.machine.grid.pc);
+        Self::with_grid_mapped_pair(t, pr, pc, rowp, colp)
+    }
+
+    /// [`DistMatrix::from_triples_mapped_pair`] over an explicit grid.
+    pub fn with_grid_mapped_pair(
+        t: &Triples,
+        pr: usize,
+        pc: usize,
+        rowp: Option<&Permutation>,
+        colp: Option<&Permutation>,
+    ) -> (Self, Self) {
+        if pr == 1 && pc == 1 {
+            // Single-block execution (the shared-memory backend): scatter A
+            // once and derive Aᵀ by counting transpose over the compacted
+            // nonzeros — cheaper than a second scatter of the raw edge
+            // list, and bit-identical (transpose of a canonical DCSC is the
+            // canonical DCSC of the swapped pairs).
+            let a_block = if rowp.is_none() && colp.is_none() {
+                Dcsc::from_unsorted_pairs(t.nrows(), t.ncols(), t.entries())
+            } else {
+                let mapped: Vec<(Vidx, Vidx)> = t
+                    .entries()
+                    .iter()
+                    .map(|&(i, j)| (rowp.map_or(i, |p| p.apply(i)), colp.map_or(j, |p| p.apply(j))))
+                    .collect();
+                Dcsc::from_unsorted_pairs(t.nrows(), t.ncols(), &mapped)
+            };
+            let at_block = a_block.transposed();
+            let (nnz, t_nnz) = (a_block.nnz(), at_block.nnz());
+            let a = Self {
+                nrows: t.nrows(),
+                ncols: t.ncols(),
+                pr: 1,
+                pc: 1,
+                row_off: vec![0, t.nrows()],
+                col_off: vec![0, t.ncols()],
+                blocks: vec![a_block],
+                nnz,
+            };
+            let at = Self {
+                nrows: t.ncols(),
+                ncols: t.nrows(),
+                pr: 1,
+                pc: 1,
+                row_off: vec![0, t.ncols()],
+                col_off: vec![0, t.nrows()],
+                blocks: vec![at_block],
+                nnz: t_nnz,
+            };
+            return (a, at);
+        }
+        let row_off = block_offsets(t.nrows(), pr);
+        let col_off = block_offsets(t.ncols(), pc);
+        let t_row_off = block_offsets(t.ncols(), pr);
+        let t_col_off = block_offsets(t.nrows(), pc);
+        let cap = t.len() / (pr * pc) + 8;
+        let mut parts: Vec<Vec<(Vidx, Vidx)>> =
+            (0..pr * pc).map(|_| Vec::with_capacity(cap)).collect();
+        let mut t_parts: Vec<Vec<(Vidx, Vidx)>> =
+            (0..pr * pc).map(|_| Vec::with_capacity(cap)).collect();
+        for &(i, j) in t.entries() {
+            let pi = rowp.map_or(i, |p| p.apply(i));
+            let pj = colp.map_or(j, |p| p.apply(j));
+            let bi = block_owner(&row_off, pi as usize);
+            let bj = block_owner(&col_off, pj as usize);
+            parts[bi * pc + bj].push((pi - row_off[bi] as Vidx, pj - col_off[bj] as Vidx));
+            let tbi = block_owner(&t_row_off, pj as usize);
+            let tbj = block_owner(&t_col_off, pi as usize);
+            t_parts[tbi * pc + tbj]
+                .push((pj - t_row_off[tbi] as Vidx, pi - t_col_off[tbj] as Vidx));
+        }
+        let build = |off_r: &[usize], off_c: &[usize], parts: &[Vec<(Vidx, Vidx)>]| -> Vec<Dcsc> {
+            mcm_par::par_map_range(parts.len(), mcm_par::max_threads(), |b| {
+                let (bi, bj) = (b / pc, b % pc);
+                Dcsc::from_unsorted_pairs(
+                    off_r[bi + 1] - off_r[bi],
+                    off_c[bj + 1] - off_c[bj],
+                    &parts[b],
+                )
+            })
+        };
+        let blocks = build(&row_off, &col_off, &parts);
+        let t_blocks = build(&t_row_off, &t_col_off, &t_parts);
         let nnz = blocks.iter().map(|b| b.nnz()).sum();
-        Self {
-            nrows: t.nrows(),
-            ncols: t.ncols(),
+        let t_nnz = t_blocks.iter().map(|b| b.nnz()).sum();
+        let a = Self { nrows: t.nrows(), ncols: t.ncols(), pr, pc, row_off, col_off, blocks, nnz };
+        let at = Self {
+            nrows: t.ncols(),
+            ncols: t.nrows(),
             pr,
             pc,
-            row_off: block_offsets(t.nrows(), pr),
-            col_off: block_offsets(t.ncols(), pc),
-            blocks,
-            nnz,
+            row_off: t_row_off,
+            col_off: t_col_off,
+            blocks: t_blocks,
+            nnz: t_nnz,
+        };
+        (a, at)
+    }
+
+    /// [`DistMatrix::from_triples_mapped`] over an explicit grid.
+    pub fn with_grid_mapped(
+        t: &Triples,
+        pr: usize,
+        pc: usize,
+        rowp: Option<&Permutation>,
+        colp: Option<&Permutation>,
+        transpose: bool,
+    ) -> Self {
+        let (nrows, ncols) =
+            if transpose { (t.ncols(), t.nrows()) } else { (t.nrows(), t.ncols()) };
+        if pr == 1 && pc == 1 {
+            // Single-block fast path: no routing, no per-block partitions.
+            let block = if rowp.is_none() && colp.is_none() && !transpose {
+                Dcsc::from_unsorted_pairs(nrows, ncols, t.entries())
+            } else if rowp.is_none() && colp.is_none() {
+                Dcsc::from_unsorted_pairs(t.nrows(), t.ncols(), t.entries()).transposed()
+            } else {
+                let mapped: Vec<(Vidx, Vidx)> = t
+                    .entries()
+                    .iter()
+                    .map(|&(i, j)| {
+                        let pi = rowp.map_or(i, |p| p.apply(i));
+                        let pj = colp.map_or(j, |p| p.apply(j));
+                        if transpose {
+                            (pj, pi)
+                        } else {
+                            (pi, pj)
+                        }
+                    })
+                    .collect();
+                Dcsc::from_unsorted_pairs(nrows, ncols, &mapped)
+            };
+            let nnz = block.nnz();
+            return Self {
+                nrows,
+                ncols,
+                pr,
+                pc,
+                row_off: vec![0, nrows],
+                col_off: vec![0, ncols],
+                blocks: vec![block],
+                nnz,
+            };
         }
+        let row_off = block_offsets(nrows, pr);
+        let col_off = block_offsets(ncols, pc);
+        let mut parts: Vec<Vec<(Vidx, Vidx)>> =
+            (0..pr * pc).map(|_| Vec::with_capacity(t.len() / (pr * pc) + 8)).collect();
+        for &(i, j) in t.entries() {
+            let pi = rowp.map_or(i, |p| p.apply(i));
+            let pj = colp.map_or(j, |p| p.apply(j));
+            let (gi, gj) = if transpose { (pj, pi) } else { (pi, pj) };
+            let bi = block_owner(&row_off, gi as usize);
+            let bj = block_owner(&col_off, gj as usize);
+            parts[bi * pc + bj].push((gi - row_off[bi] as Vidx, gj - col_off[bj] as Vidx));
+        }
+        let blocks: Vec<Dcsc> = mcm_par::par_map_range(parts.len(), mcm_par::max_threads(), |b| {
+            let (bi, bj) = (b / pc, b % pc);
+            Dcsc::from_unsorted_pairs(
+                row_off[bi + 1] - row_off[bi],
+                col_off[bj + 1] - col_off[bj],
+                &parts[b],
+            )
+        });
+        let nnz = blocks.iter().map(|b| b.nnz()).sum();
+        Self { nrows, ncols, pr, pc, row_off, col_off, blocks, nnz }
     }
 
     /// Global row count.
@@ -258,7 +439,7 @@ impl DistMatrix {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         let mut plan = SpmvPlan::new();
         self.spmspv_with_plan(ctx, kernel, &mut plan, x, mul, take_incoming)
@@ -279,7 +460,7 @@ impl DistMatrix {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
         let nblocks = self.pr * self.pc;
@@ -348,7 +529,7 @@ impl DistMatrix {
             let mut merged: Vec<(Vidx, U)> =
                 Vec::with_capacity(parts.iter().map(|st| st.out.nnz()).sum());
             for st in parts {
-                merged.extend(st.out.iter().map(|(i, v)| (i, v.clone())));
+                merged.extend(st.out.iter().map(|(i, v)| (i, *v)));
             }
             // Stable by-row sort keeps ascending-bj (hence ascending
             // global column) arrival order per row.
@@ -524,7 +705,7 @@ impl DistMatrix {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         let mut plan = SpmvPlan::new();
         self.spmspv_monoid_with_plan(ctx, kernel, &mut plan, x, mul, combine)
@@ -543,7 +724,7 @@ impl DistMatrix {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
         let nblocks = self.pr * self.pc;
@@ -578,7 +759,7 @@ impl DistMatrix {
             let mut merged: Vec<(Vidx, U)> =
                 Vec::with_capacity(parts.iter().map(|st| st.out.nnz()).sum());
             for st in parts {
-                merged.extend(st.out.iter().map(|(i, v)| (i, v.clone())));
+                merged.extend(st.out.iter().map(|(i, v)| (i, *v)));
             }
             merged.sort_by_key(|&(i, _)| i);
             // Pre-merge receive volumes, as in `spmspv`'s fold.
@@ -610,6 +791,114 @@ impl DistMatrix {
         SpVec::from_sorted_pairs(self.nrows, entries)
     }
 
+    /// Shared-memory-backend SpMSpV: one **fused** product over the single
+    /// physical block, with expand/fold volumes accounted at the logical
+    /// `lpr × lpc` grid.
+    ///
+    /// Where [`DistMatrix::spmspv_with_plan`] materializes per-block-column
+    /// frontier slices (expand) and per-block partial vectors that are
+    /// concatenated, sorted, and deduplicated (fold), this path writes every
+    /// contribution **directly into the destination's region of one shared
+    /// sparse accumulator** — the fused expand/fold of the shared backend:
+    /// no slice copies, no partial buffers, no merge sort. The α–β–γ
+    /// charges are identical to the distributed execution's because the
+    /// fused kernel counts, in-line, exactly the per-logical-block volumes
+    /// the split execution would ship (see
+    /// [`SpmvWorkspace::spmspv_fused_into`]); results are bit-identical by
+    /// grid independence (per-row candidates fold in ascending global
+    /// column order in both).
+    ///
+    /// `self` must live on a 1×1 (single physical block) grid.
+    #[allow(clippy::too_many_arguments)] // mirrors spmspv_with_plan + the logical grid
+    pub(crate) fn spmspv_shared<T, U>(
+        &self,
+        ctx: &mut DistCtx,
+        kernel: Kernel,
+        lpr: usize,
+        lpc: usize,
+        plan: &mut SpmvPlan<T, U>,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        take_incoming: impl Fn(&U, &U) -> bool + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Send + Sync,
+        U: Copy + Send + Sync,
+    {
+        assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
+        assert_eq!((self.pr, self.pc), (1, 1), "shared kernel needs a single physical block");
+        plan.ensure(1, 1);
+        let lrow_off = block_offsets(self.nrows, lpr);
+        let lcol_off = block_offsets(self.ncols, lpc);
+
+        // Logical expand: the bottleneck frontier slice along a grid column
+        // (no slice is materialized — the fused kernel reads `x` in place).
+        ctx.charge_allgather(kernel, lpr, logical_expand_max(x.entries(), &lcol_off));
+
+        let mut y = SpVec::new(0);
+        let vols = plan.blocks[0].ws.spmspv_fused_into(
+            &self.blocks[0],
+            x,
+            &lrow_off,
+            &lcol_off,
+            |bi, li| {
+                let rows = (lrow_off[bi + 1] - lrow_off[bi]).max(1);
+                crate::collectives::balanced_owner(rows, lpc, li)
+            },
+            |j, v| mul(j, v),
+            |acc, inc| take_incoming(acc, inc),
+            &mut y,
+        );
+        ctx.charge_compute(kernel, vols.max_flops);
+        ctx.charge_alltoallv(kernel, lpc, vols.fold_bottleneck);
+        y
+    }
+
+    /// Monoid counterpart of [`DistMatrix::spmspv_shared`] (mirrors
+    /// [`DistMatrix::spmspv_monoid_with_plan`]'s charges).
+    #[allow(clippy::too_many_arguments)] // mirrors spmspv_monoid_with_plan + the logical grid
+    pub(crate) fn spmspv_monoid_shared<T, U>(
+        &self,
+        ctx: &mut DistCtx,
+        kernel: Kernel,
+        lpr: usize,
+        lpc: usize,
+        plan: &mut SpmvPlan<T, U>,
+        x: &SpVec<T>,
+        mul: impl Fn(Vidx, &T) -> U + Sync,
+        combine: impl Fn(&mut U, U) + Sync,
+    ) -> SpVec<U>
+    where
+        T: Copy + Send + Sync,
+        U: Copy + Send + Sync,
+    {
+        assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
+        assert_eq!((self.pr, self.pc), (1, 1), "shared kernel needs a single physical block");
+        plan.ensure(1, 1);
+        let lrow_off = block_offsets(self.nrows, lpr);
+        let lcol_off = block_offsets(self.ncols, lpc);
+
+        ctx.charge_allgather(kernel, lpr, logical_expand_max(x.entries(), &lcol_off));
+
+        let mut y = SpVec::new(0);
+        let vols = plan.blocks[0].ws.spmspv_monoid_fused_into(
+            &self.blocks[0],
+            x,
+            &lrow_off,
+            &lcol_off,
+            |bi, li| {
+                let rows = (lrow_off[bi + 1] - lrow_off[bi]).max(1);
+                crate::collectives::balanced_owner(rows, lpc, li)
+            },
+            |j, v| mul(j, v),
+            |acc, inc| combine(acc, inc),
+            &mut y,
+        );
+        ctx.charge_compute(kernel, vols.max_flops);
+        ctx.charge_alltoallv(kernel, lpc, vols.fold_bottleneck);
+        y
+    }
+
     /// Engine-backend SpMSpV: the same expand → multiply → fold plan as
     /// [`DistMatrix::spmspv_with_plan`], executed as one real session on
     /// the [`EngineComm`] channel mesh with rank `(bi, bj)` owning plan
@@ -629,7 +918,7 @@ impl DistMatrix {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         self.mesh_product(eng, kernel, plan, x, &mul, MeshFold::Select(&take_incoming))
     }
@@ -647,7 +936,7 @@ impl DistMatrix {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         self.mesh_product(eng, kernel, plan, x, &mul, MeshFold::Monoid(&combine))
     }
@@ -663,7 +952,7 @@ impl DistMatrix {
     ) -> SpVec<U>
     where
         T: Copy + Send + Sync,
-        U: Clone + Send + Sync,
+        U: Copy + Send + Sync,
     {
         assert_eq!(x.len(), self.ncols, "frontier length must match ncols");
         let (pr, pc) = (self.pr, self.pc);
@@ -767,7 +1056,7 @@ impl DistMatrix {
             let mut sends: Vec<Vec<Wire<T, U>>> = (0..pc).map(|_| Vec::new()).collect();
             for (i, v) in st.out.iter() {
                 let owner = crate::collectives::balanced_owner(block_rows, pc, i as usize);
-                sends[owner].push(Wire::Y(i, v.clone()));
+                sends[owner].push(Wire::Y(i, *v));
             }
             let sent_pairs = st.out.nnz() as u64;
             drop(guard);
@@ -823,6 +1112,19 @@ impl DistMatrix {
         }
         SpVec::from_sorted_pairs(self.nrows, entries)
     }
+}
+
+/// Bottleneck expand volume of a frontier against logical column-block
+/// offsets: `max_bj 2 · |{entries in block bj}|`, identical to what
+/// `expand_into_slices` reports without building the slices.
+fn logical_expand_max<T>(xs: &[(Vidx, T)], lcol_off: &[usize]) -> u64 {
+    let mut expand_max = 0u64;
+    for w in lcol_off.windows(2) {
+        let lo = xs.partition_point(|&(j, _)| (j as usize) < w[0]);
+        let hi = xs.partition_point(|&(j, _)| (j as usize) < w[1]);
+        expand_max = expand_max.max(2 * (hi - lo) as u64);
+    }
+    expand_max
 }
 
 #[cfg(test)]

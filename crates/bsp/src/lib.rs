@@ -34,6 +34,7 @@ pub mod engine;
 pub mod machine;
 pub mod rma;
 pub mod sched;
+pub mod shared;
 pub mod timers;
 
 pub use collectives::{balanced_owner, per_rank_counts};
@@ -44,4 +45,5 @@ pub use distmat::{DistMatrix, SpmvPlan};
 pub use machine::{MachineConfig, ProcGrid};
 pub use rma::{RmaTally, RmaWindow, TalliedWin};
 pub use sched::{FaultPlan, SchedConfig, Schedule, SimWindow};
+pub use shared::SharedComm;
 pub use timers::{Kernel, Timers};

@@ -17,8 +17,10 @@ use crate::primitives::{invert_by, prune, select, set_dense};
 use crate::semirings::SemiringKind;
 use crate::vertex::Vertex;
 use mcm_bsp::collectives::per_rank_counts;
-use mcm_bsp::{Communicator, DistCtx, DistMatrix, EngineComm, Kernel, ReduceOp, SpmvPlan};
-use mcm_sparse::permute::{random_relabel, Permutation};
+use mcm_bsp::{
+    Communicator, DistCtx, DistMatrix, EngineComm, Kernel, ReduceOp, SharedComm, SpmvPlan,
+};
+use mcm_sparse::permute::{relabel_permutations, Permutation};
 use mcm_sparse::{DenseVec, SpVec, Triples, Vidx, NIL};
 
 /// Tunables of MCM-DIST.
@@ -111,19 +113,25 @@ pub fn maximum_matching<C: Communicator>(
     opts: &McmOptions,
 ) -> McmResult {
     // Load-balancing random relabeling (§IV-A); undone before returning.
-    let (work, perms) = match opts.permute_seed {
-        Some(seed) => {
-            let (pt, rowp, colp) = random_relabel(t, seed);
-            (pt, Some((rowp, colp)))
-        }
-        None => (t.clone(), None),
-    };
+    // The permutation (and the transpose for At) is fused into the block
+    // scatter of matrix assembly — no permuted/transposed triple list is
+    // ever materialized.
+    let perms = opts.permute_seed.map(|seed| relabel_permutations(t.nrows(), t.ncols(), seed));
+    let (rowp, colp) = (perms.as_ref().map(|p| &p.0), perms.as_ref().map(|p| &p.1));
 
-    let a = DistMatrix::from_triples(comm.ctx(), &work);
     // The transpose is needed by the row-proposing initializers and by the
-    // bottom-up direction; build it once if anything wants it.
+    // bottom-up direction; when anything wants it, build both orientations
+    // from a single fused scatter pass.
+    // Blocks live on the backend's *physical* execution grid (1×1 for the
+    // shared backend, the accounting grid otherwise).
+    let (epr, epc) = comm.exec_grid();
     let needs_at = !matches!(opts.init, Initializer::None) || opts.direction_optimizing;
-    let at = needs_at.then(|| DistMatrix::from_triples(comm.ctx(), &work.transposed()));
+    let (a, at) = if needs_at {
+        let (a, at) = DistMatrix::with_grid_mapped_pair(t, epr, epc, rowp, colp);
+        (a, Some(at))
+    } else {
+        (DistMatrix::with_grid_mapped(t, epr, epc, rowp, colp, false), None)
+    };
     let mut m = match (&opts.init, &at) {
         (Initializer::None, _) => Matching::empty(a.nrows(), a.ncols()),
         (init, Some(at)) => init.run(comm, &a, at, opts.seed),
@@ -167,16 +175,13 @@ pub fn maximum_matching_from<C: Communicator>(
         t.ncols()
     );
     debug_assert!(warm.validate(&t.to_csc()).is_ok());
-    let (work, perms) = match opts.permute_seed {
-        Some(seed) => {
-            let (pt, rowp, colp) = random_relabel(t, seed);
-            (pt, Some((rowp, colp)))
-        }
-        None => (t.clone(), None),
-    };
-    let a = DistMatrix::from_triples(comm.ctx(), &work);
-    let at =
-        opts.direction_optimizing.then(|| DistMatrix::from_triples(comm.ctx(), &work.transposed()));
+    let perms = opts.permute_seed.map(|seed| relabel_permutations(t.nrows(), t.ncols(), seed));
+    let (rowp, colp) = (perms.as_ref().map(|p| &p.0), perms.as_ref().map(|p| &p.1));
+    let (epr, epc) = comm.exec_grid();
+    let a = DistMatrix::with_grid_mapped(t, epr, epc, rowp, colp, false);
+    let at = opts
+        .direction_optimizing
+        .then(|| DistMatrix::with_grid_mapped(t, epr, epc, rowp, colp, true));
     let mut m = match &perms {
         None => warm,
         Some((rowp, colp)) => permute_matching(warm, rowp, colp),
@@ -400,6 +405,22 @@ pub fn maximum_matching_engine(
     opts: &McmOptions,
 ) -> McmResult {
     let mut comm = EngineComm::new(p, threads);
+    maximum_matching(&mut comm, t, opts)
+}
+
+/// MCM on the shared-memory backend: `p` logical ranks (a perfect square)
+/// accounted at simulator-identical α–β–γ cost, executed in one address
+/// space on a single matrix block with the SpMSpV expand/fold fused into
+/// the communication epoch (see [`mcm_bsp::SharedComm`]). Produces the
+/// identical matching and modeled timers the simulator produces at the
+/// same `p` and `threads`.
+pub fn maximum_matching_shared(
+    p: usize,
+    threads: usize,
+    t: &Triples,
+    opts: &McmOptions,
+) -> McmResult {
+    let mut comm = SharedComm::new(p, threads);
     maximum_matching(&mut comm, t, opts)
 }
 

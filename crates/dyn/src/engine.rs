@@ -38,7 +38,7 @@
 //! of this differentially against from-scratch Hopcroft–Karp.
 
 use crate::graph::DynGraph;
-use mcm_bsp::{DistCtx, EngineComm};
+use mcm_bsp::{DistCtx, EngineComm, SharedComm};
 use mcm_core::mcm::maximum_matching_from;
 use mcm_core::serial::hopcroft_karp;
 use mcm_core::verify::VerifyError;
@@ -66,6 +66,15 @@ pub enum FallbackBackend {
         /// Rank count (must be a perfect square).
         p: usize,
         /// Worker threads per rank.
+        threads: usize,
+    },
+    /// Shared-memory `SharedComm` arena: `p` logical ranks (perfect
+    /// square) accounted on the cost model, executed fused in one
+    /// address space — the fastest wall-clock option for recomputes.
+    Shared {
+        /// Logical rank count (must be a perfect square).
+        p: usize,
+        /// Modeled threads per logical rank.
         threads: usize,
     },
 }
@@ -449,6 +458,10 @@ impl DynMatching {
                 let mut comm = EngineComm::new(p, threads);
                 maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
             }
+            FallbackBackend::Shared { p, threads } => {
+                let mut comm = SharedComm::new(p, threads);
+                maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+            }
         };
         self.m = r.matching;
     }
@@ -666,6 +679,8 @@ mod tests {
             FallbackBackend::Simulator,
             FallbackBackend::Engine { p: 4, threads: 1 },
             FallbackBackend::Engine { p: 1, threads: 2 },
+            FallbackBackend::Shared { p: 4, threads: 1 },
+            FallbackBackend::Shared { p: 1, threads: 2 },
         ] {
             let mut rng = SplitMix64::new(0xD15C);
             let mut dm = DynMatching::new(

@@ -143,11 +143,20 @@ pub fn permute_triples(t: &Triples, rowp: &Permutation, colp: &Permutation) -> T
     Triples::from_edges(t.nrows(), t.ncols(), edges)
 }
 
+/// The row/column permutation pair [`random_relabel`] applies, without
+/// materializing the permuted triples — callers that fuse the relabeling
+/// into matrix assembly (`DistMatrix::from_triples_mapped`) use this to
+/// stay bit-identical with the materializing path.
+pub fn relabel_permutations(nrows: usize, ncols: usize, seed: u64) -> (Permutation, Permutation) {
+    let rowp = Permutation::random(nrows, seed ^ 0x517C_C1B7_2722_0A95);
+    let colp = Permutation::random(ncols, seed ^ 0x71D6_7FFF_EDA6_0000);
+    (rowp, colp)
+}
+
 /// Symmetric random relabeling of a bipartite graph for load balance: both
 /// sides are permuted with independent streams derived from `seed`.
 pub fn random_relabel(t: &Triples, seed: u64) -> (Triples, Permutation, Permutation) {
-    let rowp = Permutation::random(t.nrows(), seed ^ 0x517C_C1B7_2722_0A95);
-    let colp = Permutation::random(t.ncols(), seed ^ 0x71D6_7FFF_EDA6_0000);
+    let (rowp, colp) = relabel_permutations(t.nrows(), t.ncols(), seed);
     (permute_triples(t, &rowp, &colp), rowp, colp)
 }
 

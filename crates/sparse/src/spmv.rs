@@ -19,7 +19,7 @@
 //!
 //! The semiring multiply `mul(j, xj)` depends only on the column, so all
 //! kernels evaluate it once per matched column and clone the value per
-//! traversed edge (hence the `U: Clone` bound).
+//! traversed edge (hence the `U: Copy` bound).
 
 use crate::workspace::SpmvWorkspace;
 use crate::{Csc, Dcsc, SpVec, Vidx};
@@ -63,7 +63,7 @@ pub struct SpmvOut<U> {
 /// assert_eq!(out.y.entries(), &[(0, 0), (1, 1)]);
 /// assert_eq!(out.flops, 3); // edges traversed
 /// ```
-pub fn spmspv<T, U: Clone>(
+pub fn spmspv<T, U: Copy>(
     a: &Dcsc,
     x: &SpVec<T>,
     mul: impl FnMut(Vidx, &T) -> U,
@@ -79,7 +79,7 @@ pub fn spmspv<T, U: Clone>(
 ///
 /// Used by the CSC arm of the storage ablation; direct column indexing
 /// replaces the merge-join.
-pub fn spmspv_csc<T, U: Clone>(
+pub fn spmspv_csc<T, U: Copy>(
     a: &Csc,
     x: &SpVec<T>,
     mul: impl FnMut(Vidx, &T) -> U,
@@ -95,7 +95,7 @@ pub fn spmspv_csc<T, U: Clone>(
 /// folds every candidate into the accumulator (e.g. `+` for counting
 /// semirings). Must be commutative and associative — the distributed fold
 /// combines partials from different blocks in unspecified order.
-pub fn spmspv_monoid<T, U: Clone>(
+pub fn spmspv_monoid<T, U: Copy>(
     a: &Dcsc,
     x: &SpVec<T>,
     mul: impl FnMut(Vidx, &T) -> U,

@@ -12,6 +12,18 @@
 //!   "resetting" the accumulator costs one integer increment instead of an
 //!   `O(nrows)` sweep or a fresh allocation. Epoch wraparound (every 2³²
 //!   calls) triggers the one hard reset.
+//! * The SPA keeps **split index/value streams**: a bare `stamp: Vec<u32>`
+//!   array scanned by the hot loops and a parallel value array with no
+//!   per-slot discriminant (`MaybeUninit<U>`; a slot is initialized exactly
+//!   when its stamp matches the epoch). The inner loops touch one
+//!   branch-light `u32` stream instead of chasing `Option` tags through
+//!   interleaved memory, which keeps them autovectorizable. Value types are
+//!   `Copy` (frontier records are small PODs — `(parent, root)` pairs,
+//!   counters), so slots are overwritten freely with no drop obligations.
+//! * Draining is adaptive: a sparse result sorts its touched list, a dense
+//!   result (≥ 1/8 of the rows) switches to a **chunked dense sweep** over
+//!   the stamp array — a sequential, predictable scan that beats the
+//!   `O(k log k)` sort as soon as the output stops being tiny.
 //! * The `*_into` kernels write into a **caller-owned** [`SpVec`] via
 //!   [`SpVec::reset`], so output allocations are reused across iterations
 //!   too. In steady state (buffers warm) a call performs **zero heap
@@ -27,6 +39,14 @@
 //!   to the serial kernel's — `MinParent`, `RandParent`/`RandRoot`, and
 //!   first-arrival combiners all included — and `flops` is exactly the
 //!   serial count.
+//! * [`SpmvWorkspace::spmspv_fused_into`] is the shared-memory backend's
+//!   kernel: one physical product over the whole (single-block) matrix
+//!   whose SPA doubles as the communication arena — logical ranks'
+//!   "messages" are writes into their destination's SPA region, the epoch
+//!   stamp is the exchange barrier, and the per-logical-block volumes the
+//!   α–β–γ model charges (expand, flops, fold send/recv) are counted
+//!   in-line from the same traversal via an owner-stamp array. See
+//!   `mcm-bsp`'s `SharedComm` for the epoch protocol this plugs into.
 //!
 //! ### Combiner contract
 //!
@@ -42,25 +62,43 @@
 //! requires.
 //!
 //! The column-level semiring multiply `mul(j, xj)` is invoked **once per
-//! matched column** and its value cloned per traversed edge (the multiply
+//! matched column** and its value copied per traversed edge (the multiply
 //! depends only on `(j, xj)`, never on the row), which the seed kernels
 //! re-evaluated per nonzero.
 
 use crate::{Csc, Dcsc, SpVec, Vidx};
+use std::mem::MaybeUninit;
 
 /// A generation-stamped sparse accumulator: values are live only when their
-/// stamp equals the current epoch, so reset is O(1).
-#[derive(Clone, Debug)]
+/// stamp equals the current epoch, so reset is O(1). Index and value
+/// streams are split — `stamp` is the only array the membership test
+/// touches, and `vals` carries bare `U` slots (initialized iff stamped).
+#[derive(Debug)]
 struct SpaBuf<U> {
     epoch: u32,
+    /// Rows covered by the current generation (`begin`'s `nrows`); the
+    /// buffers themselves only ever grow.
+    active: usize,
     stamp: Vec<u32>,
-    vals: Vec<Option<U>>,
+    vals: Vec<MaybeUninit<U>>,
     touched: Vec<Vidx>,
+}
+
+impl<U: Copy> Clone for SpaBuf<U> {
+    fn clone(&self) -> Self {
+        Self {
+            epoch: self.epoch,
+            active: self.active,
+            stamp: self.stamp.clone(),
+            vals: self.vals.clone(),
+            touched: self.touched.clone(),
+        }
+    }
 }
 
 impl<U> SpaBuf<U> {
     fn new() -> Self {
-        Self { epoch: 0, stamp: Vec::new(), vals: Vec::new(), touched: Vec::new() }
+        Self { epoch: 0, active: 0, stamp: Vec::new(), vals: Vec::new(), touched: Vec::new() }
     }
 
     /// Opens a new generation over `nrows` rows. Grows the buffers on first
@@ -68,8 +106,9 @@ impl<U> SpaBuf<U> {
     fn begin(&mut self, nrows: usize) {
         if self.stamp.len() < nrows {
             self.stamp.resize(nrows, 0);
-            self.vals.resize_with(nrows, || None);
+            self.vals.resize_with(nrows, MaybeUninit::uninit);
         }
+        self.active = nrows;
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // u32 wraparound: stale stamps could collide with the new epoch.
@@ -81,53 +120,83 @@ impl<U> SpaBuf<U> {
 
     /// Folds `cand` into row `i` under a selection combiner.
     #[inline]
-    fn accum_select(&mut self, i: Vidx, cand: &U, take_incoming: &mut impl FnMut(&U, &U) -> bool)
+    fn accum_select(&mut self, i: Vidx, cand: U, take_incoming: &mut impl FnMut(&U, &U) -> bool)
     where
-        U: Clone,
+        U: Copy,
     {
         let iu = i as usize;
         if self.stamp[iu] != self.epoch {
             self.stamp[iu] = self.epoch;
-            self.vals[iu] = Some(cand.clone());
+            self.vals[iu].write(cand);
             self.touched.push(i);
         } else {
-            let acc = self.vals[iu].as_mut().expect("stamped slot must hold a value");
-            if take_incoming(acc, cand) {
-                *acc = cand.clone();
+            // SAFETY: `stamp[iu] == epoch` implies the slot was written in
+            // this generation.
+            let acc = unsafe { self.vals[iu].assume_init_mut() };
+            if take_incoming(acc, &cand) {
+                *acc = cand;
             }
         }
     }
 
     /// Folds `cand` into row `i` under a monoid combiner.
     #[inline]
-    fn accum_monoid(&mut self, i: Vidx, cand: &U, combine: &mut impl FnMut(&mut U, U))
+    fn accum_monoid(&mut self, i: Vidx, cand: U, combine: &mut impl FnMut(&mut U, U))
     where
-        U: Clone,
+        U: Copy,
     {
         let iu = i as usize;
         if self.stamp[iu] != self.epoch {
             self.stamp[iu] = self.epoch;
-            self.vals[iu] = Some(cand.clone());
+            self.vals[iu].write(cand);
             self.touched.push(i);
         } else {
-            let acc = self.vals[iu].as_mut().expect("stamped slot must hold a value");
-            combine(acc, cand.clone());
+            // SAFETY: stamped ⇒ initialized this generation.
+            let acc = unsafe { self.vals[iu].assume_init_mut() };
+            combine(acc, cand);
         }
     }
 
-    /// Sorts the touched rows and moves their values into `y` in row order.
-    fn drain_into(&mut self, y: &mut SpVec<U>) {
-        self.touched.sort_unstable();
-        for &i in &self.touched {
-            let v = self.vals[i as usize].take().expect("touched row must be set");
-            y.push(i, v);
+    /// The live value at row `i`. Caller must know `i` was touched this
+    /// generation (stamp check is debug-asserted, not branched).
+    #[inline]
+    fn take(&self, i: Vidx) -> U
+    where
+        U: Copy,
+    {
+        debug_assert_eq!(self.stamp[i as usize], self.epoch, "untouched row drained");
+        // SAFETY: stamped ⇒ initialized this generation.
+        unsafe { self.vals[i as usize].assume_init_read() }
+    }
+
+    /// Moves the touched rows' values into `y` in ascending row order:
+    /// a sort of the touched list when the result is sparse, a dense sweep
+    /// of the stamp stream when it isn't (the sweep is sequential and
+    /// branch-predictable; the crossover sits near `active / 8`).
+    fn drain_into(&mut self, y: &mut SpVec<U>)
+    where
+        U: Copy,
+    {
+        if 8 * self.touched.len() >= self.active {
+            let epoch = self.epoch;
+            for (iu, &s) in self.stamp[..self.active].iter().enumerate() {
+                if s == epoch {
+                    y.push(iu as Vidx, self.take(iu as Vidx));
+                }
+            }
+        } else {
+            self.touched.sort_unstable();
+            for k in 0..self.touched.len() {
+                let i = self.touched[k];
+                y.push(i, self.take(i));
+            }
         }
     }
 
     /// Heap bytes currently held by this SPA (capacity-based).
     fn heap_bytes(&self) -> u64 {
         (self.stamp.capacity() * std::mem::size_of::<u32>()
-            + self.vals.capacity() * std::mem::size_of::<Option<U>>()
+            + self.vals.capacity() * std::mem::size_of::<U>()
             + self.touched.capacity() * std::mem::size_of::<Vidx>()) as u64
     }
 }
@@ -156,11 +225,25 @@ impl WorkspaceStats {
     }
 }
 
+/// Communication volumes of one fused (single-physical-block) product,
+/// accounted at the **logical** grid the shared-memory backend charges for:
+/// exactly the quantities `DistMatrix::spmspv_with_plan` derives from its
+/// physically-split execution, recovered here from one traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusedVolumes {
+    /// Traversed edges in the busiest logical block (`γ` term).
+    pub max_flops: u64,
+    /// Fold-phase bottleneck: max over logical block rows of
+    /// max(largest per-block send, largest per-destination receive), in
+    /// 2-words-per-pair units.
+    pub fold_bottleneck: u64,
+}
+
 /// Reusable state for the `*_into` SpMSpV kernels: one stamped SPA for the
 /// serial path, per-chunk SPAs for the intra-block parallel path, and the
 /// merge-join scratch shared by both.
 #[derive(Clone, Debug)]
-pub struct SpmvWorkspace<U> {
+pub struct SpmvWorkspace<U: Copy> {
     spa: SpaBuf<U>,
     /// One SPA per chunk of the parallel path (grown on demand).
     chunk_spas: Vec<SpaBuf<U>>,
@@ -171,17 +254,27 @@ pub struct SpmvWorkspace<U> {
     heads: Vec<usize>,
     /// Per-chunk pair-range boundaries (`chunk c` owns `bounds[c]..bounds[c+1]`).
     bounds: Vec<usize>,
+    /// Fused-kernel scratch: last logical block column to touch each row
+    /// (valid only where the SPA stamp matches the epoch).
+    owner: Vec<u32>,
+    /// Fused-kernel scratch: distinct `(row, block-col)` contributions per
+    /// logical block — the pre-merge fold *send* volume.
+    fsend: Vec<u64>,
+    /// Fused-kernel scratch: traversed edges per logical block.
+    fflops: Vec<u64>,
+    /// Fused-kernel scratch: pre-merge fold words per `(block-row, dest)`.
+    frecv: Vec<u64>,
     /// Reuse counters.
     pub stats: WorkspaceStats,
 }
 
-impl<U> Default for SpmvWorkspace<U> {
+impl<U: Copy> Default for SpmvWorkspace<U> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<U> SpmvWorkspace<U> {
+impl<U: Copy> SpmvWorkspace<U> {
     /// An empty workspace; buffers grow on first use and are then reused.
     pub fn new() -> Self {
         Self {
@@ -190,6 +283,10 @@ impl<U> SpmvWorkspace<U> {
             pairs: Vec::new(),
             heads: Vec::new(),
             bounds: Vec::new(),
+            owner: Vec::new(),
+            fsend: Vec::new(),
+            fflops: Vec::new(),
+            frecv: Vec::new(),
             stats: WorkspaceStats::default(),
         }
     }
@@ -220,10 +317,7 @@ impl<U> SpmvWorkspace<U> {
         mut mul: impl FnMut(Vidx, &T) -> U,
         mut take_incoming: impl FnMut(&U, &U) -> bool,
         y: &mut SpVec<U>,
-    ) -> u64
-    where
-        U: Clone,
-    {
+    ) -> u64 {
         self.note_call(a.nrows(), 0);
         self.spa.begin(a.nrows());
         let mut flops = 0u64;
@@ -240,11 +334,11 @@ impl<U> SpmvWorkspace<U> {
                     let (rows, _) = a.nth_col(q);
                     if !rows.is_empty() {
                         // The multiply depends only on (j, xj): hoist it out
-                        // of the row loop and clone per edge.
+                        // of the row loop and copy per edge.
                         let colv = mul(*j, xj);
+                        flops += rows.len() as u64;
                         for &i in rows {
-                            flops += 1;
-                            self.spa.accum_select(i, &colv, &mut take_incoming);
+                            self.spa.accum_select(i, colv, &mut take_incoming);
                         }
                     }
                     p += 1;
@@ -268,10 +362,7 @@ impl<U> SpmvWorkspace<U> {
         mut mul: impl FnMut(Vidx, &T) -> U,
         mut take_incoming: impl FnMut(&U, &U) -> bool,
         y: &mut SpVec<U>,
-    ) -> u64
-    where
-        U: Clone,
-    {
+    ) -> u64 {
         self.note_call(a.nrows(), 0);
         self.spa.begin(a.nrows());
         let mut flops = 0u64;
@@ -282,9 +373,9 @@ impl<U> SpmvWorkspace<U> {
                 continue;
             }
             let colv = mul(j, xj);
+            flops += rows.len() as u64;
             for &i in rows {
-                flops += 1;
-                self.spa.accum_select(i, &colv, &mut take_incoming);
+                self.spa.accum_select(i, colv, &mut take_incoming);
             }
         }
 
@@ -303,10 +394,7 @@ impl<U> SpmvWorkspace<U> {
         mut mul: impl FnMut(Vidx, &T) -> U,
         mut combine: impl FnMut(&mut U, U),
         y: &mut SpVec<U>,
-    ) -> u64
-    where
-        U: Clone,
-    {
+    ) -> u64 {
         self.note_call(a.nrows(), 0);
         self.spa.begin(a.nrows());
         let mut flops = 0u64;
@@ -323,9 +411,9 @@ impl<U> SpmvWorkspace<U> {
                     let (rows, _) = a.nth_col(q);
                     if !rows.is_empty() {
                         let colv = mul(*j, xj);
+                        flops += rows.len() as u64;
                         for &i in rows {
-                            flops += 1;
-                            self.spa.accum_monoid(i, &colv, &mut combine);
+                            self.spa.accum_monoid(i, colv, &mut combine);
                         }
                     }
                     p += 1;
@@ -337,6 +425,211 @@ impl<U> SpmvWorkspace<U> {
         y.reset(a.nrows());
         self.spa.drain_into(y);
         flops
+    }
+
+    /// Opens a fused product: sizes the per-logical-block volume counters
+    /// and the owner-stamp array, and begins a fresh SPA generation.
+    fn fused_begin(&mut self, nrows: usize, pr: usize, pc: usize) {
+        self.note_call(nrows, 0);
+        let nb = pr * pc;
+        self.fsend.clear();
+        self.fsend.resize(nb, 0);
+        self.fflops.clear();
+        self.fflops.resize(nb, 0);
+        self.frecv.clear();
+        self.frecv.resize(nb, 0);
+        if self.owner.len() < nrows {
+            self.owner.resize(nrows, 0);
+        }
+        self.spa.begin(nrows);
+    }
+
+    /// Reduces the per-logical-block counters to the two bottleneck volumes
+    /// the cost model charges.
+    fn fused_volumes(&self, pr: usize, pc: usize) -> FusedVolumes {
+        let mut max_flops = 0u64;
+        let mut fold_bottleneck = 0u64;
+        for bi in 0..pr {
+            let mut send = 0u64;
+            let mut recv = 0u64;
+            for bj in 0..pc {
+                let blk = bi * pc + bj;
+                max_flops = max_flops.max(self.fflops[blk]);
+                send = send.max(2 * self.fsend[blk]);
+                recv = recv.max(self.frecv[blk]);
+            }
+            fold_bottleneck = fold_bottleneck.max(send.max(recv));
+        }
+        FusedVolumes { max_flops, fold_bottleneck }
+    }
+
+    /// Fused single-block SpMSpV for the shared-memory backend: one physical
+    /// product over the whole matrix (`a` spans all rows and columns) whose
+    /// SPA serves as the communication arena of a **logical** `pr × pc`
+    /// grid. Every "remote contribution" a distributed execution would ship
+    /// through expand/fold buffers is instead written directly into the
+    /// destination's SPA region — zero copies, zero per-message allocation —
+    /// while the α–β–γ volumes of the logical execution are counted in-line:
+    ///
+    /// * `fflops[bi][bj]` — edges traversed inside logical block `(bi,bj)`
+    ///   (the row/column block cursors advance monotonically with the sorted
+    ///   traversal, so no per-edge owner arithmetic is needed);
+    /// * `fsend[bi][bj]` — distinct `(row, bj)` contributions, i.e. the
+    ///   nnz of the partial product block `(bi,bj)` would send into the
+    ///   fold (counted via the owner-stamp array: a row's visits arrive in
+    ///   ascending `bj`, so each transition is one distinct pair);
+    /// * `frecv[bi][dest]` — pre-merge pairs received per fold destination
+    ///   (`recv_owner(bi, local_row)` is the logical rank that owns the row
+    ///   in the balanced fold distribution).
+    ///
+    /// Results are bit-identical to the serial kernel (candidates fold per
+    /// row in ascending global column order), hence — by grid independence —
+    /// to `DistMatrix::spmspv_with_plan` on any grid, and the returned
+    /// [`FusedVolumes`] match that execution's charges exactly.
+    #[allow(clippy::too_many_arguments)] // mirrors the distributed kernel's surface
+    pub fn spmspv_fused_into<T>(
+        &mut self,
+        a: &Dcsc,
+        x: &SpVec<T>,
+        row_off: &[usize],
+        col_off: &[usize],
+        mut recv_owner: impl FnMut(usize, usize) -> usize,
+        mut mul: impl FnMut(Vidx, &T) -> U,
+        mut take_incoming: impl FnMut(&U, &U) -> bool,
+        y: &mut SpVec<U>,
+    ) -> FusedVolumes {
+        let (pr, pc) = (row_off.len() - 1, col_off.len() - 1);
+        self.fused_begin(a.nrows(), pr, pc);
+
+        let cols = a.nonzero_cols();
+        let xs = x.entries();
+        let (mut p, mut q) = (0usize, 0usize);
+        let mut bj = 0usize; // logical column block: ascending with j
+        while p < xs.len() && q < cols.len() {
+            match cols[q].cmp(&xs[p].0) {
+                std::cmp::Ordering::Less => q += 1,
+                std::cmp::Ordering::Greater => p += 1,
+                std::cmp::Ordering::Equal => {
+                    let (rows, _) = a.nth_col(q);
+                    if !rows.is_empty() {
+                        let j = xs[p].0;
+                        while (j as usize) >= col_off[bj + 1] {
+                            bj += 1;
+                        }
+                        let colv = mul(j, &xs[p].1);
+                        let epoch = self.spa.epoch;
+                        let mut bi = 0usize; // rows ascend within a column
+                        for &i in rows {
+                            let iu = i as usize;
+                            while iu >= row_off[bi + 1] {
+                                bi += 1;
+                            }
+                            let blk = bi * pc + bj;
+                            self.fflops[blk] += 1;
+                            if self.spa.stamp[iu] != epoch {
+                                self.spa.stamp[iu] = epoch;
+                                self.spa.vals[iu].write(colv);
+                                self.spa.touched.push(i);
+                                self.owner[iu] = bj as u32;
+                                self.fsend[blk] += 1;
+                                self.frecv[bi * pc + recv_owner(bi, iu - row_off[bi])] += 2;
+                            } else {
+                                if self.owner[iu] != bj as u32 {
+                                    // First touch from this logical block:
+                                    // one more pre-merge fold pair.
+                                    self.owner[iu] = bj as u32;
+                                    self.fsend[blk] += 1;
+                                    self.frecv[bi * pc + recv_owner(bi, iu - row_off[bi])] += 2;
+                                }
+                                // SAFETY: stamped ⇒ initialized this epoch.
+                                let acc = unsafe { self.spa.vals[iu].assume_init_mut() };
+                                if take_incoming(acc, &colv) {
+                                    *acc = colv;
+                                }
+                            }
+                        }
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+
+        y.reset(a.nrows());
+        self.spa.drain_into(y);
+        self.fused_volumes(pr, pc)
+    }
+
+    /// Monoid counterpart of [`SpmvWorkspace::spmspv_fused_into`] (same
+    /// arena/accounting scheme, commutative-associative `combine` fold).
+    #[allow(clippy::too_many_arguments)] // mirrors the distributed kernel's surface
+    pub fn spmspv_monoid_fused_into<T>(
+        &mut self,
+        a: &Dcsc,
+        x: &SpVec<T>,
+        row_off: &[usize],
+        col_off: &[usize],
+        mut recv_owner: impl FnMut(usize, usize) -> usize,
+        mut mul: impl FnMut(Vidx, &T) -> U,
+        mut combine: impl FnMut(&mut U, U),
+        y: &mut SpVec<U>,
+    ) -> FusedVolumes {
+        let (pr, pc) = (row_off.len() - 1, col_off.len() - 1);
+        self.fused_begin(a.nrows(), pr, pc);
+
+        let cols = a.nonzero_cols();
+        let xs = x.entries();
+        let (mut p, mut q) = (0usize, 0usize);
+        let mut bj = 0usize;
+        while p < xs.len() && q < cols.len() {
+            match cols[q].cmp(&xs[p].0) {
+                std::cmp::Ordering::Less => q += 1,
+                std::cmp::Ordering::Greater => p += 1,
+                std::cmp::Ordering::Equal => {
+                    let (rows, _) = a.nth_col(q);
+                    if !rows.is_empty() {
+                        let j = xs[p].0;
+                        while (j as usize) >= col_off[bj + 1] {
+                            bj += 1;
+                        }
+                        let colv = mul(j, &xs[p].1);
+                        let epoch = self.spa.epoch;
+                        let mut bi = 0usize;
+                        for &i in rows {
+                            let iu = i as usize;
+                            while iu >= row_off[bi + 1] {
+                                bi += 1;
+                            }
+                            let blk = bi * pc + bj;
+                            self.fflops[blk] += 1;
+                            if self.spa.stamp[iu] != epoch {
+                                self.spa.stamp[iu] = epoch;
+                                self.spa.vals[iu].write(colv);
+                                self.spa.touched.push(i);
+                                self.owner[iu] = bj as u32;
+                                self.fsend[blk] += 1;
+                                self.frecv[bi * pc + recv_owner(bi, iu - row_off[bi])] += 2;
+                            } else {
+                                if self.owner[iu] != bj as u32 {
+                                    self.owner[iu] = bj as u32;
+                                    self.fsend[blk] += 1;
+                                    self.frecv[bi * pc + recv_owner(bi, iu - row_off[bi])] += 2;
+                                }
+                                // SAFETY: stamped ⇒ initialized this epoch.
+                                let acc = unsafe { self.spa.vals[iu].assume_init_mut() };
+                                combine(acc, colv);
+                            }
+                        }
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+
+        y.reset(a.nrows());
+        self.spa.drain_into(y);
+        self.fused_volumes(pr, pc)
     }
 
     /// Intra-block thread-parallel DCSC SpMSpV: the matched frontier columns
@@ -360,7 +653,7 @@ impl<U> SpmvWorkspace<U> {
     ) -> u64
     where
         T: Sync,
-        U: Clone + Send,
+        U: Send,
     {
         // Merge-join once, into the reusable pair list.
         self.pairs.clear();
@@ -400,10 +693,10 @@ impl<U> SpmvWorkspace<U> {
                 let (j, xj) = (&xs[p as usize].0, &xs[p as usize].1);
                 let (rows, _) = a.nth_col(q as usize);
                 let colv = mul(*j, xj);
+                flops += rows.len() as u64;
                 for &i in rows {
-                    flops += 1;
                     let mut take = |acc: &U, inc: &U| take_incoming(acc, inc);
-                    self.spa.accum_select(i, &colv, &mut take);
+                    self.spa.accum_select(i, colv, &mut take);
                 }
             }
             y.reset(a.nrows());
@@ -448,10 +741,10 @@ impl<U> SpmvWorkspace<U> {
                     let (j, xj) = (&xs[p as usize].0, &xs[p as usize].1);
                     let (rows, _) = a.nth_col(q as usize);
                     let colv = mul(*j, xj);
+                    flops += rows.len() as u64;
                     for &i in rows {
-                        flops += 1;
                         let mut take = |acc: &U, inc: &U| take_incoming(acc, inc);
-                        spa.accum_select(i, &colv, &mut take);
+                        spa.accum_select(i, colv, &mut take);
                     }
                 }
                 spa.touched.sort_unstable();
@@ -479,7 +772,7 @@ impl<U> SpmvWorkspace<U> {
             }
             let Some((r, c)) = best else { break };
             self.heads[c] += 1;
-            let v = self.chunk_spas[c].vals[r as usize].take().expect("touched row must be set");
+            let v = self.chunk_spas[c].take(r);
             match y.entries_mut().last_mut() {
                 Some((last, acc)) if *last == r => {
                     if take_incoming(acc, &v) {
@@ -565,5 +858,51 @@ mod tests {
         assert_eq!(ws.stats.calls, 3);
         assert_eq!(ws.stats.reuse_hits, 2); // first call is the cold miss
         assert!(ws.stats.bytes_reused > 0);
+    }
+
+    #[test]
+    fn dense_drain_matches_sparse_drain() {
+        // A matrix whose product touches every row: the dense-sweep drain
+        // path must produce the identical (ascending) output the sort path
+        // produces on a tiny frontier.
+        let n = 64usize;
+        let mut edges = Vec::new();
+        for j in 0..n as Vidx {
+            for k in 0..4u32 {
+                edges.push(((j * 7 + k * 13) % n as Vidx, j));
+            }
+        }
+        let a = Dcsc::from_triples(&Triples::from_edges(n, n, edges));
+        let full: SpVec<Vidx> = SpVec::from_pairs(n, (0..n as Vidx).map(|j| (j, j)).collect());
+        let seed = spmspv(&a, &full, |j, _| j, |acc: &Vidx, inc| inc < acc);
+        let mut ws = SpmvWorkspace::new();
+        let mut y = SpVec::new(0);
+        let flops = ws.spmspv_into(&a, &full, |j, _| j, |acc, inc| inc < acc, &mut y);
+        assert_eq!(y, seed.y);
+        assert_eq!(flops, seed.flops);
+        assert!(8 * y.nnz() >= n, "test must exercise the dense-sweep drain");
+    }
+
+    #[test]
+    fn fused_matches_serial_and_counts_single_block_volumes() {
+        let a = fig2_matrix();
+        let x = SpVec::from_pairs(5, vec![(0, (0u32, 0u32)), (1, (1, 1)), (4, (4, 4))]);
+        let seed = spmspv(&a, &x, |j, &(_, r)| (j, r), |acc: &(Vidx, Vidx), inc| inc.0 < acc.0);
+        let mut ws = SpmvWorkspace::new();
+        let mut y = SpVec::new(0);
+        // Logical 1×1: flops = serial flops, fold send = 2 · nnz(y).
+        let vols = ws.spmspv_fused_into(
+            &a,
+            &x,
+            &[0, 4],
+            &[0, 5],
+            |_, _| 0,
+            |j, &(_, r)| (j, r),
+            |acc, inc| inc.0 < acc.0,
+            &mut y,
+        );
+        assert_eq!(y, seed.y);
+        assert_eq!(vols.max_flops, seed.flops);
+        assert_eq!(vols.fold_bottleneck, 2 * seed.y.nnz() as u64);
     }
 }

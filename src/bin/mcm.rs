@@ -9,10 +9,11 @@
 //!
 //! match options:
 //!   --algo dist|hk|pf|pr|msbfs|graft   algorithm (default dist)
-//!   --backend sim|engine               cost-model simulator (default) or the
-//!                                      real thread-per-rank mesh (dist only)
+//!   --backend sim|engine|shared        cost-model simulator (default), real
+//!                                      thread-per-rank mesh, or fused
+//!                                      shared-memory arena (dist only)
 //!   --grid <d>                         simulated d×d process grid (sim)
-//!   --ranks <p>                        engine rank count, a perfect square
+//!   --ranks <p>                        engine/shared rank count, a perfect square
 //!   --threads <t>                      threads per process/rank (dist)
 //!   --breakdown                        print the measured wall-clock
 //!                                      per-kernel breakdown next to the
@@ -24,7 +25,7 @@
 //!
 //! Matrices are Matrix Market files; values are ignored (pattern matching).
 
-use mcm_bsp::{Communicator, DistCtx, EngineComm, MachineConfig};
+use mcm_bsp::{Communicator, DistCtx, EngineComm, MachineConfig, SharedComm};
 use mcm_core::dm::{dulmage_mendelsohn, DmBlock};
 // btf used via full path in cmd_btf
 use mcm_core::serial::{hopcroft_karp, ms_bfs_graft, ms_bfs_serial, pothen_fan, push_relabel};
@@ -84,7 +85,7 @@ mcm — maximum cardinality matching in bipartite graphs (Azad & Buluc, IPDPS 20
 
 usage:
   mcm stats   <file.mtx>
-  mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft] [--backend sim|engine]
+  mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft] [--backend sim|engine|shared]
               [--grid d] [--ranks p] [--threads t] [--breakdown] [--trace-out file] [--out file]
   mcm permute <file.mtx> --out <out.mtx>
   mcm dm      <file.mtx>
@@ -182,7 +183,22 @@ fn compute_dist(
             );
             Ok(DistRun { matching: r.matching, modeled: rows(comm.ctx()) })
         }
-        other => Err(format!("bad --backend value: {other} (want sim|engine)")),
+        "shared" => {
+            let dim = (ranks as f64).sqrt().round() as usize;
+            if ranks == 0 || dim * dim != ranks {
+                return Err(format!("--ranks must be a positive perfect square, got {ranks}"));
+            }
+            let mut comm = SharedComm::new(ranks, threads);
+            let r = maximum_matching(&mut comm, t, &McmOptions::default());
+            eprintln!(
+                "shared: {} logical ranks x {} threads (fused arena); modeled time {:.3} ms",
+                ranks,
+                threads,
+                comm.ctx().timers.total() * 1e3
+            );
+            Ok(DistRun { matching: r.matching, modeled: rows(comm.ctx()) })
+        }
+        other => Err(format!("bad --backend value: {other} (want sim|engine|shared)")),
     }
 }
 

@@ -21,14 +21,16 @@
 //!
 //! ```text
 //! mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
-//!      [--fallback f] [--backend sim|engine] [--ranks p] [--threads t]
+//!      [--fallback f] [--backend sim|engine|shared] [--ranks p] [--threads t]
 //!      [--trace-out file] [--full-verify] [--quiet]
 //! ```
 //!
 //! With `--backend engine`, large-dirty-set fallback recomputes run on
 //! the real thread-per-rank `EngineComm` mesh (`--ranks × --threads`
 //! cores) instead of the serial cost-model simulator — warm-started
-//! recomputes actually use all cores.
+//! recomputes actually use all cores. `--backend shared` routes them
+//! through the fused shared-memory arena instead: same logical-rank
+//! accounting, lowest wall-clock cost per recompute.
 //!
 //! The `mcm-obs` metrics registry is always live in `mcmd`: per-request
 //! latency histograms (`mcmd_request_seconds{verb}`), per-batch repair
@@ -47,7 +49,7 @@ mcmd — streaming update service for dynamic maximum matching
 
 usage:
   mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
-       [--fallback f] [--backend sim|engine] [--ranks p] [--threads t]
+       [--fallback f] [--backend sim|engine|shared] [--ranks p] [--threads t]
        [--trace-out file] [--full-verify] [--quiet]
 
   --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
@@ -55,10 +57,11 @@ usage:
   --input file          read commands from a file instead of stdin
   --fallback f          dirty fraction of n1+n2 above which repair falls back to
                         the warm-started MS-BFS driver (default 0.25)
-  --backend sim|engine  run fallback recomputes on the serial cost-model
-                        simulator (default) or the real thread-per-rank mesh
-  --ranks p             engine backend: rank count, a perfect square (default 4)
-  --threads t           engine backend: worker threads per rank (default 1)
+  --backend b           run fallback recomputes on the serial cost-model
+                        simulator (sim, default), the real thread-per-rank
+                        mesh (engine), or the shared-memory arena (shared)
+  --ranks p             engine/shared: rank count, a perfect square (default 4)
+  --threads t           engine/shared: worker threads per rank (default 1)
   --trace-out file      record spans; write chrome://tracing JSON at exit
   --full-verify         re-verify the full matching after every batch
   --quiet               suppress per-batch report lines
@@ -101,7 +104,7 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let backend = match opt(args, "--backend") {
         None | Some("sim") => FallbackBackend::Simulator,
-        Some("engine") => {
+        Some(kind @ ("engine" | "shared")) => {
             let p = parse_usize(opt(args, "--ranks"), "--ranks", 4)?;
             let dim = (p as f64).sqrt().round() as usize;
             if p == 0 || dim * dim != p {
@@ -111,9 +114,15 @@ fn run(args: &[String]) -> Result<(), String> {
             if threads == 0 {
                 return Err("--threads must be positive".to_string());
             }
-            FallbackBackend::Engine { p, threads }
+            if kind == "engine" {
+                FallbackBackend::Engine { p, threads }
+            } else {
+                FallbackBackend::Shared { p, threads }
+            }
         }
-        Some(other) => return Err(format!("bad --backend value: {other} (want sim|engine)")),
+        Some(other) => {
+            return Err(format!("bad --backend value: {other} (want sim|engine|shared)"))
+        }
     };
     let opts = DynOptions {
         fallback_threshold: fallback,

@@ -1,12 +1,14 @@
 //! Backend differential: full MCM-DIST on the cost-model simulator vs the
-//! real thread-per-rank mesh engine, across the `mcm-gen` suite — all
-//! initializers × both augmentation kernels × p ∈ {1, 4, 9}.
+//! real thread-per-rank mesh engine vs the fused shared-memory arena,
+//! across the `mcm-gen` suite — all initializers × both augmentation
+//! kernels × p ∈ {1, 4, 9}.
 //!
 //! The comm trait layer (`mcm_bsp::comm`, DESIGN.md §12) promises that one
-//! generic pipeline runs identically on either backend: same cardinality,
+//! generic pipeline runs identically on every backend: same cardinality,
 //! and in fact the *identical matching*, since every collective is
-//! deterministic and the engine's RMA epochs service vertex-disjoint
-//! paths. Both sides are additionally Berge-certified and checked maximum
+//! deterministic, the engine's RMA epochs service vertex-disjoint paths,
+//! and SharedComm replays the simulator's decision stream (DESIGN.md
+//! §14). All sides are additionally Berge-certified and checked maximum
 //! against serial Hopcroft–Karp.
 //!
 //! `MCM_TEST_SEED=<seed>` (decimal or `0x` hex) replays a sweep exactly;
@@ -16,7 +18,9 @@
 use mcm_bsp::{DistCtx, MachineConfig};
 use mcm_core::augment::AugmentMode;
 use mcm_core::maximal::Initializer;
-use mcm_core::mcm::{maximum_matching, maximum_matching_engine, McmOptions};
+use mcm_core::mcm::{
+    maximum_matching, maximum_matching_engine, maximum_matching_shared, McmOptions,
+};
 use mcm_core::serial::hopcroft_karp;
 use mcm_core::verify;
 use mcm_gen::simtest_suite;
@@ -37,7 +41,7 @@ fn engine_threads() -> usize {
 }
 
 #[test]
-fn engine_and_simulator_produce_identical_matchings_across_the_suite() {
+fn all_three_backends_produce_identical_matchings_across_the_suite() {
     let cases = simtest_suite(seed(0xD1FF_BACC));
     let threads = engine_threads();
     let inits = [
@@ -59,6 +63,7 @@ fn engine_and_simulator_produce_identical_matchings_across_the_suite() {
                     let mut ctx = DistCtx::new(MachineConfig::hybrid(dim, 1));
                     let sim = maximum_matching(&mut ctx, t, &opts);
                     let eng = maximum_matching_engine(p, threads, t, &opts);
+                    let shr = maximum_matching_shared(p, threads, t, &opts);
                     let tag =
                         format!("{name} p={p} threads={threads} init={init:?} augment={augment:?}");
                     assert_eq!(
@@ -66,18 +71,21 @@ fn engine_and_simulator_produce_identical_matchings_across_the_suite() {
                         eng.matching.cardinality(),
                         "cardinality diverged: {tag}"
                     );
-                    assert_eq!(sim.matching, eng.matching, "matching diverged: {tag}");
+                    assert_eq!(sim.matching, eng.matching, "sim/engine matching diverged: {tag}");
+                    assert_eq!(sim.matching, shr.matching, "sim/shared matching diverged: {tag}");
                     assert_eq!(eng.matching.cardinality(), want, "not maximum: {tag}");
                     verify::verify(&a, &sim.matching)
                         .unwrap_or_else(|e| panic!("simulator Berge failed: {tag}: {e}"));
                     verify::verify(&a, &eng.matching)
                         .unwrap_or_else(|e| panic!("engine Berge failed: {tag}: {e}"));
+                    verify::verify(&a, &shr.matching)
+                        .unwrap_or_else(|e| panic!("shared Berge failed: {tag}: {e}"));
                     runs += 1;
                 }
             }
         }
     }
-    // 9 cases × 3 grids × 4 initializers × 2 kernels, each run twice.
+    // 9 cases × 3 grids × 4 initializers × 2 kernels, each run three times.
     assert_eq!(runs, cases.len() * 3 * inits.len() * augments.len());
 }
 
@@ -101,8 +109,12 @@ fn engine_backend_warm_start_matches_simulator() {
     let mut ctx = DistCtx::new(MachineConfig::hybrid(2, 1));
     let sim = mcm_core::mcm::maximum_matching_from(&mut ctx, t, stale.clone(), &opts);
     let mut comm = mcm_bsp::EngineComm::new(4, threads);
-    let eng = mcm_core::mcm::maximum_matching_from(&mut comm, t, stale, &opts);
-    assert_eq!(sim.matching, eng.matching, "warm-started {name} diverged");
+    let eng = mcm_core::mcm::maximum_matching_from(&mut comm, t, stale.clone(), &opts);
+    let mut shc = mcm_bsp::SharedComm::new(4, threads);
+    let shr = mcm_core::mcm::maximum_matching_from(&mut shc, t, stale, &opts);
+    assert_eq!(sim.matching, eng.matching, "warm-started {name} diverged (engine)");
+    assert_eq!(sim.matching, shr.matching, "warm-started {name} diverged (shared)");
     verify::verify(&a, &eng.matching).unwrap();
+    verify::verify(&a, &shr.matching).unwrap();
     assert_eq!(eng.matching.cardinality(), hopcroft_karp(&a, None).cardinality());
 }

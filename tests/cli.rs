@@ -225,11 +225,50 @@ fn mcmd_engine_backend_agrees_with_simulator() {
 }
 
 #[test]
+fn mcmd_shared_backend_agrees_with_simulator() {
+    // Same forced-fallback trace on the fused shared-memory arena: query
+    // answers must match the simulator's, and fallbacks must really run.
+    let script = "insert 0 0\ninsert 0 1\ninsert 1 0\ninsert 2 2\nquery\n\
+                  delete 0 0\ninsert 3 2\ninsert 2 3\nquery\nstats\nquit\n";
+    let sim = mcmd_session(
+        &["--rows", "6", "--cols", "6", "--fallback", "0", "--full-verify", "--quiet"],
+        script,
+    );
+    let shr = mcmd_session(
+        &[
+            "--rows",
+            "6",
+            "--cols",
+            "6",
+            "--fallback",
+            "0",
+            "--full-verify",
+            "--quiet",
+            "--backend",
+            "shared",
+            "--ranks",
+            "4",
+            "--threads",
+            "2",
+        ],
+        script,
+    );
+    let cards = |t: &str| -> Vec<String> {
+        t.lines().filter(|l| l.starts_with("matching ")).map(str::to_owned).collect()
+    };
+    assert_eq!(cards(&sim), cards(&shr), "sim:\n{sim}\nshared:\n{shr}");
+    let stats = shr.lines().find(|l| l.starts_with("stats ")).unwrap_or_else(|| panic!("{shr}"));
+    assert!(!stats.contains("fallbacks 0"), "shared run never fell back: {stats}");
+}
+
+#[test]
 fn mcmd_rejects_bad_backend_flags() {
     for args in [
         &["--backend", "frob"][..],
         &["--backend", "engine", "--ranks", "3"][..],
         &["--backend", "engine", "--threads", "0"][..],
+        &["--backend", "shared", "--ranks", "3"][..],
+        &["--backend", "shared", "--threads", "0"][..],
     ] {
         let out = mcmd().args(args).output().unwrap();
         assert!(!out.status.success(), "{args:?} should fail");

@@ -325,3 +325,76 @@ fn engine_broken_window_is_caught_by_the_same_checks() {
     });
     assert!(caught, "broken fetch_and_put survived every engine schedule in the budget");
 }
+
+// ---------------------------------------------------------------------------
+// SharedComm: epoch barriers under adversarial arrival orders.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_epoch_swap_chain_holds_under_adversarial_arrival_orders() {
+    // SharedComm's collectives synchronize on an epoch stamp instead of a
+    // channel mesh; the schedule perturbs the order origins arrive at the
+    // epoch. The swap chain must stay exact under every arrival order.
+    for n in [2 as Vidx, 6, 9] {
+        for seed in 0..24u64 {
+            let mut shc = mcm_bsp::SharedComm::new(4, 1).with_schedule(Schedule::new(seed));
+            let mut slot = DenseVec::nil(1);
+            let mut racers: Vec<Racer> =
+                (0..n).map(|id| Racer { id, slot: 0, saw: None }).collect();
+            let steps = shc.rma_epoch(Kernel::Augment, vec![&mut slot], &mut racers);
+            assert_eq!(steps, n as u64, "each origin issues exactly one call");
+
+            let winners = racers.iter().filter(|r| r.saw == Some(NIL)).count();
+            assert_eq!(winners, 1, "n = {n} seed {seed}: shared atomicity violated");
+            let mut seen: Vec<Vidx> = racers.iter().map(|r| r.saw.unwrap()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), n as usize, "n = {n} seed {seed}: shared lost an update");
+            let last = slot.get(0);
+            assert!(
+                racers.iter().all(|r| r.saw != Some(last)),
+                "n = {n} seed {seed}: final occupant was also swapped out"
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_matching_and_trace_hash_are_stable_under_epoch_perturbation() {
+    // End to end through MCM-DIST on SharedComm: adversarial arrival
+    // orders at the epoch barrier must not change the matching, and the
+    // schedule's trace-hash certificate must replay exactly — the same
+    // seed yields the same decision stream, byte for byte.
+    let graphs = [("chain_10", chain(10)), ("parallel_chains_4x3", parallel_chains(4, 3))];
+    let opts = path_parallel_opts();
+    for (name, g) in &graphs {
+        let a = g.to_csc();
+        let oracle = hopcroft_karp(&a, None).cardinality();
+        let friendly = {
+            let mut shc = mcm_bsp::SharedComm::new(4, 1);
+            maximum_matching(&mut shc, g, &opts)
+        };
+        assert_eq!(friendly.matching.cardinality(), oracle, "{name}: friendly shared run wrong");
+        for seed in 0..12u64 {
+            let run = |seed: u64| {
+                let mut shc = mcm_bsp::SharedComm::new(4, 1).with_schedule(Schedule::new(seed));
+                let r = maximum_matching(&mut shc, g, &opts);
+                let cert = shc.ctx().sched.as_ref().map(|s| (s.trace_hash(), s.decisions()));
+                (r, cert.expect("schedule must survive the run"))
+            };
+            let (first, cert) = run(seed);
+            assert_eq!(
+                first.matching, friendly.matching,
+                "{name} seed {seed}: arrival order changed the shared matching"
+            );
+            verify::verify(&a, &first.matching)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_eq!(first.stats.sched_seed, Some(seed), "{name}: seed not recorded");
+            assert!(cert.1 > 0, "{name} seed {seed}: the epoch interleaver never ran");
+
+            let (again, cert2) = run(seed);
+            assert_eq!(first.matching, again.matching, "{name} seed {seed}: replay diverged");
+            assert_eq!(cert, cert2, "{name} seed {seed}: trace-hash certificate diverged");
+        }
+    }
+}

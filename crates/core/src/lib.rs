@@ -22,6 +22,7 @@
 
 // Index loops over parallel arrays are the clearest style in these kernels.
 #![allow(clippy::needless_range_loop)]
+pub mod auction;
 pub mod augment;
 pub mod btf;
 pub mod cover;
@@ -30,6 +31,8 @@ pub mod gather;
 pub mod matching;
 pub mod maximal;
 pub mod mcm;
+pub mod portfolio;
+pub mod ppf;
 pub mod primitives;
 pub mod semirings;
 pub mod serial;
@@ -43,5 +46,6 @@ pub use mcm::{
     maximum_matching, maximum_matching_engine, maximum_matching_from, McmOptions, McmResult,
     McmStats,
 };
+pub use portfolio::{MatchingAlgo, PortfolioBackend, PortfolioOptions, SelectorStats};
 pub use semirings::SemiringKind;
 pub use vertex::Vertex;

@@ -92,6 +92,13 @@ pub struct McmStats {
     /// One-sided calls serviced under perturbed interleavings, summed over
     /// all path-parallel augmentation epochs.
     pub sched_interleave_steps: u64,
+    /// Which engine produced the result (`"msbfs"`, `"ppf"`,
+    /// `"auction"`; see `portfolio::MatchingAlgo`). Empty only on
+    /// default-constructed stats.
+    pub algo: &'static str,
+    /// `true` when `--algo auto` picked the engine from measured graph
+    /// stats rather than an explicit request.
+    pub algo_auto: bool,
 }
 
 /// The result of [`maximum_matching`].
@@ -137,7 +144,8 @@ pub fn maximum_matching<C: Communicator>(
         (init, Some(at)) => init.run(comm, &a, at, opts.seed),
         _ => unreachable!("needs_at covers every non-None initializer"),
     };
-    let mut stats = McmStats { init_cardinality: m.cardinality(), ..Default::default() };
+    let mut stats =
+        McmStats { init_cardinality: m.cardinality(), algo: "msbfs", ..Default::default() };
 
     run_phases(comm, &a, at.as_ref(), &mut m, opts, &mut stats);
 
@@ -186,7 +194,8 @@ pub fn maximum_matching_from<C: Communicator>(
         None => warm,
         Some((rowp, colp)) => permute_matching(warm, rowp, colp),
     };
-    let mut stats = McmStats { init_cardinality: m.cardinality(), ..Default::default() };
+    let mut stats =
+        McmStats { init_cardinality: m.cardinality(), algo: "msbfs", ..Default::default() };
 
     run_phases(comm, &a, at.as_ref(), &mut m, opts, &mut stats);
 

@@ -1,0 +1,389 @@
+//! The algorithm portfolio: one front door over the three first-class
+//! engines — MS-BFS (the paper's MCM-DIST), parallel Pothen–Fan
+//! ([`crate::ppf`]) and the ε-scaled auction ([`crate::auction`]) — plus
+//! the `auto` selector that picks an engine from cheap measured graph
+//! statistics (DESIGN.md §15).
+//!
+//! The selector reads three numbers off one O(nnz) pass over the
+//! deduplicated graph: density, side ratio and degree skew. All three are
+//! label-permutation-invariant (they depend only on the degree multisets
+//! and the dimensions), so `auto` is deterministic and cannot be steered
+//! by vertex relabeling — properties pinned by `tests/algo_portfolio.rs`.
+//! The placement heuristic: dense blocks go to the auction (per-bidder
+//! parallelism and Naparstek–Leshem's expected-time analysis favour
+//! crowded random instances), heavy degree skew or a strongly rectangular
+//! shape goes to Pothen–Fan (lookahead DFS drains hub-dominated and
+//! deficient instances in few phases), and everything else takes MS-BFS,
+//! the paper's engine. Every run is differential-tested against the
+//! serial oracles regardless of the pick.
+
+use crate::auction::{auction, AuctionOptions};
+use crate::matching::Matching;
+use crate::mcm::{
+    maximum_matching, maximum_matching_engine, maximum_matching_shared, McmOptions, McmResult,
+    McmStats,
+};
+use crate::ppf::{ppf, PpfOptions};
+use mcm_bsp::{DistCtx, MachineConfig};
+use mcm_sparse::{Csc, Triples};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which matching engine to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MatchingAlgo {
+    /// The paper's distributed MS-BFS (MCM-DIST) on a `Communicator`.
+    MsBfs,
+    /// Parallel Pothen–Fan lookahead-DFS ([`crate::ppf`]).
+    Ppf,
+    /// ε-scaled per-bidder auction ([`crate::auction`]).
+    Auction,
+    /// Pick one of the above from measured graph stats.
+    Auto,
+}
+
+impl MatchingAlgo {
+    /// Every concrete engine (excludes `Auto`).
+    pub const CONCRETE: [MatchingAlgo; 3] =
+        [MatchingAlgo::MsBfs, MatchingAlgo::Ppf, MatchingAlgo::Auction];
+
+    /// The CLI / metrics-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatchingAlgo::MsBfs => "msbfs",
+            MatchingAlgo::Ppf => "ppf",
+            MatchingAlgo::Auction => "auction",
+            MatchingAlgo::Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for MatchingAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for MatchingAlgo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "msbfs" => Ok(MatchingAlgo::MsBfs),
+            "ppf" => Ok(MatchingAlgo::Ppf),
+            "auction" => Ok(MatchingAlgo::Auction),
+            "auto" => Ok(MatchingAlgo::Auto),
+            other => Err(format!("unknown algorithm '{other}' (expected msbfs|ppf|auction|auto)")),
+        }
+    }
+}
+
+/// Cheap measured statistics the `auto` selector decides by. Computed in
+/// one pass over the deduplicated CSC; invariant under row/column
+/// relabeling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectorStats {
+    /// Row count.
+    pub nrows: usize,
+    /// Column count.
+    pub ncols: usize,
+    /// Distinct edges.
+    pub nnz: usize,
+    /// `nnz / (nrows · ncols)`; 0 on degenerate shapes.
+    pub density: f64,
+    /// `max(nrows, ncols) / min(nrows, ncols)`; 1 on degenerate shapes.
+    pub side_ratio: f64,
+    /// `max degree / mean nonzero-side degree`, the worse of the two
+    /// orientations; 1 on empty graphs.
+    pub degree_skew: f64,
+}
+
+impl SelectorStats {
+    /// Density above which the auction engine is preferred.
+    pub const DENSE: f64 = 0.05;
+    /// Degree skew above which Pothen–Fan is preferred.
+    pub const SKEWED: f64 = 8.0;
+    /// Side ratio above which Pothen–Fan is preferred.
+    pub const RECTANGULAR: f64 = 4.0;
+
+    /// Measures the selector inputs (deduplicates via CSC assembly).
+    pub fn measure(t: &Triples) -> SelectorStats {
+        Self::measure_csc(&t.to_csc())
+    }
+
+    /// Measures the selector inputs from an already-assembled CSC.
+    pub fn measure_csc(a: &Csc) -> SelectorStats {
+        let (n1, n2) = (a.nrows(), a.ncols());
+        let mut nnz = 0usize;
+        let mut max_col = 0usize;
+        let mut row_deg = vec![0usize; n1];
+        for c in 0..n2 {
+            let col = a.col(c);
+            nnz += col.len();
+            max_col = max_col.max(col.len());
+            for &r in col {
+                row_deg[r as usize] += 1;
+            }
+        }
+        let max_row = row_deg.iter().copied().max().unwrap_or(0);
+        let skew = |max_deg: usize, n: usize| -> f64 {
+            if nnz == 0 || n == 0 {
+                1.0
+            } else {
+                max_deg as f64 / (nnz as f64 / n as f64)
+            }
+        };
+        SelectorStats {
+            nrows: n1,
+            ncols: n2,
+            nnz,
+            density: if n1 == 0 || n2 == 0 { 0.0 } else { nnz as f64 / (n1 as f64 * n2 as f64) },
+            side_ratio: if n1 == 0 || n2 == 0 {
+                1.0
+            } else {
+                n1.max(n2) as f64 / n1.min(n2) as f64
+            },
+            degree_skew: skew(max_row, n1).max(skew(max_col, n2)),
+        }
+    }
+
+    /// The selector decision; always a concrete engine, never `Auto`.
+    /// Shape rules run before the density rule: a strongly rectangular
+    /// graph has a high `nnz/(n1·n2)` purely because its small side is
+    /// small, and skewed-degree instances are PPF's home turf even when
+    /// crowded.
+    pub fn choose(&self) -> MatchingAlgo {
+        if self.nnz == 0 {
+            MatchingAlgo::MsBfs
+        } else if self.degree_skew >= Self::SKEWED || self.side_ratio >= Self::RECTANGULAR {
+            MatchingAlgo::Ppf
+        } else if self.density >= Self::DENSE {
+            MatchingAlgo::Auction
+        } else {
+            MatchingAlgo::MsBfs
+        }
+    }
+}
+
+/// Which machine MS-BFS runs on when the portfolio picks it. PPF and the
+/// auction are shared-memory engines — they take `threads` directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortfolioBackend {
+    /// Cost-model simulator on a `grid × grid` process grid.
+    Sim {
+        /// Process-grid side (ranks = grid²).
+        grid: usize,
+        /// Modeled threads per rank.
+        threads: usize,
+    },
+    /// Thread-per-rank channel-mesh engine.
+    Engine {
+        /// Real ranks (perfect square).
+        p: usize,
+        /// Worker threads per rank.
+        threads: usize,
+    },
+    /// Fused shared-memory backend with simulator-identical accounting.
+    Shared {
+        /// Logical ranks (perfect square).
+        p: usize,
+        /// Worker threads.
+        threads: usize,
+    },
+}
+
+impl Default for PortfolioBackend {
+    fn default() -> Self {
+        PortfolioBackend::Sim { grid: 2, threads: 1 }
+    }
+}
+
+/// Options of [`solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct PortfolioOptions {
+    /// Engine to run; `Auto` measures [`SelectorStats`] and picks.
+    pub algo: MatchingAlgo,
+    /// Machine for the MS-BFS engine.
+    pub backend: PortfolioBackend,
+    /// Worker threads for the PPF / auction engines.
+    pub threads: usize,
+    /// MS-BFS tunables (ignored by PPF / auction).
+    pub mcm: McmOptions,
+    /// Deterministic order-perturbation seed for PPF / auction (the
+    /// simtest schedule analogue); `0` keeps natural order.
+    pub seed: u64,
+}
+
+impl Default for PortfolioOptions {
+    fn default() -> Self {
+        Self {
+            algo: MatchingAlgo::Auto,
+            backend: PortfolioBackend::default(),
+            threads: 1,
+            mcm: McmOptions::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Resolves `Auto` to a concrete engine for this graph (measures only
+/// when needed); returns the engine together with the measured stats.
+pub fn resolve_algo(t: &Triples, algo: MatchingAlgo) -> (MatchingAlgo, Option<SelectorStats>) {
+    match algo {
+        MatchingAlgo::Auto => {
+            let s = SelectorStats::measure(t);
+            (s.choose(), Some(s))
+        }
+        concrete => (concrete, None),
+    }
+}
+
+/// Runs the portfolio on `t`: resolves `Auto`, dispatches the engine, and
+/// stamps `McmStats::algo`/`algo_auto` plus the
+/// `mcm_algo_runs_total{algo,selector}` metric.
+pub fn solve(t: &Triples, opts: &PortfolioOptions) -> McmResult {
+    let was_auto = opts.algo == MatchingAlgo::Auto;
+    let (algo, _) = resolve_algo(t, opts.algo);
+    mcm_obs::counter_add(
+        "mcm_algo_runs_total",
+        &[("algo", algo.name()), ("selector", if was_auto { "auto" } else { "explicit" })],
+        1,
+    );
+    let mut result = match algo {
+        MatchingAlgo::MsBfs => match opts.backend {
+            PortfolioBackend::Sim { grid, threads } => {
+                let mut ctx = DistCtx::new(MachineConfig::hybrid(grid, threads));
+                maximum_matching(&mut ctx, t, &opts.mcm)
+            }
+            PortfolioBackend::Engine { p, threads } => {
+                maximum_matching_engine(p, threads, t, &opts.mcm)
+            }
+            PortfolioBackend::Shared { p, threads } => {
+                maximum_matching_shared(p, threads, t, &opts.mcm)
+            }
+        },
+        MatchingAlgo::Ppf => {
+            let a = t.to_csc();
+            let ppf_opts = PpfOptions { threads: opts.threads, fairness: true, seed: opts.seed };
+            let r = ppf(&a, None, &ppf_opts);
+            McmResult {
+                matching: r.matching,
+                stats: McmStats {
+                    algo: "ppf",
+                    phases: r.stats.phases,
+                    augmentations: r.stats.paths,
+                    ..Default::default()
+                },
+            }
+        }
+        MatchingAlgo::Auction => {
+            let a = t.to_csc();
+            let auction_opts = AuctionOptions {
+                threads: opts.threads,
+                seed: opts.seed,
+                ..AuctionOptions::default()
+            };
+            let r = auction(&a, &auction_opts);
+            let stats = McmStats {
+                algo: "auction",
+                phases: r.stats.scales,
+                iterations: r.stats.rounds,
+                augmentations: r.matching.cardinality(),
+                ..Default::default()
+            };
+            McmResult { matching: r.matching, stats }
+        }
+        MatchingAlgo::Auto => unreachable!("resolve_algo returns concrete engines"),
+    };
+    result.stats.algo_auto = was_auto;
+    result
+}
+
+/// Convenience: [`solve`] returning only the matching.
+pub fn solve_matching(t: &Triples, opts: &PortfolioOptions) -> Matching {
+    solve(t, opts).matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::hopcroft_karp;
+    use mcm_sparse::permute::SplitMix64;
+    use mcm_sparse::Vidx;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for algo in
+            [MatchingAlgo::MsBfs, MatchingAlgo::Ppf, MatchingAlgo::Auction, MatchingAlgo::Auto]
+        {
+            assert_eq!(algo.name().parse::<MatchingAlgo>().unwrap(), algo);
+            assert_eq!(format!("{algo}"), algo.name());
+        }
+        assert!("frobnicate".parse::<MatchingAlgo>().is_err());
+        assert!("MSBFS".parse::<MatchingAlgo>().is_err(), "names are case-sensitive");
+    }
+
+    #[test]
+    fn selector_routes_the_intended_shapes() {
+        // Dense block → auction.
+        let mut dense = Triples::new(8, 8);
+        for r in 0..8u32 {
+            for c in 0..8u32 {
+                dense.push(r, c);
+            }
+        }
+        assert_eq!(SelectorStats::measure(&dense).choose(), MatchingAlgo::Auction);
+
+        // Hub-dominated sparse graph → ppf.
+        let mut hub = Triples::new(64, 64);
+        for c in 0..64u32 {
+            hub.push(0, c);
+        }
+        for i in 1..64u32 {
+            hub.push(i, i);
+        }
+        let s = SelectorStats::measure(&hub);
+        assert!(s.degree_skew >= SelectorStats::SKEWED, "skew {}", s.degree_skew);
+        assert_eq!(s.choose(), MatchingAlgo::Ppf);
+
+        // Strongly rectangular sparse graph → ppf.
+        let mut rect = Triples::new(8, 64);
+        for c in 0..64u32 {
+            rect.push(c % 8, c);
+        }
+        assert_eq!(SelectorStats::measure(&rect).choose(), MatchingAlgo::Ppf);
+
+        // Balanced sparse graph → msbfs; empty graph → msbfs.
+        let mut plain = Triples::new(64, 64);
+        for i in 0..64u32 {
+            plain.push(i, i);
+            plain.push((i + 1) % 64, i);
+        }
+        assert_eq!(SelectorStats::measure(&plain).choose(), MatchingAlgo::MsBfs);
+        assert_eq!(SelectorStats::measure(&Triples::new(64, 64)).choose(), MatchingAlgo::MsBfs);
+    }
+
+    #[test]
+    fn every_engine_agrees_with_the_oracle() {
+        let mut rngv = SplitMix64::new(0x60_7F);
+        for _ in 0..12 {
+            let n1 = 4 + (rngv.next_u64() % 24) as usize;
+            let n2 = 4 + (rngv.next_u64() % 24) as usize;
+            let mut t = Triples::new(n1, n2);
+            for _ in 0..2 * n1.max(n2) {
+                t.push(rngv.below(n1 as u64) as Vidx, rngv.below(n2 as u64) as Vidx);
+            }
+            let want = hopcroft_karp(&t.to_csc(), None).cardinality();
+            for algo in MatchingAlgo::CONCRETE {
+                let r = solve(&t, &PortfolioOptions { algo, ..PortfolioOptions::default() });
+                assert_eq!(r.matching.cardinality(), want, "algo {algo}");
+                assert_eq!(r.stats.algo, algo.name());
+                assert!(!r.stats.algo_auto);
+            }
+            let auto = solve(&t, &PortfolioOptions::default());
+            assert_eq!(auto.matching.cardinality(), want);
+            assert!(auto.stats.algo_auto);
+            assert_ne!(auto.stats.algo, "auto", "auto must resolve to a concrete engine");
+        }
+    }
+}

@@ -22,9 +22,11 @@
 //! and reports the first seed on which the same checks catch it — the
 //! harness's own acceptance test.
 
+use crate::auction::{auction, AuctionOptions};
 use crate::augment::AugmentMode;
 use crate::maximal::Initializer;
 use crate::mcm::{maximum_matching, McmOptions};
+use crate::portfolio::{solve, MatchingAlgo, PortfolioOptions};
 use crate::primitives::invert;
 use crate::semirings::SemiringKind;
 use crate::serial::{hopcroft_karp, pothen_fan};
@@ -54,6 +56,11 @@ pub struct SweepConfig {
     /// Also run the channel-engine accounting differential per
     /// (case, dim, seed).
     pub engine_check: bool,
+    /// Portfolio engines swept alongside MS-BFS: each runs per
+    /// (case, dim, seed) with `dim²` worker threads and the schedule seed
+    /// as its order-perturbation seed, against the same oracles plus a
+    /// seeded `is_maximum_from` Berge certificate.
+    pub algos: Vec<MatchingAlgo>,
 }
 
 impl SweepConfig {
@@ -67,6 +74,7 @@ impl SweepConfig {
             augments: vec![AugmentMode::LevelParallel, AugmentMode::PathParallel],
             sched_seeds: vec![0xA11CE, 0xB0B5EED, 0xC0FFEE],
             engine_check: true,
+            algos: vec![MatchingAlgo::Ppf, MatchingAlgo::Auction],
         }
     }
 
@@ -91,6 +99,8 @@ pub struct SweepReport {
     pub interleave_steps: u64,
     /// Channel-engine accounting differentials executed.
     pub engine_checks: usize,
+    /// Portfolio-engine (ppf/auction) runs, each individually checked.
+    pub portfolio_runs: usize,
 }
 
 /// A checked configuration that failed, with everything needed to replay
@@ -110,6 +120,8 @@ pub struct SweepFailure {
     pub augment: AugmentMode,
     /// The seed that replays the failing schedule.
     pub sched_seed: u64,
+    /// Engine of the failing run (`"msbfs"`, `"ppf"`, `"auction"`).
+    pub algo: &'static str,
     /// Which check tripped, with its diagnostic.
     pub detail: String,
 }
@@ -118,9 +130,10 @@ impl fmt::Display for SweepFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "simtest failure [case {}, grid {}x{}, {:?}, init {:?}, augment {:?}, \
+            "simtest failure [case {}, algo {}, grid {}x{}, {:?}, init {:?}, augment {:?}, \
              sched seed {:#x}]: {}",
             self.case,
+            self.algo,
             self.dim,
             self.dim,
             self.semiring,
@@ -158,6 +171,7 @@ pub fn differential_sweep(
                 init: Initializer::None,
                 augment: AugmentMode::Auto,
                 sched_seed: 0,
+                algo: "oracle",
                 detail,
             })
         })?;
@@ -178,6 +192,7 @@ pub fn differential_sweep(
                                             init,
                                             augment,
                                             sched_seed: seed,
+                                            algo: "msbfs",
                                             detail,
                                         })
                                     })?;
@@ -196,14 +211,65 @@ pub fn differential_sweep(
                             init: Initializer::None,
                             augment: AugmentMode::Auto,
                             sched_seed: seed,
+                            algo: "msbfs",
                             detail,
                         })
                     })?;
                 }
             }
+            for &algo in &cfg.algos {
+                for &seed in &cfg.sched_seeds {
+                    report.portfolio_runs += 1;
+                    run_portfolio_one(graph, &a, want, algo, dim * dim, seed).map_err(
+                        |detail| {
+                            Box::new(SweepFailure {
+                                case: name.clone(),
+                                dim,
+                                semiring: SemiringKind::MinParent,
+                                init: Initializer::None,
+                                augment: AugmentMode::Auto,
+                                sched_seed: seed,
+                                algo: algo.name(),
+                                detail,
+                            })
+                        },
+                    )?;
+                }
+            }
         }
     }
     Ok(report)
+}
+
+/// One checked portfolio-engine run: `algo` with `threads` workers under
+/// order-perturbation seed `seed`, against the serial-oracle cardinality,
+/// the full Berge certificate, and the seeded dirty-region certificate
+/// (`is_maximum_from` from every unmatched column).
+fn run_portfolio_one(
+    graph: &Triples,
+    a: &Csc,
+    want: usize,
+    algo: MatchingAlgo,
+    threads: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let opts = PortfolioOptions { algo, threads, seed, ..PortfolioOptions::default() };
+    let r = solve(graph, &opts);
+    if r.stats.algo != algo.name() {
+        return Err(format!("stats.algo reports '{}', expected '{}'", r.stats.algo, algo.name()));
+    }
+    if r.matching.cardinality() != want {
+        return Err(format!(
+            "cardinality {} diverged from serial oracles ({want})",
+            r.matching.cardinality()
+        ));
+    }
+    verify::verify(a, &r.matching).map_err(|e| e.to_string())?;
+    let seeds = r.matching.unmatched_cols();
+    if !verify::is_maximum_from(a, &r.matching, &seeds) {
+        return Err("seeded is_maximum_from certificate rejected the matching".to_string());
+    }
+    Ok(())
 }
 
 /// Serial oracle cardinality, with Hopcroft–Karp and Pothen–Fan
@@ -361,10 +427,56 @@ pub fn detect_injected_fault(
                     init,
                     augment,
                     sched_seed: seed,
+                    algo: "msbfs",
                     detail,
                 }),
             ));
         }
+    }
+    None
+}
+
+/// The auction-engine analogue of [`detect_injected_fault`]: arms the
+/// deliberate "lost bidder" bid-update bug
+/// ([`AuctionOptions::fault_lost_bidder`] — evicted owners are dropped
+/// instead of re-enqueued) and runs the same per-run checks the portfolio
+/// sweep applies. Returns the first seed on which the harness catches the
+/// bug; `None` means it escaped the whole seed budget (a harness
+/// regression, pinned by tests on eviction-heavy instances).
+pub fn detect_injected_auction_fault(
+    graph: &Triples,
+    sched_seeds: &[u64],
+) -> Option<(u64, Box<SweepFailure>)> {
+    let a = graph.to_csc();
+    let want = oracle_cardinality(&a).expect("oracle failed on fault-injection input");
+    for &seed in sched_seeds {
+        let opts = AuctionOptions { seed, fault_lost_bidder: true, ..AuctionOptions::default() };
+        let r = auction(&a, &opts);
+        let detail = if r.matching.cardinality() != want {
+            format!(
+                "cardinality {} diverged from serial oracles ({want})",
+                r.matching.cardinality()
+            )
+        } else if let Err(e) = verify::verify(&a, &r.matching) {
+            e.to_string()
+        } else if !verify::is_maximum_from(&a, &r.matching, &r.matching.unmatched_cols()) {
+            "seeded is_maximum_from certificate rejected the matching".to_string()
+        } else {
+            continue;
+        };
+        return Some((
+            seed,
+            Box::new(SweepFailure {
+                case: "auction-fault-injection".into(),
+                dim: 1,
+                semiring: SemiringKind::MinParent,
+                init: Initializer::None,
+                augment: AugmentMode::Auto,
+                sched_seed: seed,
+                algo: "auction",
+                detail,
+            }),
+        ));
     }
     None
 }
@@ -396,12 +508,58 @@ mod tests {
             augments: vec![AugmentMode::PathParallel],
             sched_seeds: vec![1, 2],
             engine_check: true,
+            algos: vec![],
         };
         let report = differential_sweep(&cases, &cfg).unwrap_or_else(|e| panic!("{e}"));
         // 2 dims × 1 semiring × 1 init × 1 augment × 2 seeds.
         assert_eq!(report.runs, 4);
         assert_eq!(report.engine_checks, 2 * 2);
+        assert_eq!(report.portfolio_runs, 0);
         assert!(report.interleave_steps > 0, "perturbed RMA epochs never ran");
+    }
+
+    #[test]
+    fn tiny_sweep_covers_portfolio_engines() {
+        let cases = vec![("chain_5".to_string(), chain_graph(5))];
+        let cfg = SweepConfig {
+            dims: vec![1, 2],
+            semirings: vec![SemiringKind::MinParent],
+            inits: vec![Initializer::None],
+            augments: vec![AugmentMode::PathParallel],
+            sched_seeds: vec![1, 2],
+            engine_check: false,
+            algos: vec![MatchingAlgo::Ppf, MatchingAlgo::Auction],
+        };
+        let report = differential_sweep(&cases, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        // 2 dims × 2 algos × 2 seeds.
+        assert_eq!(report.portfolio_runs, 8);
+    }
+
+    #[test]
+    fn injected_auction_fault_is_caught_and_replays() {
+        // chain(6) forces an eviction cascade (see auction.rs tests), so
+        // the lost-bidder bug strands the tail row.
+        let g = chain_graph(6);
+        let budget: Vec<u64> = (0..3).collect();
+        let (seed, failure) = detect_injected_auction_fault(&g, &budget)
+            .expect("lost-bidder auction bug escaped the harness");
+        let msg = failure.to_string();
+        assert_eq!(failure.algo, "auction");
+        assert!(
+            msg.contains(&format!("{seed:#x}")),
+            "failure report must print the replay seed: {msg}"
+        );
+        let (seed2, failure2) =
+            detect_injected_auction_fault(&g, &[seed]).expect("replay lost the bug");
+        assert_eq!(seed2, seed);
+        assert_eq!(failure2.detail, failure.detail, "replay diverged from original failure");
+        // Clean auction runs pass the identical checks on the same seeds.
+        let a = g.to_csc();
+        let want = oracle_cardinality(&a).unwrap();
+        for seed in budget {
+            run_portfolio_one(&g, &a, want, MatchingAlgo::Auction, 1, seed)
+                .unwrap_or_else(|e| panic!("clean auction run failed under seed {seed}: {e}"));
+        }
     }
 
     #[test]

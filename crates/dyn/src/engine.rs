@@ -39,10 +39,12 @@
 
 use crate::graph::DynGraph;
 use mcm_bsp::{DistCtx, EngineComm, SharedComm};
+use mcm_core::auction::{auction, AuctionOptions};
 use mcm_core::mcm::maximum_matching_from;
+use mcm_core::ppf::{ppf, PpfOptions};
 use mcm_core::serial::hopcroft_karp;
 use mcm_core::verify::VerifyError;
-use mcm_core::{Matching, McmOptions};
+use mcm_core::{Matching, MatchingAlgo, McmOptions, SelectorStats};
 use mcm_sparse::{Triples, Vidx, NIL};
 
 /// One edge update.
@@ -95,6 +97,12 @@ pub struct DynOptions {
     pub fallback_opts: McmOptions,
     /// Backend that executes the fallback driver.
     pub backend: FallbackBackend,
+    /// Which engine services the fallback solve. `MsBfs` warm-starts the
+    /// distributed driver on `backend` (the historical default); `Ppf`
+    /// warm-starts parallel Pothen–Fan; `Auction` re-solves cold (the
+    /// auction cannot reuse a stale matching); `Auto` measures the
+    /// current graph's [`SelectorStats`] per fallback and picks.
+    pub algo: MatchingAlgo,
 }
 
 impl Default for DynOptions {
@@ -106,6 +114,7 @@ impl Default for DynOptions {
             // permutation so small repair solves stay allocation-light.
             fallback_opts: McmOptions { permute_seed: None, ..Default::default() },
             backend: FallbackBackend::Simulator,
+            algo: MatchingAlgo::MsBfs,
         }
     }
 }
@@ -185,6 +194,9 @@ pub struct DynStats {
     pub global_sweeps: usize,
     /// Warm-started MS-BFS fallbacks taken.
     pub fallbacks: usize,
+    /// Engine that serviced the most recent fallback solve (`""` until
+    /// one runs) — `mcmd stats` reports which engine actually ran.
+    pub last_algo: &'static str,
     /// Berge-certificate seeds checked across all batches.
     pub cert_seeds: usize,
     /// The last batch's report.
@@ -260,6 +272,11 @@ impl DynMatching {
 
     /// The current graph.
     #[inline]
+    /// The options this engine was built with.
+    pub fn opts(&self) -> &DynOptions {
+        &self.opts
+    }
+
     pub fn graph(&self) -> &DynGraph {
         &self.g
     }
@@ -447,23 +464,53 @@ impl DynMatching {
     /// engine so big recomputes use all cores.
     fn fallback(&mut self) {
         let _span = mcm_obs::span("warm_start_fallback");
-        let t = self.g.to_triples();
         let stale = std::mem::replace(&mut self.m, Matching::empty(0, 0));
-        let r = match self.opts.backend {
-            FallbackBackend::Simulator => {
-                let mut ctx = DistCtx::serial();
-                maximum_matching_from(&mut ctx, &t, stale, &self.opts.fallback_opts)
+        let was_auto = self.opts.algo == MatchingAlgo::Auto;
+        let algo = match self.opts.algo {
+            MatchingAlgo::Auto => SelectorStats::measure_csc(&self.g.to_csc()).choose(),
+            concrete => concrete,
+        };
+        self.stats.last_algo = algo.name();
+        mcm_obs::counter_add(
+            "mcm_algo_runs_total",
+            &[("algo", algo.name()), ("selector", if was_auto { "auto" } else { "explicit" })],
+            1,
+        );
+        // Shared-memory engines take a flat worker count; map the
+        // backend's rank×thread shape onto it.
+        let threads = match self.opts.backend {
+            FallbackBackend::Simulator => 1,
+            FallbackBackend::Engine { p, threads } => p * threads,
+            FallbackBackend::Shared { threads, .. } => threads,
+        };
+        self.m = match algo {
+            MatchingAlgo::MsBfs | MatchingAlgo::Auto => {
+                let t = self.g.to_triples();
+                let r = match self.opts.backend {
+                    FallbackBackend::Simulator => {
+                        let mut ctx = DistCtx::serial();
+                        maximum_matching_from(&mut ctx, &t, stale, &self.opts.fallback_opts)
+                    }
+                    FallbackBackend::Engine { p, threads } => {
+                        let mut comm = EngineComm::new(p, threads);
+                        maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+                    }
+                    FallbackBackend::Shared { p, threads } => {
+                        let mut comm = SharedComm::new(p, threads);
+                        maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+                    }
+                };
+                r.matching
             }
-            FallbackBackend::Engine { p, threads } => {
-                let mut comm = EngineComm::new(p, threads);
-                maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+            MatchingAlgo::Ppf => {
+                let opts = PpfOptions { threads, fairness: true, seed: 0 };
+                ppf(&self.g.to_csc(), Some(stale), &opts).matching
             }
-            FallbackBackend::Shared { p, threads } => {
-                let mut comm = SharedComm::new(p, threads);
-                maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+            MatchingAlgo::Auction => {
+                let opts = AuctionOptions { threads, ..AuctionOptions::default() };
+                auction(&self.g.to_csc(), &opts).matching
             }
         };
-        self.m = r.matching;
     }
 
     fn bump_stamp(&mut self) -> u32 {
@@ -711,6 +758,57 @@ mod tests {
                 assert_eq!(dm.cardinality(), want, "backend {backend:?} diverged from HK");
             }
             assert!(fell_back, "backend {backend:?} never exercised the fallback");
+        }
+    }
+
+    #[test]
+    fn every_fallback_algo_tracks_hopcroft_karp() {
+        // Same forced-fallback update stream under each portfolio engine:
+        // all must stay maximum (full_verify certifies every batch) and
+        // report which engine serviced the solve.
+        let (n1, n2) = (12usize, 12usize);
+        for algo in
+            [MatchingAlgo::MsBfs, MatchingAlgo::Ppf, MatchingAlgo::Auction, MatchingAlgo::Auto]
+        {
+            let mut rng = SplitMix64::new(0xA160);
+            let mut dm = DynMatching::new(
+                n1,
+                n2,
+                DynOptions {
+                    fallback_threshold: 0.0,
+                    full_verify: true,
+                    algo,
+                    ..DynOptions::default()
+                },
+            );
+            let mut fell_back = false;
+            for _ in 0..10 {
+                let mut ops = Vec::new();
+                for _ in 0..6 {
+                    let r = rng.below(n1 as u64) as Vidx;
+                    let c = rng.below(n2 as u64) as Vidx;
+                    if rng.below(4) < 3 {
+                        ops.push(Update::Insert(r, c));
+                    } else {
+                        ops.push(Update::Delete(r, c));
+                    }
+                }
+                fell_back |= dm.apply_batch(&ops).fallback;
+                let a = dm.graph().to_csc();
+                let want = hopcroft_karp(&a, None).cardinality();
+                assert_eq!(dm.cardinality(), want, "algo {algo} diverged from HK");
+            }
+            assert!(fell_back, "algo {algo} never exercised the fallback");
+            let last = dm.stats().last_algo;
+            match algo {
+                MatchingAlgo::Auto => {
+                    assert!(
+                        MatchingAlgo::CONCRETE.iter().any(|c| c.name() == last),
+                        "auto must resolve to a concrete engine, got {last:?}"
+                    );
+                }
+                concrete => assert_eq!(last, concrete.name()),
+            }
         }
     }
 

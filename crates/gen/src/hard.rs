@@ -80,6 +80,24 @@ pub fn crown(n: usize) -> Triples {
     t
 }
 
+/// A multi-hub star `K_{hubs, leaves}`: every leaf column is adjacent to
+/// every hub row, all with the same (unit) value. The auction engine's
+/// price-war worst case: every alternative is equally good, so fixed-ε
+/// bidding raises one price by one ε per round — Θ(hubs/ε) rounds — while
+/// ε-scaling resolves the war in coarse increments. `hubs = 1` is the
+/// classic single-object star. Also a maximal degree-skew instance for
+/// the portfolio selector when `leaves ≫ hubs`.
+pub fn star(hubs: usize, leaves: usize) -> Triples {
+    assert!(hubs >= 1 && leaves >= 1);
+    let mut t = Triples::with_capacity(hubs, leaves, hubs * leaves);
+    for r in 0..hubs as Vidx {
+        for c in 0..leaves as Vidx {
+            t.push(r, c);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +128,16 @@ mod tests {
         assert!(s.max_row_degree <= 2);
         assert!(s.max_col_degree <= 2);
         assert_eq!(s.empty_rows, 0);
+        assert_eq!(s.empty_cols, 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(4, 32);
+        let s = MatrixStats::from_triples(&t);
+        assert_eq!(s.nnz, 128);
+        assert_eq!(s.max_row_degree, 32);
+        assert_eq!(s.max_col_degree, 4);
         assert_eq!(s.empty_cols, 0);
     }
 

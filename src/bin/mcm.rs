@@ -8,7 +8,11 @@
 //! mcm gen     <family> --scale <s> --out <f> generate a test matrix
 //!
 //! match options:
-//!   --algo dist|hk|pf|pr|msbfs|graft   algorithm (default dist)
+//!   --algo dist|hk|pf|pr|msbfs|graft|ppf|auction|auto
+//!                                      algorithm (default dist); `ppf` is
+//!                                      parallel Pothen–Fan, `auction` the
+//!                                      ε-scaled auction, `auto` measures
+//!                                      the graph and picks an engine
 //!   --backend sim|engine|shared        cost-model simulator (default), real
 //!                                      thread-per-rank mesh, or fused
 //!                                      shared-memory arena (dist only)
@@ -30,7 +34,9 @@ use mcm_core::dm::{dulmage_mendelsohn, DmBlock};
 // btf used via full path in cmd_btf
 use mcm_core::serial::{hopcroft_karp, ms_bfs_graft, ms_bfs_serial, pothen_fan, push_relabel};
 use mcm_core::verify::is_maximum;
-use mcm_core::{maximum_matching, Matching, McmOptions};
+use mcm_core::{
+    maximum_matching, Matching, MatchingAlgo, McmOptions, PortfolioBackend, PortfolioOptions,
+};
 use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use mcm_sparse::permute::{permute_triples, Permutation};
 use mcm_sparse::stats::MatrixStats;
@@ -85,7 +91,8 @@ mcm — maximum cardinality matching in bipartite graphs (Azad & Buluc, IPDPS 20
 
 usage:
   mcm stats   <file.mtx>
-  mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft] [--backend sim|engine|shared]
+  mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft|ppf|auction|auto]
+              [--backend sim|engine|shared]
               [--grid d] [--ranks p] [--threads t] [--breakdown] [--trace-out file] [--out file]
   mcm permute <file.mtx> --out <out.mtx>
   mcm dm      <file.mtx>
@@ -142,6 +149,10 @@ struct DistRun {
     matching: Matching,
     /// `(kernel name, modeled seconds, modeled calls)` per kernel.
     modeled: Vec<(&'static str, f64, u64)>,
+    /// Engine that actually ran (reported in the stats line).
+    algo: &'static str,
+    /// Whether `--algo auto` picked the engine.
+    auto: bool,
 }
 
 fn compute_dist(
@@ -166,7 +177,7 @@ fn compute_dist(
                 threads,
                 ctx.timers.total() * 1e3
             );
-            Ok(DistRun { matching: r.matching, modeled: rows(&ctx) })
+            Ok(DistRun { matching: r.matching, modeled: rows(&ctx), algo: "msbfs", auto: false })
         }
         "engine" => {
             let dim = (ranks as f64).sqrt().round() as usize;
@@ -181,7 +192,12 @@ fn compute_dist(
                 threads,
                 comm.ctx().timers.total() * 1e3
             );
-            Ok(DistRun { matching: r.matching, modeled: rows(comm.ctx()) })
+            Ok(DistRun {
+                matching: r.matching,
+                modeled: rows(comm.ctx()),
+                algo: "msbfs",
+                auto: false,
+            })
         }
         "shared" => {
             let dim = (ranks as f64).sqrt().round() as usize;
@@ -196,7 +212,12 @@ fn compute_dist(
                 threads,
                 comm.ctx().timers.total() * 1e3
             );
-            Ok(DistRun { matching: r.matching, modeled: rows(comm.ctx()) })
+            Ok(DistRun {
+                matching: r.matching,
+                modeled: rows(comm.ctx()),
+                algo: "msbfs",
+                auto: false,
+            })
         }
         other => Err(format!("bad --backend value: {other} (want sim|engine|shared)")),
     }
@@ -210,6 +231,24 @@ fn compute(
     ranks: usize,
     threads: usize,
 ) -> Result<DistRun, String> {
+    if let "ppf" | "auction" | "auto" = algo {
+        let palgo: MatchingAlgo = algo.parse()?;
+        let pbackend = match backend {
+            "sim" => PortfolioBackend::Sim { grid, threads },
+            "engine" => PortfolioBackend::Engine { p: ranks, threads },
+            "shared" => PortfolioBackend::Shared { p: ranks, threads },
+            other => return Err(format!("bad --backend value: {other} (want sim|engine|shared)")),
+        };
+        let opts =
+            PortfolioOptions { algo: palgo, backend: pbackend, threads, ..Default::default() };
+        let r = mcm_core::portfolio::solve(t, &opts);
+        return Ok(DistRun {
+            matching: r.matching,
+            modeled: Vec::new(),
+            algo: r.stats.algo,
+            auto: r.stats.algo_auto,
+        });
+    }
     let a = t.to_csc();
     let matching = match algo {
         "dist" => return compute_dist(t, backend, grid, ranks, threads),
@@ -220,7 +259,14 @@ fn compute(
         "graft" => ms_bfs_graft(&a, None).0,
         other => return Err(format!("unknown algorithm: {other}")),
     };
-    Ok(DistRun { matching, modeled: Vec::new() })
+    let label = match algo {
+        "hk" => "hk",
+        "pf" => "pf",
+        "pr" => "pr",
+        "msbfs" => "msbfs-serial",
+        _ => "graft",
+    };
+    Ok(DistRun { matching, modeled: Vec::new(), algo: label, auto: false })
 }
 
 fn cmd_match(args: &[String]) -> Result<(), String> {
@@ -243,7 +289,8 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         mcm_obs::enable_tracing(true);
         drop(mcm_obs::take_trace()); // start the run from an empty sink
     }
-    let DistRun { matching: m, modeled } = compute(&t, algo, backend, grid, ranks, threads)?;
+    let DistRun { matching: m, modeled, algo: ran, auto } =
+        compute(&t, algo, backend, grid, ranks, threads)?;
     if breakdown || trace_out.is_some() {
         mcm_obs::enable_tracing(false);
         let trace = mcm_obs::take_trace();
@@ -266,6 +313,7 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         t.ncols(),
         t.nrows()
     );
+    println!("algo: {ran}{}", if auto { " (selected by auto)" } else { "" });
     if let Some(out) = opt(args, "--out") {
         let mut body = String::new();
         for c in 0..t.ncols() as Vidx {

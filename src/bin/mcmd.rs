@@ -21,7 +21,8 @@
 //!
 //! ```text
 //! mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
-//!      [--fallback f] [--backend sim|engine|shared] [--ranks p] [--threads t]
+//!      [--fallback f] [--algo msbfs|ppf|auction|auto]
+//!      [--backend sim|engine|shared] [--ranks p] [--threads t]
 //!      [--trace-out file] [--full-verify] [--quiet]
 //! ```
 //!
@@ -39,6 +40,7 @@
 //! command. `--trace-out` additionally records spans for the whole
 //! session and writes a `chrome://tracing` JSON file at exit.
 
+use mcm_core::MatchingAlgo;
 use mcm_dyn::{Command, DynMatching, DynOptions, FallbackBackend};
 use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use std::io::{BufRead, Write};
@@ -49,7 +51,8 @@ mcmd — streaming update service for dynamic maximum matching
 
 usage:
   mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
-       [--fallback f] [--backend sim|engine|shared] [--ranks p] [--threads t]
+       [--fallback f] [--algo msbfs|ppf|auction|auto]
+       [--backend sim|engine|shared] [--ranks p] [--threads t]
        [--trace-out file] [--full-verify] [--quiet]
 
   --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
@@ -57,6 +60,10 @@ usage:
   --input file          read commands from a file instead of stdin
   --fallback f          dirty fraction of n1+n2 above which repair falls back to
                         the warm-started MS-BFS driver (default 0.25)
+  --algo a              engine servicing fallback solves: warm-started MS-BFS
+                        (msbfs, default), parallel Pothen-Fan (ppf), the
+                        eps-scaled auction (auction), or a per-fallback
+                        measured pick (auto)
   --backend b           run fallback recomputes on the serial cost-model
                         simulator (sim, default), the real thread-per-rank
                         mesh (engine), or the shared-memory arena (shared)
@@ -124,10 +131,15 @@ fn run(args: &[String]) -> Result<(), String> {
             return Err(format!("bad --backend value: {other} (want sim|engine|shared)"))
         }
     };
+    let algo: MatchingAlgo = match opt(args, "--algo") {
+        Some(s) => s.parse()?,
+        None => MatchingAlgo::MsBfs,
+    };
     let opts = DynOptions {
         fallback_threshold: fallback,
         full_verify: args.iter().any(|a| a == "--full-verify"),
         backend,
+        algo,
         ..DynOptions::default()
     };
     let quiet = args.iter().any(|a| a == "--quiet");
@@ -224,7 +236,7 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
                     "stats batches {} updates {} inserts {} deletes {} matched_deletes {} \
                      immediate {} searches {} repaired {} path_edges {} max_path {} \
                      interior {} sweeps {} fallbacks {} cert_seeds {} cardinality {} \
-                     nnz {} epoch {} incremental {} warm_start {}",
+                     nnz {} epoch {} incremental {} warm_start {} algo {}",
                     s.batches,
                     s.updates,
                     s.inserts,
@@ -244,6 +256,9 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
                     dm.graph().epoch(),
                     s.batches - s.fallbacks,
                     s.fallbacks,
+                    // Which engine actually serviced the last fallback; until
+                    // one runs, the configured choice (`auto` included).
+                    if s.last_algo.is_empty() { dm.opts().algo.name() } else { s.last_algo },
                 )
                 .ok();
             }

@@ -13,7 +13,9 @@
 //!
 //! `MCM_TEST_SEED=<seed>` (decimal or `0x` hex) replays a sweep exactly;
 //! `MCM_ENGINE_TEST_THREADS=<t>` sets the engine's per-rank thread count
-//! (CI runs t ∈ {1, 2}).
+//! (CI runs t ∈ {1, 2}); `MCM_TEST_ALGOS=<a,b>` restricts the
+//! cross-algorithm matrix to a comma-separated subset (the CI algo
+//! dimension).
 
 use mcm_bsp::{DistCtx, MachineConfig};
 use mcm_core::augment::AugmentMode;
@@ -21,6 +23,7 @@ use mcm_core::maximal::Initializer;
 use mcm_core::mcm::{
     maximum_matching, maximum_matching_engine, maximum_matching_shared, McmOptions,
 };
+use mcm_core::portfolio::{solve, MatchingAlgo, PortfolioBackend, PortfolioOptions};
 use mcm_core::serial::hopcroft_karp;
 use mcm_core::verify;
 use mcm_gen::simtest_suite;
@@ -87,6 +90,129 @@ fn all_three_backends_produce_identical_matchings_across_the_suite() {
     }
     // 9 cases × 3 grids × 4 initializers × 2 kernels, each run three times.
     assert_eq!(runs, cases.len() * 3 * inits.len() * augments.len());
+}
+
+/// Algorithms the cross-algorithm matrix sweeps, overridable via
+/// `MCM_TEST_ALGOS=msbfs,ppf` (the CI matrix's algo dimension).
+fn matrix_algos() -> Vec<MatchingAlgo> {
+    match std::env::var("MCM_TEST_ALGOS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|e| panic!("MCM_TEST_ALGOS={raw} is invalid: {e}"))
+            })
+            .collect(),
+        Err(_) => MatchingAlgo::CONCRETE.to_vec(),
+    }
+}
+
+#[test]
+fn cross_algorithm_matrix_agrees_with_the_oracle() {
+    // The full algo × backend × p matrix of the portfolio (DESIGN.md §15):
+    //
+    //  - `msbfs` runs on all three comm backends (sim | engine | shared);
+    //    the trait-layer contract says all three produce the *identical*
+    //    matching, which the sim row certifies against.
+    //  - `ppf` and `auction` are shared-memory engines, so the backend
+    //    dimension maps to their worker-thread count: t ∈ {1, p}. The
+    //    auction resolves ties in a deterministic resolution order, so its
+    //    matching must be identical across thread counts; PPF commits
+    //    vertex-disjoint paths whose *set* may differ per interleaving, so
+    //    only cardinality is compared.
+    //
+    // Every cell is checked against serial Hopcroft–Karp and
+    // Berge-certified. Failures print the suite seed for exact replay.
+    let suite_seed = seed(0xD1FF_BACC);
+    let cases = simtest_suite(suite_seed);
+    let algos = matrix_algos();
+    let mut runs = 0usize;
+    for (name, t) in &cases {
+        let a = t.to_csc();
+        let want = hopcroft_karp(&a, None).cardinality();
+        for dim in [1usize, 2, 3] {
+            let p = dim * dim;
+            for &algo in &algos {
+                let tag = format!(
+                    "{name} algo={algo} p={p} (replay: MCM_TEST_SEED={suite_seed:#x}, \
+                     see EXPERIMENTS.md)"
+                );
+                match algo {
+                    MatchingAlgo::MsBfs => {
+                        let backends = [
+                            PortfolioBackend::Sim { grid: dim, threads: 1 },
+                            PortfolioBackend::Engine { p, threads: 1 },
+                            PortfolioBackend::Shared { p, threads: 1 },
+                        ];
+                        let results: Vec<_> = backends
+                            .iter()
+                            .map(|&backend| {
+                                let opts = PortfolioOptions {
+                                    algo,
+                                    backend,
+                                    ..PortfolioOptions::default()
+                                };
+                                solve(t, &opts)
+                            })
+                            .collect();
+                        for (r, backend) in results.iter().zip(backends) {
+                            assert_eq!(r.stats.algo, "msbfs", "{tag}");
+                            assert_eq!(
+                                r.matching.cardinality(),
+                                want,
+                                "not maximum on {backend:?}: {tag}"
+                            );
+                            assert_eq!(
+                                r.matching, results[0].matching,
+                                "{backend:?} diverged from sim: {tag}"
+                            );
+                            verify::verify(&a, &r.matching).unwrap_or_else(|e| {
+                                panic!("Berge failed on {backend:?}: {tag}: {e}")
+                            });
+                            runs += 1;
+                        }
+                    }
+                    MatchingAlgo::Ppf | MatchingAlgo::Auction => {
+                        let results: Vec<_> = [1usize, p]
+                            .iter()
+                            .map(|&threads| {
+                                let opts = PortfolioOptions {
+                                    algo,
+                                    threads,
+                                    seed: suite_seed ^ p as u64,
+                                    ..PortfolioOptions::default()
+                                };
+                                solve(t, &opts)
+                            })
+                            .collect();
+                        for (r, threads) in results.iter().zip([1usize, p]) {
+                            assert_eq!(r.stats.algo, algo.name(), "{tag}");
+                            assert_eq!(
+                                r.matching.cardinality(),
+                                want,
+                                "not maximum at threads={threads}: {tag}"
+                            );
+                            verify::verify(&a, &r.matching).unwrap_or_else(|e| {
+                                panic!("Berge failed at threads={threads}: {tag}: {e}")
+                            });
+                            runs += 1;
+                        }
+                        if algo == MatchingAlgo::Auction {
+                            // Deterministic resolution order ⇒ the matching
+                            // itself is thread-count invariant.
+                            assert_eq!(
+                                results[0].matching, results[1].matching,
+                                "auction matching changed with thread count: {tag}"
+                            );
+                        }
+                    }
+                    MatchingAlgo::Auto => unreachable!("matrix sweeps concrete engines"),
+                }
+            }
+        }
+    }
+    let per_algo_cells: usize =
+        algos.iter().map(|a| if *a == MatchingAlgo::MsBfs { 3 } else { 2 }).sum();
+    assert_eq!(runs, cases.len() * 3 * per_algo_cells);
 }
 
 #[test]

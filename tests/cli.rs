@@ -30,7 +30,7 @@ fn gen_stats_match_roundtrip() {
 
     // Every algorithm agrees on the cardinality.
     let mut cards = std::collections::BTreeSet::new();
-    for algo in ["dist", "hk", "pf", "pr", "msbfs", "graft"] {
+    for algo in ["dist", "hk", "pf", "pr", "msbfs", "graft", "ppf", "auction", "auto"] {
         let out = mcm().args(["match"]).arg(&file).args(["--algo", algo]).output().unwrap();
         assert!(out.status.success(), "algo {algo}: {}", String::from_utf8_lossy(&out.stderr));
         let text = String::from_utf8_lossy(&out.stdout);
@@ -321,6 +321,117 @@ fn match_breakdown_requires_dist() {
         mcm().args(["match"]).arg(&file).args(["--algo", "hk", "--breakdown"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--algo dist"));
+}
+
+#[test]
+fn match_algo_line_reports_which_engine_ran() {
+    let file = tmp("algo_line.mtx");
+    assert!(mcm()
+        .args(["gen", "er", "--scale", "7", "--seed", "5", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    for (algo, want) in
+        [("dist", "algo: msbfs"), ("ppf", "algo: ppf"), ("auction", "algo: auction")]
+    {
+        let out = mcm().args(["match"]).arg(&file).args(["--algo", algo]).output().unwrap();
+        assert!(out.status.success(), "algo {algo}: {}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(want), "algo {algo}: {text}");
+        assert!(!text.contains("selected by auto"), "algo {algo} is explicit: {text}");
+    }
+    // `auto` must name the concrete engine it picked and say the selector
+    // chose it.
+    let out = mcm().args(["match"]).arg(&file).args(["--algo", "auto"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("algo: "))
+        .unwrap_or_else(|| panic!("no algo line: {text}"));
+    assert!(line.contains("(selected by auto)"), "{line}");
+    assert!(
+        ["msbfs", "ppf", "auction"].iter().any(|name| line.contains(name)),
+        "auto must resolve to a concrete engine: {line}"
+    );
+}
+
+#[test]
+fn match_rejects_unknown_algo_names() {
+    let file = tmp("bad_algo.mtx");
+    assert!(mcm()
+        .args(["gen", "er", "--scale", "6", "--out"])
+        .arg(&file)
+        .status()
+        .unwrap()
+        .success());
+    let out = mcm().args(["match"]).arg(&file).args(["--algo", "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+}
+
+#[test]
+fn mcmd_algo_flag_routes_fallbacks_and_reports_the_engine() {
+    // Same forced-fallback trace under every portfolio engine: the query
+    // answers must agree (all engines are maximum, full_verify certifies
+    // each batch) and the stats line must report the engine that ran.
+    let script = "insert 0 0\ninsert 0 1\ninsert 1 0\ninsert 2 2\nquery\n\
+                  delete 0 0\ninsert 3 2\ninsert 2 3\nquery\nstats\nquit\n";
+    let base = ["--rows", "6", "--cols", "6", "--fallback", "0", "--full-verify", "--quiet"];
+    let sim = mcmd_session(&base, script);
+    let cards = |t: &str| -> Vec<String> {
+        t.lines().filter(|l| l.starts_with("matching ")).map(str::to_owned).collect()
+    };
+    for algo in ["ppf", "auction"] {
+        let mut args = base.to_vec();
+        args.extend(["--algo", algo]);
+        let text = mcmd_session(&args, script);
+        assert_eq!(cards(&sim), cards(&text), "--algo {algo} diverged:\n{sim}\n{text}");
+        let stats =
+            text.lines().find(|l| l.starts_with("stats ")).unwrap_or_else(|| panic!("{text}"));
+        assert!(!stats.contains("fallbacks 0"), "--algo {algo} never fell back: {stats}");
+        assert!(stats.contains(&format!("algo {algo}")), "--algo {algo}: {stats}");
+    }
+}
+
+#[test]
+fn mcmd_algo_auto_resolves_to_a_concrete_engine() {
+    // With `--fallback 0` every batch is a fallback solve, so auto must
+    // have measured the graph and the stats line names its concrete pick,
+    // never the literal "auto".
+    let text = mcmd_session(
+        &[
+            "--rows",
+            "6",
+            "--cols",
+            "6",
+            "--fallback",
+            "0",
+            "--full-verify",
+            "--quiet",
+            "--algo",
+            "auto",
+        ],
+        "insert 0 0\ninsert 0 1\ninsert 1 0\nquery\nstats\nquit\n",
+    );
+    assert!(text.contains("matching 2"), "{text}");
+    let stats = text.lines().find(|l| l.starts_with("stats ")).unwrap_or_else(|| panic!("{text}"));
+    assert!(!stats.contains("fallbacks 0"), "auto run never fell back: {stats}");
+    let algo = stats
+        .split(" algo ")
+        .nth(1)
+        .map(str::trim)
+        .unwrap_or_else(|| panic!("no algo token: {stats}"));
+    assert!(["msbfs", "ppf", "auction"].contains(&algo), "auto leaked through: {stats}");
+}
+
+#[test]
+fn mcmd_rejects_unknown_algo_names() {
+    let out = mcmd().args(["--algo", "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown algorithm"), "{err}");
 }
 
 #[test]

@@ -43,8 +43,8 @@ pub mod weighted;
 
 pub use matching::Matching;
 pub use mcm::{
-    maximum_matching, maximum_matching_engine, maximum_matching_from, McmOptions, McmResult,
-    McmStats,
+    maximum_matching, maximum_matching_engine, maximum_matching_from, maximum_matching_from_pooled,
+    McmOptions, McmResult, McmStats, SolverPool,
 };
 pub use portfolio::{MatchingAlgo, PortfolioBackend, PortfolioOptions, SelectorStats};
 pub use semirings::SemiringKind;

@@ -40,7 +40,7 @@
 use crate::graph::DynGraph;
 use mcm_bsp::{DistCtx, EngineComm, SharedComm};
 use mcm_core::auction::{auction, AuctionOptions};
-use mcm_core::mcm::maximum_matching_from;
+use mcm_core::mcm::{maximum_matching_from_pooled, SolverPool};
 use mcm_core::ppf::{ppf, PpfOptions};
 use mcm_core::serial::hopcroft_karp;
 use mcm_core::verify::VerifyError;
@@ -194,6 +194,10 @@ pub struct DynStats {
     pub global_sweeps: usize,
     /// Warm-started MS-BFS fallbacks taken.
     pub fallbacks: usize,
+    /// SpMSpV workspace calls / warm-buffer hits across those fallbacks
+    /// (hits ≈ calls once the pooled plan is warm; see `SolverPool`).
+    pub fallback_spmv_calls: u64,
+    pub fallback_spmv_hits: u64,
     /// Engine that serviced the most recent fallback solve (`""` until
     /// one runs) — `mcmd stats` reports which engine actually ran.
     pub last_algo: &'static str,
@@ -201,6 +205,35 @@ pub struct DynStats {
     pub cert_seeds: usize,
     /// The last batch's report.
     pub last: BatchReport,
+}
+
+/// An immutable, self-contained copy of the engine's state — what the
+/// `mcm-serve` daemon publishes after each applied batch so reads
+/// (`query`/`stats`/`snapshot`) are served without blocking behind the
+/// writer. Cloning the graph is an O(nnz) memcpy of the frozen CSC plus
+/// the (small, recently-compacted) overlays; the matching itself is not
+/// carried — `cardinality` is the serving-relevant scalar, and the full
+/// mate vectors stay private to the writer.
+#[derive(Clone, Debug)]
+pub struct StateSnapshot {
+    /// The graph as of publication (epoch queryable via `graph.epoch()`).
+    pub graph: DynGraph,
+    /// Cumulative engine counters as of publication.
+    pub stats: DynStats,
+    /// Matching cardinality as of publication.
+    pub cardinality: usize,
+}
+
+impl StateSnapshot {
+    /// Overlay-compaction epoch at publication.
+    pub fn epoch(&self) -> u64 {
+        self.graph.epoch()
+    }
+
+    /// Live edge count at publication.
+    pub fn nnz(&self) -> usize {
+        self.graph.nnz()
+    }
 }
 
 /// A dynamic bipartite graph with an always-maximum matching.
@@ -232,6 +265,9 @@ pub struct DynMatching {
     /// Row that discovered each column (valid where `col_stamp == stamp`).
     col_parent: Vec<Vidx>,
     queue: Vec<Vidx>,
+    /// Pooled SpMSpV plan + MS-BFS vectors, warm across fallback solves
+    /// (clones start cold — a clone is a new engine, not a resumed one).
+    pool: SolverPool,
 }
 
 impl DynMatching {
@@ -261,6 +297,7 @@ impl DynMatching {
             row_parent: vec![NIL; n1],
             col_parent: vec![NIL; n2],
             queue: Vec::new(),
+            pool: SolverPool::new(),
         }
     }
 
@@ -291,6 +328,15 @@ impl DynMatching {
     #[inline]
     pub fn stats(&self) -> &DynStats {
         &self.stats
+    }
+
+    /// An immutable copy of the published state (see [`StateSnapshot`]).
+    pub fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot {
+            graph: self.g.clone(),
+            stats: self.stats.clone(),
+            cardinality: self.m.cardinality(),
+        }
     }
 
     /// Applies a batch of updates and repairs the matching back to
@@ -486,20 +532,23 @@ impl DynMatching {
         self.m = match algo {
             MatchingAlgo::MsBfs | MatchingAlgo::Auto => {
                 let t = self.g.to_triples();
+                let (pool, opts) = (&mut self.pool, &self.opts.fallback_opts);
                 let r = match self.opts.backend {
                     FallbackBackend::Simulator => {
                         let mut ctx = DistCtx::serial();
-                        maximum_matching_from(&mut ctx, &t, stale, &self.opts.fallback_opts)
+                        maximum_matching_from_pooled(&mut ctx, &t, stale, opts, pool)
                     }
                     FallbackBackend::Engine { p, threads } => {
                         let mut comm = EngineComm::new(p, threads);
-                        maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+                        maximum_matching_from_pooled(&mut comm, &t, stale, opts, pool)
                     }
                     FallbackBackend::Shared { p, threads } => {
                         let mut comm = SharedComm::new(p, threads);
-                        maximum_matching_from(&mut comm, &t, stale, &self.opts.fallback_opts)
+                        maximum_matching_from_pooled(&mut comm, &t, stale, opts, pool)
                     }
                 };
+                self.stats.fallback_spmv_calls += r.stats.spmv_workspace_calls;
+                self.stats.fallback_spmv_hits += r.stats.spmv_workspace_hits;
                 r.matching
             }
             MatchingAlgo::Ppf => {
@@ -715,6 +764,27 @@ mod tests {
         let r = dm.apply_batch(&[Update::Insert(1, 1)]);
         assert!(r.fallback);
         assert_eq!(dm.cardinality(), 2);
+    }
+
+    #[test]
+    fn fallback_pool_is_warm_by_the_second_solve() {
+        // Two forced fallbacks on a shrinking graph: the first pays the
+        // cold SpMSpV workspace allocations, the second must be served
+        // entirely from the pooled plan (the ~1.3ms/solve lever).
+        let t = Triples::from_edges(4, 4, vec![(0, 0), (0, 1), (1, 0), (2, 2), (3, 3), (1, 2)]);
+        let mut dm = DynMatching::from_triples(
+            &t,
+            DynOptions { fallback_threshold: 0.0, full_verify: true, ..DynOptions::default() },
+        );
+        dm.apply_batch(&[Update::Delete(3, 3)]);
+        let s1 = dm.stats().clone();
+        assert!(s1.fallback_spmv_calls > 0, "first batch must take the MS-BFS fallback");
+        dm.apply_batch(&[Update::Delete(2, 2)]);
+        let s2 = dm.stats();
+        let calls = s2.fallback_spmv_calls - s1.fallback_spmv_calls;
+        let hits = s2.fallback_spmv_hits - s1.fallback_spmv_hits;
+        assert!(calls > 0, "second batch must also fall back");
+        assert_eq!(hits, calls, "second fallback must reuse the warm pooled plan");
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   vertices, falling back to the warm-started multi-source MS-BFS
 //!   driver (`mcm-core`) when the dirty set is large — the dynamic
 //!   analogue of the paper's `k < 2p²` path-vs-level parallelism switch;
-//! * [`proto`] — the line protocol of the `mcmd` serving binary
-//!   (`insert`/`delete`/`query`/`snapshot`/`stats`, plain text or JSONL).
+//! * [`StateSnapshot`] — an immutable copy of the engine's published
+//!   state, the unit of snapshot isolation in the `mcm-serve` daemon
+//!   (which also owns the `mcmd` line protocol, in `mcm_serve::proto`).
 //!
 //! Every batch ends certified: a Berge check seeded at the batch's dirty
 //! region (or a full sweep when the repair itself had to go global).
@@ -21,10 +22,9 @@
 
 pub mod engine;
 pub mod graph;
-pub mod proto;
 
 pub use engine::{
-    BatchReport, CertScope, DynMatching, DynOptions, DynStats, FallbackBackend, Update,
+    BatchReport, CertScope, DynMatching, DynOptions, DynStats, FallbackBackend, StateSnapshot,
+    Update,
 };
 pub use graph::DynGraph;
-pub use proto::{parse_command, Command};

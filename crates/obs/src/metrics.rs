@@ -95,6 +95,28 @@ impl Histogram {
     pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
         std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Estimated `q`-quantile in nanoseconds (`0.0 ≤ q ≤ 1.0`), resolved
+    /// to the upper bound of the log₂ bucket holding the target rank —
+    /// a conservative (over-)estimate with at most 2× resolution error,
+    /// which is what the serve load harness cross-checks its exact
+    /// client-side percentiles against. Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, clamped into range.
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.bucket_counts().into_iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1u64 << i.min(63);
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// `name` + sorted labels; the registry key.
@@ -216,6 +238,25 @@ mod tests {
         let b = h.bucket_counts();
         assert_eq!(b[0], 1);
         assert_eq!(b[10], 2); // 1000 ≤ 1024 = 2^10
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[]);
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram");
+        // 90 fast observations (~1µs bucket) and 10 slow (~1ms bucket).
+        for _ in 0..90 {
+            h.observe_ns(1000); // bucket 10, upper bound 1024
+        }
+        for _ in 0..10 {
+            h.observe_ns(1_000_000); // bucket 20, upper bound 1<<20
+        }
+        assert_eq!(h.quantile_ns(0.5), 1 << 10);
+        assert_eq!(h.quantile_ns(0.9), 1 << 10);
+        assert_eq!(h.quantile_ns(0.99), 1 << 20);
+        assert_eq!(h.quantile_ns(1.0), 1 << 20);
+        assert_eq!(h.quantile_ns(0.0), 1 << 10, "q=0 clamps to the first observation");
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! # mcm-serve — the concurrent matching service
+//!
+//! Turns the `mcm-dyn` incremental engine into a daemon thousands of
+//! clients can hit at once, std-only:
+//!
+//! * [`proto`] — the `mcmd` line protocol (plain text or JSONL), shared
+//!   by the stdin loop and the socket path, plus [`proto::LineFramer`],
+//!   the partial-line/pipelining-tolerant byte-to-line layer whose EOF
+//!   check reports a truncated tail as a structured error;
+//! * [`server`] — `mcmd --listen`: a non-blocking acceptor, a worker
+//!   thread per connection, a single writer thread applying admitted
+//!   updates in bounded batches (size + latency watermarks, `busy`
+//!   backpressure), and **epoch-published snapshots** so
+//!   `query`/`state`/`stats`/`snapshot` never block behind a repair;
+//! * [`load`] — the closed-/open-loop load harness behind `serve_load`
+//!   and the CI smoke job (p50/p99/p999 per verb, sustained updates/sec,
+//!   zero-corruption accounting).
+//!
+//! DESIGN.md §16 describes the serving architecture and its contracts.
+
+pub mod load;
+pub mod proto;
+pub mod server;
+
+pub use load::{run_load, LoadConfig, LoadMode, LoadReport, VerbReport};
+pub use proto::{parse_command, verb_of, Command, FrameError, LineFramer};
+pub use server::{format_stats_line, ApplyHook, Published, Server, ServerConfig};

@@ -1,0 +1,591 @@
+//! The socket daemon: a non-blocking acceptor, one worker thread per
+//! connection, a single writer thread owning the [`DynMatching`], and an
+//! epoch-published snapshot readers serve from.
+//!
+//! ## Snapshot isolation
+//!
+//! The writer is the only thread that touches the engine. After every
+//! applied batch it publishes `Arc<Published>` — a writer sequence
+//! number plus a [`StateSnapshot`] (graph clone + counters +
+//! cardinality) — by swapping the `Arc` under a mutex held only for the
+//! swap/clone instant. `query`/`state`/`stats`/`snapshot` readers grab
+//! the current `Arc` and answer from it: a read issued mid-repair sees
+//! the pre-batch snapshot and never waits for the repair to finish.
+//!
+//! ## Adaptive admission batching and backpressure
+//!
+//! Updates are admitted through a bounded queue
+//! ([`ServerConfig::queue_cap`]). The writer coalesces admitted updates
+//! into one repair batch per wake-up, closing the batch at either
+//! watermark: [`ServerConfig::max_batch`] updates (size) or
+//! [`ServerConfig::max_delay`] since the batch opened (latency). When
+//! the queue is full the connection worker answers `busy` immediately —
+//! explicit backpressure instead of unbounded buffering — and the client
+//! retries. `sync` is a barrier: it rides the same queue, closes the
+//! open batch, and is acked only after everything admitted before it has
+//! been applied *and published*.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] (or a client's `shutdown` verb, awaited by
+//! [`Server::join`]) stops the acceptor, lets workers finish their
+//! current frames, then drains every admitted update through the writer
+//! before returning the engine — admitted work is never dropped.
+
+use crate::proto::{parse_command, verb_of, Command, LineFramer};
+use mcm_dyn::{DynMatching, DynStats, StateSnapshot, Update};
+use mcm_sparse::io::write_matrix_market_file;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Called with each batch after it is closed and before it is applied —
+/// the hook the isolation tests use to hold a repair mid-flight while
+/// asserting that reads still answer.
+pub type ApplyHook = Arc<dyn Fn(&[Update]) + Send + Sync>;
+
+/// Daemon tuning knobs; the defaults suit a loopback service.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Size watermark: close the open batch at this many updates.
+    pub max_batch: usize,
+    /// Latency watermark: close the open batch this long after it opened.
+    pub max_delay: Duration,
+    /// Bound of the admission queue; a full queue answers `busy`.
+    pub queue_cap: usize,
+    /// Test hook run with each closed batch before it is applied.
+    pub on_apply: Option<ApplyHook>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 512,
+            max_delay: Duration::from_millis(1),
+            queue_cap: 4096,
+            on_apply: None,
+        }
+    }
+}
+
+/// What the writer publishes after each batch; readers answer from this.
+pub struct Published {
+    /// Batches applied-and-published so far (0 = the initial state).
+    pub seq: u64,
+    /// Immutable engine state as of `seq`.
+    pub snap: StateSnapshot,
+}
+
+/// The `stats` response line, shared verbatim by the stdin loop and the
+/// socket daemon (and asserted by `tests/cli.rs`).
+pub fn format_stats_line(
+    s: &DynStats,
+    cardinality: usize,
+    nnz: usize,
+    epoch: u64,
+    configured_algo: &str,
+) -> String {
+    format!(
+        "stats batches {} updates {} inserts {} deletes {} matched_deletes {} \
+         immediate {} searches {} repaired {} path_edges {} max_path {} \
+         interior {} sweeps {} fallbacks {} cert_seeds {} cardinality {} \
+         nnz {} epoch {} incremental {} warm_start {} algo {}",
+        s.batches,
+        s.updates,
+        s.inserts,
+        s.deletes,
+        s.matched_deletes,
+        s.immediate_matches,
+        s.local_searches,
+        s.repaired,
+        s.repair_path_edges,
+        s.max_repair_path,
+        s.interior_inserts,
+        s.global_sweeps,
+        s.fallbacks,
+        s.cert_seeds,
+        cardinality,
+        nnz,
+        epoch,
+        s.batches - s.fallbacks,
+        s.fallbacks,
+        // Which engine actually serviced the last fallback; until one
+        // runs, the configured choice (`auto` included).
+        if s.last_algo.is_empty() { configured_algo } else { s.last_algo },
+    )
+}
+
+enum WriterMsg {
+    Update(Update),
+    /// Barrier: acked with the post-publication sequence + cardinality.
+    Sync(mpsc::Sender<SyncAck>),
+}
+
+struct SyncAck {
+    seq: u64,
+    cardinality: usize,
+}
+
+struct Shared {
+    published: Mutex<Arc<Published>>,
+    /// Updates admitted but not yet absorbed by the writer.
+    queue_depth: AtomicUsize,
+    /// Live connections (drives the `mcmd_connections` gauge).
+    connections: AtomicUsize,
+    /// Set by [`Server::shutdown`]/[`Server::finish`].
+    stop: AtomicBool,
+    /// Set by a client's `shutdown` verb; [`Server::join`] watches it.
+    shutdown_verb: AtomicBool,
+    /// Configured fallback engine name, for the `stats` response.
+    algo_name: &'static str,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.shutdown_verb.load(Ordering::Relaxed)
+    }
+
+    fn published(&self) -> Arc<Published> {
+        self.published.lock().unwrap().clone()
+    }
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`shutdown`](Server::shutdown)/[`join`](Server::join) detaches the
+/// threads (the process exit reaps them); tests always join.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    tx: Option<SyncSender<WriterMsg>>,
+    acceptor: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<DynMatching>>,
+}
+
+impl Server {
+    /// Binds, publishes the initial snapshot, and starts the acceptor and
+    /// writer threads. Returns once the socket is listening.
+    pub fn start(dm: DynMatching, cfg: ServerConfig) -> std::io::Result<Server> {
+        mcm_obs::enable_metrics(true);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let dims = (dm.graph().n1(), dm.graph().n2());
+        let shared = Arc::new(Shared {
+            published: Mutex::new(Arc::new(Published { seq: 0, snap: dm.snapshot_state() })),
+            queue_depth: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            shutdown_verb: AtomicBool::new(false),
+            algo_name: dm.opts().algo.name(),
+        });
+        let (tx, rx) = mpsc::sync_channel::<WriterMsg>(cfg.queue_cap);
+        let writer = {
+            let shared = shared.clone();
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("mcmd-writer".into())
+                .spawn(move || writer_loop(dm, rx, shared, cfg))?
+        };
+        let acceptor = {
+            let shared = shared.clone();
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name("mcmd-accept".into())
+                .spawn(move || accept_loop(listener, shared, tx, dims))?
+        };
+        Ok(Server {
+            local_addr,
+            shared,
+            tx: Some(tx),
+            acceptor: Some(acceptor),
+            writer: Some(writer),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The currently published snapshot (what readers would answer from).
+    pub fn published(&self) -> Arc<Published> {
+        self.shared.published()
+    }
+
+    /// Stops accepting, drains every admitted update through the writer,
+    /// and returns the engine.
+    pub fn shutdown(mut self) -> DynMatching {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.finish()
+    }
+
+    /// Blocks until a client issues the `shutdown` verb, then drains and
+    /// returns the engine (what `mcmd --listen` runs on its main thread).
+    pub fn join(mut self) -> DynMatching {
+        while !self.shared.shutdown_verb.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.finish()
+    }
+
+    fn finish(&mut self) -> DynMatching {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Acceptor joins its workers; when they and our handle drop the
+        // last senders, the writer drains the queue and exits.
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor thread panicked");
+        }
+        drop(self.tx.take());
+        self.writer.take().expect("server already finished").join().expect("writer panicked")
+    }
+}
+
+fn writer_loop(
+    mut dm: DynMatching,
+    rx: mpsc::Receiver<WriterMsg>,
+    shared: Arc<Shared>,
+    cfg: ServerConfig,
+) -> DynMatching {
+    let mut seq = 0u64;
+    let mut batch: Vec<Update> = Vec::new();
+    let mut syncs: Vec<mpsc::Sender<SyncAck>> = Vec::new();
+    loop {
+        let Ok(first) = rx.recv() else { break };
+        let opened = Instant::now();
+        absorb(first, &mut batch, &mut syncs, &shared);
+        // A sync closes the batch immediately: its ack must cover exactly
+        // what was admitted before it.
+        if syncs.is_empty() {
+            let deadline = opened + cfg.max_delay;
+            while batch.len() < cfg.max_batch {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else { break };
+                match rx.recv_timeout(left) {
+                    Ok(msg) => {
+                        absorb(msg, &mut batch, &mut syncs, &shared);
+                        if !syncs.is_empty() {
+                            break;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        seq = apply_and_publish(&mut dm, &mut batch, &mut syncs, seq, &shared, &cfg);
+    }
+    // Senders are gone; everything queued was already delivered by the
+    // draining recv() above. Apply any final partial batch.
+    apply_and_publish(&mut dm, &mut batch, &mut syncs, seq, &shared, &cfg);
+    dm
+}
+
+fn absorb(
+    msg: WriterMsg,
+    batch: &mut Vec<Update>,
+    syncs: &mut Vec<mpsc::Sender<SyncAck>>,
+    shared: &Shared,
+) {
+    match msg {
+        WriterMsg::Update(u) => {
+            batch.push(u);
+            let d = shared.queue_depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+            mcm_obs::gauge_set("mcmd_queue_depth", &[], d as f64);
+        }
+        WriterMsg::Sync(ack) => syncs.push(ack),
+    }
+}
+
+fn apply_and_publish(
+    dm: &mut DynMatching,
+    batch: &mut Vec<Update>,
+    syncs: &mut Vec<mpsc::Sender<SyncAck>>,
+    mut seq: u64,
+    shared: &Shared,
+    cfg: &ServerConfig,
+) -> u64 {
+    if !batch.is_empty() {
+        if let Some(hook) = &cfg.on_apply {
+            hook(batch);
+        }
+        let sw = mcm_obs::Stopwatch::new();
+        dm.apply_batch(batch);
+        mcm_obs::observe_ns("mcmd_batch_apply_seconds", &[], sw.elapsed_ns());
+        mcm_obs::observe_ns("mcmd_batch_size", &[], batch.len() as u64);
+        seq += 1;
+        let published = Arc::new(Published { seq, snap: dm.snapshot_state() });
+        *shared.published.lock().unwrap() = published;
+        batch.clear();
+    }
+    for ack in syncs.drain(..) {
+        ack.send(SyncAck { seq, cardinality: dm.cardinality() }).ok();
+    }
+    seq
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    tx: SyncSender<WriterMsg>,
+    dims: (usize, usize),
+) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                let tx = tx.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("mcmd-conn".into())
+                    .spawn(move || conn_loop(stream, shared, tx, dims));
+                match spawned {
+                    Ok(h) => workers.push(h),
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+        workers.retain(|h| !h.is_finished());
+    }
+    drop(tx);
+    for h in workers {
+        h.join().ok();
+    }
+}
+
+enum Flow {
+    Continue,
+    /// `quit`: close this connection, keep serving.
+    Close,
+    /// `shutdown`: close this connection and stop the daemon.
+    Shutdown,
+}
+
+fn conn_loop(
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    tx: SyncSender<WriterMsg>,
+    (n1, n2): (usize, usize),
+) {
+    let conns = shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
+    mcm_obs::gauge_set("mcmd_connections", &[], conns as f64);
+    serve_conn(&stream, &shared, &tx, n1, n2);
+    let conns = shared.connections.fetch_sub(1, Ordering::Relaxed) - 1;
+    mcm_obs::gauge_set("mcmd_connections", &[], conns as f64);
+}
+
+fn serve_conn(
+    stream: &TcpStream,
+    shared: &Shared,
+    tx: &SyncSender<WriterMsg>,
+    n1: usize,
+    n2: usize,
+) {
+    // The read timeout doubles as the stop-flag poll interval.
+    stream.set_read_timeout(Some(Duration::from_millis(25))).ok();
+    stream.set_nodelay(true).ok();
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut out = std::io::BufWriter::new(write_half);
+    let mut framer = LineFramer::new();
+    // Histogram handles cached per connection: the registry lookup takes
+    // a lock, the observation itself is lock-free.
+    let mut hists: HashMap<&'static str, mcm_obs::Histogram> = HashMap::new();
+    let mut buf = [0u8; 8192];
+    let mut reader = stream;
+    'conn: loop {
+        match reader.read(&mut buf) {
+            Ok(0) => {
+                // Orderly EOF. A half-sent command is reported, not run.
+                if framer.finish().is_err() {
+                    mcm_obs::counter_add("mcmd_truncated_lines_total", &[], 1);
+                }
+                break;
+            }
+            Ok(n) => {
+                for line in framer.push(&buf[..n]) {
+                    match handle_line(&line, &mut out, shared, tx, n1, n2, &mut hists) {
+                        Flow::Continue => {}
+                        Flow::Close => {
+                            out.flush().ok();
+                            break 'conn;
+                        }
+                        Flow::Shutdown => {
+                            out.flush().ok();
+                            shared.shutdown_verb.store(true, Ordering::Relaxed);
+                            break 'conn;
+                        }
+                    }
+                }
+                if out.flush().is_err() {
+                    // Client went away mid-response (abrupt disconnect).
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stopping() {
+                    break;
+                }
+            }
+            // Connection reset / broken pipe: tolerated, never fatal to
+            // the daemon.
+            Err(_) => break,
+        }
+        if shared.stopping() {
+            break;
+        }
+    }
+}
+
+fn handle_line(
+    line: &str,
+    out: &mut impl Write,
+    shared: &Shared,
+    tx: &SyncSender<WriterMsg>,
+    n1: usize,
+    n2: usize,
+    hists: &mut HashMap<&'static str, mcm_obs::Histogram>,
+) -> Flow {
+    let cmd = match parse_command(line) {
+        Ok(Some(cmd)) => cmd,
+        Ok(None) => return Flow::Continue,
+        Err(e) => {
+            writeln!(out, "error {e}").ok();
+            return Flow::Continue;
+        }
+    };
+    let sw = mcm_obs::Stopwatch::new();
+    let verb = verb_of(&cmd);
+    let flow = match cmd {
+        Command::Insert(r, c) | Command::Delete(r, c) => {
+            if r as usize >= n1 || c as usize >= n2 {
+                writeln!(out, "error vertex out of range ({r}, {c})").ok();
+            } else {
+                let u = match cmd {
+                    Command::Insert(..) => Update::Insert(r, c),
+                    _ => Update::Delete(r, c),
+                };
+                // Count the admission *before* sending: the writer may
+                // absorb (and decrement) the instant the send lands.
+                let d = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                match tx.try_send(WriterMsg::Update(u)) {
+                    Ok(()) => {
+                        mcm_obs::gauge_set("mcmd_queue_depth", &[], d as f64);
+                        writeln!(out, "ok").ok();
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        mcm_obs::counter_add("mcmd_busy_total", &[("verb", verb)], 1);
+                        writeln!(out, "busy").ok();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        writeln!(out, "error daemon shutting down").ok();
+                    }
+                }
+            }
+            Flow::Continue
+        }
+        Command::Query => {
+            let p = shared.published();
+            writeln!(out, "matching {}", p.snap.cardinality).ok();
+            Flow::Continue
+        }
+        Command::State => {
+            let p = shared.published();
+            writeln!(
+                out,
+                "state seq {} epoch {} cardinality {} nnz {}",
+                p.seq,
+                p.snap.epoch(),
+                p.snap.cardinality,
+                p.snap.nnz()
+            )
+            .ok();
+            Flow::Continue
+        }
+        Command::Sync => {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            match tx.try_send(WriterMsg::Sync(ack_tx)) {
+                Ok(()) => match ack_rx.recv() {
+                    Ok(a) => {
+                        writeln!(out, "synced seq {} cardinality {}", a.seq, a.cardinality).ok();
+                    }
+                    Err(_) => {
+                        writeln!(out, "error daemon shutting down").ok();
+                    }
+                },
+                Err(TrySendError::Full(_)) => {
+                    mcm_obs::counter_add("mcmd_busy_total", &[("verb", verb)], 1);
+                    writeln!(out, "busy").ok();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    writeln!(out, "error daemon shutting down").ok();
+                }
+            }
+            Flow::Continue
+        }
+        Command::Stats => {
+            let p = shared.published();
+            writeln!(
+                out,
+                "{}",
+                format_stats_line(
+                    &p.snap.stats,
+                    p.snap.cardinality,
+                    p.snap.nnz(),
+                    p.snap.epoch(),
+                    shared.algo_name,
+                )
+            )
+            .ok();
+            Flow::Continue
+        }
+        Command::Metrics => {
+            out.write_all(mcm_obs::prom::expose(mcm_obs::registry()).as_bytes()).ok();
+            writeln!(out, "# EOF").ok();
+            Flow::Continue
+        }
+        Command::Snapshot(path) => {
+            let p = shared.published();
+            match write_matrix_market_file(&p.snap.graph.to_triples(), &path) {
+                Ok(()) => {
+                    writeln!(out, "snapshot {} nnz {}", path, p.snap.nnz()).ok();
+                }
+                Err(e) => {
+                    writeln!(out, "error {path}: {e}").ok();
+                }
+            }
+            Flow::Continue
+        }
+        Command::Quit => {
+            writeln!(out, "bye").ok();
+            Flow::Close
+        }
+        Command::Shutdown => {
+            writeln!(out, "bye").ok();
+            Flow::Shutdown
+        }
+    };
+    hists
+        .entry(verb)
+        .or_insert_with(|| mcm_obs::registry().histogram("mcmd_request_seconds", &[("verb", verb)]))
+        .observe_ns(sw.elapsed_ns());
+    flow
+}

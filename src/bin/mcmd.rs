@@ -1,29 +1,33 @@
 //! `mcmd` — streaming update service for dynamic maximum matching.
 //!
-//! Reads commands from stdin (or `--input <file>`), one per line, plain
-//! text or JSONL (see `mcm_dyn::proto`):
+//! Two modes share one protocol (`mcm_serve::proto`, plain text or
+//! JSONL):
+//!
+//! * **stdin** (default, also `--input <file>`): the classic serial
+//!   loop. Updates are *batched*: nothing is repaired until a `query`,
+//!   `state`, `sync`, `stats`, `snapshot`, or `quit` forces a flush, so
+//!   a burst of inserts costs one repair pass. Each flush prints a
+//!   `batch ...` line with the per-batch repair report — the running
+//!   Berge certificate described in DESIGN.md §11.
+//! * **socket** (`--listen <addr>`): the concurrent daemon from
+//!   `mcm-serve` (DESIGN.md §16). A worker thread per connection admits
+//!   updates through a bounded queue (`busy` backpressure) into a single
+//!   writer thread that batches at size/latency watermarks, while
+//!   `query`/`state`/`stats`/`snapshot` answer from an epoch-published
+//!   snapshot and never block behind a repair. `quit` closes one
+//!   connection; `shutdown` drains and stops the daemon.
 //!
 //! ```text
-//! insert <row> <col>      stage an edge insertion
-//! delete <row> <col>      stage an edge deletion
-//! query                   flush staged updates, print "matching <card>"
-//! stats                   flush, print cumulative engine counters
-//! metrics                 flush, dump the Prometheus registry ("# EOF" ends it)
-//! snapshot <path>         flush, write the live graph as Matrix Market
-//! quit                    flush and exit
-//! ```
-//!
-//! Updates are *batched*: nothing is repaired until a `query`, `stats`,
-//! `snapshot`, or `quit` forces a flush, so a burst of inserts costs one
-//! repair pass. Each flush prints a `batch ...` line with the per-batch
-//! repair report (dirty-set size, paths, fallback, certificate scope) —
-//! the running Berge certificate described in DESIGN.md §11.
-//!
-//! ```text
-//! mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
-//!      [--fallback f] [--algo msbfs|ppf|auction|auto]
-//!      [--backend sim|engine|shared] [--ranks p] [--threads t]
-//!      [--trace-out file] [--full-verify] [--quiet]
+//! insert <row> <col>      stage (stdin) / admit (socket) an edge insertion
+//! delete <row> <col>      stage / admit an edge deletion
+//! query                   print "matching <card>"
+//! state                   print "state seq <s> epoch <e> cardinality <c> nnz <z>"
+//! sync                    barrier; print "synced seq <s> cardinality <c>"
+//! stats                   print cumulative engine counters
+//! metrics                 dump the Prometheus registry ("# EOF" ends it)
+//! snapshot <path>         write the graph as Matrix Market
+//! quit                    end the session (stdin: exit; socket: this connection)
+//! shutdown                stop the daemon after draining admitted updates
 //! ```
 //!
 //! With `--backend engine`, large-dirty-set fallback recomputes run on
@@ -41,16 +45,20 @@
 //! session and writes a `chrome://tracing` JSON file at exit.
 
 use mcm_core::MatchingAlgo;
-use mcm_dyn::{Command, DynMatching, DynOptions, FallbackBackend};
+use mcm_dyn::{DynMatching, DynOptions, FallbackBackend};
+use mcm_serve::proto::{parse_command, verb_of, Command, LineFramer};
+use mcm_serve::{format_stats_line, Server, ServerConfig};
 use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 mcmd — streaming update service for dynamic maximum matching
 
 usage:
   mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
+       [--listen addr] [--max-batch n] [--max-delay-ms ms] [--queue-cap n]
        [--fallback f] [--algo msbfs|ppf|auction|auto]
        [--backend sim|engine|shared] [--ranks p] [--threads t]
        [--trace-out file] [--full-verify] [--quiet]
@@ -58,6 +66,13 @@ usage:
   --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
   --load file.mtx       start from a Matrix Market graph instead (solves it first)
   --input file          read commands from a file instead of stdin
+  --listen addr         serve concurrent TCP clients at addr (e.g. 127.0.0.1:7171;
+                        port 0 picks a free port, printed as \"listening <addr>\").
+                        Runs until a client sends `shutdown`.
+  --max-batch n         socket mode: close an update batch at n updates (default 512)
+  --max-delay-ms ms     socket mode: ... or this many ms after it opened (default 1)
+  --queue-cap n         socket mode: admission queue bound; a full queue answers
+                        `busy` (default 4096)
   --fallback f          dirty fraction of n1+n2 above which repair falls back to
                         the warm-started MS-BFS driver (default 0.25)
   --algo a              engine servicing fallback solves: warm-started MS-BFS
@@ -71,11 +86,11 @@ usage:
   --threads t           engine/shared: worker threads per rank (default 1)
   --trace-out file      record spans; write chrome://tracing JSON at exit
   --full-verify         re-verify the full matching after every batch
-  --quiet               suppress per-batch report lines
+  --quiet               suppress per-batch report lines (stdin mode)
 
 commands (one per line, plain text or JSONL {\"op\":..,\"u\":..,\"v\":..}):
-  insert <row> <col> | delete <row> <col> | query | stats | metrics |
-  snapshot <path> | quit
+  insert <row> <col> | delete <row> <col> | query | state | sync | stats |
+  metrics | snapshot <path> | quit | shutdown
 ";
 
 fn main() -> ExitCode {
@@ -175,12 +190,35 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let served = match opt(args, "--input") {
-        Some(path) => {
-            let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            serve(&mut dm, std::io::BufReader::new(f), quiet)
+    let served = match opt(args, "--listen") {
+        Some(addr) => {
+            let cfg = ServerConfig {
+                addr: addr.to_string(),
+                max_batch: parse_usize(opt(args, "--max-batch"), "--max-batch", 512)?,
+                max_delay: Duration::from_millis(parse_usize(
+                    opt(args, "--max-delay-ms"),
+                    "--max-delay-ms",
+                    1,
+                )? as u64),
+                queue_cap: parse_usize(opt(args, "--queue-cap"), "--queue-cap", 4096)?,
+                on_apply: None,
+            };
+            let server = Server::start(dm, cfg).map_err(|e| format!("{addr}: {e}"))?;
+            println!("listening {}", server.local_addr());
+            std::io::stdout().flush().ok();
+            // Blocks until a client sends `shutdown`; admitted updates
+            // are drained before the engine comes back.
+            let dm = server.join();
+            println!("shutdown cardinality {} nnz {}", dm.cardinality(), dm.graph().nnz());
+            Ok(())
         }
-        None => serve(&mut dm, std::io::stdin().lock(), quiet),
+        None => match opt(args, "--input") {
+            Some(path) => {
+                let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                serve(&mut dm, std::io::BufReader::new(f), quiet)
+            }
+            None => serve(&mut dm, std::io::stdin().lock(), quiet),
+        },
     };
     if let Some(path) = trace_out {
         mcm_obs::enable_tracing(false);
@@ -191,99 +229,33 @@ fn run(args: &[String]) -> Result<(), String> {
     served
 }
 
-fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), String> {
+fn serve(dm: &mut DynMatching, mut input: impl BufRead, quiet: bool) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     let mut staged: Vec<mcm_dyn::Update> = Vec::new();
     let (n1, n2) = (dm.graph().n1(), dm.graph().n2());
+    let mut framer = LineFramer::new();
 
-    for (lineno, line) in input.lines().enumerate() {
-        let line = line.map_err(|e| format!("read error: {e}"))?;
-        let cmd = match mcm_dyn::parse_command(&line) {
-            Ok(Some(cmd)) => cmd,
-            Ok(None) => continue,
-            Err(e) => {
-                writeln!(out, "error line {}: {e}", lineno + 1).ok();
-                continue;
+    'session: loop {
+        let chunk = input.fill_buf().map_err(|e| format!("read error: {e}"))?;
+        if chunk.is_empty() {
+            // EOF. A half-received final command is reported, never run.
+            if let Err(e) = framer.finish() {
+                writeln!(out, "error line {}: {e}", framer.lines_seen() + 1).ok();
             }
-        };
-        let sw = mcm_obs::Stopwatch::new();
-        let verb = verb_of(&cmd);
-        // Range-check updates here so the engine can keep dense scratch.
-        if let Command::Insert(r, c) | Command::Delete(r, c) = cmd {
-            if r as usize >= n1 || c as usize >= n2 {
-                writeln!(out, "error line {}: vertex out of range ({r}, {c})", lineno + 1).ok();
-            } else {
-                staged.push(match cmd {
-                    Command::Insert(r, c) => mcm_dyn::Update::Insert(r, c),
-                    Command::Delete(r, c) => mcm_dyn::Update::Delete(r, c),
-                    _ => unreachable!(),
-                });
-            }
-            mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
-            continue;
-        }
-        flush(dm, &mut staged, &mut out, quiet);
-        let quit = matches!(cmd, Command::Quit);
-        match cmd {
-            Command::Query => {
-                writeln!(out, "matching {}", dm.cardinality()).ok();
-            }
-            Command::Stats => {
-                let s = dm.stats();
-                writeln!(
-                    out,
-                    "stats batches {} updates {} inserts {} deletes {} matched_deletes {} \
-                     immediate {} searches {} repaired {} path_edges {} max_path {} \
-                     interior {} sweeps {} fallbacks {} cert_seeds {} cardinality {} \
-                     nnz {} epoch {} incremental {} warm_start {} algo {}",
-                    s.batches,
-                    s.updates,
-                    s.inserts,
-                    s.deletes,
-                    s.matched_deletes,
-                    s.immediate_matches,
-                    s.local_searches,
-                    s.repaired,
-                    s.repair_path_edges,
-                    s.max_repair_path,
-                    s.interior_inserts,
-                    s.global_sweeps,
-                    s.fallbacks,
-                    s.cert_seeds,
-                    dm.cardinality(),
-                    dm.graph().nnz(),
-                    dm.graph().epoch(),
-                    s.batches - s.fallbacks,
-                    s.fallbacks,
-                    // Which engine actually serviced the last fallback; until
-                    // one runs, the configured choice (`auto` included).
-                    if s.last_algo.is_empty() { dm.opts().algo.name() } else { s.last_algo },
-                )
-                .ok();
-            }
-            Command::Metrics => {
-                out.write_all(mcm_obs::prom::expose(mcm_obs::registry()).as_bytes()).ok();
-                writeln!(out, "# EOF").ok();
-            }
-            Command::Snapshot(path) => {
-                match write_matrix_market_file(&dm.graph().to_triples(), &path) {
-                    Ok(()) => {
-                        writeln!(out, "snapshot {} nnz {}", path, dm.graph().nnz()).ok();
-                    }
-                    Err(e) => {
-                        writeln!(out, "error line {}: {path}: {e}", lineno + 1).ok();
-                    }
-                }
-            }
-            Command::Quit => {}
-            Command::Insert(..) | Command::Delete(..) => unreachable!("staged above"),
-        }
-        mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
-        if quit {
             break;
         }
-        out.flush().ok();
+        let n = chunk.len();
+        let lines = framer.push(chunk);
+        input.consume(n);
+        let mut lineno = framer.lines_seen() - lines.len() as u64;
+        for line in lines {
+            lineno += 1;
+            if handle_stdin_line(dm, &line, lineno, &mut staged, &mut out, quiet, n1, n2) {
+                break 'session;
+            }
+            out.flush().ok();
+        }
     }
     // EOF flushes too, so piped traces that end in updates still repair.
     flush(dm, &mut staged, &mut out, quiet);
@@ -291,16 +263,94 @@ fn serve(dm: &mut DynMatching, input: impl BufRead, quiet: bool) -> Result<(), S
     Ok(())
 }
 
-fn verb_of(cmd: &Command) -> &'static str {
-    match cmd {
-        Command::Insert(..) => "insert",
-        Command::Delete(..) => "delete",
-        Command::Query => "query",
-        Command::Stats => "stats",
-        Command::Metrics => "metrics",
-        Command::Snapshot(..) => "snapshot",
-        Command::Quit => "quit",
+/// Handles one stdin-mode line; returns `true` when the session ends.
+#[allow(clippy::too_many_arguments)]
+fn handle_stdin_line(
+    dm: &mut DynMatching,
+    line: &str,
+    lineno: u64,
+    staged: &mut Vec<mcm_dyn::Update>,
+    out: &mut impl Write,
+    quiet: bool,
+    n1: usize,
+    n2: usize,
+) -> bool {
+    let cmd = match parse_command(line) {
+        Ok(Some(cmd)) => cmd,
+        Ok(None) => return false,
+        Err(e) => {
+            writeln!(out, "error line {lineno}: {e}").ok();
+            return false;
+        }
+    };
+    let sw = mcm_obs::Stopwatch::new();
+    let verb = verb_of(&cmd);
+    // Range-check updates here so the engine can keep dense scratch.
+    if let Command::Insert(r, c) | Command::Delete(r, c) = cmd {
+        if r as usize >= n1 || c as usize >= n2 {
+            writeln!(out, "error line {lineno}: vertex out of range ({r}, {c})").ok();
+        } else {
+            staged.push(match cmd {
+                Command::Insert(r, c) => mcm_dyn::Update::Insert(r, c),
+                Command::Delete(r, c) => mcm_dyn::Update::Delete(r, c),
+                _ => unreachable!(),
+            });
+        }
+        mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
+        return false;
     }
+    flush(dm, staged, out, quiet);
+    let ends = matches!(cmd, Command::Quit | Command::Shutdown);
+    match cmd {
+        Command::Query => {
+            writeln!(out, "matching {}", dm.cardinality()).ok();
+        }
+        Command::State => {
+            // The stdin loop is serial, so the batch counter doubles as
+            // the writer sequence number of the socket mode.
+            writeln!(
+                out,
+                "state seq {} epoch {} cardinality {} nnz {}",
+                dm.stats().batches,
+                dm.graph().epoch(),
+                dm.cardinality(),
+                dm.graph().nnz()
+            )
+            .ok();
+        }
+        Command::Sync => {
+            writeln!(out, "synced seq {} cardinality {}", dm.stats().batches, dm.cardinality())
+                .ok();
+        }
+        Command::Stats => {
+            let line = format_stats_line(
+                dm.stats(),
+                dm.cardinality(),
+                dm.graph().nnz(),
+                dm.graph().epoch(),
+                dm.opts().algo.name(),
+            );
+            writeln!(out, "{line}").ok();
+        }
+        Command::Metrics => {
+            out.write_all(mcm_obs::prom::expose(mcm_obs::registry()).as_bytes()).ok();
+            writeln!(out, "# EOF").ok();
+        }
+        Command::Snapshot(path) => {
+            match write_matrix_market_file(&dm.graph().to_triples(), &path) {
+                Ok(()) => {
+                    writeln!(out, "snapshot {} nnz {}", path, dm.graph().nnz()).ok();
+                }
+                Err(e) => {
+                    writeln!(out, "error line {lineno}: {path}: {e}").ok();
+                }
+            }
+        }
+        Command::Quit | Command::Shutdown => {}
+        Command::Insert(..) | Command::Delete(..) => unreachable!("staged above"),
+    }
+    mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
+    ends
 }
 
 fn flush(

@@ -8,15 +8,19 @@
 //!
 //! ```text
 //! serve_load [--conns n] [--secs s] [--rows n] [--cols n]
-//!            [--rate r] [--out path]
+//!            [--rate r] [--weighted] [--out path]
 //! ```
+//!
+//! With `--weighted` the daemon runs the weighted engine: inserts carry
+//! integer weights and `query` responses are validated against the
+//! `matching <n> weight <w>` shape.
 //!
 //! Exits non-zero if any response was corrupted, any read was dropped,
 //! or the daemon's histogram disagrees with the client's ledger —
 //! `BENCH_serve.json` is only written by a clean run.
 
-use mcm_dyn::{DynMatching, DynOptions};
-use mcm_serve::{run_load, LoadConfig, LoadMode, Server, ServerConfig};
+use mcm_dyn::{DynMatching, DynOptions, WDynMatching, WDynOptions};
+use mcm_serve::{run_load, Engine, LoadConfig, LoadMode, Server, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -42,11 +46,19 @@ fn main() -> ExitCode {
     let rows: usize = num(&args, "--rows", 2048);
     let cols: usize = num(&args, "--cols", 2048);
     let rate: f64 = num(&args, "--rate", 25.0);
-    let out_path = opt(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let weighted = args.iter().any(|a| a == "--weighted");
+    let default_out = if weighted { "BENCH_serve_weighted.json" } else { "BENCH_serve.json" };
+    let out_path = opt(&args, "--out").unwrap_or_else(|| default_out.to_string());
 
     mcm_obs::enable_metrics(true);
-    let dm = DynMatching::new(rows, cols, DynOptions::default());
-    let server = match Server::start(dm, ServerConfig::default()) {
+    let started = if weighted {
+        let wm = WDynMatching::new(rows, cols, WDynOptions::default());
+        Server::start_weighted(wm, ServerConfig::default())
+    } else {
+        let dm = DynMatching::new(rows, cols, DynOptions::default());
+        Server::start(dm, ServerConfig::default())
+    };
+    let server = match started {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve_load: failed to start daemon: {e}");
@@ -54,7 +66,10 @@ fn main() -> ExitCode {
         }
     };
     let addr = server.local_addr();
-    eprintln!("serve_load: daemon at {addr}, {conns} connections, {secs}s per mode");
+    eprintln!(
+        "serve_load: {} daemon at {addr}, {conns} connections, {secs}s per mode",
+        if weighted { "weighted" } else { "cardinality" }
+    );
 
     let mut blocks = Vec::new();
     let mut failed = false;
@@ -70,6 +85,7 @@ fn main() -> ExitCode {
             rows,
             cols,
             query_every: 8,
+            weighted,
             seed: 0x5EED,
         };
         let report = match run_load(&cfg) {
@@ -127,12 +143,19 @@ fn main() -> ExitCode {
         blocks.push(mcm_serve::load::report_to_json(&report, &extra));
     }
 
-    let dm = server.shutdown();
+    let (cardinality, nnz, batches, weight) = match server.shutdown() {
+        Engine::Card(dm) => (dm.cardinality(), dm.graph().nnz(), dm.stats().batches as u64, None),
+        Engine::Weighted(wm) => {
+            if let Err(e) = wm.verify_full() {
+                eprintln!("serve_load: FINAL CERTIFICATE FAILED: {e}");
+                failed = true;
+            }
+            (wm.cardinality(), wm.nnz(), wm.stats().batches, Some(wm.weight()))
+        }
+    };
     eprintln!(
-        "serve_load: daemon drained: cardinality {} nnz {} batches {}",
-        dm.cardinality(),
-        dm.graph().nnz(),
-        dm.stats().batches
+        "serve_load: daemon drained: cardinality {cardinality} nnz {nnz} batches {batches}{}",
+        weight.map(|w| format!(" weight {w}")).unwrap_or_default()
     );
     if failed {
         eprintln!("serve_load: FAILED — not writing {out_path}");
@@ -142,14 +165,19 @@ fn main() -> ExitCode {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"serve\",\n");
     json.push_str(&format!(
+        "  \"engine\": \"{}\",\n",
+        if weighted { "weighted" } else { "cardinality" }
+    ));
+    json.push_str(&format!(
         "  \"rows\": {rows},\n  \"cols\": {cols},\n  \"connections\": {conns},\n"
     ));
     json.push_str(&format!(
-        "  \"final_cardinality\": {},\n  \"final_nnz\": {},\n  \"batches\": {},\n",
-        dm.cardinality(),
-        dm.graph().nnz(),
-        dm.stats().batches
+        "  \"final_cardinality\": {cardinality},\n  \"final_nnz\": {nnz},\n  \
+         \"batches\": {batches},\n"
     ));
+    if let Some(w) = weight {
+        json.push_str(&format!("  \"final_weight\": {w},\n"));
+    }
     json.push_str("  \"results\": [\n");
     json.push_str(&blocks.join(",\n"));
     json.push_str("\n  ]\n}\n");

@@ -49,3 +49,4 @@ pub use mcm::{
 pub use portfolio::{MatchingAlgo, PortfolioBackend, PortfolioOptions, SelectorStats};
 pub use semirings::SemiringKind;
 pub use vertex::Vertex;
+pub use weighted::{auction_mwm, auction_mwm_par, matching_weight, WeightedResult};

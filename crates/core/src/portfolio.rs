@@ -24,8 +24,9 @@ use crate::mcm::{
     McmStats,
 };
 use crate::ppf::{ppf, PpfOptions};
+use crate::weighted::{auction_mwm_par, WeightedResult};
 use mcm_bsp::{DistCtx, MachineConfig};
-use mcm_sparse::{Csc, Triples};
+use mcm_sparse::{Csc, Triples, WCsc};
 use std::fmt;
 use std::str::FromStr;
 
@@ -105,6 +106,16 @@ impl SelectorStats {
     pub const SKEWED: f64 = 8.0;
     /// Side ratio above which Pothen–Fan is preferred.
     pub const RECTANGULAR: f64 = 4.0;
+    /// Degree skew **below** which a dense instance is routed to PPF
+    /// instead of the auction. Crown-like shapes — dense, square, and
+    /// degree-uniform (crown(n) has every degree n−1, skew exactly 1) —
+    /// are drained by PPF's greedy + lookahead in one `O(nnz)` phase,
+    /// while the auction runs price dynamics over all n² edges:
+    /// BENCH_algo.json has the density rule losing ~40× on crown_256.
+    /// The auction's home turf, crowded *random* instances, sits well
+    /// above this bound (a binomial degree distribution puts the max
+    /// degree at ≥ 2× the mean at these sizes).
+    pub const UNIFORM: f64 = 1.25;
 
     /// Measures the selector inputs (deduplicates via CSC assembly).
     pub fn measure(t: &Triples) -> SelectorStats {
@@ -151,14 +162,22 @@ impl SelectorStats {
     /// Shape rules run before the density rule: a strongly rectangular
     /// graph has a high `nnz/(n1·n2)` purely because its small side is
     /// small, and skewed-degree instances are PPF's home turf even when
-    /// crowded.
+    /// crowded. The density rule itself carries a uniformity guard
+    /// ([`Self::UNIFORM`]): dense but degree-uniform instances (crowns,
+    /// complete blocks) are price-war fuel for the auction and trivial
+    /// for PPF, so only dense instances with genuine degree variance go
+    /// to the auction.
     pub fn choose(&self) -> MatchingAlgo {
         if self.nnz == 0 {
             MatchingAlgo::MsBfs
         } else if self.degree_skew >= Self::SKEWED || self.side_ratio >= Self::RECTANGULAR {
             MatchingAlgo::Ppf
         } else if self.density >= Self::DENSE {
-            MatchingAlgo::Auction
+            if self.degree_skew <= Self::UNIFORM {
+                MatchingAlgo::Ppf // crown guard: dense + uniform
+            } else {
+                MatchingAlgo::Auction
+            }
         } else {
             MatchingAlgo::MsBfs
         }
@@ -304,6 +323,27 @@ pub fn solve_matching(t: &Triples, opts: &PortfolioOptions) -> Matching {
     solve(t, opts).matching
 }
 
+/// The weighted front door: maximum *weight* matching through the
+/// portfolio. The weighted domain has one engine today — the parallel
+/// ε-scaled auction ([`crate::weighted::auction_mwm_par`]) — so no
+/// selector runs; `opts.threads` and `opts.seed` carry over exactly as
+/// for the cardinality auction. Stamps the shared
+/// `mcm_algo_runs_total{algo="wauction"}` counter and the
+/// `mcm_matching_weight` gauge.
+pub fn solve_weighted(a: &WCsc, opts: &PortfolioOptions) -> WeightedResult {
+    mcm_obs::counter_add(
+        "mcm_algo_runs_total",
+        &[("algo", "wauction"), ("selector", "explicit")],
+        1,
+    );
+    let r = auction_mwm_par(
+        a,
+        &AuctionOptions { threads: opts.threads, seed: opts.seed, ..AuctionOptions::default() },
+    );
+    mcm_obs::gauge_set("mcm_matching_weight", &[], r.weight);
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,14 +365,37 @@ mod tests {
 
     #[test]
     fn selector_routes_the_intended_shapes() {
-        // Dense block → auction.
-        let mut dense = Triples::new(8, 8);
+        // Dense with genuine degree variance → auction. A 10-cycle of
+        // degree-2 columns plus one degree-5 hub column: density 0.23,
+        // skew ≈ 2.2 — above UNIFORM, below SKEWED.
+        let mut dense = Triples::new(10, 10);
+        for j in 0..10u32 {
+            dense.push(j, j);
+            dense.push((j + 1) % 10, j);
+        }
+        for r in 2..5u32 {
+            dense.push(r, 0);
+        }
+        let s = SelectorStats::measure(&dense);
+        assert!(s.density >= SelectorStats::DENSE, "density {}", s.density);
+        assert!(
+            s.degree_skew > SelectorStats::UNIFORM && s.degree_skew < SelectorStats::SKEWED,
+            "skew {}",
+            s.degree_skew
+        );
+        assert_eq!(s.choose(), MatchingAlgo::Auction);
+
+        // Dense but degree-uniform (complete block, skew exactly 1) →
+        // ppf via the crown guard.
+        let mut block = Triples::new(8, 8);
         for r in 0..8u32 {
             for c in 0..8u32 {
-                dense.push(r, c);
+                block.push(r, c);
             }
         }
-        assert_eq!(SelectorStats::measure(&dense).choose(), MatchingAlgo::Auction);
+        let s = SelectorStats::measure(&block);
+        assert!(s.degree_skew <= SelectorStats::UNIFORM);
+        assert_eq!(s.choose(), MatchingAlgo::Ppf);
 
         // Hub-dominated sparse graph → ppf.
         let mut hub = Triples::new(64, 64);

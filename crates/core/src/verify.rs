@@ -13,9 +13,13 @@
 //! * [`verify`] — both checks as a `Result<(), VerifyError>` so sweep
 //!   harnesses can report *which* check failed (and under which schedule
 //!   seed) without aborting; [`assert_maximum`] is the panicking wrapper.
+//! * [`verify_eps_cs`] — the weighted analogue of the Berge certificate:
+//!   ε-complementary-slackness of a matching against a price vector, the
+//!   independent check of the auction engines (`mcm-core::weighted`) and
+//!   of the price-carrying dynamic repair (`mcm-dyn`).
 
 use crate::matching::Matching;
-use mcm_sparse::{Csc, Vidx, NIL};
+use mcm_sparse::{Csc, Vidx, WCsc, NIL};
 use std::fmt;
 
 /// Why a matching failed verification. `Display` gives the same diagnostic
@@ -31,6 +35,9 @@ pub enum VerifyError {
         /// Cardinality of the non-maximum matching.
         cardinality: usize,
     },
+    /// The weighted ε-complementary-slackness certificate failed: the
+    /// matching/price pair does not bound the optimum within `n·ε`.
+    EpsCs(String),
 }
 
 impl fmt::Display for VerifyError {
@@ -40,6 +47,7 @@ impl fmt::Display for VerifyError {
             VerifyError::NotMaximum { cardinality } => {
                 write!(f, "matching of cardinality {cardinality} admits an augmenting path")
             }
+            VerifyError::EpsCs(e) => write!(f, "eps-CS certificate failed: {e}"),
         }
     }
 }
@@ -123,6 +131,76 @@ pub fn is_maximum_from(a: &Csc, m: &Matching, seed_cols: &[Vidx]) -> bool {
         }
     }
     true
+}
+
+/// Weighted ε-complementary-slackness certificate — the weighted analogue
+/// of the Berge check, verified against the auction's dual variables
+/// (`prices`) instead of by path search.
+///
+/// Four conditions, together bounding `W(M) ≥ OPT − |M|·ε` (exact for
+/// integer weights once `|M|·ε < 1`, the classic auction guarantee):
+///
+/// 1. **Edge ε-CS** — every matched column is within ε of its best net
+///    value: `w(r, c) − p[r] ≥ max_{r'} (w(r', c) − p[r']) − ε`.
+/// 2. **Individual rationality** — every matched column is within ε of
+///    the implicit stay-unmatched option: `w(r, c) − p[r] ≥ −ε`.
+/// 3. **Retirement** — every unmatched column's best net value is ≤ 0
+///    (no profitable row at these prices).
+/// 4. **Unmatched rows are free** — `p[r] = 0` for every unmatched row.
+///
+/// The proof is an exchange argument over `M Δ M*`: conditions 1/3 charge
+/// each `M*` edge against an `M` edge plus ε, condition 4 zeroes the one
+/// possible `M*`-only endpoint row of each alternating path, and
+/// condition 2 floors components where `M` covers vertices `M*` skips.
+/// A small floating-point tolerance absorbs price accumulation error.
+pub fn verify_eps_cs(a: &WCsc, m: &Matching, prices: &[f64], eps: f64) -> Result<(), VerifyError> {
+    const TOL: f64 = 1e-9;
+    m.validate(a.pattern()).map_err(VerifyError::Invalid)?;
+    if prices.len() != a.nrows() {
+        return Err(VerifyError::EpsCs(format!(
+            "price vector has {} entries for {} rows",
+            prices.len(),
+            a.nrows()
+        )));
+    }
+    if eps.is_nan() || eps <= 0.0 {
+        return Err(VerifyError::EpsCs(format!("eps must be positive, got {eps}")));
+    }
+    for c in 0..a.ncols() as Vidx {
+        let best = a
+            .col_entries(c as usize)
+            .map(|(r, w)| w - prices[r as usize])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let r = m.mate_c.get(c);
+        if r == NIL {
+            if best > TOL {
+                return Err(VerifyError::EpsCs(format!(
+                    "unmatched column {c} has profitable best net value {best}"
+                )));
+            }
+            continue;
+        }
+        let net = a.weight(r, c as usize).expect("validated matched edge") - prices[r as usize];
+        if net + eps < best - TOL {
+            return Err(VerifyError::EpsCs(format!(
+                "column {c} matched to row {r} at net {net} but best is {best} (eps {eps})"
+            )));
+        }
+        if net + eps < -TOL {
+            return Err(VerifyError::EpsCs(format!(
+                "column {c} matched to row {r} at net {net} below the unmatched option (eps {eps})"
+            )));
+        }
+    }
+    for r in 0..a.nrows() as Vidx {
+        if !m.row_matched(r) && prices[r as usize].abs() > TOL {
+            return Err(VerifyError::EpsCs(format!(
+                "unmatched row {r} has nonzero price {}",
+                prices[r as usize]
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Panics with a diagnostic unless `m` is a valid maximum matching of `a`
@@ -233,6 +311,54 @@ mod tests {
         m.add(0, 0); // augmenting path exists from free column 1
         assert!(!is_maximum_from(&a, &m, &[1]));
         assert!(is_maximum_from(&a, &m, &[0]), "matched seeds are skipped");
+    }
+
+    #[test]
+    fn eps_cs_certifies_the_auction_and_rejects_corruption() {
+        use crate::weighted::auction_mwm;
+        use mcm_sparse::WCsc;
+        let a = WCsc::from_weighted_triples(
+            2,
+            2,
+            vec![(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 10.0)],
+        );
+        let r = auction_mwm(&a, 1.0 / 6.0);
+        assert_eq!(verify_eps_cs(&a, &r.matching, &r.prices, r.eps), Ok(()));
+
+        // A suboptimal matching (light diagonal) with zero prices breaks
+        // edge ε-CS: both columns see a far better alternative.
+        let mut light = Matching::empty(2, 2);
+        light.add(0, 1);
+        light.add(1, 0);
+        let zeros = vec![0.0; 2];
+        assert!(matches!(verify_eps_cs(&a, &light, &zeros, 1.0 / 6.0), Err(VerifyError::EpsCs(_))));
+
+        // Corrupting a matched row's price below its weight is caught by
+        // the unmatched-column profitability check on the evicted column.
+        let mut prices = r.prices.clone();
+        prices[0] = 0.0;
+        let mut partial = Matching::empty(2, 2);
+        partial.add(1, 1);
+        assert!(matches!(verify_eps_cs(&a, &partial, &prices, r.eps), Err(VerifyError::EpsCs(_))));
+
+        // A nonzero price on an unmatched row is a dual-feasibility bug.
+        let empty = Matching::empty(2, 2);
+        assert!(matches!(
+            verify_eps_cs(&a, &empty, &[5.0, 20.0], 1.0 / 6.0),
+            Err(VerifyError::EpsCs(_))
+        ));
+    }
+
+    #[test]
+    fn eps_cs_accepts_weight_sacrificing_cardinality() {
+        use crate::weighted::auction_mwm;
+        use mcm_sparse::WCsc;
+        // MWM leaves c1 unmatched (10 beats 1 + 1); the certificate must
+        // accept the deliberately unmatched column.
+        let a = WCsc::from_weighted_triples(1, 2, vec![(0, 0, 10.0), (0, 1, 1.0)]);
+        let r = auction_mwm(&a, 1.0 / 6.0);
+        assert_eq!(r.matching.cardinality(), 1);
+        assert_eq!(verify_eps_cs(&a, &r.matching, &r.prices, r.eps), Ok(()));
     }
 
     #[test]

@@ -12,12 +12,42 @@
 //! optimal (the classic auction guarantee). Columns whose best net value
 //! goes negative stay unmatched — this computes a maximum *weight*
 //! matching, not a forced perfect assignment.
+//!
+//! Two engines share these semantics:
+//!
+//! * [`auction_mwm`] — the single-scale serial oracle: a queue of bidders,
+//!   unconditionally correct, the differential reference.
+//! * [`auction_mwm_par`] — the production engine on the cardinality
+//!   auction's bidding skeleton ([`crate::auction`], DESIGN.md §15/§17):
+//!   Jacobi-synchronous parallel bid rounds against round-frozen prices,
+//!   deterministic serial resolution (thread-count-invariant matchings by
+//!   construction), and ε-scaling with edge-ε-CS repair at scale
+//!   transitions, exactly as in the unit engine.
+//!
+//! Keep-the-matching scaling needs one weighted-only ingredient to stay
+//! correct for *non-perfect* MWM without Bertsekas' λ-mechanism: besides
+//! edge ε-CS, the optimality exchange argument over `M Δ M*` requires
+//! every kept edge to sit within the **final** ε of the implicit
+//! stay-unmatched option (`net ≥ −ε_final`). Enforcing that by repair at
+//! each transition would unmatch every coarse-scale war winner (their
+//! nets land near `−ε_coarse`) and forfeit the scaling gain, so the
+//! engine enforces it at the source instead — a *regret cap* on bids:
+//! no bidder ever pays past `w + ε_final`, hence `net ≥ −ε_final` holds
+//! through every scale by construction. The cap cannot break edge ε-CS:
+//! it only binds when the runner-up floor is below `ε − ε_final`, and
+//! then the capped net `−ε_final` still exceeds `floor − ε`. Prices
+//! still rise by at least `ε_final` per win, so termination is kept.
+//!
+//! Both return the final price vector so callers can check the
+//! certificate independently ([`crate::verify::verify_eps_cs`]).
 
+use crate::auction::{AuctionOptions, AuctionStats};
 use crate::matching::Matching;
+use mcm_sparse::permute::SplitMix64;
 use mcm_sparse::{Vidx, WCsc, NIL};
 use std::collections::VecDeque;
 
-/// Result of [`auction_mwm`].
+/// Result of [`auction_mwm`] / [`auction_mwm_par`].
 #[derive(Clone, Debug)]
 pub struct WeightedResult {
     /// The matching found.
@@ -26,6 +56,12 @@ pub struct WeightedResult {
     pub weight: f64,
     /// Total bids processed (the work measure of auction algorithms).
     pub bids: u64,
+    /// Final row prices — the dual variables of the ε-CS certificate.
+    pub prices: Vec<f64>,
+    /// The ε the prices certify ([`crate::verify::verify_eps_cs`]).
+    pub eps: f64,
+    /// Run counters (the serial oracle fills a minimal single-scale view).
+    pub stats: AuctionStats,
 }
 
 /// Total weight of `m` under `a` (unmatched vertices contribute 0).
@@ -99,7 +135,220 @@ pub fn auction_mwm(a: &WCsc, eps_final: f64) -> WeightedResult {
     }
 
     let weight = matching_weight(a, &m);
-    WeightedResult { matching: m, weight, bids }
+    let stats = AuctionStats {
+        scales: 1,
+        rounds: bids as usize,
+        bids: bids as usize,
+        ..AuctionStats::default()
+    };
+    WeightedResult { matching: m, weight, bids, prices: price, eps, stats }
+}
+
+const TOL: f64 = 1e-12;
+
+/// Maximum weight bipartite matching by parallel ε-scaled forward auction.
+///
+/// The weighted generalization of [`crate::auction::auction`]: columns bid
+/// for their best net-value row (`w − price`) in Jacobi-synchronous rounds
+/// — bids computed in parallel via `mcm-par` against the round-frozen
+/// price vector, then resolved serially in a deterministic order — so the
+/// matching is identical for every thread count. `opts.eps_start` is
+/// interpreted relative to the value range (`· max(1, max|w|)`), which
+/// reduces to the cardinality engine's start for unit weights;
+/// `opts.eps_final = None` uses `1/(2·(nrows+1))`, strictly inside the
+/// integer-weight exactness bound `1/(nrows+1)`.
+pub fn auction_mwm_par(a: &WCsc, opts: &AuctionOptions) -> WeightedResult {
+    let (n1, n2) = (a.nrows(), a.ncols());
+    let mut m = Matching::empty(n1, n2);
+    let mut stats = AuctionStats::default();
+    let mut prices = vec![0.0f64; n1];
+    // Columns dropped by the injected fault never re-enter the auction
+    // (harness seam, same as the cardinality engine).
+    let mut lost = vec![false; n2];
+
+    let eps_final = opts.eps_final.unwrap_or_else(|| 1.0 / (2.0 * (n1 as f64 + 1.0)));
+    assert!(eps_final > 0.0, "eps_final must be positive");
+    assert!(opts.eps_scale > 1.0, "eps_scale must exceed 1");
+    let value_range = a.max_abs_weight().max(1.0);
+    let mut eps = (opts.eps_start * value_range).max(eps_final);
+
+    let bidder = |c: Vidx| a.pattern().col_nnz(c as usize) > 0;
+    let mut active: Vec<Vidx> = (0..n2 as Vidx).filter(|&c| bidder(c)).collect();
+
+    loop {
+        stats.scales += 1;
+        let _span = mcm_obs::span("wauction_scale");
+        run_weighted_scale(
+            a,
+            &mut m,
+            &mut prices,
+            &mut active,
+            &mut lost,
+            eps,
+            eps_final,
+            opts,
+            &mut stats,
+        );
+        if eps <= eps_final * (1.0 + TOL) {
+            break;
+        }
+        eps = (eps / opts.eps_scale).max(eps_final);
+
+        // Repair edge ε-CS at the finer ε to a fixpoint. Unmatching a
+        // violator resets its row's price, which can invalidate
+        // neighbours' ε-CS — hence the loop; the matched set shrinks
+        // every pass. The `max(0)` term guards the stay-unmatched option
+        // too; the regret cap makes it unreachable (`net ≥ −ε_final`
+        // always), so it is a pure safety net here.
+        loop {
+            let mut changed = false;
+            for c in 0..n2 as Vidx {
+                let r = m.mate_c.get(c);
+                if r == NIL {
+                    continue;
+                }
+                let best = a
+                    .col_entries(c as usize)
+                    .map(|(r2, w)| w - prices[r2 as usize])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let net =
+                    a.weight(r, c as usize).expect("matched edge must exist") - prices[r as usize];
+                if net + eps < best.max(0.0) - TOL {
+                    m.mate_c.set(c, NIL);
+                    m.mate_r.set(r, NIL);
+                    prices[r as usize] = 0.0;
+                    stats.rescaled += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Every unmatched bidder re-enters at the finer ε — including
+        // previously retired ones, whose retirement certificate a price
+        // reset may have invalidated.
+        active = (0..n2 as Vidx)
+            .filter(|&c| bidder(c) && !m.col_matched(c) && !lost[c as usize])
+            .collect();
+    }
+    mcm_obs::counter_add("mcm_wauction_rounds_total", &[], stats.rounds as u64);
+    debug_assert!(m.validate(a.pattern()).is_ok());
+    let weight = matching_weight(a, &m);
+    let bids = stats.bids as u64;
+    WeightedResult { matching: m, weight, bids, prices, eps, stats }
+}
+
+/// Runs Jacobi rounds at a fixed ε until no active bidder remains — the
+/// weighted twin of the cardinality engine's `run_scale`, with net value
+/// `w(r, c) − price[r]` in place of `1 − price[r]`.
+#[allow(clippy::too_many_arguments)]
+fn run_weighted_scale(
+    a: &WCsc,
+    m: &mut Matching,
+    prices: &mut [f64],
+    active: &mut Vec<Vidx>,
+    lost: &mut [bool],
+    eps: f64,
+    eps_final: f64,
+    opts: &AuctionOptions,
+    stats: &mut AuctionStats,
+) {
+    let mut winner_bid = vec![f64::NEG_INFINITY; prices.len()];
+    let mut winner_col = vec![NIL; prices.len()];
+    let mut touched: Vec<Vidx> = Vec::new();
+    let mut round_in_scale = 0u64;
+
+    while !active.is_empty() {
+        stats.rounds += 1;
+        round_in_scale += 1;
+        let _span = mcm_obs::span("wauction_round");
+
+        // --- Parallel bid computation against frozen prices. ------------
+        let prices_ro: &[f64] = prices;
+        let active_ro: &[Vidx] = active;
+        let bids: Vec<Option<(Vidx, f64)>> =
+            mcm_par::par_map_range(active_ro.len(), opts.threads.max(1), |k| {
+                let c = active_ro[k];
+                let mut best_r = NIL;
+                let mut best = f64::NEG_INFINITY;
+                let mut second = f64::NEG_INFINITY;
+                for (r, w) in a.col_entries(c as usize) {
+                    let net = w - prices_ro[r as usize];
+                    if net > best {
+                        second = best;
+                        best = net;
+                        best_r = r;
+                    } else if net > second {
+                        second = net;
+                    }
+                }
+                if best < 0.0 {
+                    return None; // retire: no profitable row at these prices
+                }
+                // Bertsekas bid with the regret cap: pay up to the
+                // second-best net (floored at the retirement boundary)
+                // plus ε, but never past `w + ε_final` — the winner's
+                // net stays ≥ −ε_final at every scale.
+                let floor = second.max(0.0);
+                let increment = (eps - floor).min(eps_final);
+                Some((best_r, prices_ro[best_r as usize] + best + increment))
+            });
+        stats.bids += bids.len();
+
+        // --- Deterministic serial resolution. ---------------------------
+        let mut order: Vec<usize> = (0..active.len()).collect();
+        if opts.seed != 0 {
+            let mut rng =
+                SplitMix64::new(opts.seed ^ round_in_scale.wrapping_mul(0xD1B5_4A32_D192_ED03));
+            for k in (1..order.len()).rev() {
+                let j = rng.below(k as u64 + 1) as usize;
+                order.swap(k, j);
+            }
+        }
+        for &k in &order {
+            if let Some((r, bid)) = bids[k] {
+                if winner_col[r as usize] == NIL {
+                    touched.push(r);
+                }
+                if bid > winner_bid[r as usize] {
+                    winner_bid[r as usize] = bid;
+                    winner_col[r as usize] = active[k];
+                }
+            }
+        }
+
+        let mut next_active: Vec<Vidx> = Vec::with_capacity(active.len());
+        for &k in &order {
+            match bids[k] {
+                None => stats.retired += 1,
+                Some((r, _)) if winner_col[r as usize] != active[k] => {
+                    next_active.push(active[k]); // lost this round, bid again
+                }
+                Some(_) => {}
+            }
+        }
+        for &r in &touched {
+            let w = winner_col[r as usize];
+            let prev = m.mate_r.get(r);
+            if prev != NIL && prev != w {
+                m.mate_c.set(prev, NIL);
+                stats.evictions += 1;
+                if opts.fault_lost_bidder {
+                    lost[prev as usize] = true;
+                } else {
+                    next_active.push(prev);
+                }
+            }
+            m.mate_r.set(r, w);
+            m.mate_c.set(w, r);
+            prices[r as usize] = winner_bid[r as usize];
+            winner_bid[r as usize] = f64::NEG_INFINITY;
+            winner_col[r as usize] = NIL;
+        }
+        touched.clear();
+        *active = next_active;
+    }
 }
 
 #[cfg(test)]
@@ -222,5 +471,148 @@ mod tests {
         let r = auction_mwm(&a, 0.1);
         assert_eq!(r.weight, 0.0);
         assert_eq!(r.matching.cardinality(), 0);
+    }
+
+    #[test]
+    fn serial_oracle_passes_its_own_certificate() {
+        use crate::verify::verify_eps_cs;
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(0xCE27);
+        for _ in 0..30 {
+            let n1 = 2 + (rng.next_u64() % 10) as usize;
+            let n2 = 2 + (rng.next_u64() % 10) as usize;
+            let mut entries = Vec::new();
+            for _ in 0..3 * n1.max(n2) {
+                entries.push((
+                    rng.below(n1 as u64) as Vidx,
+                    rng.below(n2 as u64) as Vidx,
+                    rng.below(50) as f64,
+                ));
+            }
+            let a = WCsc::from_weighted_triples(n1, n2, entries);
+            let r = auction_mwm(&a, exact_eps(n1.max(n2)));
+            verify_eps_cs(&a, &r.matching, &r.prices, r.eps).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_oracle_weight_on_random_instances() {
+        use crate::verify::verify_eps_cs;
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(0x9A12);
+        for trial in 0..40 {
+            let n1 = 2 + (rng.next_u64() % 14) as usize;
+            let n2 = 2 + (rng.next_u64() % 14) as usize;
+            let mut entries = Vec::new();
+            for _ in 0..3 * n1.max(n2) {
+                entries.push((
+                    rng.below(n1 as u64) as Vidx,
+                    rng.below(n2 as u64) as Vidx,
+                    (rng.below(50) + 1) as f64, // integer weights → exact
+                ));
+            }
+            let a = WCsc::from_weighted_triples(n1, n2, entries);
+            let want = auction_mwm(&a, exact_eps(n1)).weight;
+            let got = auction_mwm_par(&a, &AuctionOptions::default());
+            got.matching.validate(a.pattern()).unwrap();
+            verify_eps_cs(&a, &got.matching, &got.prices, got.eps).unwrap();
+            assert!(
+                (got.weight - want).abs() < 1e-9,
+                "trial {trial}: parallel {} vs oracle {want}",
+                got.weight
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_thread_count_does_not_change_the_matching() {
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(0x7A);
+        let (n1, n2) = (24usize, 24usize);
+        let mut entries = Vec::new();
+        for _ in 0..90 {
+            entries.push((
+                rng.below(n1 as u64) as Vidx,
+                rng.below(n2 as u64) as Vidx,
+                (rng.below(100) + 1) as f64,
+            ));
+        }
+        let a = WCsc::from_weighted_triples(n1, n2, entries);
+        let r1 = auction_mwm_par(&a, &AuctionOptions { threads: 1, ..AuctionOptions::default() });
+        let r4 = auction_mwm_par(&a, &AuctionOptions { threads: 4, ..AuctionOptions::default() });
+        let r9 = auction_mwm_par(&a, &AuctionOptions { threads: 9, ..AuctionOptions::default() });
+        assert_eq!(r1.matching, r4.matching);
+        assert_eq!(r1.matching, r9.matching);
+        assert_eq!(r1.stats.rounds, r4.stats.rounds);
+        assert_eq!(r1.prices, r9.prices);
+    }
+
+    #[test]
+    fn parallel_scaling_beats_fixed_fine_eps_on_heavy_crowd() {
+        // K_{4,24} with a large uniform weight: a fixed fine ε price war
+        // takes Θ(W/ε) rounds; scaling resolves it in coarse increments.
+        let mut entries = Vec::new();
+        for r in 0..4u32 {
+            for c in 0..24u32 {
+                entries.push((r, c, 64.0));
+            }
+        }
+        let a = WCsc::from_weighted_triples(4, 24, entries);
+        let fine = 1.0 / 10.0;
+        let fixed = auction_mwm_par(
+            &a,
+            &AuctionOptions {
+                eps_start: 0.0, // clamps to eps_final: single fixed scale
+                eps_final: Some(fine),
+                ..AuctionOptions::default()
+            },
+        );
+        let scaled = auction_mwm_par(
+            &a,
+            &AuctionOptions { eps_final: Some(fine), ..AuctionOptions::default() },
+        );
+        assert_eq!(fixed.matching.cardinality(), 4);
+        assert_eq!(scaled.matching.cardinality(), 4);
+        assert_eq!(fixed.stats.scales, 1);
+        assert!(scaled.stats.scales > 1);
+        assert!(
+            scaled.stats.rounds < fixed.stats.rounds,
+            "scaling gained nothing: scaled {} rounds vs fixed {}",
+            scaled.stats.rounds,
+            fixed.stats.rounds
+        );
+    }
+
+    #[test]
+    fn parallel_uniform_weights_reduce_to_maximum_cardinality() {
+        use crate::serial::hopcroft_karp;
+        use mcm_sparse::permute::SplitMix64;
+        let mut rng = SplitMix64::new(0x11F0);
+        for _ in 0..15 {
+            let n = 4 + (rng.next_u64() % 16) as usize;
+            let mut t = Triples::new(n, n);
+            let mut entries = Vec::new();
+            for _ in 0..3 * n {
+                let (i, j) = (rng.below(n as u64) as Vidx, rng.below(n as u64) as Vidx);
+                t.push(i, j);
+                entries.push((i, j, 1.0));
+            }
+            let a = WCsc::from_weighted_triples(n, n, entries);
+            let mcm = hopcroft_karp(&t.to_csc(), None).cardinality();
+            let mwm = auction_mwm_par(&a, &AuctionOptions::default());
+            assert_eq!(mwm.matching.cardinality(), mcm);
+            assert!((mwm.weight - mcm as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_shapes() {
+        let empty = WCsc::from_weighted_triples(0, 0, vec![]);
+        let r = auction_mwm_par(&empty, &AuctionOptions::default());
+        assert_eq!(r.matching.cardinality(), 0);
+        let negative = WCsc::from_weighted_triples(2, 2, vec![(0, 0, -5.0), (1, 1, 3.0)]);
+        let r = auction_mwm_par(&negative, &AuctionOptions::default());
+        assert_eq!(r.weight, 3.0);
+        assert!(!r.matching.col_matched(0));
     }
 }

@@ -11,6 +11,11 @@
 //!   vertices, falling back to the warm-started multi-source MS-BFS
 //!   driver (`mcm-core`) when the dirty set is large — the dynamic
 //!   analogue of the paper's `k < 2p²` path-vs-level parallelism switch;
+//! * [`WDynMatching`] — the weighted sibling: an always-(ε-)optimal
+//!   weighted matching whose auction prices persist across batches, so a
+//!   batch only re-auctions the columns whose ε-complementary-slackness
+//!   it actually violated (cold parallel ε-scaled solve above a dirty
+//!   threshold);
 //! * [`StateSnapshot`] — an immutable copy of the engine's published
 //!   state, the unit of snapshot isolation in the `mcm-serve` daemon
 //!   (which also owns the `mcmd` line protocol, in `mcm_serve::proto`).
@@ -22,9 +27,11 @@
 
 pub mod engine;
 pub mod graph;
+pub mod weighted;
 
 pub use engine::{
     BatchReport, CertScope, DynMatching, DynOptions, DynStats, FallbackBackend, StateSnapshot,
     Update,
 };
 pub use graph::DynGraph;
+pub use weighted::{WBatchReport, WDynMatching, WDynOptions, WDynStats, WStateSnapshot, WUpdate};

@@ -32,4 +32,7 @@ pub mod trace;
 pub use realistic::{representative4, table2, StandIn};
 pub use rmat::{rmat, RmatParams};
 pub use suite::{simtest_suite, update_trace_suite};
-pub use trace::{update_trace, TraceOp, TraceParams};
+pub use trace::{
+    assign_weights, materialize_weighted, update_trace, weighted_update_trace, TraceOp,
+    TraceParams, WTraceOp, WTraceParams,
+};

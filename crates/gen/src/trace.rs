@@ -13,6 +13,12 @@
 //! Deterministic in `seed` (SplitMix64 stream, like every other generator
 //! in this crate); the greedy mirror is part of the generator, not a
 //! statement about what the engine under test matches.
+//!
+//! The weighted variants ([`weighted_update_trace`], [`WTraceOp`]) add a
+//! seeded integer weight distribution and **weight-perturbation updates**
+//! (a live-edge insert redraws the edge's weight) for exercising the
+//! weighted incremental engine; [`assign_weights`] turns any static suite
+//! instance into a weighted one.
 
 use mcm_sparse::permute::SplitMix64;
 use mcm_sparse::{Triples, Vidx, NIL};
@@ -202,6 +208,142 @@ pub fn update_trace(p: &TraceParams) -> Vec<TraceOp> {
     ops
 }
 
+/// One operation of a *weighted* update trace. An `Insert` whose edge is
+/// already live is a **reweight** — the weight-perturbation update the
+/// weighted engines must repair incrementally.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WTraceOp {
+    /// Insert edge (row, col) with the given weight, or reweight it if
+    /// the edge is already live.
+    Insert(Vidx, Vidx, f64),
+    /// Delete edge (row, col).
+    Delete(Vidx, Vidx),
+    /// Checkpoint: harnesses flush pending updates, repair, and compare
+    /// against the weighted recompute oracle here.
+    Query,
+}
+
+/// Shape and mix of one generated weighted trace.
+#[derive(Clone, Copy, Debug)]
+pub struct WTraceParams {
+    /// The structural knobs, shared with the unweighted generator.
+    pub base: TraceParams,
+    /// Weights are drawn uniformly from the integers `1..=max_weight`
+    /// (integer-valued `f64`s, so eps-scaled auctions are *exact* and
+    /// differential harnesses can assert weight equality).
+    pub max_weight: u64,
+    /// Probability an insert-slot operation instead perturbs a live
+    /// edge's weight (redrawing it from the same distribution).
+    pub reweight_frac: f64,
+}
+
+impl WTraceParams {
+    /// A balanced default over [`TraceParams::churn`]: small integer
+    /// weights, a quarter of inserts turned into reweights.
+    pub fn churn(n1: usize, n2: usize, seed: u64) -> Self {
+        Self { base: TraceParams::churn(n1, n2, seed), max_weight: 50, reweight_frac: 0.25 }
+    }
+}
+
+/// Assigns seeded integer weights (`1..=max_weight`, as `f64`) to a
+/// static edge list — the bridge from the unweighted suite generators to
+/// the weighted solvers. Deterministic in `seed`; independent of entry
+/// order beyond the order of the output.
+pub fn assign_weights(
+    entries: &[(Vidx, Vidx)],
+    seed: u64,
+    max_weight: u64,
+) -> Vec<(Vidx, Vidx, f64)> {
+    assert!(max_weight >= 1);
+    let mut rng = SplitMix64::new(seed);
+    entries.iter().map(|&(r, c)| (r, c, (1 + rng.below(max_weight)) as f64)).collect()
+}
+
+/// Generates a seeded weighted insert/reweight/delete/query trace (see
+/// [`WTraceParams`]). Structurally valid like [`update_trace`]: deletes
+/// hit live edges, and every `Insert` either adds a fresh edge or
+/// (deliberately, with probability `reweight_frac`) reweights a live one.
+pub fn weighted_update_trace(p: &WTraceParams) -> Vec<WTraceOp> {
+    let b = &p.base;
+    assert!(b.n1 > 0 && b.n2 > 0);
+    assert!((0.0..=1.0).contains(&b.insert_frac) && (0.0..=1.0).contains(&b.matched_bias));
+    assert!((0.0..=1.0).contains(&p.reweight_frac) && p.max_weight >= 1);
+    let mut rng = SplitMix64::new(b.seed);
+    let mut st = TraceState::new(b.n1, b.n2);
+    let mut ops = Vec::with_capacity(b.warmup_edges + b.batches * (b.ops_per_batch + 1) + 1);
+    let draw = |rng: &mut SplitMix64| (1 + rng.below(p.max_weight)) as f64;
+
+    let fresh_edge = |rng: &mut SplitMix64, st: &TraceState| {
+        for _ in 0..8 {
+            let r = rng.below(b.n1 as u64) as Vidx;
+            let c = rng.below(b.n2 as u64) as Vidx;
+            if !st.contains(r, c) {
+                return Some((r, c));
+            }
+        }
+        None
+    };
+
+    for _ in 0..b.warmup_edges {
+        if let Some((r, c)) = fresh_edge(&mut rng, &st) {
+            st.insert(r, c);
+            let w = draw(&mut rng);
+            ops.push(WTraceOp::Insert(r, c, w));
+        }
+    }
+    ops.push(WTraceOp::Query);
+
+    for _ in 0..b.batches {
+        for _ in 0..b.ops_per_batch {
+            let want_insert = rng.next_f64() < b.insert_frac || st.live.is_empty();
+            if want_insert {
+                let reweight = !st.live.is_empty() && rng.next_f64() < p.reweight_frac;
+                if reweight {
+                    let (r, c) = st.live[rng.below(st.live.len() as u64) as usize];
+                    let w = draw(&mut rng);
+                    ops.push(WTraceOp::Insert(r, c, w));
+                } else if let Some((r, c)) = fresh_edge(&mut rng, &st) {
+                    st.insert(r, c);
+                    let w = draw(&mut rng);
+                    ops.push(WTraceOp::Insert(r, c, w));
+                }
+            } else {
+                let picked =
+                    if rng.next_f64() < b.matched_bias { st.pick_matched(&mut rng) } else { None };
+                let (r, c) =
+                    picked.unwrap_or_else(|| st.live[rng.below(st.live.len() as u64) as usize]);
+                st.delete(r, c);
+                ops.push(WTraceOp::Delete(r, c));
+            }
+        }
+        ops.push(WTraceOp::Query);
+    }
+    ops
+}
+
+/// Materializes the weighted edge set a trace prefix builds (ignoring
+/// queries; last write wins on reweights) — the weighted recompute
+/// oracle's view of the graph at any checkpoint.
+pub fn materialize_weighted(n1: usize, n2: usize, prefix: &[WTraceOp]) -> Vec<(Vidx, Vidx, f64)> {
+    let mut live: Vec<Option<f64>> = vec![None; n1 * n2];
+    for op in prefix {
+        match *op {
+            WTraceOp::Insert(r, c, w) => live[r as usize * n2 + c as usize] = Some(w),
+            WTraceOp::Delete(r, c) => live[r as usize * n2 + c as usize] = None,
+            WTraceOp::Query => {}
+        }
+    }
+    let mut out = Vec::new();
+    for r in 0..n1 {
+        for c in 0..n2 {
+            if let Some(w) = live[r * n2 + c] {
+                out.push((r as Vidx, c as Vidx, w));
+            }
+        }
+    }
+    out
+}
+
 /// Materializes the edge set a trace prefix builds (ignoring queries) —
 /// the recompute oracle's view of the graph at any checkpoint.
 pub fn materialize(n1: usize, n2: usize, prefix: &[TraceOp]) -> Triples {
@@ -297,6 +439,100 @@ mod tests {
             f64::from(hits) / f64::from(deletes)
         };
         assert!(hit_rate(1.0) > hit_rate(0.0) + 0.2, "bias knob has no effect");
+    }
+
+    fn wparams(seed: u64) -> WTraceParams {
+        WTraceParams { max_weight: 9, reweight_frac: 0.3, ..WTraceParams::churn(12, 10, seed) }
+    }
+
+    #[test]
+    fn weighted_trace_is_deterministic_and_valid() {
+        assert_eq!(weighted_update_trace(&wparams(7)), weighted_update_trace(&wparams(7)));
+        assert_ne!(weighted_update_trace(&wparams(7)), weighted_update_trace(&wparams(8)));
+
+        let p = wparams(3);
+        let ops = weighted_update_trace(&p);
+        let (n1, n2) = (p.base.n1, p.base.n2);
+        let mut live = vec![false; n1 * n2];
+        let (mut fresh, mut reweights, mut queries) = (0u32, 0u32, 0u32);
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                WTraceOp::Insert(r, c, w) => {
+                    assert_eq!(w, w.trunc(), "step {step}: weight {w} is not an integer");
+                    assert!(
+                        (1.0..=p.max_weight as f64).contains(&w),
+                        "step {step}: weight {w} out of range"
+                    );
+                    let k = r as usize * n2 + c as usize;
+                    if live[k] {
+                        reweights += 1; // a live-edge insert is a reweight
+                    } else {
+                        fresh += 1;
+                        live[k] = true;
+                    }
+                }
+                WTraceOp::Delete(r, c) => {
+                    let k = r as usize * n2 + c as usize;
+                    assert!(live[k], "step {step}: delete of dead edge ({r},{c})");
+                    live[k] = false;
+                }
+                WTraceOp::Query => queries += 1,
+            }
+        }
+        assert_eq!(queries as usize, p.base.batches + 1);
+        assert!(fresh > 0 && reweights > 0, "trace must mix fresh inserts and reweights");
+    }
+
+    #[test]
+    fn zero_reweight_frac_keeps_every_insert_fresh() {
+        let p = WTraceParams { reweight_frac: 0.0, ..wparams(5) };
+        let ops = weighted_update_trace(&p);
+        let mut live = vec![false; p.base.n1 * p.base.n2];
+        for op in &ops {
+            match *op {
+                WTraceOp::Insert(r, c, _) => {
+                    let k = r as usize * p.base.n2 + c as usize;
+                    assert!(!live[k], "reweight emitted with reweight_frac 0");
+                    live[k] = true;
+                }
+                WTraceOp::Delete(r, c) => live[r as usize * p.base.n2 + c as usize] = false,
+                WTraceOp::Query => {}
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_weighted_keeps_the_last_weight() {
+        let p = wparams(11);
+        let ops = weighted_update_trace(&p);
+        let got = materialize_weighted(p.base.n1, p.base.n2, &ops);
+        // Replay through a dense last-write-wins mirror and compare.
+        let mut mirror: Vec<Option<f64>> = vec![None; p.base.n1 * p.base.n2];
+        for op in &ops {
+            match *op {
+                WTraceOp::Insert(r, c, w) => mirror[r as usize * p.base.n2 + c as usize] = Some(w),
+                WTraceOp::Delete(r, c) => mirror[r as usize * p.base.n2 + c as usize] = None,
+                WTraceOp::Query => {}
+            }
+        }
+        assert_eq!(got.len(), mirror.iter().filter(|w| w.is_some()).count());
+        for &(r, c, w) in &got {
+            assert_eq!(mirror[r as usize * p.base.n2 + c as usize], Some(w));
+        }
+    }
+
+    #[test]
+    fn assign_weights_is_seeded_and_in_range() {
+        let edges: Vec<(Vidx, Vidx)> = (0..40).map(|i| (i % 8, (i * 3) % 8)).collect();
+        let a = assign_weights(&edges, 42, 50);
+        let b = assign_weights(&edges, 42, 50);
+        let c = assign_weights(&edges, 43, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for &(_, _, w) in &a {
+            assert_eq!(w, w.trunc());
+            assert!((1.0..=50.0).contains(&w));
+        }
     }
 
     #[test]

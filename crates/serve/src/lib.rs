@@ -10,8 +10,14 @@
 //! * [`server`] — `mcmd --listen`: a non-blocking acceptor, a worker
 //!   thread per connection, a single writer thread applying admitted
 //!   updates in bounded batches (size + latency watermarks, `busy`
-//!   backpressure), and **epoch-published snapshots** so
-//!   `query`/`state`/`stats`/`snapshot` never block behind a repair;
+//!   backpressure), and **lock-free-published snapshots** so
+//!   `query`/`state`/`stats`/`snapshot` never block behind a repair (or
+//!   each other). Serves either engine: maximum cardinality or, with
+//!   `mcmd --weighted`, maximum weight (`insert u v [w]`, weight-carrying
+//!   `query`/`stats`);
+//! * [`swap`] — [`SwapCell`], the wait-free-read `Arc` publication cell
+//!   behind the snapshot path (external reader counting, no read-side
+//!   locks);
 //! * [`load`] — the closed-/open-loop load harness behind `serve_load`
 //!   and the CI smoke job (p50/p99/p999 per verb, sustained updates/sec,
 //!   zero-corruption accounting).
@@ -21,7 +27,11 @@
 pub mod load;
 pub mod proto;
 pub mod server;
+pub mod swap;
 
 pub use load::{run_load, LoadConfig, LoadMode, LoadReport, VerbReport};
 pub use proto::{parse_command, verb_of, Command, FrameError, LineFramer};
-pub use server::{format_stats_line, ApplyHook, Published, Server, ServerConfig};
+pub use server::{
+    format_stats_line, format_wstats_line, ApplyHook, Engine, Published, Server, ServerConfig, Snap,
+};
+pub use swap::SwapCell;

@@ -53,6 +53,9 @@ pub struct LoadConfig {
     pub cols: usize,
     /// Issue a `query` every this many requests (0 = updates only).
     pub query_every: usize,
+    /// Emit weighted inserts (`insert r c w`, integer weights 1..=50)
+    /// for a daemon running the weighted engine.
+    pub weighted: bool,
     pub seed: u64,
 }
 
@@ -67,6 +70,7 @@ impl Default for LoadConfig {
             rows: 1024,
             cols: 1024,
             query_every: 8,
+            weighted: false,
             seed: 0x5EED,
         }
     }
@@ -132,7 +136,12 @@ fn next_request(rng: &mut SplitMix64, i: u64, cfg: &LoadConfig) -> (usize, Strin
     let c = rng.below(cfg.cols as u64);
     // 3:1 insert:delete keeps the graph growing while exercising both.
     if rng.below(4) < 3 {
-        (0, format!("insert {r} {c}\n"))
+        if cfg.weighted {
+            let w = rng.below(50) + 1;
+            (0, format!("insert {r} {c} {w}\n"))
+        } else {
+            (0, format!("insert {r} {c}\n"))
+        }
     } else {
         (1, format!("delete {r} {c}\n"))
     }
@@ -149,8 +158,16 @@ fn classify(verb_idx: usize, resp: &str) -> Result<Class, ()> {
             _ => Err(()),
         },
         _ => {
-            let is_matching =
-                resp.strip_prefix("matching ").is_some_and(|n| n.parse::<u64>().is_ok());
+            // `matching <n>` (cardinality daemon) or
+            // `matching <n> weight <w>` (weighted daemon).
+            let is_matching = resp.strip_prefix("matching ").is_some_and(|rest| {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                match toks.as_slice() {
+                    [n] => n.parse::<u64>().is_ok(),
+                    [n, "weight", w] => n.parse::<u64>().is_ok() && w.parse::<f64>().is_ok(),
+                    _ => false,
+                }
+            });
             if is_matching {
                 Ok(Class::Ok)
             } else if resp.starts_with("error ") {

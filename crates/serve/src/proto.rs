@@ -9,8 +9,14 @@
 //! * JSONL — `{"op": "insert", "u": 3, "v": 5}` and friends. The parser
 //!   is deliberately a tokenizer, not a JSON library (the workspace has
 //!   no serde and the grammar is a handful of fixed shapes): structural
-//!   punctuation is stripped and `u`/`v`/`path` keys are honoured, so
-//!   key order does not matter.
+//!   punctuation is stripped and `u`/`v`/`w`/`path` keys are honoured,
+//!   so key order does not matter.
+//!
+//! `insert` optionally carries an edge weight — `insert 3 5 2.5` or
+//! `{"op": "insert", "u": 3, "v": 5, "w": 2.5}` — for daemons running
+//! the weighted engine (`mcmd --weighted`). A missing weight means 1.0
+//! there, so unweighted clients interoperate unchanged; re-inserting a
+//! live edge with a new weight re-weights it.
 //!
 //! Row/column indices are 0-based, matching the rest of the workspace
 //! (`mcm-sparse` converts at the Matrix Market boundary only).
@@ -25,10 +31,11 @@
 use mcm_sparse::Vidx;
 
 /// One parsed `mcmd` command.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Command {
-    /// Stage edge (row, col) for insertion.
-    Insert(Vidx, Vidx),
+    /// Stage edge (row, col) for insertion, optionally weighted.
+    /// `None` means "not spelled out" — 1.0 to a weighted engine.
+    Insert(Vidx, Vidx, Option<f64>),
     /// Stage edge (row, col) for deletion.
     Delete(Vidx, Vidx),
     /// Report the matching cardinality (socket mode: from the published
@@ -117,7 +124,20 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
                 _ => positional_pair(&toks, verb_pos)
                     .ok_or_else(|| format!("{verb} needs two vertex indices: {trimmed}"))?,
             };
-            Ok(Some(if verb == "insert" { Command::Insert(u, v) } else { Command::Delete(u, v) }))
+            if verb == "insert" {
+                let w = match value_after_key(&toks, "w") {
+                    Some(t) => {
+                        Some(t.parse::<f64>().map_err(|_| format!("bad insert weight: {t}"))?)
+                    }
+                    None => positional_weight(&toks, verb_pos),
+                };
+                if w.is_some_and(|w| !w.is_finite()) {
+                    return Err(format!("insert weight must be finite: {trimmed}"));
+                }
+                Ok(Some(Command::Insert(u, v, w)))
+            } else {
+                Ok(Some(Command::Delete(u, v)))
+            }
         }
         _ => unreachable!("position() only matches the verbs above"),
     }
@@ -152,6 +172,13 @@ fn keyed_index(toks: &[&str], k: &str) -> Option<Vidx> {
 fn positional_pair(toks: &[&str], verb_pos: usize) -> Option<(Vidx, Vidx)> {
     let mut ints = toks[verb_pos + 1..].iter().filter_map(|t| t.parse::<Vidx>().ok());
     Some((ints.next()?, ints.next()?))
+}
+
+/// The third numeric token after the verb, if any — the plain-text
+/// spelling of an insert weight (`insert 3 5 2.5`). Keys like `u`/`v`
+/// don't parse as numbers, so JSONL lines without a `w` key yield none.
+fn positional_weight(toks: &[&str], verb_pos: usize) -> Option<f64> {
+    toks[verb_pos + 1..].iter().filter_map(|t| t.parse::<f64>().ok()).nth(2)
 }
 
 /// Framing failure surfaced by [`LineFramer::finish`].
@@ -233,7 +260,7 @@ mod tests {
 
     #[test]
     fn plain_text_commands_parse() {
-        assert_eq!(parse_command("insert 3 5").unwrap(), Some(Command::Insert(3, 5)));
+        assert_eq!(parse_command("insert 3 5").unwrap(), Some(Command::Insert(3, 5, None)));
         assert_eq!(parse_command("  delete 0 12 ").unwrap(), Some(Command::Delete(0, 12)));
         assert_eq!(parse_command("query").unwrap(), Some(Command::Query));
         assert_eq!(parse_command("state").unwrap(), Some(Command::State));
@@ -250,10 +277,33 @@ mod tests {
     }
 
     #[test]
+    fn weighted_inserts_parse_in_both_spellings() {
+        assert_eq!(
+            parse_command("insert 3 5 2.5").unwrap(),
+            Some(Command::Insert(3, 5, Some(2.5)))
+        );
+        assert_eq!(
+            parse_command("insert 3 5 -4").unwrap(),
+            Some(Command::Insert(3, 5, Some(-4.0)))
+        );
+        assert_eq!(
+            parse_command(r#"{"op": "insert", "u": 3, "v": 5, "w": 2.5}"#).unwrap(),
+            Some(Command::Insert(3, 5, Some(2.5)))
+        );
+        // Key order does not matter, including `w` before the verb.
+        assert_eq!(
+            parse_command(r#"{"w": 7, "v": 5, "u": 3, "op": "insert"}"#).unwrap(),
+            Some(Command::Insert(3, 5, Some(7.0)))
+        );
+        assert!(parse_command("insert 3 5 nan").is_err(), "non-finite weights are rejected");
+        assert!(parse_command(r#"{"op":"insert","u":3,"v":5,"w":"x"}"#).is_err());
+    }
+
+    #[test]
     fn jsonl_commands_parse_in_any_key_order() {
         assert_eq!(
             parse_command(r#"{"op": "insert", "u": 3, "v": 5}"#).unwrap(),
-            Some(Command::Insert(3, 5))
+            Some(Command::Insert(3, 5, None))
         );
         assert_eq!(
             parse_command(r#"{"v": 5, "u": 3, "op": "delete"}"#).unwrap(),

@@ -1,16 +1,32 @@
 //! The socket daemon: a non-blocking acceptor, one worker thread per
-//! connection, a single writer thread owning the [`DynMatching`], and an
-//! epoch-published snapshot readers serve from.
+//! connection, a single writer thread owning the matching engine, and a
+//! lock-free-published snapshot readers serve from.
 //!
 //! ## Snapshot isolation
 //!
 //! The writer is the only thread that touches the engine. After every
 //! applied batch it publishes `Arc<Published>` — a writer sequence
-//! number plus a [`StateSnapshot`] (graph clone + counters +
-//! cardinality) — by swapping the `Arc` under a mutex held only for the
-//! swap/clone instant. `query`/`state`/`stats`/`snapshot` readers grab
-//! the current `Arc` and answer from it: a read issued mid-repair sees
-//! the pre-batch snapshot and never waits for the repair to finish.
+//! number plus an engine snapshot (graph clone + counters + cardinality,
+//! and in weighted mode the matching weight) — through a [`SwapCell`].
+//! `query`/`state`/`stats`/`snapshot` readers grab the current `Arc`
+//! wait-free and answer from it: a read issued mid-repair sees the
+//! pre-batch snapshot, never waits for the repair to finish, and — since
+//! the swap cell replaced the old mutex-guarded `Arc` — never contends
+//! on a lock with other readers either.
+//!
+//! ## Engines
+//!
+//! The daemon serves either engine behind one protocol:
+//!
+//! * [`Server::start`] — cardinality ([`DynMatching`]): the original
+//!   service; `insert u v` / `delete u v`, `query` answers
+//!   `matching <n>`.
+//! * [`Server::start_weighted`] — weighted ([`WDynMatching`]):
+//!   `insert u v [w]` (missing weight = 1.0, so unweighted clients work
+//!   unchanged), `query` answers `matching <n> weight <w>`, and `stats`
+//!   reports the auction-repair counters. A weighted insert sent to a
+//!   cardinality daemon is answered with an error rather than silently
+//!   dropping the weight.
 //!
 //! ## Adaptive admission batching and backpressure
 //!
@@ -33,21 +49,26 @@
 //! before returning the engine — admitted work is never dropped.
 
 use crate::proto::{parse_command, verb_of, Command, LineFramer};
-use mcm_dyn::{DynMatching, DynStats, StateSnapshot, Update};
-use mcm_sparse::io::write_matrix_market_file;
+use crate::swap::SwapCell;
+use mcm_dyn::{
+    DynMatching, DynStats, StateSnapshot, Update, WDynMatching, WDynStats, WStateSnapshot, WUpdate,
+};
+use mcm_sparse::io::{write_matrix_market_file, write_matrix_market_weighted_file};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Called with each batch after it is closed and before it is applied —
 /// the hook the isolation tests use to hold a repair mid-flight while
-/// asserting that reads still answer.
-pub type ApplyHook = Arc<dyn Fn(&[Update]) + Send + Sync>;
+/// asserting that reads still answer. Batches are delivered in the
+/// weighted update vocabulary for both engines (a cardinality daemon's
+/// inserts carry weight 1.0).
+pub type ApplyHook = Arc<dyn Fn(&[WUpdate]) + Send + Sync>;
 
 /// Daemon tuning knobs; the defaults suit a loopback service.
 #[derive(Clone)]
@@ -77,16 +98,131 @@ impl Default for ServerConfig {
     }
 }
 
+/// The engine behind a daemon: cardinality or weighted, one protocol.
+pub enum Engine {
+    /// Maximum cardinality ([`DynMatching`]).
+    Card(Box<DynMatching>),
+    /// Maximum weight ([`WDynMatching`]).
+    Weighted(Box<WDynMatching>),
+}
+
+impl Engine {
+    fn apply_batch(&mut self, batch: &[WUpdate]) {
+        match self {
+            Engine::Card(dm) => {
+                let unweighted: Vec<Update> = batch
+                    .iter()
+                    .map(|u| match *u {
+                        WUpdate::Insert(r, c, _) => Update::Insert(r, c),
+                        WUpdate::Delete(r, c) => Update::Delete(r, c),
+                    })
+                    .collect();
+                dm.apply_batch(&unweighted);
+            }
+            Engine::Weighted(wm) => {
+                wm.apply_batch(batch);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Snap {
+        match self {
+            Engine::Card(dm) => Snap::Card(dm.snapshot_state()),
+            Engine::Weighted(wm) => Snap::Weighted(wm.snapshot_state()),
+        }
+    }
+
+    fn cardinality(&self) -> usize {
+        match self {
+            Engine::Card(dm) => dm.cardinality(),
+            Engine::Weighted(wm) => wm.cardinality(),
+        }
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        match self {
+            Engine::Card(dm) => (dm.graph().n1(), dm.graph().n2()),
+            Engine::Weighted(wm) => (wm.graph().nrows(), wm.graph().ncols()),
+        }
+    }
+
+    fn algo_name(&self) -> &'static str {
+        match self {
+            Engine::Card(dm) => dm.opts().algo.name(),
+            Engine::Weighted(_) => "wauction",
+        }
+    }
+
+    /// Unwraps the cardinality engine; panics on a weighted daemon.
+    pub fn expect_card(self) -> DynMatching {
+        match self {
+            Engine::Card(dm) => *dm,
+            Engine::Weighted(_) => panic!("daemon was running the weighted engine"),
+        }
+    }
+
+    /// Unwraps the weighted engine; panics on a cardinality daemon.
+    pub fn expect_weighted(self) -> WDynMatching {
+        match self {
+            Engine::Weighted(wm) => *wm,
+            Engine::Card(_) => panic!("daemon was running the cardinality engine"),
+        }
+    }
+}
+
+/// An engine snapshot as published to readers.
+pub enum Snap {
+    /// Cardinality engine state.
+    Card(StateSnapshot),
+    /// Weighted engine state.
+    Weighted(WStateSnapshot),
+}
+
+impl Snap {
+    /// Matching cardinality at publish time.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Snap::Card(s) => s.cardinality,
+            Snap::Weighted(s) => s.cardinality,
+        }
+    }
+
+    /// Matching weight at publish time (weighted engine only).
+    pub fn weight(&self) -> Option<f64> {
+        match self {
+            Snap::Card(_) => None,
+            Snap::Weighted(s) => Some(s.weight),
+        }
+    }
+
+    /// Live edge count at publish time.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Snap::Card(s) => s.nnz(),
+            Snap::Weighted(s) => s.nnz(),
+        }
+    }
+
+    /// Overlay compaction epoch at publish time.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            Snap::Card(s) => s.epoch(),
+            Snap::Weighted(s) => s.epoch(),
+        }
+    }
+}
+
 /// What the writer publishes after each batch; readers answer from this.
 pub struct Published {
     /// Batches applied-and-published so far (0 = the initial state).
     pub seq: u64,
     /// Immutable engine state as of `seq`.
-    pub snap: StateSnapshot,
+    pub snap: Snap,
 }
 
-/// The `stats` response line, shared verbatim by the stdin loop and the
-/// socket daemon (and asserted by `tests/cli.rs`).
+/// The `stats` response line of the cardinality engine, shared verbatim
+/// by the stdin loop and the socket daemon (and asserted by
+/// `tests/cli.rs`).
 pub fn format_stats_line(
     s: &DynStats,
     cardinality: usize,
@@ -124,8 +260,39 @@ pub fn format_stats_line(
     )
 }
 
+/// The `stats` response line of the weighted engine: price-repair
+/// counters plus the weight ledger.
+pub fn format_wstats_line(
+    s: &WDynStats,
+    cardinality: usize,
+    weight: f64,
+    nnz: usize,
+    epoch: u64,
+) -> String {
+    format!(
+        "stats batches {} updates {} inserts {} deletes {} matched_deletes {} \
+         dirty {} rebids {} incremental {} cold {} weight_gained {} weight_lost {} \
+         cardinality {} weight {} nnz {} epoch {} algo wauction",
+        s.batches,
+        s.updates,
+        s.inserts,
+        s.deletes,
+        s.matched_deletes,
+        s.dirty_bidders,
+        s.rebids,
+        s.incremental_batches,
+        s.cold_solves,
+        s.weight_gained,
+        s.weight_lost,
+        cardinality,
+        weight,
+        nnz,
+        epoch,
+    )
+}
+
 enum WriterMsg {
-    Update(Update),
+    Update(WUpdate),
     /// Barrier: acked with the post-publication sequence + cardinality.
     Sync(mpsc::Sender<SyncAck>),
 }
@@ -136,7 +303,8 @@ struct SyncAck {
 }
 
 struct Shared {
-    published: Mutex<Arc<Published>>,
+    /// Lock-free snapshot cell: the read path never takes a mutex.
+    published: SwapCell<Published>,
     /// Updates admitted but not yet absorbed by the writer.
     queue_depth: AtomicUsize,
     /// Live connections (drives the `mcmd_connections` gauge).
@@ -145,6 +313,8 @@ struct Shared {
     stop: AtomicBool,
     /// Set by a client's `shutdown` verb; [`Server::join`] watches it.
     shutdown_verb: AtomicBool,
+    /// Whether the writer owns the weighted engine (shapes responses).
+    weighted: bool,
     /// Configured fallback engine name, for the `stats` response.
     algo_name: &'static str,
 }
@@ -155,7 +325,7 @@ impl Shared {
     }
 
     fn published(&self) -> Arc<Published> {
-        self.published.lock().unwrap().clone()
+        self.published.load()
     }
 }
 
@@ -167,25 +337,38 @@ pub struct Server {
     shared: Arc<Shared>,
     tx: Option<SyncSender<WriterMsg>>,
     acceptor: Option<JoinHandle<()>>,
-    writer: Option<JoinHandle<DynMatching>>,
+    writer: Option<JoinHandle<Engine>>,
 }
 
 impl Server {
     /// Binds, publishes the initial snapshot, and starts the acceptor and
-    /// writer threads. Returns once the socket is listening.
+    /// writer threads around the cardinality engine. Returns once the
+    /// socket is listening.
     pub fn start(dm: DynMatching, cfg: ServerConfig) -> std::io::Result<Server> {
+        Server::start_engine(Engine::Card(Box::new(dm)), cfg)
+    }
+
+    /// As [`Server::start`], but serving the weighted engine: weighted
+    /// inserts are accepted and `query`/`state`/`stats` report the
+    /// matching weight.
+    pub fn start_weighted(wm: WDynMatching, cfg: ServerConfig) -> std::io::Result<Server> {
+        Server::start_engine(Engine::Weighted(Box::new(wm)), cfg)
+    }
+
+    fn start_engine(engine: Engine, cfg: ServerConfig) -> std::io::Result<Server> {
         mcm_obs::enable_metrics(true);
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let dims = (dm.graph().n1(), dm.graph().n2());
+        let dims = engine.dims();
         let shared = Arc::new(Shared {
-            published: Mutex::new(Arc::new(Published { seq: 0, snap: dm.snapshot_state() })),
+            published: SwapCell::new(Arc::new(Published { seq: 0, snap: engine.snapshot() })),
             queue_depth: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             shutdown_verb: AtomicBool::new(false),
-            algo_name: dm.opts().algo.name(),
+            weighted: matches!(engine, Engine::Weighted(_)),
+            algo_name: engine.algo_name(),
         });
         let (tx, rx) = mpsc::sync_channel::<WriterMsg>(cfg.queue_cap);
         let writer = {
@@ -193,7 +376,7 @@ impl Server {
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name("mcmd-writer".into())
-                .spawn(move || writer_loop(dm, rx, shared, cfg))?
+                .spawn(move || writer_loop(engine, rx, shared, cfg))?
         };
         let acceptor = {
             let shared = shared.clone();
@@ -223,21 +406,21 @@ impl Server {
 
     /// Stops accepting, drains every admitted update through the writer,
     /// and returns the engine.
-    pub fn shutdown(mut self) -> DynMatching {
+    pub fn shutdown(mut self) -> Engine {
         self.shared.stop.store(true, Ordering::Relaxed);
         self.finish()
     }
 
     /// Blocks until a client issues the `shutdown` verb, then drains and
     /// returns the engine (what `mcmd --listen` runs on its main thread).
-    pub fn join(mut self) -> DynMatching {
+    pub fn join(mut self) -> Engine {
         while !self.shared.shutdown_verb.load(Ordering::Relaxed) {
             std::thread::sleep(Duration::from_millis(20));
         }
         self.finish()
     }
 
-    fn finish(&mut self) -> DynMatching {
+    fn finish(&mut self) -> Engine {
         self.shared.stop.store(true, Ordering::Relaxed);
         // Acceptor joins its workers; when they and our handle drop the
         // last senders, the writer drains the queue and exits.
@@ -250,13 +433,13 @@ impl Server {
 }
 
 fn writer_loop(
-    mut dm: DynMatching,
+    mut engine: Engine,
     rx: mpsc::Receiver<WriterMsg>,
     shared: Arc<Shared>,
     cfg: ServerConfig,
-) -> DynMatching {
+) -> Engine {
     let mut seq = 0u64;
-    let mut batch: Vec<Update> = Vec::new();
+    let mut batch: Vec<WUpdate> = Vec::new();
     let mut syncs: Vec<mpsc::Sender<SyncAck>> = Vec::new();
     loop {
         let Ok(first) = rx.recv() else { break };
@@ -280,17 +463,17 @@ fn writer_loop(
                 }
             }
         }
-        seq = apply_and_publish(&mut dm, &mut batch, &mut syncs, seq, &shared, &cfg);
+        seq = apply_and_publish(&mut engine, &mut batch, &mut syncs, seq, &shared, &cfg);
     }
     // Senders are gone; everything queued was already delivered by the
     // draining recv() above. Apply any final partial batch.
-    apply_and_publish(&mut dm, &mut batch, &mut syncs, seq, &shared, &cfg);
-    dm
+    apply_and_publish(&mut engine, &mut batch, &mut syncs, seq, &shared, &cfg);
+    engine
 }
 
 fn absorb(
     msg: WriterMsg,
-    batch: &mut Vec<Update>,
+    batch: &mut Vec<WUpdate>,
     syncs: &mut Vec<mpsc::Sender<SyncAck>>,
     shared: &Shared,
 ) {
@@ -305,8 +488,8 @@ fn absorb(
 }
 
 fn apply_and_publish(
-    dm: &mut DynMatching,
-    batch: &mut Vec<Update>,
+    engine: &mut Engine,
+    batch: &mut Vec<WUpdate>,
     syncs: &mut Vec<mpsc::Sender<SyncAck>>,
     mut seq: u64,
     shared: &Shared,
@@ -317,16 +500,15 @@ fn apply_and_publish(
             hook(batch);
         }
         let sw = mcm_obs::Stopwatch::new();
-        dm.apply_batch(batch);
+        engine.apply_batch(batch);
         mcm_obs::observe_ns("mcmd_batch_apply_seconds", &[], sw.elapsed_ns());
         mcm_obs::observe_ns("mcmd_batch_size", &[], batch.len() as u64);
         seq += 1;
-        let published = Arc::new(Published { seq, snap: dm.snapshot_state() });
-        *shared.published.lock().unwrap() = published;
+        shared.published.store(Arc::new(Published { seq, snap: engine.snapshot() }));
         batch.clear();
     }
     for ack in syncs.drain(..) {
-        ack.send(SyncAck { seq, cardinality: dm.cardinality() }).ok();
+        ack.send(SyncAck { seq, cardinality: engine.cardinality() }).ok();
     }
     seq
 }
@@ -473,51 +655,70 @@ fn handle_line(
     let sw = mcm_obs::Stopwatch::new();
     let verb = verb_of(&cmd);
     let flow = match cmd {
-        Command::Insert(r, c) | Command::Delete(r, c) => {
+        Command::Insert(r, c, _) | Command::Delete(r, c) => {
             if r as usize >= n1 || c as usize >= n2 {
                 writeln!(out, "error vertex out of range ({r}, {c})").ok();
-            } else {
-                let u = match cmd {
-                    Command::Insert(..) => Update::Insert(r, c),
-                    _ => Update::Delete(r, c),
-                };
-                // Count the admission *before* sending: the writer may
-                // absorb (and decrement) the instant the send lands.
-                let d = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-                match tx.try_send(WriterMsg::Update(u)) {
-                    Ok(()) => {
-                        mcm_obs::gauge_set("mcmd_queue_depth", &[], d as f64);
-                        writeln!(out, "ok").ok();
-                    }
-                    Err(TrySendError::Full(_)) => {
-                        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        mcm_obs::counter_add("mcmd_busy_total", &[("verb", verb)], 1);
-                        writeln!(out, "busy").ok();
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        writeln!(out, "error daemon shutting down").ok();
-                    }
+                return finish_request(out, hists, verb, sw, Flow::Continue);
+            }
+            let u = match cmd {
+                Command::Insert(_, _, Some(w)) if !shared.weighted && w != 1.0 => {
+                    writeln!(out, "error weighted insert needs a --weighted daemon").ok();
+                    return finish_request(out, hists, verb, sw, Flow::Continue);
+                }
+                Command::Insert(_, _, w) => WUpdate::Insert(r, c, w.unwrap_or(1.0)),
+                _ => WUpdate::Delete(r, c),
+            };
+            // Count the admission *before* sending: the writer may
+            // absorb (and decrement) the instant the send lands.
+            let d = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+            match tx.try_send(WriterMsg::Update(u)) {
+                Ok(()) => {
+                    mcm_obs::gauge_set("mcmd_queue_depth", &[], d as f64);
+                    writeln!(out, "ok").ok();
+                }
+                Err(TrySendError::Full(_)) => {
+                    shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    mcm_obs::counter_add("mcmd_busy_total", &[("verb", verb)], 1);
+                    writeln!(out, "busy").ok();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    writeln!(out, "error daemon shutting down").ok();
                 }
             }
             Flow::Continue
         }
         Command::Query => {
             let p = shared.published();
-            writeln!(out, "matching {}", p.snap.cardinality).ok();
+            match p.snap.weight() {
+                Some(w) => writeln!(out, "matching {} weight {}", p.snap.cardinality(), w).ok(),
+                None => writeln!(out, "matching {}", p.snap.cardinality()).ok(),
+            };
             Flow::Continue
         }
         Command::State => {
             let p = shared.published();
-            writeln!(
-                out,
-                "state seq {} epoch {} cardinality {} nnz {}",
-                p.seq,
-                p.snap.epoch(),
-                p.snap.cardinality,
-                p.snap.nnz()
-            )
-            .ok();
+            match p.snap.weight() {
+                Some(w) => writeln!(
+                    out,
+                    "state seq {} epoch {} cardinality {} nnz {} weight {}",
+                    p.seq,
+                    p.snap.epoch(),
+                    p.snap.cardinality(),
+                    p.snap.nnz(),
+                    w
+                )
+                .ok(),
+                None => writeln!(
+                    out,
+                    "state seq {} epoch {} cardinality {} nnz {}",
+                    p.seq,
+                    p.snap.epoch(),
+                    p.snap.cardinality(),
+                    p.snap.nnz()
+                )
+                .ok(),
+            };
             Flow::Continue
         }
         Command::Sync => {
@@ -543,18 +744,15 @@ fn handle_line(
         }
         Command::Stats => {
             let p = shared.published();
-            writeln!(
-                out,
-                "{}",
-                format_stats_line(
-                    &p.snap.stats,
-                    p.snap.cardinality,
-                    p.snap.nnz(),
-                    p.snap.epoch(),
-                    shared.algo_name,
-                )
-            )
-            .ok();
+            let line = match &p.snap {
+                Snap::Card(s) => {
+                    format_stats_line(&s.stats, s.cardinality, s.nnz(), s.epoch(), shared.algo_name)
+                }
+                Snap::Weighted(s) => {
+                    format_wstats_line(&s.stats, s.cardinality, s.weight, s.nnz(), s.epoch())
+                }
+            };
+            writeln!(out, "{line}").ok();
             Flow::Continue
         }
         Command::Metrics => {
@@ -564,7 +762,16 @@ fn handle_line(
         }
         Command::Snapshot(path) => {
             let p = shared.published();
-            match write_matrix_market_file(&p.snap.graph.to_triples(), &path) {
+            let written = match &p.snap {
+                Snap::Card(s) => write_matrix_market_file(&s.graph.to_triples(), &path),
+                Snap::Weighted(s) => write_matrix_market_weighted_file(
+                    s.graph.nrows(),
+                    s.graph.ncols(),
+                    &s.graph.to_weighted_triples(),
+                    &path,
+                ),
+            };
+            match written {
                 Ok(()) => {
                     writeln!(out, "snapshot {} nnz {}", path, p.snap.nnz()).ok();
                 }
@@ -583,6 +790,16 @@ fn handle_line(
             Flow::Shutdown
         }
     };
+    finish_request(out, hists, verb, sw, flow)
+}
+
+fn finish_request(
+    _out: &mut impl Write,
+    hists: &mut HashMap<&'static str, mcm_obs::Histogram>,
+    verb: &'static str,
+    sw: mcm_obs::Stopwatch,
+    flow: Flow,
+) -> Flow {
     hists
         .entry(verb)
         .or_insert_with(|| mcm_obs::registry().histogram("mcmd_request_seconds", &[("verb", verb)]))

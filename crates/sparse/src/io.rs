@@ -181,6 +181,37 @@ pub fn write_matrix_market_file(t: &Triples, path: impl AsRef<Path>) -> std::io:
     write_matrix_market(t, std::fs::File::create(path)?)
 }
 
+/// Writes a weighted matrix in Matrix Market `coordinate real general`
+/// format (sorted, 1-based). Entries must already be unique — the
+/// weighted containers ([`WCsc`](crate::WCsc),
+/// [`WCscOverlay`](crate::WCscOverlay)) guarantee that.
+pub fn write_matrix_market_weighted<W: Write>(
+    nrows: usize,
+    ncols: usize,
+    entries: &[(Vidx, Vidx, f64)],
+    writer: W,
+) -> std::io::Result<()> {
+    let mut sorted = entries.to_vec();
+    sorted.sort_unstable_by_key(|&(i, j, _)| (j, i));
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", nrows, ncols, sorted.len())?;
+    for &(i, j, v) in &sorted {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    w.flush()
+}
+
+/// Writes a weighted matrix to a file on disk.
+pub fn write_matrix_market_weighted_file(
+    nrows: usize,
+    ncols: usize,
+    entries: &[(Vidx, Vidx, f64)],
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    write_matrix_market_weighted(nrows, ncols, entries, std::fs::File::create(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +329,17 @@ mod tests {
         want.sort_dedup();
         assert_eq!(back, want);
         assert!(want.len() > 4000, "dedup collapsed the instance: {}", want.len());
+    }
+
+    #[test]
+    fn weighted_write_read_roundtrip() {
+        let entries = vec![(0, 0, 2.5), (2, 1, -1.0), (1, 2, 7.0)];
+        let mut buf = Vec::new();
+        write_matrix_market_weighted(3, 3, &entries, &mut buf).unwrap();
+        let back = read_matrix_market_weighted(&buf[..]).unwrap();
+        assert_eq!(back.nnz(), 3);
+        for &(i, j, v) in &entries {
+            assert_eq!(back.weight(i, j as usize), Some(v));
+        }
     }
 }

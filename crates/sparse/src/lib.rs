@@ -16,7 +16,10 @@
 //!   frontier expansion in multi-source BFS,
 //! * [`CscOverlay`] — an insert/delete edge overlay over a CSC base with
 //!   epoch-based compaction, the storage layer of the dynamic matching
-//!   engine (`mcm-dyn`).
+//!   engine (`mcm-dyn`),
+//! * [`WCsc`] / [`WCscOverlay`] — the weighted value layer: the same CSC
+//!   pattern machinery carrying an `f64` per nonzero, statically and under
+//!   insert/delete/reweight churn, for the weighted (assignment) domain.
 //!
 //! Bipartite graphs `G = (R, C, E)` are represented as an `n1 × n2` binary
 //! matrix `A` where `A[i][j] != 0` iff row vertex `i` is adjacent to column
@@ -36,17 +39,19 @@ pub mod stats;
 pub mod triples;
 pub mod wcsc;
 pub mod workspace;
+pub mod woverlay;
 
 pub use csc::Csc;
 pub use dcsc::Dcsc;
 pub use densevec::DenseVec;
 pub use overlay::CscOverlay;
-pub use semiring::{Combiner, MinCombiner, Select2nd};
+pub use semiring::{Combiner, MaxWeightCombiner, MinCombiner, Select2nd};
 pub use spmv::{spmspv, spmspv_csc, spmspv_monoid, spmv_dense};
 pub use spvec::SpVec;
 pub use triples::Triples;
 pub use wcsc::WCsc;
 pub use workspace::{SpmvWorkspace, WorkspaceStats};
+pub use woverlay::WCscOverlay;
 
 /// Vertex/column index type.
 ///

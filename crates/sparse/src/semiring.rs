@@ -54,6 +54,30 @@ impl<T: Ord> Combiner<T> for MaxCombiner {
     }
 }
 
+/// Keep the candidate carrying the larger net value: the "addition" of the
+/// `(max, +)` tropical semiring the weighted auction propagates over.
+///
+/// Candidates are `(payload, net_value)` pairs — for best-bid propagation the
+/// payload is the bidding column and the net value is `w(i, j) − price(i)`.
+/// `f64` is not `Ord`, so comparison goes through `total_cmp` (IEEE 754
+/// total order: −NaN < −∞ < … < +∞ < +NaN, which keeps the combiner total
+/// and deterministic even on garbage values); value ties break toward the
+/// **smaller** payload so serial and parallel executions select the same
+/// candidate regardless of arrival order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxWeightCombiner;
+
+impl<T: Ord> Combiner<(T, f64)> for MaxWeightCombiner {
+    #[inline]
+    fn take_incoming(&self, acc: &(T, f64), inc: &(T, f64)) -> bool {
+        match inc.1.total_cmp(&acc.1) {
+            core::cmp::Ordering::Greater => true,
+            core::cmp::Ordering::Equal => inc.0 < acc.0,
+            core::cmp::Ordering::Less => false,
+        }
+    }
+}
+
 /// Keep the first value that arrives (arrival order is deterministic:
 /// ascending column order within [`spmspv`](crate::spmv::spmspv)).
 #[derive(Clone, Copy, Debug, Default)]
@@ -83,6 +107,32 @@ mod tests {
         let c = MaxCombiner;
         assert!(c.take_incoming(&3, &5));
         assert!(!c.take_incoming(&5, &3));
+    }
+
+    #[test]
+    fn max_weight_combiner_prefers_larger_net_value() {
+        let c = MaxWeightCombiner;
+        assert!(c.take_incoming(&(0u32, 1.0), &(9u32, 2.0)));
+        assert!(!c.take_incoming(&(0u32, 2.0), &(9u32, 1.0)));
+    }
+
+    #[test]
+    fn max_weight_combiner_ties_break_to_smaller_payload() {
+        let c = MaxWeightCombiner;
+        assert!(c.take_incoming(&(7u32, 3.0), &(2u32, 3.0)));
+        assert!(!c.take_incoming(&(2u32, 3.0), &(7u32, 3.0)));
+        assert!(!c.take_incoming(&(2u32, 3.0), &(2u32, 3.0)));
+    }
+
+    #[test]
+    fn max_weight_combiner_is_total_under_nan() {
+        // IEEE total order: a negative NaN sits below every finite value, a
+        // positive NaN above — either way the comparison stays deterministic.
+        let c = MaxWeightCombiner;
+        assert!(c.take_incoming(&(0u32, 0.0), &(0u32, f64::NAN)));
+        assert!(!c.take_incoming(&(0u32, f64::NAN), &(0u32, 0.0)));
+        assert!(!c.take_incoming(&(0u32, 0.0), &(0u32, -f64::NAN)));
+        assert!(c.take_incoming(&(0u32, -f64::NAN), &(0u32, 0.0)));
     }
 
     #[test]

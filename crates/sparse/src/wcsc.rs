@@ -86,6 +86,33 @@ impl WCsc {
         self.pattern.rowind()[lo..hi].binary_search(&i).ok().map(|k| self.values[lo + k])
     }
 
+    /// The values slice, aligned with `pattern().rowind()`.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Back to `(row, col, weight)` triples, column-major.
+    pub fn to_weighted_triples(&self) -> Vec<(Vidx, Vidx, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for j in 0..self.ncols() {
+            for (i, w) in self.col_entries(j) {
+                out.push((i, j as Vidx, w));
+            }
+        }
+        out
+    }
+
+    /// The weighted transpose: entry `(i, j, w)` becomes `(j, i, w)`.
+    ///
+    /// The weighted analogue of [`Triples::transposed`]; the dynamic weighted
+    /// engine keeps both orientations so price resets can walk a row's
+    /// column neighbourhood.
+    pub fn transposed(&self) -> WCsc {
+        let flipped = self.to_weighted_triples().into_iter().map(|(i, j, w)| (j, i, w)).collect();
+        WCsc::from_weighted_triples(self.ncols(), self.nrows(), flipped)
+    }
+
     /// Largest absolute weight (0 for an empty matrix).
     pub fn max_abs_weight(&self) -> f64 {
         self.values.iter().fold(0.0, |m, &w| m.max(w.abs()))
@@ -126,6 +153,29 @@ mod tests {
         let b = a.map_weights(|w| w.abs());
         assert_eq!(b.weight(0, 0), Some(8.0));
         assert_eq!(b.pattern(), a.pattern());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = WCsc::from_weighted_triples(
+            3,
+            4,
+            vec![(2, 0, 1.5), (0, 1, 4.0), (1, 3, -2.0), (2, 3, 7.0)],
+        );
+        let t = a.transposed();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        assert_eq!(t.weight(0, 2), Some(1.5));
+        assert_eq!(t.weight(3, 2), Some(7.0));
+        assert_eq!(t.weight(1, 0), Some(4.0));
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn weighted_triples_round_trip() {
+        let entries = vec![(0, 0, 2.0), (1, 0, 3.0), (0, 1, -1.0)];
+        let a = WCsc::from_weighted_triples(2, 2, entries.clone());
+        assert_eq!(a.to_weighted_triples(), entries);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Insert/delete/reweight overlay on top of a weighted CSC base.
+//!
+//! The weighted analogue of [`CscOverlay`](crate::overlay::CscOverlay): the
+//! dynamic weighted matching engine (`mcm-dyn`) needs cheap point updates
+//! carrying per-edge weights plus the merged `(row, weight)` column scans the
+//! auction repair performs. [`WCscOverlay`] keeps the bulk of the graph in an
+//! immutable [`WCsc`] base and stages mutations in two small per-column
+//! sorted lists; re-weighting a live base edge stages a base deletion plus a
+//! weighted insertion, so the invariant "staged insertions are disjoint from
+//! the live base" carries over unchanged from the structural overlay and all
+//! counting logic stays identical.
+
+use crate::{Vidx, WCsc};
+
+/// A mutable weighted sparse pattern: an immutable [`WCsc`] base plus sorted
+/// per-column insert/delete lists, compacted epoch by epoch.
+///
+/// # Example
+///
+/// ```
+/// use mcm_sparse::woverlay::WCscOverlay;
+///
+/// let mut g = WCscOverlay::empty(3, 3);
+/// assert!(g.insert(0, 0, 5.0));
+/// assert!(!g.insert(0, 0, 7.5), "re-insert of a live edge just re-weights");
+/// assert_eq!(g.weight(0, 0), Some(7.5));
+/// assert!(g.delete(0, 0));
+/// assert_eq!(g.nnz(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WCscOverlay {
+    base: WCsc,
+    /// Per-column row-sorted `(row, weight)` pairs live in the graph but not
+    /// in the (unmasked) base. Also holds weight overrides of base edges —
+    /// the base entry is then masked through `deleted`.
+    inserted: Vec<Vec<(Vidx, f64)>>,
+    /// Per-column sorted row indices present in the base but masked.
+    deleted: Vec<Vec<Vidx>>,
+    n_inserted: usize,
+    n_deleted: usize,
+    epoch: u64,
+}
+
+impl WCscOverlay {
+    /// Wraps an existing weighted base with an empty overlay (epoch 0).
+    pub fn new(base: WCsc) -> Self {
+        let ncols = base.ncols();
+        Self {
+            base,
+            inserted: vec![Vec::new(); ncols],
+            deleted: vec![Vec::new(); ncols],
+            n_inserted: 0,
+            n_deleted: 0,
+            epoch: 0,
+        }
+    }
+
+    /// An empty `nrows × ncols` weighted graph.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Self::new(WCsc::from_weighted_triples(nrows, ncols, Vec::new()))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.base.nrows()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.base.ncols()
+    }
+
+    /// Live edge count (base minus deletions plus insertions).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.base.nnz() - self.n_deleted + self.n_inserted
+    }
+
+    /// Staged overlay size: inserted plus deleted entries. Callers use this
+    /// against [`WCscOverlay::nnz`] to decide when to compact.
+    #[inline]
+    pub fn overlay_nnz(&self) -> usize {
+        self.n_inserted + self.n_deleted
+    }
+
+    /// Compaction epoch: bumped every time the base is rebuilt.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The weight of live edge `(r, c)`, or `None` when the edge is dead.
+    pub fn weight(&self, r: Vidx, c: Vidx) -> Option<f64> {
+        let j = c as usize;
+        if let Ok(pos) = self.inserted[j].binary_search_by_key(&r, |&(i, _)| i) {
+            return Some(self.inserted[j][pos].1);
+        }
+        if self.deleted[j].binary_search(&r).is_ok() {
+            return None;
+        }
+        self.base.weight(r, j)
+    }
+
+    /// `true` when edge `(r, c)` is live.
+    #[inline]
+    pub fn contains(&self, r: Vidx, c: Vidx) -> bool {
+        self.weight(r, c).is_some()
+    }
+
+    /// Inserts edge `(r, c)` with weight `w`; returns `true` when the edge
+    /// was not already live. Inserting over a live edge re-weights it (and
+    /// returns `false`); a same-weight re-insert is a pure no-op.
+    ///
+    /// # Panics
+    /// Debug-panics on out-of-bounds coordinates.
+    pub fn insert(&mut self, r: Vidx, c: Vidx, w: f64) -> bool {
+        debug_assert!((r as usize) < self.nrows() && (c as usize) < self.ncols());
+        let j = c as usize;
+        match self.inserted[j].binary_search_by_key(&r, |&(i, _)| i) {
+            Ok(pos) => {
+                self.inserted[j][pos].1 = w;
+                false
+            }
+            Err(pos) => match self.base.weight(r, j) {
+                Some(bw) => {
+                    if let Ok(dpos) = self.deleted[j].binary_search(&r) {
+                        // Base edge currently masked: un-delete when the
+                        // weight matches the base, override otherwise.
+                        if bw == w {
+                            self.deleted[j].remove(dpos);
+                            self.n_deleted -= 1;
+                        } else {
+                            self.inserted[j].insert(pos, (r, w));
+                            self.n_inserted += 1;
+                        }
+                        true
+                    } else if bw == w {
+                        false
+                    } else {
+                        // Re-weight of a live base edge: mask the base entry
+                        // and stage the override; the live edge set (and
+                        // therefore `nnz`) is unchanged.
+                        let dpos = self.deleted[j].binary_search(&r).unwrap_err();
+                        self.deleted[j].insert(dpos, r);
+                        self.n_deleted += 1;
+                        self.inserted[j].insert(pos, (r, w));
+                        self.n_inserted += 1;
+                        false
+                    }
+                }
+                None => {
+                    self.inserted[j].insert(pos, (r, w));
+                    self.n_inserted += 1;
+                    true
+                }
+            },
+        }
+    }
+
+    /// Deletes edge `(r, c)`; returns `true` when the edge was live.
+    pub fn delete(&mut self, r: Vidx, c: Vidx) -> bool {
+        debug_assert!((r as usize) < self.nrows() && (c as usize) < self.ncols());
+        let j = c as usize;
+        if let Ok(pos) = self.inserted[j].binary_search_by_key(&r, |&(i, _)| i) {
+            // If this insertion overrode a base edge, the base entry is
+            // already masked in `deleted` — removing the override suffices.
+            self.inserted[j].remove(pos);
+            self.n_inserted -= 1;
+            return true;
+        }
+        if self.base.weight(r, j).is_none() {
+            return false;
+        }
+        match self.deleted[j].binary_search(&r) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.deleted[j].insert(pos, r);
+                self.n_deleted += 1;
+                true
+            }
+        }
+    }
+
+    /// Live degree of column `c`.
+    pub fn col_degree(&self, c: Vidx) -> usize {
+        let j = c as usize;
+        let base_deg = self.base.pattern().col_nnz(j);
+        base_deg - self.deleted[j].len() + self.inserted[j].len()
+    }
+
+    /// Visits the live `(row, weight)` entries of column `c` in row order:
+    /// the base column minus masked entries, merged with staged insertions.
+    pub fn for_each_in_col(&self, c: Vidx, mut f: impl FnMut(Vidx, f64)) {
+        let j = c as usize;
+        let ins = &self.inserted[j];
+        let del = &self.deleted[j];
+        let mut ii = 0; // cursor into ins
+        let mut di = 0; // cursor into del
+        for (r, w) in self.base.col_entries(j) {
+            while ii < ins.len() && ins[ii].0 < r {
+                f(ins[ii].0, ins[ii].1);
+                ii += 1;
+            }
+            if di < del.len() && del[di] == r {
+                di += 1;
+                continue;
+            }
+            f(r, w);
+        }
+        for &(r, w) in &ins[ii..] {
+            f(r, w);
+        }
+    }
+
+    /// Materializes the live edge set as column-major weighted triples.
+    pub fn to_weighted_triples(&self) -> Vec<(Vidx, Vidx, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for c in 0..self.ncols() as Vidx {
+            self.for_each_in_col(c, |r, w| out.push((r, c, w)));
+        }
+        out
+    }
+
+    /// Materializes the live edge set as a fresh weighted CSC.
+    pub fn to_wcsc(&self) -> WCsc {
+        WCsc::from_weighted_triples(self.nrows(), self.ncols(), self.to_weighted_triples())
+    }
+
+    /// Folds the overlay back into the base (new epoch). No-op overlays
+    /// still bump the epoch so callers can force cache invalidation.
+    pub fn compact(&mut self) {
+        if self.overlay_nnz() > 0 {
+            self.base = self.to_wcsc();
+            for v in &mut self.inserted {
+                v.clear();
+            }
+            for v in &mut self.deleted {
+                v.clear();
+            }
+            self.n_inserted = 0;
+            self.n_deleted = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Read-only view of the current base (valid for the current epoch).
+    #[inline]
+    pub fn base(&self) -> &WCsc {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permute::SplitMix64;
+
+    fn wbase3() -> WCsc {
+        WCsc::from_weighted_triples(3, 3, vec![(0, 0, 1.0), (2, 0, 2.0), (1, 1, 3.0), (0, 2, 4.0)])
+    }
+
+    #[test]
+    fn insert_delete_reweight_and_lookup() {
+        let mut g = WCscOverlay::new(wbase3());
+        assert_eq!(g.nnz(), 4);
+        assert_eq!(g.weight(2, 0), Some(2.0));
+        assert!(!g.insert(2, 0, 2.0), "same-weight re-insert is a no-op");
+        assert_eq!(g.overlay_nnz(), 0);
+        assert!(!g.insert(2, 0, 9.0), "re-weight of a live base edge");
+        assert_eq!(g.weight(2, 0), Some(9.0));
+        assert_eq!(g.nnz(), 4, "re-weight leaves the live edge set unchanged");
+        assert!(g.insert(1, 0, 5.0));
+        assert!(!g.insert(1, 0, 6.0), "re-weight of a live overlay edge");
+        assert_eq!(g.weight(1, 0), Some(6.0));
+        assert!(g.delete(0, 0));
+        assert!(!g.delete(0, 0), "double delete is a no-op");
+        assert_eq!(g.weight(0, 0), None);
+        assert_eq!(g.nnz(), 4);
+        assert_eq!(g.col_degree(0), 2);
+    }
+
+    #[test]
+    fn delete_then_reinsert_base_edge() {
+        let mut g = WCscOverlay::new(wbase3());
+        assert!(g.delete(1, 1));
+        assert!(g.insert(1, 1, 3.0), "same-weight re-insert un-deletes");
+        assert_eq!(g.overlay_nnz(), 0, "un-delete must not leave overlay residue");
+        assert!(g.delete(1, 1));
+        assert!(g.insert(1, 1, 8.0), "re-insert with a new weight overrides");
+        assert_eq!(g.weight(1, 1), Some(8.0));
+        assert_eq!(g.nnz(), 4);
+    }
+
+    #[test]
+    fn delete_of_reweighted_base_edge_kills_the_edge() {
+        let mut g = WCscOverlay::new(wbase3());
+        assert!(!g.insert(0, 2, 7.0));
+        assert!(g.delete(0, 2));
+        assert!(!g.contains(0, 2));
+        assert_eq!(g.nnz(), 3);
+        assert_eq!(g.weight(0, 2), None);
+    }
+
+    #[test]
+    fn merged_column_scan_is_sorted_and_weighted() {
+        let mut g = WCscOverlay::new(wbase3());
+        g.insert(1, 0, 5.0); // between base rows 0 and 2
+        g.insert(2, 0, 9.0); // re-weight base row 2
+        g.delete(0, 0);
+        let mut seen = Vec::new();
+        g.for_each_in_col(0, |r, w| seen.push((r, w)));
+        assert_eq!(seen, vec![(1, 5.0), (2, 9.0)]);
+    }
+
+    #[test]
+    fn compact_preserves_weights_and_bumps_epoch() {
+        let mut g = WCscOverlay::new(wbase3());
+        g.insert(2, 2, 6.0);
+        g.insert(2, 0, 9.0);
+        g.delete(0, 0);
+        let before = g.to_wcsc();
+        assert_eq!(g.epoch(), 0);
+        g.compact();
+        assert_eq!(g.epoch(), 1);
+        assert_eq!(g.overlay_nnz(), 0);
+        assert_eq!(g.base(), &before);
+        assert_eq!(g.to_wcsc(), before);
+    }
+
+    #[test]
+    fn randomized_differential_against_dense_weight_mirror() {
+        // Overlay vs a dense Option<f64> mirror under a random op stream
+        // with interleaved compactions: weights, nnz, and materialization
+        // must agree at every step.
+        let (n1, n2) = (13usize, 11usize);
+        let mut g = WCscOverlay::empty(n1, n2);
+        let mut mirror: Vec<Option<f64>> = vec![None; n1 * n2];
+        let mut rng = SplitMix64::new(0xBEA7);
+        for step in 0..2000 {
+            let r = rng.below(n1 as u64) as usize;
+            let c = rng.below(n2 as u64) as usize;
+            let (rv, cv) = (r as Vidx, c as Vidx);
+            match rng.below(3) {
+                0 => {
+                    let w = (rng.below(50) + 1) as f64;
+                    let changed = g.insert(rv, cv, w);
+                    assert_eq!(changed, mirror[r * n2 + c].is_none(), "step {step}");
+                    mirror[r * n2 + c] = Some(w);
+                }
+                1 => {
+                    let changed = g.delete(rv, cv);
+                    assert_eq!(changed, mirror[r * n2 + c].is_some(), "step {step}");
+                    mirror[r * n2 + c] = None;
+                }
+                _ => {
+                    assert_eq!(g.weight(rv, cv), mirror[r * n2 + c], "step {step}");
+                }
+            }
+            if step % 257 == 0 {
+                g.compact();
+            }
+            if step % 97 == 0 {
+                let want = mirror.iter().filter(|b| b.is_some()).count();
+                assert_eq!(g.nnz(), want, "step {step} nnz");
+                let a = g.to_wcsc();
+                assert_eq!(a.nnz(), want);
+                for rr in 0..n1 {
+                    for cc in 0..n2 {
+                        assert_eq!(
+                            a.weight(rr as Vidx, cc),
+                            mirror[rr * n2 + cc],
+                            "step {step} wcsc ({rr},{cc})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -94,6 +94,8 @@ usage:
   mcm match   <file.mtx> [--algo dist|hk|pf|pr|msbfs|graft|ppf|auction|auto]
               [--backend sim|engine|shared]
               [--grid d] [--ranks p] [--threads t] [--breakdown] [--trace-out file] [--out file]
+              [--weighted]                 maximum weight matching (values used,
+                                           parallel eps-scaled auction, eps-CS certified)
   mcm permute <file.mtx> --out <out.mtx>
   mcm dm      <file.mtx>
   mcm btf     <file.mtx>
@@ -269,7 +271,55 @@ fn compute(
     Ok(DistRun { matching, modeled: Vec::new(), algo: label, auto: false })
 }
 
+/// `mcm match --weighted`: maximum *weight* matching through the
+/// portfolio's parallel eps-scaled auction, with the eps-complementary-
+/// slackness certificate checked before anything is printed.
+fn cmd_match_weighted(args: &[String]) -> Result<(), String> {
+    // `--weighted` takes no value; drop it so `positional` does not skip
+    // the path that follows it.
+    let args: Vec<String> = args.iter().filter(|a| *a != "--weighted").cloned().collect();
+    let args = &args[..];
+    let path = positional(args).ok_or("missing input file")?;
+    let a = mcm_sparse::io::read_matrix_market_weighted_file(path)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let threads: usize =
+        opt(args, "--threads").unwrap_or("4").parse().map_err(|_| "bad --threads")?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let opts = PortfolioOptions { threads, ..PortfolioOptions::default() };
+    let r = mcm_core::portfolio::solve_weighted(&a, &opts);
+    r.matching
+        .validate(a.pattern())
+        .map_err(|e| format!("internal error, invalid matching: {e}"))?;
+    mcm_core::verify::verify_eps_cs(&a, &r.matching, &r.prices, r.eps)
+        .map_err(|e| format!("internal error, eps-CS certificate failed: {e}"))?;
+    println!(
+        "maximum weight matching: |M| = {} of {} columns, total weight {:.6}",
+        r.matching.cardinality(),
+        a.ncols(),
+        r.weight,
+    );
+    println!("algo: wauction ({threads} threads, {} bids, eps {:.2e})", r.bids, r.eps);
+    if let Some(out) = opt(args, "--out") {
+        let mut body = String::new();
+        for c in 0..a.ncols() as Vidx {
+            let row = r.matching.mate_c.get(c);
+            if row != NIL {
+                let w = a.weight(row, c as usize).unwrap_or(0.0);
+                body.push_str(&format!("{} {} {w}\n", row + 1, c + 1));
+            }
+        }
+        std::fs::write(out, body).map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote 1-based (row, col, weight) triples to {out}");
+    }
+    Ok(())
+}
+
 fn cmd_match(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--weighted") {
+        return cmd_match_weighted(args);
+    }
     let t = load(args)?;
     let algo = opt(args, "--algo").unwrap_or("dist");
     let backend = opt(args, "--backend").unwrap_or("sim");

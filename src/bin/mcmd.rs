@@ -45,10 +45,13 @@
 //! session and writes a `chrome://tracing` JSON file at exit.
 
 use mcm_core::MatchingAlgo;
-use mcm_dyn::{DynMatching, DynOptions, FallbackBackend};
+use mcm_dyn::{DynMatching, DynOptions, FallbackBackend, WDynMatching, WDynOptions, WUpdate};
 use mcm_serve::proto::{parse_command, verb_of, Command, LineFramer};
-use mcm_serve::{format_stats_line, Server, ServerConfig};
-use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
+use mcm_serve::{format_stats_line, format_wstats_line, Server, ServerConfig};
+use mcm_sparse::io::{
+    read_matrix_market_file, read_matrix_market_weighted_file, write_matrix_market_file,
+    write_matrix_market_weighted_file,
+};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -57,14 +60,19 @@ const USAGE: &str = "\
 mcmd — streaming update service for dynamic maximum matching
 
 usage:
-  mcmd [--rows n] [--cols n] [--load file.mtx] [--input file]
+  mcmd [--weighted] [--rows n] [--cols n] [--load file.mtx] [--input file]
        [--listen addr] [--max-batch n] [--max-delay-ms ms] [--queue-cap n]
        [--fallback f] [--algo msbfs|ppf|auction|auto]
        [--backend sim|engine|shared] [--ranks p] [--threads t]
        [--trace-out file] [--full-verify] [--quiet]
 
+  --weighted            serve maximum *weight* matching: `insert u v [w]`
+                        (missing weight = 1.0), `query` answers
+                        \"matching <n> weight <w>\", repairs re-auction only
+                        the eps-CS-violated columns from persistent prices
   --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
-  --load file.mtx       start from a Matrix Market graph instead (solves it first)
+  --load file.mtx       start from a Matrix Market graph instead (solves it first;
+                        with --weighted, entry values become edge weights)
   --input file          read commands from a file instead of stdin
   --listen addr         serve concurrent TCP clients at addr (e.g. 127.0.0.1:7171;
                         port 0 picks a free port, printed as \"listening <addr>\").
@@ -89,7 +97,7 @@ usage:
   --quiet               suppress per-batch report lines (stdin mode)
 
 commands (one per line, plain text or JSONL {\"op\":..,\"u\":..,\"v\":..}):
-  insert <row> <col> | delete <row> <col> | query | state | sync | stats |
+  insert <row> <col> [w] | delete <row> <col> | query | state | sync | stats |
   metrics | snapshot <path> | quit | shutdown
 ";
 
@@ -169,56 +177,115 @@ fn run(args: &[String]) -> Result<(), String> {
         drop(mcm_obs::take_trace()); // start the session from an empty sink
     }
 
-    let mut dm = match opt(args, "--load") {
-        Some(path) => {
-            let t = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
-            let dm = DynMatching::from_triples(&t, opts);
-            println!(
-                "loaded {} {}x{} nnz {} matching {}",
-                path,
-                dm.graph().n1(),
-                dm.graph().n2(),
-                dm.graph().nnz(),
-                dm.cardinality()
-            );
-            dm
-        }
-        None => {
-            let n1 = parse_usize(opt(args, "--rows"), "--rows", 1024)?;
-            let n2 = parse_usize(opt(args, "--cols"), "--cols", 1024)?;
-            DynMatching::new(n1, n2, opts)
-        }
+    let listen_cfg = |addr: &str| -> Result<ServerConfig, String> {
+        Ok(ServerConfig {
+            addr: addr.to_string(),
+            max_batch: parse_usize(opt(args, "--max-batch"), "--max-batch", 512)?,
+            max_delay: Duration::from_millis(parse_usize(
+                opt(args, "--max-delay-ms"),
+                "--max-delay-ms",
+                1,
+            )? as u64),
+            queue_cap: parse_usize(opt(args, "--queue-cap"), "--queue-cap", 4096)?,
+            on_apply: None,
+        })
     };
 
-    let served = match opt(args, "--listen") {
-        Some(addr) => {
-            let cfg = ServerConfig {
-                addr: addr.to_string(),
-                max_batch: parse_usize(opt(args, "--max-batch"), "--max-batch", 512)?,
-                max_delay: Duration::from_millis(parse_usize(
-                    opt(args, "--max-delay-ms"),
-                    "--max-delay-ms",
-                    1,
-                )? as u64),
-                queue_cap: parse_usize(opt(args, "--queue-cap"), "--queue-cap", 4096)?,
-                on_apply: None,
-            };
-            let server = Server::start(dm, cfg).map_err(|e| format!("{addr}: {e}"))?;
-            println!("listening {}", server.local_addr());
-            std::io::stdout().flush().ok();
-            // Blocks until a client sends `shutdown`; admitted updates
-            // are drained before the engine comes back.
-            let dm = server.join();
-            println!("shutdown cardinality {} nnz {}", dm.cardinality(), dm.graph().nnz());
-            Ok(())
-        }
-        None => match opt(args, "--input") {
+    let served = if args.iter().any(|a| a == "--weighted") {
+        let wopts = WDynOptions {
+            fallback_threshold: fallback,
+            threads: parse_usize(opt(args, "--threads"), "--threads", 1)?,
+            full_verify: args.iter().any(|a| a == "--full-verify"),
+            ..WDynOptions::default()
+        };
+        let mut wm = match opt(args, "--load") {
             Some(path) => {
-                let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-                serve(&mut dm, std::io::BufReader::new(f), quiet)
+                let a =
+                    read_matrix_market_weighted_file(path).map_err(|e| format!("{path}: {e}"))?;
+                let (n1, n2) = (a.nrows(), a.ncols());
+                let wm =
+                    WDynMatching::from_weighted_triples(n1, n2, a.to_weighted_triples(), wopts);
+                println!(
+                    "loaded {} {}x{} nnz {} matching {} weight {}",
+                    path,
+                    n1,
+                    n2,
+                    wm.nnz(),
+                    wm.cardinality(),
+                    wm.weight()
+                );
+                wm
             }
-            None => serve(&mut dm, std::io::stdin().lock(), quiet),
-        },
+            None => {
+                let n1 = parse_usize(opt(args, "--rows"), "--rows", 1024)?;
+                let n2 = parse_usize(opt(args, "--cols"), "--cols", 1024)?;
+                WDynMatching::new(n1, n2, wopts)
+            }
+        };
+        match opt(args, "--listen") {
+            Some(addr) => {
+                let server = Server::start_weighted(wm, listen_cfg(addr)?)
+                    .map_err(|e| format!("{addr}: {e}"))?;
+                println!("listening {}", server.local_addr());
+                std::io::stdout().flush().ok();
+                let wm = server.join().expect_weighted();
+                println!(
+                    "shutdown cardinality {} weight {} nnz {}",
+                    wm.cardinality(),
+                    wm.weight(),
+                    wm.nnz()
+                );
+                Ok(())
+            }
+            None => match opt(args, "--input") {
+                Some(path) => {
+                    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                    serve_weighted(&mut wm, std::io::BufReader::new(f), quiet)
+                }
+                None => serve_weighted(&mut wm, std::io::stdin().lock(), quiet),
+            },
+        }
+    } else {
+        let mut dm = match opt(args, "--load") {
+            Some(path) => {
+                let t = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
+                let dm = DynMatching::from_triples(&t, opts);
+                println!(
+                    "loaded {} {}x{} nnz {} matching {}",
+                    path,
+                    dm.graph().n1(),
+                    dm.graph().n2(),
+                    dm.graph().nnz(),
+                    dm.cardinality()
+                );
+                dm
+            }
+            None => {
+                let n1 = parse_usize(opt(args, "--rows"), "--rows", 1024)?;
+                let n2 = parse_usize(opt(args, "--cols"), "--cols", 1024)?;
+                DynMatching::new(n1, n2, opts)
+            }
+        };
+        match opt(args, "--listen") {
+            Some(addr) => {
+                let server =
+                    Server::start(dm, listen_cfg(addr)?).map_err(|e| format!("{addr}: {e}"))?;
+                println!("listening {}", server.local_addr());
+                std::io::stdout().flush().ok();
+                // Blocks until a client sends `shutdown`; admitted updates
+                // are drained before the engine comes back.
+                let dm = server.join().expect_card();
+                println!("shutdown cardinality {} nnz {}", dm.cardinality(), dm.graph().nnz());
+                Ok(())
+            }
+            None => match opt(args, "--input") {
+                Some(path) => {
+                    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                    serve(&mut dm, std::io::BufReader::new(f), quiet)
+                }
+                None => serve(&mut dm, std::io::stdin().lock(), quiet),
+            },
+        }
     };
     if let Some(path) = trace_out {
         mcm_obs::enable_tracing(false);
@@ -286,15 +353,22 @@ fn handle_stdin_line(
     let sw = mcm_obs::Stopwatch::new();
     let verb = verb_of(&cmd);
     // Range-check updates here so the engine can keep dense scratch.
-    if let Command::Insert(r, c) | Command::Delete(r, c) = cmd {
+    if let Command::Insert(r, c, w) = cmd {
+        if r as usize >= n1 || c as usize >= n2 {
+            writeln!(out, "error line {lineno}: vertex out of range ({r}, {c})").ok();
+        } else if w.is_some_and(|w| w != 1.0) {
+            writeln!(out, "error line {lineno}: weighted insert needs a --weighted daemon").ok();
+        } else {
+            staged.push(mcm_dyn::Update::Insert(r, c));
+        }
+        mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
+        return false;
+    }
+    if let Command::Delete(r, c) = cmd {
         if r as usize >= n1 || c as usize >= n2 {
             writeln!(out, "error line {lineno}: vertex out of range ({r}, {c})").ok();
         } else {
-            staged.push(match cmd {
-                Command::Insert(r, c) => mcm_dyn::Update::Insert(r, c),
-                Command::Delete(r, c) => mcm_dyn::Update::Delete(r, c),
-                _ => unreachable!(),
-            });
+            staged.push(mcm_dyn::Update::Delete(r, c));
         }
         mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
         return false;
@@ -377,6 +451,166 @@ fn flush(
             rep.fallback,
             rep.cert_scope,
             rep.cert_seeds,
+            rep.cardinality,
+        )
+        .ok();
+    }
+}
+
+/// The stdin loop of `mcmd --weighted`: same batching discipline as
+/// [`serve`], repairs via the price-carrying weighted engine.
+fn serve_weighted(
+    wm: &mut WDynMatching,
+    mut input: impl BufRead,
+    quiet: bool,
+) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut staged: Vec<WUpdate> = Vec::new();
+    let (n1, n2) = (wm.graph().nrows(), wm.graph().ncols());
+    let mut framer = LineFramer::new();
+
+    'session: loop {
+        let chunk = input.fill_buf().map_err(|e| format!("read error: {e}"))?;
+        if chunk.is_empty() {
+            if let Err(e) = framer.finish() {
+                writeln!(out, "error line {}: {e}", framer.lines_seen() + 1).ok();
+            }
+            break;
+        }
+        let n = chunk.len();
+        let lines = framer.push(chunk);
+        input.consume(n);
+        let mut lineno = framer.lines_seen() - lines.len() as u64;
+        for line in lines {
+            lineno += 1;
+            if handle_weighted_line(wm, &line, lineno, &mut staged, &mut out, quiet, n1, n2) {
+                break 'session;
+            }
+            out.flush().ok();
+        }
+    }
+    flush_weighted(wm, &mut staged, &mut out, quiet);
+    out.flush().ok();
+    Ok(())
+}
+
+/// Handles one weighted stdin-mode line; returns `true` at session end.
+#[allow(clippy::too_many_arguments)]
+fn handle_weighted_line(
+    wm: &mut WDynMatching,
+    line: &str,
+    lineno: u64,
+    staged: &mut Vec<WUpdate>,
+    out: &mut impl Write,
+    quiet: bool,
+    n1: usize,
+    n2: usize,
+) -> bool {
+    let cmd = match parse_command(line) {
+        Ok(Some(cmd)) => cmd,
+        Ok(None) => return false,
+        Err(e) => {
+            writeln!(out, "error line {lineno}: {e}").ok();
+            return false;
+        }
+    };
+    let sw = mcm_obs::Stopwatch::new();
+    let verb = verb_of(&cmd);
+    match cmd {
+        Command::Insert(r, c, w) => {
+            if r as usize >= n1 || c as usize >= n2 {
+                writeln!(out, "error line {lineno}: vertex out of range ({r}, {c})").ok();
+            } else {
+                staged.push(WUpdate::Insert(r, c, w.unwrap_or(1.0)));
+            }
+            mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
+            return false;
+        }
+        Command::Delete(r, c) => {
+            if r as usize >= n1 || c as usize >= n2 {
+                writeln!(out, "error line {lineno}: vertex out of range ({r}, {c})").ok();
+            } else {
+                staged.push(WUpdate::Delete(r, c));
+            }
+            mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
+            return false;
+        }
+        _ => {}
+    }
+    flush_weighted(wm, staged, out, quiet);
+    let ends = matches!(cmd, Command::Quit | Command::Shutdown);
+    match cmd {
+        Command::Query => {
+            writeln!(out, "matching {} weight {}", wm.cardinality(), wm.weight()).ok();
+        }
+        Command::State => {
+            writeln!(
+                out,
+                "state seq {} epoch {} cardinality {} nnz {} weight {}",
+                wm.stats().batches,
+                wm.epoch(),
+                wm.cardinality(),
+                wm.nnz(),
+                wm.weight()
+            )
+            .ok();
+        }
+        Command::Sync => {
+            writeln!(out, "synced seq {} cardinality {}", wm.stats().batches, wm.cardinality())
+                .ok();
+        }
+        Command::Stats => {
+            let line =
+                format_wstats_line(wm.stats(), wm.cardinality(), wm.weight(), wm.nnz(), wm.epoch());
+            writeln!(out, "{line}").ok();
+        }
+        Command::Metrics => {
+            out.write_all(mcm_obs::prom::expose(mcm_obs::registry()).as_bytes()).ok();
+            writeln!(out, "# EOF").ok();
+        }
+        Command::Snapshot(path) => {
+            let written =
+                write_matrix_market_weighted_file(n1, n2, &wm.graph().to_weighted_triples(), &path);
+            match written {
+                Ok(()) => {
+                    writeln!(out, "snapshot {} nnz {}", path, wm.nnz()).ok();
+                }
+                Err(e) => {
+                    writeln!(out, "error line {lineno}: {path}: {e}").ok();
+                }
+            }
+        }
+        Command::Quit | Command::Shutdown => {}
+        Command::Insert(..) | Command::Delete(..) => unreachable!("staged above"),
+    }
+    mcm_obs::observe_ns("mcmd_request_seconds", &[("verb", verb)], sw.elapsed_ns());
+    ends
+}
+
+fn flush_weighted(
+    wm: &mut WDynMatching,
+    staged: &mut Vec<WUpdate>,
+    out: &mut impl Write,
+    quiet: bool,
+) {
+    if staged.is_empty() {
+        return;
+    }
+    let rep = wm.apply_batch(staged);
+    staged.clear();
+    if !quiet {
+        writeln!(
+            out,
+            "batch applied {} dirty {} repaired {} rebids {} cold {} weight_delta {} \
+             weight {} cardinality {}",
+            rep.applied,
+            rep.dirty,
+            rep.repaired,
+            rep.rebids,
+            rep.cold,
+            rep.weight_delta,
+            rep.weight,
             rep.cardinality,
         )
         .ok();

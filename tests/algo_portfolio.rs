@@ -43,6 +43,22 @@ fn selector_stats_are_deterministic_and_permutation_invariant() {
     }
 }
 
+/// A dense square band (uniform degrees) plus one hub column touching
+/// every row: density ≈ 0.24, degree skew ≈ 4 — dense and genuinely
+/// skewed, the shape the density rule still sends to the auction.
+fn banded_hub(n: usize) -> Triples {
+    let mut t = Triples::new(n, n);
+    for i in 0..n {
+        for d in 0..5 {
+            t.push(i as Vidx, ((i + d) % n) as Vidx);
+        }
+        if i % n != 0 && !(n - 4..n).contains(&i) {
+            t.push(i as Vidx, 0); // hub column
+        }
+    }
+    t
+}
+
 #[test]
 fn auto_pick_is_exactly_one_concrete_engines_result() {
     // `auto` must not blend engines: its matching is identical to running
@@ -50,7 +66,8 @@ fn auto_pick_is_exactly_one_concrete_engines_result() {
     let cases = [
         random_bipartite(24, 24, 60, 0xA0), // balanced sparse → msbfs
         star(4, 64),                        // skew/rectangular → ppf
-        mcm_gen::hard::crown(16),           // dense square → auction
+        banded_hub(24),                     // dense + skewed → auction
+        mcm_gen::hard::crown(16),           // dense + uniform → ppf (crown guard)
     ];
     for (i, t) in cases.iter().enumerate() {
         let (picked, stats) = resolve_algo(t, MatchingAlgo::Auto);
@@ -62,6 +79,31 @@ fn auto_pick_is_exactly_one_concrete_engines_result() {
         assert!(!conc_r.stats.algo_auto, "case {i}: explicit run flagged auto");
         assert_eq!(auto_r.matching, conc_r.matching, "case {i}: auto != {picked}");
     }
+}
+
+#[test]
+fn crown_blind_spot_stays_fixed() {
+    // Regression for the selector's crown blind spot: crowns are dense
+    // *and* degree-uniform, so the plain density rule routed them to the
+    // auction, whose price wars lost ~40x wall clock on crown_256
+    // (BENCH_algo.json). The uniformity guard must send every crown to
+    // PPF while leaving genuinely skewed dense instances on the auction.
+    for n in [8, 16, 64, 128] {
+        let t = mcm_gen::hard::crown(n);
+        let (picked, stats) = resolve_algo(&t, MatchingAlgo::Auto);
+        let s = stats.expect("auto must measure");
+        assert!(s.density >= SelectorStats::DENSE, "crown({n}) density {}", s.density);
+        assert!(s.degree_skew <= SelectorStats::UNIFORM, "crown({n}) skew {}", s.degree_skew);
+        assert_eq!(picked, MatchingAlgo::Ppf, "crown({n}) fell back into the auction price war");
+    }
+    let (picked, stats) = resolve_algo(&banded_hub(24), MatchingAlgo::Auto);
+    let s = stats.expect("auto must measure");
+    assert!(
+        s.degree_skew > SelectorStats::UNIFORM && s.degree_skew < SelectorStats::SKEWED,
+        "banded_hub skew {} left the guarded band — rebuild the fixture",
+        s.degree_skew
+    );
+    assert_eq!(picked, MatchingAlgo::Auction, "dense + skewed must still use the auction");
 }
 
 #[test]

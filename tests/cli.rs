@@ -177,6 +177,61 @@ fn mcmd_snapshot_roundtrips_through_mcm() {
 }
 
 #[test]
+fn mcmd_weighted_streams_reweights_and_snapshots() {
+    // Weighted stdin round-trip: plain and JSONL weighted inserts, a
+    // reweight that reroutes the optimum, a matched-edge delete, the
+    // weighted stats shape, and a weighted snapshot the static
+    // `mcm match --weighted` CLI re-reads to the same weight.
+    let snap = tmp("mcmd_wsnap.mtx");
+    let script = format!(
+        "insert 0 0 10\ninsert 0 1 1\ninsert 1 1 10\nquery\n\
+         {{\"op\": \"insert\", \"u\": 2, \"v\": 2, \"w\": 7}}\nquery\n\
+         # reweighting the matched diagonal down reroutes the optimum\n\
+         insert 0 0 2\nquery\n\
+         delete 1 1\nquery\n\
+         stats\nsnapshot {}\nquit\n",
+        snap.display()
+    );
+    let text = mcmd_session(
+        &["--weighted", "--rows", "8", "--cols", "8", "--quiet", "--full-verify"],
+        &script,
+    );
+    let answers: Vec<&str> = text.lines().filter(|l| l.starts_with("matching ")).collect();
+    assert_eq!(
+        answers,
+        [
+            "matching 2 weight 20",
+            "matching 3 weight 27",
+            "matching 3 weight 19",
+            "matching 2 weight 9"
+        ],
+        "{text}"
+    );
+    let stats = text.lines().find(|l| l.starts_with("stats ")).unwrap_or_else(|| panic!("{text}"));
+    assert!(stats.ends_with("algo wauction"), "{stats}");
+    assert!(stats.contains(" weight 9 "), "{stats}");
+    assert!(stats.contains("matched_deletes 1"), "{stats}");
+
+    let out = mcm().args(["match", "--weighted"]).arg(&snap).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total weight 9.000000"), "{text}");
+    assert!(text.contains("algo: wauction"), "{text}");
+}
+
+#[test]
+fn mcmd_without_weighted_rejects_weighted_inserts() {
+    // A cardinality daemon must refuse to silently drop weights; the
+    // weight-1.0 spelling is cardinality semantics and stays accepted.
+    let text = mcmd_session(
+        &["--rows", "4", "--cols", "4", "--quiet"],
+        "insert 0 0 5\ninsert 1 1 1\nquery\nquit\n",
+    );
+    assert!(text.contains("error line 1: weighted insert needs a --weighted daemon"), "{text}");
+    assert!(text.contains("matching 1"), "{text}");
+}
+
+#[test]
 fn mcmd_reports_errors_without_dying() {
     let text = mcmd_session(
         &["--rows", "4", "--cols", "4", "--quiet"],

@@ -3,7 +3,7 @@
 //! and graceful shutdown. All sockets are loopback; every wait is a
 //! timed channel or a bounded poll — no bare sleeps as assertions.
 
-use mcm_dyn::{DynMatching, DynOptions, Update};
+use mcm_dyn::{DynMatching, DynOptions, Update, WDynMatching, WDynOptions, WUpdate};
 use mcm_serve::{ApplyHook, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -114,7 +114,7 @@ fn interleaved_clients_match_serialized_replay() {
         }
     });
     assert_eq!(Client::connect(addr).roundtrip("shutdown"), "bye");
-    let dm = server.join();
+    let dm = server.join().expect_card();
 
     // Serialized replay: same per-client streams, applied client by
     // client on a fresh engine.
@@ -138,7 +138,7 @@ fn query_mid_batch_is_snapshot_isolated_and_nonblocking() {
     let (gate_tx, gate_rx) = mpsc::channel::<()>();
     let applying_tx = Mutex::new(applying_tx);
     let gate_rx = Mutex::new(gate_rx);
-    let hook: ApplyHook = Arc::new(move |batch: &[Update]| {
+    let hook: ApplyHook = Arc::new(move |batch: &[WUpdate]| {
         applying_tx.lock().unwrap().send(batch.len()).ok();
         // Held until the test releases (or drops) the gate.
         gate_rx.lock().unwrap().recv().ok();
@@ -185,7 +185,7 @@ fn full_queue_answers_busy_then_recovers() {
     let (gate_tx, gate_rx) = mpsc::channel::<()>();
     let applying_tx = Mutex::new(applying_tx);
     let gate_rx = Mutex::new(gate_rx);
-    let hook: ApplyHook = Arc::new(move |batch: &[Update]| {
+    let hook: ApplyHook = Arc::new(move |batch: &[WUpdate]| {
         applying_tx.lock().unwrap().send(batch.len()).ok();
         gate_rx.lock().unwrap().recv().ok();
     });
@@ -223,7 +223,7 @@ fn full_queue_answers_busy_then_recovers() {
     drop(gate_tx);
     let resp = c.update_retrying("sync");
     assert!(resp.starts_with("synced "), "{resp}");
-    let dm = server.shutdown();
+    let dm = server.shutdown().expect_card();
     assert_eq!(dm.graph().nnz(), acked.len(), "every acked insert must be applied");
     for (r, col) in acked {
         assert!(dm.graph().contains(r, col), "acked insert ({r},{col}) missing");
@@ -262,7 +262,7 @@ fn truncated_tail_is_counted_not_executed() {
     assert!(resp.starts_with("synced "), "{resp}");
     let st = c.roundtrip("state");
     assert!(st.contains("nnz 1"), "only the complete line may execute: {st}");
-    let dm = server.shutdown();
+    let dm = server.shutdown().expect_card();
     assert!(dm.graph().contains(1, 1));
     assert_eq!(dm.graph().nnz(), 1, "the half-received insert must not run");
 }
@@ -283,10 +283,21 @@ fn abrupt_disconnect_is_tolerated() {
         // Drop without reading a single response.
     }
     let mut c = Client::connect(addr);
-    let resp = c.roundtrip("sync");
-    assert!(resp.starts_with("synced "), "{resp}");
-    assert_eq!(c.roundtrip("query"), "matching 16");
-    let dm = server.shutdown();
+    // The vanished connection's worker drains its 16 buffered inserts
+    // concurrently with us; `sync` only barriers updates admitted so
+    // far, so poll (bounded) until the burst has landed.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = c.roundtrip("sync");
+        assert!(resp.starts_with("synced "), "{resp}");
+        let q = c.roundtrip("query");
+        if q == "matching 16" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "dropped connection's burst never fully applied: {q}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let dm = server.shutdown().expect_card();
     assert_eq!(dm.cardinality(), 16);
 }
 
@@ -320,8 +331,72 @@ fn shutdown_drains_admitted_updates() {
         assert_eq!(c.update_retrying(&format!("insert {i} {}", 63 - i)), "ok");
     }
     assert_eq!(c.roundtrip("shutdown"), "bye");
-    let dm = server.join();
+    let dm = server.join().expect_card();
     assert_eq!(dm.graph().nnz(), 48, "shutdown dropped admitted updates");
     assert_eq!(dm.cardinality(), 48);
     dm.verify_full().expect("drained state must verify");
+}
+
+/// Weighted daemon round-trip: weighted inserts (both spellings), a
+/// reweight that reroutes the matching, a matched-edge delete, weighted
+/// `query`/`state`/`stats` shapes, and a certified final engine.
+#[test]
+fn weighted_daemon_round_trips_weights() {
+    let wm = WDynMatching::new(8, 8, WDynOptions::default());
+    let server = Server::start_weighted(wm, ServerConfig::default()).expect("server start");
+    let mut c = Client::connect(server.local_addr());
+
+    // A 2x2 block where the heavy diagonal wins.
+    assert_eq!(c.update_retrying("insert 0 0 10"), "ok");
+    assert_eq!(c.update_retrying("insert 0 1 1"), "ok");
+    assert_eq!(c.update_retrying("insert 1 1 10"), "ok");
+    // A bare insert defaults to weight 1.0 — still legal when weighted.
+    assert_eq!(c.update_retrying("insert 2 2"), "ok");
+    let resp = c.roundtrip("sync");
+    assert!(resp.starts_with("synced seq "), "{resp}");
+    assert_eq!(c.roundtrip("query"), "matching 3 weight 21");
+
+    let st = c.roundtrip("state");
+    assert!(st.contains(" cardinality 3 "), "{st}");
+    assert!(st.contains(" weight 21"), "weighted state must carry the weight: {st}");
+    let stats = c.roundtrip("stats");
+    assert!(stats.starts_with("stats batches "), "{stats}");
+    assert!(stats.ends_with("algo wauction"), "{stats}");
+    assert!(stats.contains(" weight 21 "), "{stats}");
+
+    // Reweighting the matched diagonal edge down reroutes through the
+    // cross pairing: (0,1)+(1,1) is impossible, so optimal keeps the
+    // heavier of the two diagonals plus the cross edge.
+    assert_eq!(c.update_retrying("insert 0 0 2"), "ok");
+    let resp = c.update_retrying("sync");
+    assert!(resp.starts_with("synced "), "{resp}");
+    assert_eq!(c.roundtrip("query"), "matching 3 weight 13");
+
+    // Deleting the heavy edge leaves column 1 isolated: the optimum is
+    // (0,0) at its reduced weight 2 plus (2,2) at 1.
+    assert_eq!(c.update_retrying("delete 1 1"), "ok");
+    let resp = c.update_retrying("sync");
+    assert!(resp.starts_with("synced "), "{resp}");
+    assert_eq!(c.roundtrip("query"), "matching 2 weight 3");
+
+    assert_eq!(c.roundtrip("shutdown"), "bye");
+    let wm = server.join().expect_weighted();
+    assert_eq!(wm.cardinality(), 2);
+    assert!((wm.weight() - 3.0).abs() < 1e-9, "weight {}", wm.weight());
+    wm.verify_full().expect("final weighted state must be eps-CS certified");
+}
+
+/// A cardinality daemon must reject weight-carrying inserts (except the
+/// no-op weight 1.0) instead of silently dropping the weight.
+#[test]
+fn card_daemon_rejects_weighted_inserts() {
+    let server = start(8, ServerConfig::default());
+    let mut c = Client::connect(server.local_addr());
+    assert_eq!(c.roundtrip("insert 0 0 5"), "error weighted insert needs a --weighted daemon");
+    // Weight 1.0 is the cardinality semantics — accepted.
+    assert_eq!(c.update_retrying("insert 0 0 1"), "ok");
+    let resp = c.roundtrip("sync");
+    assert!(resp.starts_with("synced "), "{resp}");
+    assert_eq!(c.roundtrip("query"), "matching 1");
+    server.shutdown();
 }

@@ -36,7 +36,7 @@ use crate::timers::Kernel;
 use mcm_sparse::permute::Permutation;
 use mcm_sparse::triples::{block_offsets, block_owner};
 use mcm_sparse::workspace::{SpmvWorkspace, WorkspaceStats};
-use mcm_sparse::{Dcsc, SpVec, Triples, Vidx};
+use mcm_sparse::{CscView, Dcsc, SpVec, Triples, Vidx};
 use std::sync::Mutex;
 
 /// Fold semantics of the engine-mesh product: semiring selection
@@ -339,6 +339,170 @@ impl DistMatrix {
         let mut parts: Vec<Vec<(Vidx, Vidx)>> =
             (0..pr * pc).map(|_| Vec::with_capacity(t.len() / (pr * pc) + 8)).collect();
         for &(i, j) in t.entries() {
+            let pi = rowp.map_or(i, |p| p.apply(i));
+            let pj = colp.map_or(j, |p| p.apply(j));
+            let (gi, gj) = if transpose { (pj, pi) } else { (pi, pj) };
+            let bi = block_owner(&row_off, gi as usize);
+            let bj = block_owner(&col_off, gj as usize);
+            parts[bi * pc + bj].push((gi - row_off[bi] as Vidx, gj - col_off[bj] as Vidx));
+        }
+        let blocks: Vec<Dcsc> = mcm_par::par_map_range(parts.len(), mcm_par::max_threads(), |b| {
+            let (bi, bj) = (b / pc, b % pc);
+            Dcsc::from_unsorted_pairs(
+                row_off[bi + 1] - row_off[bi],
+                col_off[bj + 1] - col_off[bj],
+                &parts[b],
+            )
+        });
+        let nnz = blocks.iter().map(|b| b.nnz()).sum();
+        Self { nrows, ncols, pr, pc, row_off, col_off, blocks, nnz }
+    }
+
+    /// [`DistMatrix::with_grid_mapped_pair`] from a borrowed CSC view — the
+    /// zero-copy load path for mmap-backed MCSB files (`mcm-store`).
+    ///
+    /// On a 1×1 grid (the shared-memory backend) no triple list ever
+    /// exists: the unpermuted case compacts the view straight into DCSC
+    /// ([`Dcsc::from_csc_view`]) and the permuted case streams mapped pairs
+    /// through the two-pass counting builder ([`Dcsc::from_pair_iter`]).
+    /// Multi-block grids scatter into per-block pair buffers, the same
+    /// transient footprint as the triples-based path.
+    pub fn with_grid_csc_pair(
+        v: &CscView<'_>,
+        pr: usize,
+        pc: usize,
+        rowp: Option<&Permutation>,
+        colp: Option<&Permutation>,
+    ) -> (Self, Self) {
+        if pr == 1 && pc == 1 {
+            let a_block = if rowp.is_none() && colp.is_none() {
+                Dcsc::from_csc_view(v)
+            } else {
+                Dcsc::from_pair_iter(v.nrows(), v.ncols(), || {
+                    v.iter().map(|(i, j)| {
+                        (rowp.map_or(i, |p| p.apply(i)), colp.map_or(j, |p| p.apply(j)))
+                    })
+                })
+            };
+            let at_block = a_block.transposed();
+            let (nnz, t_nnz) = (a_block.nnz(), at_block.nnz());
+            let a = Self {
+                nrows: v.nrows(),
+                ncols: v.ncols(),
+                pr: 1,
+                pc: 1,
+                row_off: vec![0, v.nrows()],
+                col_off: vec![0, v.ncols()],
+                blocks: vec![a_block],
+                nnz,
+            };
+            let at = Self {
+                nrows: v.ncols(),
+                ncols: v.nrows(),
+                pr: 1,
+                pc: 1,
+                row_off: vec![0, v.ncols()],
+                col_off: vec![0, v.nrows()],
+                blocks: vec![at_block],
+                nnz: t_nnz,
+            };
+            return (a, at);
+        }
+        let row_off = block_offsets(v.nrows(), pr);
+        let col_off = block_offsets(v.ncols(), pc);
+        let t_row_off = block_offsets(v.ncols(), pr);
+        let t_col_off = block_offsets(v.nrows(), pc);
+        let cap = v.nnz() / (pr * pc) + 8;
+        let mut parts: Vec<Vec<(Vidx, Vidx)>> =
+            (0..pr * pc).map(|_| Vec::with_capacity(cap)).collect();
+        let mut t_parts: Vec<Vec<(Vidx, Vidx)>> =
+            (0..pr * pc).map(|_| Vec::with_capacity(cap)).collect();
+        for (i, j) in v.iter() {
+            let pi = rowp.map_or(i, |p| p.apply(i));
+            let pj = colp.map_or(j, |p| p.apply(j));
+            let bi = block_owner(&row_off, pi as usize);
+            let bj = block_owner(&col_off, pj as usize);
+            parts[bi * pc + bj].push((pi - row_off[bi] as Vidx, pj - col_off[bj] as Vidx));
+            let tbi = block_owner(&t_row_off, pj as usize);
+            let tbj = block_owner(&t_col_off, pi as usize);
+            t_parts[tbi * pc + tbj]
+                .push((pj - t_row_off[tbi] as Vidx, pi - t_col_off[tbj] as Vidx));
+        }
+        let build = |off_r: &[usize], off_c: &[usize], parts: &[Vec<(Vidx, Vidx)>]| -> Vec<Dcsc> {
+            mcm_par::par_map_range(parts.len(), mcm_par::max_threads(), |b| {
+                let (bi, bj) = (b / pc, b % pc);
+                Dcsc::from_unsorted_pairs(
+                    off_r[bi + 1] - off_r[bi],
+                    off_c[bj + 1] - off_c[bj],
+                    &parts[b],
+                )
+            })
+        };
+        let blocks = build(&row_off, &col_off, &parts);
+        let t_blocks = build(&t_row_off, &t_col_off, &t_parts);
+        let nnz = blocks.iter().map(|b| b.nnz()).sum();
+        let t_nnz = t_blocks.iter().map(|b| b.nnz()).sum();
+        let a = Self { nrows: v.nrows(), ncols: v.ncols(), pr, pc, row_off, col_off, blocks, nnz };
+        let at = Self {
+            nrows: v.ncols(),
+            ncols: v.nrows(),
+            pr,
+            pc,
+            row_off: t_row_off,
+            col_off: t_col_off,
+            blocks: t_blocks,
+            nnz: t_nnz,
+        };
+        (a, at)
+    }
+
+    /// [`DistMatrix::with_grid_mapped`] from a borrowed CSC view (see
+    /// [`DistMatrix::with_grid_csc_pair`] for the zero-copy guarantees).
+    pub fn with_grid_csc(
+        v: &CscView<'_>,
+        pr: usize,
+        pc: usize,
+        rowp: Option<&Permutation>,
+        colp: Option<&Permutation>,
+        transpose: bool,
+    ) -> Self {
+        let (nrows, ncols) =
+            if transpose { (v.ncols(), v.nrows()) } else { (v.nrows(), v.ncols()) };
+        if pr == 1 && pc == 1 {
+            let block = if rowp.is_none() && colp.is_none() && !transpose {
+                Dcsc::from_csc_view(v)
+            } else if rowp.is_none() && colp.is_none() {
+                Dcsc::from_csc_view(v).transposed()
+            } else {
+                Dcsc::from_pair_iter(nrows, ncols, || {
+                    v.iter().map(|(i, j)| {
+                        let pi = rowp.map_or(i, |p| p.apply(i));
+                        let pj = colp.map_or(j, |p| p.apply(j));
+                        if transpose {
+                            (pj, pi)
+                        } else {
+                            (pi, pj)
+                        }
+                    })
+                })
+            };
+            let nnz = block.nnz();
+            return Self {
+                nrows,
+                ncols,
+                pr,
+                pc,
+                row_off: vec![0, nrows],
+                col_off: vec![0, ncols],
+                blocks: vec![block],
+                nnz,
+            };
+        }
+        let row_off = block_offsets(nrows, pr);
+        let col_off = block_offsets(ncols, pc);
+        let mut parts: Vec<Vec<(Vidx, Vidx)>> =
+            (0..pr * pc).map(|_| Vec::with_capacity(v.nnz() / (pr * pc) + 8)).collect();
+        for (i, j) in v.iter() {
             let pi = rowp.map_or(i, |p| p.apply(i));
             let pj = colp.map_or(j, |p| p.apply(j));
             let (gi, gj) = if transpose { (pj, pi) } else { (pi, pj) };

@@ -43,8 +43,9 @@ pub mod weighted;
 
 pub use matching::Matching;
 pub use mcm::{
-    maximum_matching, maximum_matching_engine, maximum_matching_from, maximum_matching_from_pooled,
-    McmOptions, McmResult, McmStats, SolverPool,
+    maximum_matching, maximum_matching_engine, maximum_matching_engine_view, maximum_matching_from,
+    maximum_matching_from_pooled, maximum_matching_view, McmOptions, McmResult, McmStats,
+    SolverPool,
 };
 pub use portfolio::{MatchingAlgo, PortfolioBackend, PortfolioOptions, SelectorStats};
 pub use semirings::SemiringKind;

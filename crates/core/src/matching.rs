@@ -5,7 +5,7 @@
 //! j-th column vertex, then `mate_r[i] = j` and `mate_c[j] = i` (-1 denotes
 //! unmatched vertices)."*
 
-use mcm_sparse::{Csc, DenseVec, Vidx, NIL};
+use mcm_sparse::{Csc, CscView, DenseVec, Vidx, NIL};
 
 /// A (partial) matching of an `n1 × n2` bipartite graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,13 +76,28 @@ impl Matching {
     /// Checks internal consistency and that every matched edge exists in
     /// `a`; returns a description of the first violation.
     pub fn validate(&self, a: &Csc) -> Result<(), String> {
-        if self.n1() != a.nrows() || self.n2() != a.ncols() {
+        self.validate_with(a.nrows(), a.ncols(), |r, c| a.contains(r, c))
+    }
+
+    /// [`validate`](Self::validate) against a borrowed [`CscView`] — the
+    /// zero-copy path for MCSB-backed graphs (`mcm-store`).
+    pub fn validate_view(&self, v: &CscView<'_>) -> Result<(), String> {
+        self.validate_with(v.nrows(), v.ncols(), |r, c| v.contains(r, c))
+    }
+
+    fn validate_with(
+        &self,
+        nrows: usize,
+        ncols: usize,
+        contains: impl Fn(Vidx, usize) -> bool,
+    ) -> Result<(), String> {
+        if self.n1() != nrows || self.n2() != ncols {
             return Err(format!(
                 "dimension mismatch: matching {}x{}, matrix {}x{}",
                 self.n1(),
                 self.n2(),
-                a.nrows(),
-                a.ncols()
+                nrows,
+                ncols
             ));
         }
         for j in 0..self.n2() {
@@ -99,7 +114,7 @@ impl Matching {
                     self.mate_r.get(r)
                 ));
             }
-            if !a.contains(r, j) {
+            if !contains(r, j) {
                 return Err(format!("matched edge ({r}, {j}) is not in the graph"));
             }
         }

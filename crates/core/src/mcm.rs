@@ -21,7 +21,7 @@ use mcm_bsp::{
     Communicator, DistCtx, DistMatrix, EngineComm, Kernel, ReduceOp, SharedComm, SpmvPlan,
 };
 use mcm_sparse::permute::{relabel_permutations, Permutation};
-use mcm_sparse::{DenseVec, SpVec, Triples, Vidx, NIL};
+use mcm_sparse::{CscView, DenseVec, SpVec, Triples, Vidx, NIL};
 
 /// Tunables of MCM-DIST.
 #[derive(Clone, Copy, Debug)]
@@ -138,6 +138,47 @@ pub fn maximum_matching<C: Communicator>(
         (a, Some(at))
     } else {
         (DistMatrix::with_grid_mapped(t, epr, epc, rowp, colp, false), None)
+    };
+    let mut m = match (&opts.init, &at) {
+        (Initializer::None, _) => Matching::empty(a.nrows(), a.ncols()),
+        (init, Some(at)) => init.run(comm, &a, at, opts.seed),
+        _ => unreachable!("needs_at covers every non-None initializer"),
+    };
+    let mut stats =
+        McmStats { init_cardinality: m.cardinality(), algo: "msbfs", ..Default::default() };
+
+    run_phases(comm, &a, at.as_ref(), &mut m, opts, &mut stats);
+
+    let matching = match perms {
+        None => m,
+        Some((rowp, colp)) => unpermute(m, &rowp, &colp),
+    };
+    McmResult { matching, stats }
+}
+
+/// [`maximum_matching`] from a borrowed CSC view — the zero-copy path for
+/// mmap-backed MCSB graphs (`mcm-store`).
+///
+/// Identical pipeline, but matrix assembly reads the view in place
+/// ([`DistMatrix::with_grid_csc_pair`]): the default load-balancing
+/// relabeling streams permuted coordinates through a two-pass counting
+/// build, so no triple list (permuted or otherwise) is ever materialized.
+/// Produces the same matching as [`maximum_matching`] on the equivalent
+/// triples (asserted by `tests/store.rs`).
+pub fn maximum_matching_view<C: Communicator>(
+    comm: &mut C,
+    v: &CscView<'_>,
+    opts: &McmOptions,
+) -> McmResult {
+    let perms = opts.permute_seed.map(|seed| relabel_permutations(v.nrows(), v.ncols(), seed));
+    let (rowp, colp) = (perms.as_ref().map(|p| &p.0), perms.as_ref().map(|p| &p.1));
+    let (epr, epc) = comm.exec_grid();
+    let needs_at = !matches!(opts.init, Initializer::None) || opts.direction_optimizing;
+    let (a, at) = if needs_at {
+        let (a, at) = DistMatrix::with_grid_csc_pair(v, epr, epc, rowp, colp);
+        (a, Some(at))
+    } else {
+        (DistMatrix::with_grid_csc(v, epr, epc, rowp, colp, false), None)
     };
     let mut m = match (&opts.init, &at) {
         (Initializer::None, _) => Matching::empty(a.nrows(), a.ncols()),
@@ -536,6 +577,37 @@ pub fn maximum_matching_shared(
 ) -> McmResult {
     let mut comm = SharedComm::new(p, threads);
     maximum_matching(&mut comm, t, opts)
+}
+
+/// [`maximum_matching_serial`] from a borrowed CSC view.
+pub fn maximum_matching_serial_view(v: &CscView<'_>, opts: &McmOptions) -> McmResult {
+    let mut ctx = DistCtx::serial();
+    maximum_matching_view(&mut ctx, v, opts)
+}
+
+/// [`maximum_matching_engine`] from a borrowed CSC view.
+pub fn maximum_matching_engine_view(
+    p: usize,
+    threads: usize,
+    v: &CscView<'_>,
+    opts: &McmOptions,
+) -> McmResult {
+    let mut comm = EngineComm::new(p, threads);
+    maximum_matching_view(&mut comm, v, opts)
+}
+
+/// [`maximum_matching_shared`] from a borrowed CSC view: the end of the
+/// zero-copy chain — mmap'ed MCSB pages feed the single shared-memory block
+/// with no intermediate edge list (the path the BENCH_store scaling curve
+/// measures).
+pub fn maximum_matching_shared_view(
+    p: usize,
+    threads: usize,
+    v: &CscView<'_>,
+    opts: &McmOptions,
+) -> McmResult {
+    let mut comm = SharedComm::new(p, threads);
+    maximum_matching_view(&mut comm, v, opts)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //!   of the price-carrying dynamic repair (`mcm-dyn`).
 
 use crate::matching::Matching;
-use mcm_sparse::{Csc, Vidx, WCsc, NIL};
+use mcm_sparse::{Csc, CscView, Vidx, WCsc, NIL};
 use std::fmt;
 
 /// Why a matching failed verification. `Display` gives the same diagnostic
@@ -65,6 +65,18 @@ pub fn verify(a: &Csc, m: &Matching) -> Result<(), VerifyError> {
     Ok(())
 }
 
+/// [`verify`] against a borrowed [`CscView`] — validity plus the Berge
+/// certificate without materializing an owned `Csc`, so MCSB-backed runs
+/// (`mcm match --load graph.mcsb`) are verified against the mapped pages
+/// themselves.
+pub fn verify_view(v: &CscView<'_>, m: &Matching) -> Result<(), VerifyError> {
+    m.validate_view(v).map_err(VerifyError::Invalid)?;
+    if !is_maximum_view(v, m) {
+        return Err(VerifyError::NotMaximum { cardinality: m.cardinality() });
+    }
+    Ok(())
+}
+
 /// `true` when no edge connects an unmatched row to an unmatched column.
 pub fn is_maximal(a: &Csc, m: &Matching) -> bool {
     for c in 0..a.ncols() {
@@ -90,6 +102,12 @@ pub fn is_maximum(a: &Csc, m: &Matching) -> bool {
     is_maximum_from(a, m, &seeds)
 }
 
+/// [`is_maximum`] against a borrowed [`CscView`] (zero-copy MCSB path).
+pub fn is_maximum_view(v: &CscView<'_>, m: &Matching) -> bool {
+    let seeds: Vec<Vidx> = m.unmatched_cols();
+    berge_from(v.nrows(), v.ncols(), |j| v.col(j), m, &seeds)
+}
+
 /// Dirty-region Berge certificate: `true` when no augmenting path starts
 /// at any of `seed_cols` (matched seeds are skipped).
 ///
@@ -102,8 +120,20 @@ pub fn is_maximum(a: &Csc, m: &Matching) -> bool {
 /// creates new paths from a settled free vertex). The sweep harnesses
 /// cross-check it against the full [`is_maximum`].
 pub fn is_maximum_from(a: &Csc, m: &Matching, seed_cols: &[Vidx]) -> bool {
-    let mut visited_col = vec![false; a.ncols()];
-    let mut visited_row = vec![false; a.nrows()];
+    berge_from(a.nrows(), a.ncols(), |j| a.col(j), m, seed_cols)
+}
+
+/// Alternating-BFS core shared by the owned and borrowed-view entry points:
+/// `col` abstracts column access over `Csc` / `CscView`.
+fn berge_from<'a>(
+    nrows: usize,
+    ncols: usize,
+    col: impl Fn(usize) -> &'a [Vidx],
+    m: &Matching,
+    seed_cols: &[Vidx],
+) -> bool {
+    let mut visited_col = vec![false; ncols];
+    let mut visited_row = vec![false; nrows];
     let mut queue: Vec<Vidx> = Vec::new();
     for &c in seed_cols {
         if !m.col_matched(c) && !visited_col[c as usize] {
@@ -115,7 +145,7 @@ pub fn is_maximum_from(a: &Csc, m: &Matching, seed_cols: &[Vidx]) -> bool {
     while head < queue.len() {
         let c = queue[head];
         head += 1;
-        for &r in a.col(c as usize) {
+        for &r in col(c as usize) {
             if visited_row[r as usize] {
                 continue;
             }

@@ -175,6 +175,13 @@ pub fn auction_mwm_par(a: &WCsc, opts: &AuctionOptions) -> WeightedResult {
     let bidder = |c: Vidx| a.pattern().col_nnz(c as usize) > 0;
     let mut active: Vec<Vidx> = (0..n2 as Vidx).filter(|&c| bidder(c)).collect();
 
+    // One persistent pool for the whole auction: the bid loop fans out once
+    // per Jacobi round (thousands of times on big graphs), so per-phase
+    // thread spawns dominated multi-threaded runs — the p4-slower-than-p1
+    // anomaly in BENCH_mwm.json. Parked workers make each round's fan-out
+    // two condvar round-trips instead.
+    let pool = mcm_par::WorkerPool::new(opts.threads.max(1));
+
     loop {
         stats.scales += 1;
         let _span = mcm_obs::span("wauction_scale");
@@ -187,6 +194,7 @@ pub fn auction_mwm_par(a: &WCsc, opts: &AuctionOptions) -> WeightedResult {
             eps,
             eps_final,
             opts,
+            &pool,
             &mut stats,
         );
         if eps <= eps_final * (1.0 + TOL) {
@@ -252,6 +260,7 @@ fn run_weighted_scale(
     eps: f64,
     eps_final: f64,
     opts: &AuctionOptions,
+    pool: &mcm_par::WorkerPool,
     stats: &mut AuctionStats,
 ) {
     let mut winner_bid = vec![f64::NEG_INFINITY; prices.len()];
@@ -267,33 +276,42 @@ fn run_weighted_scale(
         // --- Parallel bid computation against frozen prices. ------------
         let prices_ro: &[f64] = prices;
         let active_ro: &[Vidx] = active;
-        let bids: Vec<Option<(Vidx, f64)>> =
-            mcm_par::par_map_range(active_ro.len(), opts.threads.max(1), |k| {
-                let c = active_ro[k];
-                let mut best_r = NIL;
-                let mut best = f64::NEG_INFINITY;
-                let mut second = f64::NEG_INFINITY;
-                for (r, w) in a.col_entries(c as usize) {
-                    let net = w - prices_ro[r as usize];
-                    if net > best {
-                        second = best;
-                        best = net;
-                        best_r = r;
-                    } else if net > second {
-                        second = net;
-                    }
+        let bid_for = |k: usize| -> Option<(Vidx, f64)> {
+            let c = active_ro[k];
+            let mut best_r = NIL;
+            let mut best = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            for (r, w) in a.col_entries(c as usize) {
+                let net = w - prices_ro[r as usize];
+                if net > best {
+                    second = best;
+                    best = net;
+                    best_r = r;
+                } else if net > second {
+                    second = net;
                 }
-                if best < 0.0 {
-                    return None; // retire: no profitable row at these prices
-                }
-                // Bertsekas bid with the regret cap: pay up to the
-                // second-best net (floored at the retirement boundary)
-                // plus ε, but never past `w + ε_final` — the winner's
-                // net stays ≥ −ε_final at every scale.
-                let floor = second.max(0.0);
-                let increment = (eps - floor).min(eps_final);
-                Some((best_r, prices_ro[best_r as usize] + best + increment))
-            });
+            }
+            if best < 0.0 {
+                return None; // retire: no profitable row at these prices
+            }
+            // Bertsekas bid with the regret cap: pay up to the
+            // second-best net (floored at the retirement boundary)
+            // plus ε, but never past `w + ε_final` — the winner's
+            // net stays ≥ −ε_final at every scale.
+            let floor = second.max(0.0);
+            let increment = (eps - floor).min(eps_final);
+            Some((best_r, prices_ro[best_r as usize] + best + increment))
+        };
+        // Most end-game rounds have a handful of active bidders; waking the
+        // pool for those costs more than the bids. Fan out only when the
+        // round is big enough to amortize the two condvar round-trips —
+        // either way the bid vector is identical (pure function of k).
+        const PAR_BID_MIN: usize = 256;
+        let bids: Vec<Option<(Vidx, f64)>> = if active_ro.len() < PAR_BID_MIN {
+            (0..active_ro.len()).map(bid_for).collect()
+        } else {
+            pool.map_range(active_ro.len(), bid_for)
+        };
         stats.bids += bids.len();
 
         // --- Deterministic serial resolution. ---------------------------

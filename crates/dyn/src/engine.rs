@@ -284,6 +284,14 @@ impl DynMatching {
         Self::with_graph(g, m, opts)
     }
 
+    /// Builds from an already-compacted CSC base (the MCSB load path of
+    /// `mcmd --load`) and solves the initial maximum matching.
+    pub fn from_csc(a: mcm_sparse::Csc, opts: DynOptions) -> Self {
+        let g = DynGraph::from_csc(a);
+        let m = hopcroft_karp(&g.to_csc(), None);
+        Self::with_graph(g, m, opts)
+    }
+
     fn with_graph(g: DynGraph, m: Matching, opts: DynOptions) -> Self {
         let (n1, n2) = (g.n1(), g.n2());
         Self {

@@ -56,6 +56,14 @@ impl DynGraph {
         Self { cols: CscOverlay::new(t.to_csc()), rows: CscOverlay::new(t.transposed().to_csc()) }
     }
 
+    /// Builds from an already-compacted CSC base — the MCSB load path
+    /// (`mcmd --load graph.mcsb`), which decodes straight to CSC and never
+    /// owns a triple list. The row adjacency is the explicit transpose.
+    pub fn from_csc(a: Csc) -> Self {
+        let at = a.transpose();
+        Self { cols: CscOverlay::new(a), rows: CscOverlay::new(at) }
+    }
+
     /// Row vertices.
     #[inline]
     pub fn n1(&self) -> usize {

@@ -205,14 +205,23 @@ impl WDynMatching {
         entries: Vec<(Vidx, Vidx, f64)>,
         opts: WDynOptions,
     ) -> Self {
-        let mut wm = Self::new(n1, n2, opts);
         let a = WCsc::from_weighted_triples(n1, n2, entries);
-        for (r, c, w) in a.to_weighted_triples() {
-            wm.cols.insert(r, c, w);
-            wm.rows.insert(c, r);
+        Self::from_wcsc(a, opts)
+    }
+
+    /// Builds from an already-assembled weighted CSC — the MCSB load path
+    /// (`mcmd --weighted --load graph.mcsb`), which decodes pattern and
+    /// values straight to a `WCsc` frozen base with no triple list.
+    pub fn from_wcsc(a: WCsc, opts: WDynOptions) -> Self {
+        let (n1, n2) = (a.nrows(), a.ncols());
+        let mut wm = Self::new(n1, n2, opts);
+        let mut rows = CscOverlay::empty(n2, n1);
+        for (r, c) in a.pattern().iter() {
+            rows.insert(c, r);
         }
-        wm.cols.compact();
-        wm.rows.compact();
+        rows.compact();
+        wm.cols = WCscOverlay::new(a);
+        wm.rows = rows;
         wm.cold_solve();
         wm.weight = wm.recompute_weight();
         wm

@@ -30,7 +30,7 @@ pub mod suite;
 pub mod trace;
 
 pub use realistic::{representative4, table2, StandIn};
-pub use rmat::{rmat, RmatParams};
+pub use rmat::{rmat, rmat_profile, stream_edges, RmatParams, RmatProfile, RMAT_PROFILES};
 pub use suite::{simtest_suite, update_trace_suite};
 pub use trace::{
     assign_weights, materialize_weighted, update_trace, weighted_update_trace, TraceOp,

@@ -19,7 +19,7 @@ use crate::banded::banded;
 use crate::er::uniform_coldeg;
 use crate::kkt::kkt_stencil;
 use crate::mesh::{bubble_mesh, road_grid, triangulated_grid};
-use crate::rmat::{rmat, RmatParams};
+use crate::rmat::{rmat, rmat_profile};
 use crate::smallworld::watts_strogatz;
 use mcm_sparse::Triples;
 
@@ -94,9 +94,18 @@ fn gen_cage15(seed: u64) -> Triples {
     banded(49_152, 4, 4, seed)
 }
 
+/// Stand-in scale for the four RMAT-shaped power-law rows; the quadrant
+/// probabilities and edge factors live in the shared profile table
+/// ([`crate::rmat::RMAT_PROFILES`]), keyed by the Table II name.
+const POWER_LAW_SCALE: u32 = 15;
+
+fn gen_rmat_standin(name: &str, seed: u64) -> Triples {
+    let profile = rmat_profile(name).expect("power-law stand-in must have a named RMAT profile");
+    rmat(profile.params(POWER_LAW_SCALE), seed)
+}
+
 fn gen_cit_patents(seed: u64) -> Triples {
-    let p = RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11, scale: 15, edge_factor: 6 };
-    rmat(p, seed)
+    gen_rmat_standin("cit-Patents", seed)
 }
 
 fn gen_delaunay(seed: u64) -> Triples {
@@ -124,8 +133,7 @@ fn gen_kkt_power(seed: u64) -> Triples {
 }
 
 fn gen_ljournal(seed: u64) -> Triples {
-    let p = RmatParams { a: 0.52, b: 0.2, c: 0.2, d: 0.08, scale: 15, edge_factor: 14 };
-    rmat(p, seed)
+    gen_rmat_standin("ljournal-2008", seed)
 }
 
 fn gen_nlpkkt200(seed: u64) -> Triples {
@@ -137,13 +145,11 @@ fn gen_road_usa(seed: u64) -> Triples {
 }
 
 fn gen_wb_edu(seed: u64) -> Triples {
-    let p = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, scale: 15, edge_factor: 10 };
-    rmat(p, seed)
+    gen_rmat_standin("wb-edu", seed)
 }
 
 fn gen_wikipedia(seed: u64) -> Triples {
-    let p = RmatParams { a: 0.55, b: 0.2, c: 0.2, d: 0.05, scale: 15, edge_factor: 12 };
-    rmat(p, seed)
+    gen_rmat_standin("wikipedia-20070206", seed)
 }
 
 /// The 13-matrix Table II inventory, alphabetical like the paper's table.

@@ -31,19 +31,18 @@ pub struct RmatParams {
 impl RmatParams {
     /// Graph 500 parameters: skewed degree distribution, 32 edges/vertex.
     pub fn g500(scale: u32) -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05, scale, edge_factor: 32 }
+        rmat_profile("g500").unwrap().params(scale)
     }
 
     /// HPCS SSCA#2 parameters: mildly skewed, 16 edges/vertex.
     pub fn ssca(scale: u32) -> Self {
-        let t = 0.4 / 3.0;
-        Self { a: 0.6, b: t, c: t, d: t, scale, edge_factor: 16 }
+        rmat_profile("ssca").unwrap().params(scale)
     }
 
     /// Erdős–Rényi via uniform quadrants: flat degree distribution,
     /// 32 edges/vertex.
     pub fn er(scale: u32) -> Self {
-        Self { a: 0.25, b: 0.25, c: 0.25, d: 0.25, scale, edge_factor: 32 }
+        rmat_profile("er").unwrap().params(scale)
     }
 
     /// Matrix dimension `2^scale`.
@@ -56,6 +55,58 @@ impl RmatParams {
         assert!((sum - 1.0).abs() < 1e-9, "RMAT quadrant probabilities must sum to 1, got {sum}");
         assert!(self.scale >= 1 && self.scale < 31, "scale must be in 1..31");
     }
+}
+
+/// A named RMAT parameter profile: quadrant probabilities plus edge factor,
+/// without a scale. One table serves every consumer — the in-RAM Table II
+/// stand-ins (`realistic.rs`), the streaming MCSB writer behind
+/// `mcm gen --format mcsb`, and anything else that wants "the wikipedia
+/// shape at scale N" — so the numbers exist in exactly one place.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatProfile {
+    /// Profile name (the UF matrix the shape imitates, or a family name).
+    pub name: &'static str,
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// Edges sampled per vertex.
+    pub edge_factor: usize,
+}
+
+impl RmatProfile {
+    /// Instantiates the profile at a concrete scale.
+    pub fn params(&self, scale: u32) -> RmatParams {
+        RmatParams {
+            a: self.a,
+            b: self.b,
+            c: self.c,
+            d: self.d,
+            scale,
+            edge_factor: self.edge_factor,
+        }
+    }
+}
+
+/// The named profiles: the three paper families (§V-B) plus the four
+/// power-law Table II stand-ins that are RMAT-shaped.
+pub const RMAT_PROFILES: &[RmatProfile] = &[
+    RmatProfile { name: "g500", a: 0.57, b: 0.19, c: 0.19, d: 0.05, edge_factor: 32 },
+    RmatProfile { name: "ssca", a: 0.6, b: 0.4 / 3.0, c: 0.4 / 3.0, d: 0.4 / 3.0, edge_factor: 16 },
+    RmatProfile { name: "er", a: 0.25, b: 0.25, c: 0.25, d: 0.25, edge_factor: 32 },
+    RmatProfile { name: "cit-Patents", a: 0.45, b: 0.22, c: 0.22, d: 0.11, edge_factor: 6 },
+    RmatProfile { name: "ljournal-2008", a: 0.52, b: 0.2, c: 0.2, d: 0.08, edge_factor: 14 },
+    RmatProfile { name: "wb-edu", a: 0.57, b: 0.19, c: 0.19, d: 0.05, edge_factor: 10 },
+    RmatProfile { name: "wikipedia-20070206", a: 0.55, b: 0.2, c: 0.2, d: 0.05, edge_factor: 12 },
+];
+
+/// Looks up a named profile from [`RMAT_PROFILES`].
+pub fn rmat_profile(name: &str) -> Option<&'static RmatProfile> {
+    RMAT_PROFILES.iter().find(|p| p.name == name)
 }
 
 /// Samples one edge by recursive quadrant descent.
@@ -103,21 +154,48 @@ fn sample_edge(p: &RmatParams, rng: &mut SplitMix64) -> (Vidx, Vidx) {
 pub fn rmat(p: RmatParams, seed: u64) -> Triples {
     p.validate();
     let n = p.n();
-    let m = p.edge_factor * n;
-    const CHUNK: usize = 1 << 16;
+    let mut edges: Vec<(Vidx, Vidx)> = Vec::with_capacity(p.edge_factor * n);
+    stream_edges(&p, seed, |chunk| edges.extend_from_slice(chunk));
+    let mut t = Triples::from_edges(n, n, edges);
+    t.sort_dedup();
+    t
+}
+
+/// Sampling chunk size shared by [`rmat`] and [`stream_edges`]. The
+/// per-chunk SplitMix64 seed is a pure function of (`seed`, chunk index),
+/// so the two entry points produce the identical edge stream.
+const CHUNK: usize = 1 << 16;
+
+/// Streams the RMAT edge list to `sink` in chunks without materializing it.
+///
+/// The edges delivered (values and order) are exactly those [`rmat`]
+/// deduplicates into a [`Triples`], so an out-of-core consumer (the MCSB
+/// stream writer behind `mcm gen --format mcsb`) sees the same graph as the
+/// in-RAM generator. Chunks are *sampled* in parallel (`mcm-par`) a batch at
+/// a time, so peak memory is `O(threads · CHUNK)` edges regardless of scale.
+pub fn stream_edges(p: &RmatParams, seed: u64, mut sink: impl FnMut(&[(Vidx, Vidx)])) {
+    p.validate();
+    let m = p.edge_factor * p.n();
     let chunks = m.div_ceil(CHUNK);
-    let per_chunk: Vec<Vec<(Vidx, Vidx)>> =
-        mcm_par::par_map_range(chunks, mcm_par::max_threads(), |chunk| {
+    let threads = mcm_par::max_threads();
+    let batch = threads.max(1) * 4;
+    let mut next = 0usize;
+    while next < chunks {
+        let take = batch.min(chunks - next);
+        let base = next;
+        let sampled: Vec<Vec<(Vidx, Vidx)>> = mcm_par::par_map_range(take, threads, |k| {
+            let chunk = base + k;
             let mut rng = SplitMix64::new(
                 seed ^ (0x9E37_79B9 + chunk as u64).wrapping_mul(0xABCD_EF12_3456_789B),
             );
             let count = CHUNK.min(m - chunk * CHUNK);
-            (0..count).map(|_| sample_edge(&p, &mut rng)).collect::<Vec<_>>()
+            (0..count).map(|_| sample_edge(p, &mut rng)).collect::<Vec<_>>()
         });
-    let edges: Vec<(Vidx, Vidx)> = per_chunk.into_iter().flatten().collect();
-    let mut t = Triples::from_edges(n, n, edges);
-    t.sort_dedup();
-    t
+        for chunk in &sampled {
+            sink(chunk);
+        }
+        next += take;
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +245,20 @@ mod tests {
     fn rejects_bad_probabilities() {
         let p = RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5, scale: 4, edge_factor: 4 };
         let _ = rmat(p, 0);
+    }
+
+    #[test]
+    fn stream_edges_matches_in_ram_generator() {
+        // Multiple batches (scale 12 × ef 32 = 131072 samples = 2 chunks at
+        // least) and a partial tail chunk must reproduce rmat() exactly.
+        for p in [RmatParams::g500(12), RmatParams::ssca(9)] {
+            let mut streamed: Vec<(Vidx, Vidx)> = Vec::new();
+            stream_edges(&p, 42, |chunk| streamed.extend_from_slice(chunk));
+            assert_eq!(streamed.len(), p.edge_factor * p.n());
+            let mut t = Triples::from_edges(p.n(), p.n(), streamed);
+            t.sort_dedup();
+            assert_eq!(t, rmat(p, 42));
+        }
     }
 
     #[test]

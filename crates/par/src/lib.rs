@@ -104,6 +104,204 @@ where
     })
 }
 
+/// A type-erased borrowed task published to the pool workers.
+///
+/// The pointee lives on the stack frame of [`WorkerPool::map_range`], which
+/// never returns (or unwinds) before every worker has finished the epoch —
+/// that wait is what makes smuggling the non-`'static` borrow across
+/// threads sound.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared `&` access from many threads is
+// fine) and outlives every access — `map_range` blocks until `pending == 0`
+// before its frame dies, on the normal path and on unwind (`WaitGuard`).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Bumped once per published job; workers run each epoch exactly once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have not finished the current epoch yet.
+    pending: usize,
+    /// Set when a worker's task panicked (re-raised by the caller).
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: std::sync::Mutex<PoolState>,
+    /// Workers wait here for the next epoch (or shutdown).
+    work_cv: std::sync::Condvar,
+    /// The caller waits here for `pending` to reach zero.
+    done_cv: std::sync::Condvar,
+}
+
+/// A persistent worker pool: spawn once, run many parallel maps.
+///
+/// [`par_map_range`] spawns and joins OS threads on every call, which is
+/// fine for one-shot fan-outs but dominates the runtime of phase loops that
+/// fan out thousands of times over small batches (the auction engine's bid
+/// loop). `WorkerPool::map_range` has the same contract as `par_map_range`
+/// — results in index order, dynamic scheduling, identical output for any
+/// thread count — but reuses `threads - 1` parked workers (the caller is
+/// the last worker), so a fan-out costs two condvar round-trips instead of
+/// thread spawns.
+///
+/// # Example
+///
+/// ```
+/// let pool = mcm_par::WorkerPool::new(4);
+/// for _ in 0..3 {
+///     let squares = pool.map_range(8, |i| i * i);
+///     assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// }
+/// ```
+pub struct WorkerPool {
+    shared: std::sync::Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Blocks until every worker has finished the current epoch. Runs on the
+/// normal path *and* on unwind, so a panicking task can never leave a
+/// worker holding a dangling `Job` borrow into a dead stack frame.
+struct WaitGuard<'a>(&'a PoolShared);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        while st.pending > 0 {
+            st = self.0.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+}
+
+impl WorkerPool {
+    /// A pool delivering `threads` total workers: `threads - 1` spawned
+    /// OS threads plus the calling thread, mirroring `par_map_range`'s
+    /// accounting.
+    pub fn new(threads: usize) -> Self {
+        let shared = std::sync::Arc::new(PoolShared {
+            state: std::sync::Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: std::sync::Condvar::new(),
+            done_cv: std::sync::Condvar::new(),
+        });
+        let handles = (1..threads.max(1))
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker(&shared))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    fn worker(shared: &PoolShared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().unwrap();
+                while st.epoch == seen && !st.shutdown {
+                    st = shared.work_cv.wait(st).unwrap();
+                }
+                if st.shutdown {
+                    return;
+                }
+                seen = st.epoch;
+                st.job.expect("epoch bumped without a job")
+            };
+            // SAFETY: the publisher waits (WaitGuard) for this worker's
+            // `pending` decrement before the pointee's frame can die.
+            let f = unsafe { &*job.0 };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let mut st = shared.state.lock().unwrap();
+            if result.is_err() {
+                st.panicked = true;
+            }
+            st.pending -= 1;
+            if st.pending == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Applies `f` to every index in `0..n` across the pool and returns the
+    /// results in index order — the persistent-pool counterpart of
+    /// [`par_map_range`], with the same dynamic scheduling and the same
+    /// output for every pool size. Inline when the pool has no spawned
+    /// workers or `n <= 1`.
+    pub fn map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.handles.is_empty() || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let results: std::sync::Mutex<Vec<(usize, R)>> =
+            std::sync::Mutex::new(Vec::with_capacity(n));
+        let task = || {
+            let mut got: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                got.push((i, f(i)));
+            }
+            results.lock().unwrap().extend(got);
+        };
+        let task_ref: &(dyn Fn() + Sync) = &task;
+        // SAFETY: erasing the borrow's lifetime; WaitGuard below keeps this
+        // frame alive until every worker is done with the pointer.
+        let job = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), *const (dyn Fn() + Sync)>(task_ref)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = Some(job);
+            st.pending = self.handles.len();
+            st.panicked = false;
+            st.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+        let guard = WaitGuard(&self.shared);
+        task(); // the caller is the last worker
+        drop(guard); // blocks until the spawned workers finish too
+        if std::mem::replace(&mut self.shared.state.lock().unwrap().panicked, false) {
+            panic!("mcm-par worker panicked");
+        }
+        let mut all = results.into_inner().unwrap();
+        all.sort_unstable_by_key(|&(i, _)| i);
+        all.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Total workers this pool delivers (spawned threads + the caller).
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            h.join().expect("mcm-par pool worker panicked during shutdown");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +331,43 @@ mod tests {
             assert!(items.iter().all(|&v| v == 1), "threads {threads}");
             assert_eq!(idx, (0..37).collect::<Vec<_>>(), "threads {threads}");
         }
+    }
+
+    #[test]
+    fn pool_matches_par_map_range_for_any_size() {
+        for threads in [1, 2, 4, 9] {
+            let pool = WorkerPool::new(threads);
+            for n in [0, 1, 5, 100] {
+                let got = pool.map_range(n, |i| 7 * i + 1);
+                assert_eq!(got, (0..n).map(|i| 7 * i + 1).collect::<Vec<_>>(), "t{threads} n{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_epochs() {
+        let pool = WorkerPool::new(4);
+        for round in 0..200 {
+            let got = pool.map_range(17, move |i| i + round);
+            assert_eq!(got, (0..17).map(|i| i + round).collect::<Vec<_>>(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_task() {
+        let pool = WorkerPool::new(4);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_range(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(boom.is_err(), "panic must propagate to the caller");
+        // The workers must still be alive and the state clean.
+        let got = pool.map_range(8, |i| i * 2);
+        assert_eq!(got, vec![0, 2, 4, 6, 8, 10, 12, 14]);
     }
 
     #[test]

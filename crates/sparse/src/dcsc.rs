@@ -202,6 +202,101 @@ impl Dcsc {
         Self { nrows: a.nrows(), ncols: a.ncols(), jc, cp, ir }
     }
 
+    /// Converts from a borrowed CSC view, dropping empty columns. The
+    /// zero-copy counterpart of [`Dcsc::from_csc`]: a view over mmap'ed
+    /// MCSB pages compacts straight into DCSC with one sequential read of
+    /// the mapped arrays and no intermediate triple list.
+    pub fn from_csc_view(v: &crate::CscView<'_>) -> Self {
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut ir = Vec::with_capacity(v.nnz());
+        for j in 0..v.ncols() {
+            let col = v.col(j);
+            if !col.is_empty() {
+                jc.push(j as Vidx);
+                ir.extend_from_slice(col);
+                cp.push(ir.len());
+            }
+        }
+        Self { nrows: v.nrows(), ncols: v.ncols(), jc, cp, ir }
+    }
+
+    /// Builds from a *re-iterable* stream of (possibly unsorted, possibly
+    /// duplicated) `(row, col)` pairs without ever materializing them: one
+    /// pass counts the column histogram, a second pass scatters each row
+    /// index into its column's segment, then segments are sorted and
+    /// deduplicated exactly as in [`Dcsc::from_unsorted_pairs`].
+    ///
+    /// This is what lets `DistMatrix` assembly apply a relabeling
+    /// permutation to an mmap'ed [`CscView`](crate::CscView) — the permuted
+    /// pairs exist only inside the iterator — at the cost of iterating the
+    /// source twice.
+    pub fn from_pair_iter<I, F>(nrows: usize, ncols: usize, pairs: F) -> Self
+    where
+        I: Iterator<Item = (Vidx, Vidx)>,
+        F: Fn() -> I,
+    {
+        // Column histogram → running cursors (pass 1).
+        let mut cursor = vec![0u32; ncols + 1];
+        let mut nnz = 0usize;
+        for (_, j) in pairs() {
+            cursor[j as usize + 1] += 1;
+            nnz += 1;
+        }
+        if nnz == 0 {
+            return Self::empty(nrows, ncols);
+        }
+        for k in 0..ncols {
+            cursor[k + 1] += cursor[k];
+        }
+        // Scatter (pass 2), then the same per-column sort + in-place dedup
+        // compaction as `from_unsorted_pairs`.
+        let mut ir = vec![0 as Vidx; nnz];
+        for (i, j) in pairs() {
+            let slot = &mut cursor[j as usize];
+            ir[*slot as usize] = i;
+            *slot += 1;
+        }
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut w = 0usize;
+        let mut seg_start = 0usize;
+        #[allow(clippy::needless_range_loop)] // parallel-array cursor walk
+        for j in 0..ncols {
+            let seg_end = cursor[j] as usize;
+            if seg_end == seg_start {
+                continue;
+            }
+            if seg_end - seg_start <= 24 {
+                for k in seg_start + 1..seg_end {
+                    let v = ir[k];
+                    let mut m = k;
+                    while m > seg_start && ir[m - 1] > v {
+                        ir[m] = ir[m - 1];
+                        m -= 1;
+                    }
+                    ir[m] = v;
+                }
+            } else {
+                ir[seg_start..seg_end].sort_unstable();
+            }
+            jc.push(j as Vidx);
+            let mut last = Vidx::MAX;
+            for k in seg_start..seg_end {
+                let i = ir[k];
+                if i != last {
+                    ir[w] = i;
+                    w += 1;
+                    last = i;
+                }
+            }
+            cp.push(w);
+            seg_start = seg_end;
+        }
+        ir.truncate(w);
+        Self { nrows, ncols, jc, cp, ir }
+    }
+
     /// An empty matrix.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
         Self { nrows, ncols, jc: Vec::new(), cp: vec![0], ir: Vec::new() }
@@ -389,6 +484,32 @@ mod tests {
             let got = Dcsc::from_unsorted_pairs(nrows, ncols, &pairs);
             assert_eq!(got, want, "{nrows}x{ncols} {pairs:?}");
         }
+    }
+
+    #[test]
+    fn pair_iter_build_matches_slice_build() {
+        #[allow(clippy::type_complexity)]
+        let cases: Vec<(usize, usize, Vec<(Vidx, Vidx)>)> = vec![
+            (1, 1, vec![(0, 0), (0, 0), (0, 0)]),
+            (4, 6, vec![(3, 5), (0, 0), (3, 5), (1, 2), (2, 4), (0, 4), (0, 0)]),
+            (10, 1000, vec![(9, 999), (0, 999), (9, 0), (0, 0), (5, 500)]),
+            (8, 8, (0..8).flat_map(|i| (0..8).map(move |j| (7 - i, 7 - j))).collect()),
+            (3, 3, vec![]),
+        ];
+        for (nrows, ncols, pairs) in cases {
+            let want = Dcsc::from_unsorted_pairs(nrows, ncols, &pairs);
+            let got = Dcsc::from_pair_iter(nrows, ncols, || pairs.iter().copied());
+            assert_eq!(got, want, "{nrows}x{ncols} {pairs:?}");
+        }
+    }
+
+    #[test]
+    fn from_csc_view_matches_from_csc() {
+        let t = Triples::from_edges(5, 7, vec![(4, 6), (0, 0), (2, 3), (1, 3), (4, 0)]);
+        let csc = t.to_csc();
+        let colptr: Vec<u64> = csc.colptr().iter().map(|&p| p as u64).collect();
+        let view = crate::CscView::new(csc.nrows(), csc.ncols(), &colptr, csc.rowind());
+        assert_eq!(Dcsc::from_csc_view(&view), Dcsc::from_csc(&csc));
     }
 
     #[test]

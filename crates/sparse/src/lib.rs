@@ -7,6 +7,8 @@
 //! * [`Triples`] — a coordinate-format (COO) staging area for graph
 //!   construction and I/O,
 //! * [`Csc`] — compressed sparse columns, the workhorse local format,
+//! * [`CscView`] — a *borrowed* CSC over externally owned arrays (mmap'ed
+//!   MCSB files from `mcm-store`), the zero-copy load path,
 //! * [`Dcsc`] — *doubly* compressed sparse columns, the format CombBLAS uses
 //!   for hypersparse 2D-partitioned submatrices (Buluç & Gilbert),
 //! * [`SpVec`] — a sparse vector of `(index, value)` pairs,
@@ -37,6 +39,7 @@ pub mod spmv;
 pub mod spvec;
 pub mod stats;
 pub mod triples;
+pub mod view;
 pub mod wcsc;
 pub mod workspace;
 pub mod woverlay;
@@ -49,6 +52,7 @@ pub use semiring::{Combiner, MaxWeightCombiner, MinCombiner, Select2nd};
 pub use spmv::{spmspv, spmspv_csc, spmspv_monoid, spmv_dense};
 pub use spvec::SpVec;
 pub use triples::Triples;
+pub use view::CscView;
 pub use wcsc::WCsc;
 pub use workspace::{SpmvWorkspace, WorkspaceStats};
 pub use woverlay::WCscOverlay;

@@ -48,6 +48,20 @@ impl WCsc {
         Self { pattern, values }
     }
 
+    /// Builds from an already-constructed pattern and values aligned with
+    /// `pattern.rowind()`. This is the decode path for storage formats
+    /// (MCSB in `mcm-store`) whose payload is exactly these arrays — the
+    /// data is sorted and deduplicated on disk, so re-sorting through
+    /// [`WCsc::from_weighted_triples`] would be a wasted O(nnz log nnz).
+    pub fn from_sorted_parts(pattern: Csc, values: Vec<f64>) -> Self {
+        assert_eq!(
+            pattern.nnz(),
+            values.len(),
+            "values must align one-to-one with the pattern's nonzeros"
+        );
+        Self { pattern, values }
+    }
+
     /// The structural pattern.
     #[inline]
     pub fn pattern(&self) -> &Csc {

@@ -1,0 +1,193 @@
+//! # mcm-store — out-of-core graph storage
+//!
+//! The storage subsystem behind the repo's scaling story (DESIGN.md §18):
+//! every other crate assumes a graph that fits in RAM and arrives through a
+//! line-by-line Matrix Market parser; this crate makes the on-disk layout
+//! *be* the in-memory layout so graphs 10–100× larger load in O(1) work.
+//!
+//! * [`format`] — **MCSB**, a compact versioned binary format whose payload
+//!   is exactly the CSC arrays (`colptr`/`rowind`, optional `f64` values)
+//!   in fixed little-endian layout with 64-byte section alignment.
+//! * [`McsbFile`] — an mmap-backed reader exposing a borrowed
+//!   [`CscView`](mcm_sparse::CscView) over the mapped pages (plus a
+//!   read-to-heap fallback that eagerly verifies the payload checksum), so
+//!   `DistMatrix`/`Dcsc` construction never materializes a triple list.
+//! * [`McsbStreamWriter`] / [`convert_matrix_market`] — bounded-memory
+//!   ingest: unsorted edges (an RMAT generator stream, a Matrix Market
+//!   file) spill into column-range buckets, each bucket sorts in RAM, and
+//!   the sorted sections stream into their final file positions.
+//! * [`sniff_format`] — magic-byte dispatch between MCSB and Matrix Market
+//!   for the `--load` paths of `mcm` and `mcmd`.
+
+pub mod convert;
+pub mod format;
+mod mmap;
+pub mod read;
+pub mod stream;
+pub mod write;
+
+pub use convert::{convert_matrix_market, convert_matrix_market_with, ConvertSummary};
+pub use format::{Header, StoreError};
+pub use read::McsbFile;
+pub use stream::{McsbStreamWriter, StreamSummary, DEFAULT_BUCKETS};
+pub use write::{write_csc_file, write_parts, write_wcsc_file};
+
+use std::io::Read;
+use std::path::Path;
+
+/// A graph file format recognizable by its leading bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// The MCSB binary format of this crate.
+    Mcsb,
+    /// Matrix Market coordinate text (`%%MatrixMarket ...`).
+    MatrixMarket,
+}
+
+/// Sniffs a graph file's format from its magic bytes: MCSB binary or
+/// `%%MatrixMarket` text. Anything else is a [`StoreError::Format`].
+pub fn sniff_format(path: impl AsRef<Path>) -> Result<GraphFormat, StoreError> {
+    let path = path.as_ref();
+    let mut head = [0u8; 14]; // len("%%MatrixMarket")
+    let mut f = std::fs::File::open(path)?;
+    let mut got = 0;
+    while got < head.len() {
+        let n = f.read(&mut head[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    if got >= format::MAGIC.len() && head[..format::MAGIC.len()] == format::MAGIC {
+        return Ok(GraphFormat::Mcsb);
+    }
+    if got == head.len() && head.eq_ignore_ascii_case(b"%%MatrixMarket") {
+        return Ok(GraphFormat::MatrixMarket);
+    }
+    Err(StoreError::Format(
+        "unrecognized graph format (expected MCSB magic or a %%MatrixMarket header)".to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mcm_store_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn sniffs_both_formats_and_rejects_garbage() {
+        let m = tmp("sniff.mtx");
+        std::fs::File::create(&m)
+            .unwrap()
+            .write_all(b"%%MatrixMarket matrix coordinate pattern general\n1 1 0\n")
+            .unwrap();
+        assert_eq!(sniff_format(&m).unwrap(), GraphFormat::MatrixMarket);
+
+        let b = tmp("sniff.mcsb");
+        let a = mcm_sparse::Triples::from_edges(2, 2, vec![(0, 0), (1, 1)]).to_csc();
+        write_csc_file(&b, &a).unwrap();
+        assert_eq!(sniff_format(&b).unwrap(), GraphFormat::Mcsb);
+
+        let g = tmp("sniff.bin");
+        std::fs::File::create(&g).unwrap().write_all(b"not a graph").unwrap();
+        assert!(matches!(sniff_format(&g), Err(StoreError::Format(_))));
+
+        for p in [m, b, g] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn csc_round_trip_through_both_backings() {
+        let t = mcm_sparse::Triples::from_edges(6, 5, vec![(0, 0), (5, 4), (2, 2), (3, 2)]);
+        let a = t.to_csc();
+        let p = tmp("roundtrip.mcsb");
+        write_csc_file(&p, &a).unwrap();
+        for file in [McsbFile::open(&p).unwrap(), McsbFile::open_heap(&p).unwrap()] {
+            let v = file.view();
+            assert_eq!((v.nrows(), v.ncols(), v.nnz()), (6, 5, 4));
+            for j in 0..5 {
+                assert_eq!(v.col(j), a.col(j), "column {j}");
+            }
+            assert!(file.values().is_none());
+            file.verify_payload().unwrap();
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn weighted_round_trip_keeps_bit_identical_values() {
+        let a = mcm_sparse::WCsc::from_weighted_triples(
+            3,
+            3,
+            vec![(0, 0, 1.5), (2, 1, -0.0), (1, 2, f64::MIN_POSITIVE)],
+        );
+        let p = tmp("weighted.mcsb");
+        write_wcsc_file(&p, &a).unwrap();
+        let file = McsbFile::open(&p).unwrap();
+        assert!(file.is_weighted());
+        let back = file.to_wcsc().unwrap();
+        assert_eq!(back.pattern(), a.pattern());
+        let bits: Vec<u64> = back.values().iter().map(|w| w.to_bits()).collect();
+        let want: Vec<u64> = a.values().iter().map(|w| w.to_bits()).collect();
+        assert_eq!(bits, want);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn stream_writer_matches_one_shot_writer() {
+        // Unsorted, duplicated edges through 3 buckets must produce the
+        // same file contents as sorting in RAM and writing one-shot.
+        let edges: Vec<(u32, u32)> =
+            vec![(4, 9), (0, 0), (4, 9), (2, 3), (1, 3), (3, 0), (0, 9), (2, 5)];
+        let mut t = mcm_sparse::Triples::from_edges(5, 10, edges.clone());
+        t.sort_dedup();
+        let a = t.to_csc();
+
+        let p1 = tmp("stream_a.mcsb");
+        let p2 = tmp("stream_b.mcsb");
+        write_csc_file(&p1, &a).unwrap();
+        let mut w = McsbStreamWriter::create_with(&p2, 5, 10, false, 3).unwrap();
+        for chunk in edges.chunks(3) {
+            w.push_edges(chunk).unwrap();
+        }
+        let summary = w.finish(2).unwrap();
+        assert_eq!(summary.nnz as usize, a.nnz());
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_file(p1).ok();
+        std::fs::remove_file(p2).ok();
+    }
+
+    #[test]
+    fn convert_matches_in_ram_parse() {
+        let t = mcm_sparse::Triples::from_edges(40, 30, {
+            let mut e = Vec::new();
+            let mut x = 7u64;
+            for _ in 0..300 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                e.push((((x >> 33) % 40) as u32, ((x >> 3) % 30) as u32));
+            }
+            e
+        });
+        let mtx = tmp("convert.mtx");
+        mcm_sparse::io::write_matrix_market_file(&t, &mtx).unwrap();
+        let mcsb = tmp("convert.mcsb");
+        let summary = convert_matrix_market_with(&mtx, &mcsb, 2).unwrap();
+        let mut want = t.clone();
+        want.sort_dedup();
+        assert_eq!(summary.nnz as usize, want.len());
+        assert!(!summary.weighted);
+        let file = McsbFile::open(&mcsb).unwrap();
+        let a = want.to_csc();
+        let v = file.view();
+        for j in 0..30 {
+            assert_eq!(v.col(j), a.col(j), "column {j}");
+        }
+        std::fs::remove_file(mtx).ok();
+        std::fs::remove_file(mcsb).ok();
+    }
+}

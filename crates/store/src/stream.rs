@@ -1,0 +1,346 @@
+//! Bounded-memory streaming ingest: edges in, sorted MCSB out.
+//!
+//! [`McsbStreamWriter`] accepts `(row, col[, weight])` edges in arbitrary
+//! order and any quantity, and produces a sorted, deduplicated MCSB file
+//! while holding only O(ncols + nnz / buckets) memory:
+//!
+//! 1. **Scatter**: incoming edges are routed by column range into one of
+//!    `buckets` temporary spill files (fixed-width binary records).
+//! 2. **Sort + merge**: `finish()` walks the buckets in column order — each
+//!    bucket is small enough to sort and deduplicate in RAM (buckets are
+//!    sorted in parallel, `mcm-par`, a group at a time) — and appends the
+//!    row indices (and values) straight into their final position in the
+//!    output file. Only the column-count array spans the whole graph.
+//! 3. **Seal**: column counts become the colptr section, the payload is
+//!    re-read once sequentially to compute its checksum, and the header is
+//!    written last — so a crash mid-ingest leaves a file with no valid
+//!    magic, never a silently half-written graph.
+//!
+//! This is what lets `mcm gen --format mcsb` emit scale-20+ RMAT graphs and
+//! `mcm convert` ingest Matrix Market files larger than RAM.
+
+use crate::format::{fnv1a, Header, StoreError, FNV_OFFSET};
+use crate::write::pad_to;
+use mcm_sparse::triples::{block_offsets, block_owner};
+use mcm_sparse::Vidx;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Default number of column-range spill buckets.
+///
+/// Peak memory at `finish()` is roughly `threads × nnz/buckets` records
+/// (16–24 bytes each), e.g. ≈ 2 MB per thread for a 16M-edge graph at the
+/// default 128 buckets.
+pub const DEFAULT_BUCKETS: usize = 128;
+
+/// What [`McsbStreamWriter::finish`] produced.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSummary {
+    /// Nonzeros after sorting and deduplication.
+    pub nnz: u64,
+    /// Final file size in bytes.
+    pub bytes: u64,
+}
+
+/// A bounded-memory writer producing a sorted MCSB file from unsorted edges.
+pub struct McsbStreamWriter {
+    path: PathBuf,
+    tmp_dir: PathBuf,
+    nrows: usize,
+    ncols: usize,
+    weighted: bool,
+    /// Column-range boundaries, one bucket per `block_offsets` slot.
+    bounds: Vec<usize>,
+    buckets: Vec<BufWriter<File>>,
+    /// Records pushed per bucket (pre-dedup), for exact read-back sizing.
+    pushed: Vec<u64>,
+    finished: bool,
+}
+
+impl McsbStreamWriter {
+    /// Starts an ingest into `path` with [`DEFAULT_BUCKETS`] spill buckets.
+    pub fn create(
+        path: impl AsRef<Path>,
+        nrows: usize,
+        ncols: usize,
+        weighted: bool,
+    ) -> Result<Self, StoreError> {
+        Self::create_with(path, nrows, ncols, weighted, DEFAULT_BUCKETS)
+    }
+
+    /// Starts an ingest with an explicit bucket count (≥ 1). More buckets
+    /// lower peak memory at `finish()`; fewer buckets mean fewer open files.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        nrows: usize,
+        ncols: usize,
+        weighted: bool,
+        buckets: usize,
+    ) -> Result<Self, StoreError> {
+        if nrows >= Vidx::MAX as usize || ncols >= Vidx::MAX as usize {
+            return Err(StoreError::Format(format!(
+                "dimensions {nrows}x{ncols} exceed the 32-bit vertex index space"
+            )));
+        }
+        let path = path.as_ref().to_path_buf();
+        let tmp_dir = PathBuf::from(format!("{}.ingest-tmp", path.display()));
+        std::fs::create_dir_all(&tmp_dir)?;
+        let k = buckets.max(1).min(ncols.max(1));
+        let bounds = block_offsets(ncols, k);
+        let mut bucket_files = Vec::with_capacity(k);
+        for b in 0..k {
+            let f = File::create(tmp_dir.join(format!("bucket{b}.bin")))?;
+            bucket_files.push(BufWriter::new(f));
+        }
+        Ok(Self {
+            path,
+            tmp_dir,
+            nrows,
+            ncols,
+            weighted,
+            bounds,
+            buckets: bucket_files,
+            pushed: vec![0; k],
+            finished: false,
+        })
+    }
+
+    /// Number of records pushed so far (pre-dedup).
+    pub fn pushed(&self) -> u64 {
+        self.pushed.iter().sum()
+    }
+
+    /// Appends a chunk of pattern edges. Rejects out-of-bounds coordinates
+    /// and (on a weighted ingest) missing weights.
+    pub fn push_edges(&mut self, edges: &[(Vidx, Vidx)]) -> Result<(), StoreError> {
+        if self.weighted {
+            return Err(StoreError::Format(
+                "this ingest is weighted; use push_weighted_edges".to_string(),
+            ));
+        }
+        for &(i, j) in edges {
+            let b = self.route(i, j)?;
+            let mut rec = [0u8; 8];
+            rec[0..4].copy_from_slice(&i.to_le_bytes());
+            rec[4..8].copy_from_slice(&j.to_le_bytes());
+            self.buckets[b].write_all(&rec)?;
+            self.pushed[b] += 1;
+        }
+        Ok(())
+    }
+
+    /// Appends a chunk of weighted edges.
+    pub fn push_weighted_edges(&mut self, edges: &[(Vidx, Vidx, f64)]) -> Result<(), StoreError> {
+        if !self.weighted {
+            return Err(StoreError::Format(
+                "this ingest is unweighted; use push_edges".to_string(),
+            ));
+        }
+        for &(i, j, w) in edges {
+            let b = self.route(i, j)?;
+            let mut rec = [0u8; 16];
+            rec[0..4].copy_from_slice(&i.to_le_bytes());
+            rec[4..8].copy_from_slice(&j.to_le_bytes());
+            rec[8..16].copy_from_slice(&w.to_le_bytes());
+            self.buckets[b].write_all(&rec)?;
+            self.pushed[b] += 1;
+        }
+        Ok(())
+    }
+
+    fn route(&self, i: Vidx, j: Vidx) -> Result<usize, StoreError> {
+        if (i as usize) >= self.nrows || (j as usize) >= self.ncols {
+            return Err(StoreError::Format(format!(
+                "edge ({i}, {j}) out of bounds for a {}x{} graph",
+                self.nrows, self.ncols
+            )));
+        }
+        Ok(block_owner(&self.bounds, j as usize))
+    }
+
+    /// Sorts, deduplicates, and seals the MCSB file. `threads` bounds the
+    /// bucket-sort parallelism (and the transient memory: `threads` buckets
+    /// are resident at once).
+    pub fn finish(mut self, threads: usize) -> Result<StreamSummary, StoreError> {
+        self.finished = true;
+        let rec_len: usize = if self.weighted { 16 } else { 8 };
+        for b in &mut self.buckets {
+            b.flush()?;
+        }
+        let nbuckets = self.buckets.len();
+        self.buckets.clear(); // close the spill files
+
+        // The rowind section's start is independent of the final nnz, so row
+        // indices stream straight into place while counts accumulate.
+        let provisional = Header::layout(self.nrows as u64, self.ncols as u64, 0, self.weighted);
+        // Read+write: the checksum pass re-reads the payload at the end.
+        let mut out_file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&self.path)?;
+        out_file.seek(SeekFrom::Start(provisional.rowind_off))?;
+        let mut out = BufWriter::new(out_file);
+        let mut values_tmp = if self.weighted {
+            Some(BufWriter::new(File::create(self.tmp_dir.join("values.bin"))?))
+        } else {
+            None
+        };
+
+        let mut counts = vec![0u64; self.ncols + 1];
+        let mut nnz = 0u64;
+        let threads = threads.max(1);
+        for group_start in (0..nbuckets).step_by(threads) {
+            let group_end = (group_start + threads).min(nbuckets);
+            // Read the group's spill files serially (I/O), sort in parallel.
+            let mut raw: Vec<Vec<u8>> = Vec::with_capacity(group_end - group_start);
+            for b in group_start..group_end {
+                let path = self.tmp_dir.join(format!("bucket{b}.bin"));
+                let mut bytes = Vec::with_capacity((self.pushed[b] as usize) * rec_len);
+                BufReader::new(File::open(&path)?).read_to_end(&mut bytes)?;
+                if bytes.len() != self.pushed[b] as usize * rec_len {
+                    return Err(StoreError::Format(format!(
+                        "spill bucket {b} is {} bytes, expected {}",
+                        bytes.len(),
+                        self.pushed[b] as usize * rec_len
+                    )));
+                }
+                raw.push(bytes);
+            }
+            let weighted = self.weighted;
+            let sorted: Vec<SortedBucket> =
+                mcm_par::par_map_range(raw.len(), threads, |k| sort_bucket(&raw[k], weighted));
+            for (pairs, weights) in &sorted {
+                for (k, &(i, j)) in pairs.iter().enumerate() {
+                    counts[j as usize + 1] += 1;
+                    out.write_all(&i.to_le_bytes())?;
+                    if let Some(vt) = &mut values_tmp {
+                        vt.write_all(&weights[k].to_le_bytes())?;
+                    }
+                }
+                nnz += pairs.len() as u64;
+            }
+        }
+
+        // Seal: values after rowind, then colptr, then the checksummed header.
+        let mut header = Header::layout(self.nrows as u64, self.ncols as u64, nnz, self.weighted);
+        let mut pos = header.rowind_off + header.rowind_len;
+        if let Some(vt) = values_tmp.take() {
+            vt.into_inner().map_err(|e| StoreError::Format(format!("spill flush: {e}")))?;
+            pos = pad_to(&mut out, pos, header.values_off)?;
+            let mut src = BufReader::new(File::open(self.tmp_dir.join("values.bin"))?);
+            let copied = std::io::copy(&mut src, &mut out)?;
+            if copied != header.values_len {
+                return Err(StoreError::Format(format!(
+                    "values spill is {copied} bytes, expected {}",
+                    header.values_len
+                )));
+            }
+            pos += copied;
+        }
+        debug_assert_eq!(pos, header.file_len());
+        out.flush()?;
+        let mut out_file =
+            out.into_inner().map_err(|e| StoreError::Format(format!("output flush: {e}")))?;
+        // An empty rowind section leaves the file short of its declared
+        // extent (nothing was written past the seek); extend explicitly.
+        out_file.set_len(header.file_len())?;
+        let bytes = header.file_len();
+
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        out_file.seek(SeekFrom::Start(header.colptr_off))?;
+        let mut out = BufWriter::new(out_file);
+        let mut checksum = FNV_OFFSET;
+        for &c in &counts {
+            let le = c.to_le_bytes();
+            checksum = fnv1a(checksum, &le);
+            out.write_all(&le)?;
+        }
+        out.flush()?;
+        let mut out_file =
+            out.into_inner().map_err(|e| StoreError::Format(format!("output flush: {e}")))?;
+
+        // One sequential re-read of the payload finishes the checksum (FNV
+        // is order-dependent and the rowind bytes were written before the
+        // colptr bytes existed).
+        checksum = hash_section(&mut out_file, header.rowind_off, header.rowind_len, checksum)?;
+        if self.weighted {
+            checksum = hash_section(&mut out_file, header.values_off, header.values_len, checksum)?;
+        }
+        header.payload_checksum = checksum;
+        out_file.seek(SeekFrom::Start(0))?;
+        out_file.write_all(&header.encode())?;
+        out_file.flush()?;
+        drop(out_file);
+
+        std::fs::remove_dir_all(&self.tmp_dir).ok();
+        Ok(StreamSummary { nnz, bytes })
+    }
+}
+
+impl Drop for McsbStreamWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abandoned ingest: drop the spill directory; the (headerless)
+            // output file, if any, has no valid magic and will be rejected.
+            std::fs::remove_dir_all(&self.tmp_dir).ok();
+        }
+    }
+}
+
+/// One decoded, sorted spill bucket: coordinate pairs plus (for weighted
+/// files) their parallel weight array.
+type SortedBucket = (Vec<(Vidx, Vidx)>, Vec<f64>);
+
+/// Decodes, sorts, and deduplicates one spill bucket. Duplicate coordinates
+/// keep the largest weight, matching `WCsc::from_weighted_triples`.
+fn sort_bucket(bytes: &[u8], weighted: bool) -> SortedBucket {
+    if weighted {
+        let mut recs: Vec<(Vidx, Vidx, f64)> = bytes
+            .chunks_exact(16)
+            .map(|r| {
+                (
+                    Vidx::from_le_bytes(r[0..4].try_into().unwrap()),
+                    Vidx::from_le_bytes(r[4..8].try_into().unwrap()),
+                    f64::from_le_bytes(r[8..16].try_into().unwrap()),
+                )
+            })
+            .collect();
+        recs.sort_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)).then(b.2.total_cmp(&a.2)));
+        recs.dedup_by_key(|&mut (i, j, _)| (i, j));
+        let pairs = recs.iter().map(|&(i, j, _)| (i, j)).collect();
+        let weights = recs.into_iter().map(|(_, _, w)| w).collect();
+        (pairs, weights)
+    } else {
+        let mut recs: Vec<(Vidx, Vidx)> = bytes
+            .chunks_exact(8)
+            .map(|r| {
+                (
+                    Vidx::from_le_bytes(r[0..4].try_into().unwrap()),
+                    Vidx::from_le_bytes(r[4..8].try_into().unwrap()),
+                )
+            })
+            .collect();
+        recs.sort_unstable_by_key(|&(i, j)| (j, i));
+        recs.dedup();
+        (recs, Vec::new())
+    }
+}
+
+/// Streams `len` bytes at `off` through the FNV state.
+fn hash_section(f: &mut File, off: u64, len: u64, mut h: u64) -> Result<u64, StoreError> {
+    f.seek(SeekFrom::Start(off))?;
+    let mut remaining = len;
+    let mut buf = vec![0u8; 1 << 16];
+    while remaining > 0 {
+        let want = remaining.min(buf.len() as u64) as usize;
+        f.read_exact(&mut buf[..want])?;
+        h = fnv1a(h, &buf[..want]);
+        remaining -= want as u64;
+    }
+    Ok(h)
+}

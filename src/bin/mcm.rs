@@ -33,14 +33,16 @@ use mcm_bsp::{Communicator, DistCtx, EngineComm, MachineConfig, SharedComm};
 use mcm_core::dm::{dulmage_mendelsohn, DmBlock};
 // btf used via full path in cmd_btf
 use mcm_core::serial::{hopcroft_karp, ms_bfs_graft, ms_bfs_serial, pothen_fan, push_relabel};
-use mcm_core::verify::is_maximum;
+use mcm_core::verify::{is_maximum, verify_view};
 use mcm_core::{
-    maximum_matching, Matching, MatchingAlgo, McmOptions, PortfolioBackend, PortfolioOptions,
+    maximum_matching, maximum_matching_view, Matching, MatchingAlgo, McmOptions, PortfolioBackend,
+    PortfolioOptions,
 };
 use mcm_sparse::io::{read_matrix_market_file, write_matrix_market_file};
 use mcm_sparse::permute::{permute_triples, Permutation};
 use mcm_sparse::stats::MatrixStats;
-use mcm_sparse::{Triples, Vidx, NIL};
+use mcm_sparse::{CscView, Triples, Vidx, NIL};
+use mcm_store::{GraphFormat, McsbFile, McsbStreamWriter};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -78,6 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("btf") => cmd_btf(&args[1..]),
         Some("mwm") => cmd_mwm(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -100,7 +103,14 @@ usage:
   mcm dm      <file.mtx>
   mcm btf     <file.mtx>
   mcm mwm     <file.mtx> [--eps e]     maximum weight matching (values used)
-  mcm gen     <g500|ssca|er|road|mesh> --scale <s> --out <file.mtx> [--seed n]
+  mcm gen     <g500|ssca|er|road|mesh> --scale <s> --out <file> [--seed n]
+              [--format mtx|mcsb]      mcsb streams RMAT edges straight to the
+                                       binary store (bounded memory at any scale)
+  mcm convert <in.mtx> --out <out.mcsb>  stream a Matrix Market file into MCSB
+
+Graph inputs are sniffed by content: Matrix Market text or the MCSB binary
+store (mcm-store). MCSB files are mmap'ed and matched zero-copy with
+--algo dist; other algorithms materialize an in-RAM copy.
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -125,9 +135,61 @@ fn positional(args: &[String]) -> Option<&str> {
     None
 }
 
+/// A loaded graph: Matrix Market text parsed to triples, or an MCSB file
+/// whose CSC arrays stay on their mmap'ed pages (the zero-copy path).
+enum Input {
+    Mtx(Triples),
+    Mcsb(McsbFile),
+}
+
+/// A borrowed graph handed to the solvers: owned triples or a CSC view into
+/// an open [`McsbFile`].
+enum Graph<'a> {
+    Triples(&'a Triples),
+    View(CscView<'a>),
+}
+
+impl Graph<'_> {
+    fn nrows(&self) -> usize {
+        match self {
+            Graph::Triples(t) => t.nrows(),
+            Graph::View(v) => v.nrows(),
+        }
+    }
+
+    fn ncols(&self) -> usize {
+        match self {
+            Graph::Triples(t) => t.ncols(),
+            Graph::View(v) => v.ncols(),
+        }
+    }
+}
+
+/// Sniffs `path` by content (MCSB magic vs `%%MatrixMarket`) and opens it.
+/// Corrupt or truncated MCSB files surface as structured errors here, not
+/// panics deeper in the pipeline.
+fn load_input(path: &str) -> Result<Input, String> {
+    match mcm_store::sniff_format(path).map_err(|e| format!("{path}: {e}"))? {
+        GraphFormat::MatrixMarket => {
+            read_matrix_market_file(path).map(Input::Mtx).map_err(|e| format!("{path}: {e}"))
+        }
+        GraphFormat::Mcsb => {
+            McsbFile::open(path).map(Input::Mcsb).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
 fn load(args: &[String]) -> Result<Triples, String> {
     let path = positional(args).ok_or("missing input file")?;
-    read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))
+    match load_input(path)? {
+        Input::Mtx(t) => Ok(t),
+        // Commands that need triples (stats, permute, dm, btf) materialize
+        // the edge list; only `match --algo dist` runs zero-copy.
+        Input::Mcsb(f) => {
+            let v = f.view();
+            Ok(Triples::from_edges(v.nrows(), v.ncols(), v.iter().collect()))
+        }
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -158,7 +220,7 @@ struct DistRun {
 }
 
 fn compute_dist(
-    t: &Triples,
+    g: &Graph<'_>,
     backend: &str,
     grid: usize,
     ranks: usize,
@@ -167,10 +229,18 @@ fn compute_dist(
     let rows = |ctx: &DistCtx| {
         ctx.timers.breakdown().into_iter().map(|(k, s, c)| (k.name(), s, c)).collect()
     };
+    // Dispatches to the owned-triples or zero-copy view entry point; the
+    // two produce identical matchings (asserted by `tests/store.rs`).
+    fn solve<C: Communicator>(comm: &mut C, g: &Graph<'_>) -> mcm_core::McmResult {
+        match g {
+            Graph::Triples(t) => maximum_matching(comm, t, &McmOptions::default()),
+            Graph::View(v) => maximum_matching_view(comm, v, &McmOptions::default()),
+        }
+    }
     match backend {
         "sim" => {
             let mut ctx = DistCtx::new(MachineConfig::hybrid(grid, threads));
-            let r = maximum_matching(&mut ctx, t, &McmOptions::default());
+            let r = solve(&mut ctx, g);
             eprintln!(
                 "simulated {} cores ({}x{} grid, {} threads/process); modeled time {:.3} ms",
                 ctx.machine.cores(),
@@ -187,7 +257,7 @@ fn compute_dist(
                 return Err(format!("--ranks must be a positive perfect square, got {ranks}"));
             }
             let mut comm = EngineComm::new(ranks, threads);
-            let r = maximum_matching(&mut comm, t, &McmOptions::default());
+            let r = solve(&mut comm, g);
             eprintln!(
                 "engine: {} ranks x {} threads; modeled time {:.3} ms",
                 ranks,
@@ -207,7 +277,7 @@ fn compute_dist(
                 return Err(format!("--ranks must be a positive perfect square, got {ranks}"));
             }
             let mut comm = SharedComm::new(ranks, threads);
-            let r = maximum_matching(&mut comm, t, &McmOptions::default());
+            let r = solve(&mut comm, g);
             eprintln!(
                 "shared: {} logical ranks x {} threads (fused arena); modeled time {:.3} ms",
                 ranks,
@@ -226,7 +296,7 @@ fn compute_dist(
 }
 
 fn compute(
-    t: &Triples,
+    g: &Graph<'_>,
     algo: &str,
     backend: &str,
     grid: usize,
@@ -243,6 +313,16 @@ fn compute(
         };
         let opts =
             PortfolioOptions { algo: palgo, backend: pbackend, threads, ..Default::default() };
+        // The portfolio measures the graph before picking an engine, which
+        // needs an owned edge list either way.
+        let owned;
+        let t = match g {
+            Graph::Triples(t) => *t,
+            Graph::View(v) => {
+                owned = Triples::from_edges(v.nrows(), v.ncols(), v.iter().collect());
+                &owned
+            }
+        };
         let r = mcm_core::portfolio::solve(t, &opts);
         return Ok(DistRun {
             matching: r.matching,
@@ -251,9 +331,14 @@ fn compute(
             auto: r.stats.algo_auto,
         });
     }
-    let a = t.to_csc();
+    if algo == "dist" {
+        return compute_dist(g, backend, grid, ranks, threads);
+    }
+    let a = match g {
+        Graph::Triples(t) => t.to_csc(),
+        Graph::View(v) => v.to_csc(),
+    };
     let matching = match algo {
-        "dist" => return compute_dist(t, backend, grid, ranks, threads),
         "hk" => hopcroft_karp(&a, None),
         "pf" => pothen_fan(&a, None),
         "pr" => push_relabel(&a),
@@ -280,8 +365,7 @@ fn cmd_match_weighted(args: &[String]) -> Result<(), String> {
     let args: Vec<String> = args.iter().filter(|a| *a != "--weighted").cloned().collect();
     let args = &args[..];
     let path = positional(args).ok_or("missing input file")?;
-    let a = mcm_sparse::io::read_matrix_market_weighted_file(path)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let a = load_weighted(path)?;
     let threads: usize =
         opt(args, "--threads").unwrap_or("4").parse().map_err(|_| "bad --threads")?;
     if threads == 0 {
@@ -320,7 +404,12 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--weighted") {
         return cmd_match_weighted(args);
     }
-    let t = load(args)?;
+    let path = positional(args).ok_or("missing input file")?;
+    let input = load_input(path)?;
+    let g = match &input {
+        Input::Mtx(t) => Graph::Triples(t),
+        Input::Mcsb(f) => Graph::View(f.view()),
+    };
     let algo = opt(args, "--algo").unwrap_or("dist");
     let backend = opt(args, "--backend").unwrap_or("sim");
     let grid: usize = opt(args, "--grid").unwrap_or("2").parse().map_err(|_| "bad --grid")?;
@@ -340,7 +429,7 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         drop(mcm_obs::take_trace()); // start the run from an empty sink
     }
     let DistRun { matching: m, modeled, algo: ran, auto } =
-        compute(&t, algo, backend, grid, ranks, threads)?;
+        compute(&g, algo, backend, grid, ranks, threads)?;
     if breakdown || trace_out.is_some() {
         mcm_obs::enable_tracing(false);
         let trace = mcm_obs::take_trace();
@@ -354,19 +443,28 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             eprintln!("wrote chrome://tracing JSON ({} events) to {path}", trace.events.len());
         }
     }
-    let a = t.to_csc();
-    m.validate(&a).map_err(|e| format!("internal error, invalid matching: {e}"))?;
-    assert!(is_maximum(&a, &m), "internal error: matching not maximum");
+    // Berge-certify the result against the graph as loaded — for MCSB that
+    // means against the mapped pages themselves, no owned copy.
+    match &g {
+        Graph::Triples(t) => {
+            let a = t.to_csc();
+            m.validate(&a).map_err(|e| format!("internal error, invalid matching: {e}"))?;
+            assert!(is_maximum(&a, &m), "internal error: matching not maximum");
+        }
+        Graph::View(v) => {
+            verify_view(v, &m).map_err(|e| format!("internal error: {e}"))?;
+        }
+    }
     println!(
         "maximum matching: {} of {} columns ({} rows) matched",
         m.cardinality(),
-        t.ncols(),
-        t.nrows()
+        g.ncols(),
+        g.nrows()
     );
     println!("algo: {ran}{}", if auto { " (selected by auto)" } else { "" });
     if let Some(out) = opt(args, "--out") {
         let mut body = String::new();
-        for c in 0..t.ncols() as Vidx {
+        for c in 0..g.ncols() as Vidx {
             let r = m.mate_c.get(c);
             if r != NIL {
                 body.push_str(&format!("{} {}\n", r + 1, c + 1));
@@ -444,10 +542,25 @@ fn cmd_btf(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads a weighted graph (`WCsc`): Matrix Market with values, or a
+/// weighted MCSB file (decoded on the heap; the auction engines mutate
+/// prices next to the weights, so there is no zero-copy weighted path).
+fn load_weighted(path: &str) -> Result<mcm_sparse::WCsc, String> {
+    match mcm_store::sniff_format(path).map_err(|e| format!("{path}: {e}"))? {
+        GraphFormat::MatrixMarket => mcm_sparse::io::read_matrix_market_weighted_file(path)
+            .map_err(|e| format!("{path}: {e}")),
+        GraphFormat::Mcsb => {
+            let f = McsbFile::open_heap(path).map_err(|e| format!("{path}: {e}"))?;
+            f.to_wcsc().ok_or_else(|| {
+                format!("{path}: MCSB file has no values (unweighted); use `mcm match`")
+            })
+        }
+    }
+}
+
 fn cmd_mwm(args: &[String]) -> Result<(), String> {
     let path = positional(args).ok_or("missing input file")?;
-    let a = mcm_sparse::io::read_matrix_market_weighted_file(path)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let a = load_weighted(path)?;
     let n = a.nrows().max(a.ncols()).max(1);
     let default_eps = 0.5 / (n as f64 + 1.0);
     let eps: f64 = match opt(args, "--eps") {
@@ -477,10 +590,42 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let scale: u32 = opt(args, "--scale").unwrap_or("10").parse().map_err(|_| "bad --scale")?;
     let seed: u64 = opt(args, "--seed").unwrap_or("1").parse().map_err(|_| "bad --seed")?;
     let out = opt(args, "--out").ok_or("missing --out")?;
+    let format = opt(args, "--format").unwrap_or("mtx");
+    if !matches!(format, "mtx" | "mcsb") {
+        return Err(format!("bad --format value: {format} (want mtx|mcsb)"));
+    }
+    let rmat_params = match family {
+        "g500" => Some(mcm_gen::rmat::RmatParams::g500(scale)),
+        "ssca" => Some(mcm_gen::rmat::RmatParams::ssca(scale)),
+        "er" => Some(mcm_gen::rmat::RmatParams::er(scale)),
+        _ => None,
+    };
+    if format == "mcsb" {
+        // Stream straight into the store: for RMAT families the edge list is
+        // never materialized, so scale is bounded by disk, not RAM.
+        let p = rmat_params
+            .ok_or_else(|| format!("--format mcsb streams RMAT families only, not {family}"))?;
+        let n = p.n();
+        let mut w =
+            McsbStreamWriter::create(out, n, n, false).map_err(|e| format!("{out}: {e}"))?;
+        let mut push_err = None;
+        mcm_gen::stream_edges(&p, seed, |chunk| {
+            if push_err.is_none() {
+                push_err = w.push_edges(chunk).err();
+            }
+        });
+        if let Some(e) = push_err {
+            return Err(format!("{out}: {e}"));
+        }
+        let s = w.finish(mcm_par::max_threads()).map_err(|e| format!("{out}: {e}"))?;
+        println!(
+            "wrote {n} x {n} matrix with {} nonzeros to {out} ({} bytes, MCSB)",
+            s.nnz, s.bytes
+        );
+        return Ok(());
+    }
     let t = match family {
-        "g500" => mcm_gen::rmat::rmat(mcm_gen::rmat::RmatParams::g500(scale), seed),
-        "ssca" => mcm_gen::rmat::rmat(mcm_gen::rmat::RmatParams::ssca(scale), seed),
-        "er" => mcm_gen::rmat::rmat(mcm_gen::rmat::RmatParams::er(scale), seed),
+        "g500" | "ssca" | "er" => mcm_gen::rmat::rmat(rmat_params.unwrap(), seed),
         "road" => {
             let side = 1usize << (scale / 2);
             mcm_gen::mesh::road_grid(side, side, 0.12, seed)
@@ -493,5 +638,20 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     };
     write_matrix_market_file(&t, out).map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {} x {} matrix with {} nonzeros to {out}", t.nrows(), t.ncols(), t.len());
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let src = positional(args).ok_or("missing input file")?;
+    let out = opt(args, "--out").ok_or("missing --out")?;
+    let s = mcm_store::convert_matrix_market(src, out).map_err(|e| format!("{src}: {e}"))?;
+    println!(
+        "converted {} x {} matrix, {} nonzeros{} -> {out} ({} bytes, MCSB)",
+        s.nrows,
+        s.ncols,
+        s.nnz,
+        if s.weighted { " (weighted)" } else { "" },
+        s.bytes
+    );
     Ok(())
 }

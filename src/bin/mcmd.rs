@@ -71,8 +71,10 @@ usage:
                         \"matching <n> weight <w>\", repairs re-auction only
                         the eps-CS-violated columns from persistent prices
   --rows n / --cols n   vertex counts of an initially empty graph (default 1024)
-  --load file.mtx       start from a Matrix Market graph instead (solves it first;
-                        with --weighted, entry values become edge weights)
+  --load file           start from a graph file instead (solves it first; the
+                        format — Matrix Market text or MCSB binary — is sniffed
+                        by content; with --weighted, entry values / MCSB values
+                        become edge weights)
   --input file          read commands from a file instead of stdin
   --listen addr         serve concurrent TCP clients at addr (e.g. 127.0.0.1:7171;
                         port 0 picks a free port, printed as \"listening <addr>\").
@@ -119,6 +121,38 @@ fn main() -> ExitCode {
 
 fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// `--load` for the cardinality engine: sniffs MCSB magic vs Matrix Market
+/// text by content. MCSB decodes straight to a CSC frozen base (no triple
+/// list); corrupt or truncated files surface as structured errors here.
+fn load_card(path: &str, opts: DynOptions) -> Result<DynMatching, String> {
+    match mcm_store::sniff_format(path).map_err(|e| format!("{path}: {e}"))? {
+        mcm_store::GraphFormat::MatrixMarket => {
+            let t = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(DynMatching::from_triples(&t, opts))
+        }
+        mcm_store::GraphFormat::Mcsb => {
+            let f = mcm_store::McsbFile::open_heap(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(DynMatching::from_csc(f.to_csc(), opts))
+        }
+    }
+}
+
+/// `--load` for the weighted engine: Matrix Market values or a weighted
+/// MCSB file become edge weights.
+fn load_weighted(path: &str) -> Result<mcm_sparse::WCsc, String> {
+    match mcm_store::sniff_format(path).map_err(|e| format!("{path}: {e}"))? {
+        mcm_store::GraphFormat::MatrixMarket => {
+            read_matrix_market_weighted_file(path).map_err(|e| format!("{path}: {e}"))
+        }
+        mcm_store::GraphFormat::Mcsb => {
+            let f = mcm_store::McsbFile::open_heap(path).map_err(|e| format!("{path}: {e}"))?;
+            f.to_wcsc().ok_or_else(|| {
+                format!("{path}: MCSB file has no values (unweighted); drop --weighted")
+            })
+        }
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -200,11 +234,9 @@ fn run(args: &[String]) -> Result<(), String> {
         };
         let mut wm = match opt(args, "--load") {
             Some(path) => {
-                let a =
-                    read_matrix_market_weighted_file(path).map_err(|e| format!("{path}: {e}"))?;
+                let a = load_weighted(path)?;
                 let (n1, n2) = (a.nrows(), a.ncols());
-                let wm =
-                    WDynMatching::from_weighted_triples(n1, n2, a.to_weighted_triples(), wopts);
+                let wm = WDynMatching::from_wcsc(a, wopts);
                 println!(
                     "loaded {} {}x{} nnz {} matching {} weight {}",
                     path,
@@ -248,8 +280,7 @@ fn run(args: &[String]) -> Result<(), String> {
     } else {
         let mut dm = match opt(args, "--load") {
             Some(path) => {
-                let t = read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))?;
-                let dm = DynMatching::from_triples(&t, opts);
+                let dm = load_card(path, opts)?;
                 println!(
                     "loaded {} {}x{} nnz {} matching {}",
                     path,
